@@ -1,0 +1,132 @@
+// E9 -- Ablations of the implementation-level design choices DESIGN.md
+// calls out:
+//   * del-broadcast dedupe (note 6): suppresses re-sends of identical GC
+//     announcements -- measured in del message count and bytes;
+//   * DelL compaction (note 7): bounds deletion-list metadata -- measured
+//     in peak DelL entries;
+//   * GC period: the transient-storage vs. message-overhead trade-off.
+#include <cstdio>
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "common/random.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr std::size_t kValueBytes = 512;
+
+struct Result {
+  std::uint64_t del_msgs = 0;
+  std::uint64_t del_bytes = 0;
+  std::uint64_t total_bytes = 0;
+  std::size_t peak_dell_entries = 0;
+  double avg_history_B = 0;
+  bool converged = false;
+};
+
+Result run(bool dedupe, bool compact, SimTime gc_period,
+           DelRouting routing = DelRouting::kDirect) {
+  ClusterConfig config;
+  config.gc_period = gc_period;
+  config.server.dedupe_del_broadcasts = dedupe;
+  config.server.compact_del_lists = compact;
+  config.server.del_routing = routing;
+  auto cluster = std::make_unique<Cluster>(
+      erasure::make_systematic_rs(6, 3, kValueBytes),
+      std::make_unique<sim::ConstantLatency>(8 * kMillisecond), config);
+
+  Rng rng(99);
+  Result result;
+  std::uint64_t history_samples = 0;
+  double history_sum = 0;
+  auto& sim = cluster->sim();
+  sim.schedule_periodic(0, 40 * kMillisecond, [&] {
+    for (NodeId s = 0; s < cluster->num_servers(); ++s) {
+      const auto st = cluster->server(s).storage();
+      result.peak_dell_entries =
+          std::max(result.peak_dell_entries, st.dell_entries);
+      history_sum += static_cast<double>(st.history_bytes) / kValueBytes;
+      ++history_samples;
+    }
+  }, 20 * kSecond);
+
+  // 200 writes over 20 s from rotating servers.
+  for (int i = 0; i < 200; ++i) {
+    cluster->make_client(static_cast<NodeId>(rng.next_below(6)))
+        .write(static_cast<ObjectId>(rng.next_below(3)),
+               Value(kValueBytes, static_cast<std::uint8_t>(i)));
+    cluster->run_for(100 * kMillisecond);
+  }
+  cluster->settle();
+
+  const auto& stats = sim.stats();
+  result.total_bytes = stats.total_bytes;
+  if (auto it = stats.by_type.find("del"); it != stats.by_type.end()) {
+    result.del_msgs = it->second.count;
+    result.del_bytes = it->second.bytes;
+  }
+  result.avg_history_B = history_sum / static_cast<double>(history_samples);
+  result.converged = cluster->storage_converged();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: ablations -- RS(6,3), 200 writes over 20 s\n\n");
+  std::printf("%7s %8s %8s | %10s %12s %10s %12s %10s\n", "dedupe",
+              "compact", "Tgc ms", "del msgs", "del bytes", "peak DelL",
+              "avg hist B", "converged");
+
+  for (bool dedupe : {true, false}) {
+    for (bool compact : {true, false}) {
+      const Result r = run(dedupe, compact, 100 * kMillisecond);
+      std::printf("%7s %8s %8d | %10llu %12llu %10zu %12.2f %10s\n",
+                  dedupe ? "on" : "off", compact ? "on" : "off", 100,
+                  static_cast<unsigned long long>(r.del_msgs),
+                  static_cast<unsigned long long>(r.del_bytes),
+                  r.peak_dell_entries, r.avg_history_B,
+                  r.converged ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\nGC period sweep (dedupe + compaction on):\n");
+  std::printf("%8s | %10s %12s %12s %10s\n", "Tgc ms", "del msgs",
+              "avg hist B", "total bytes", "converged");
+  for (SimTime gc : {25 * kMillisecond, 100 * kMillisecond,
+                     400 * kMillisecond, 1600 * kMillisecond}) {
+    const Result r = run(true, true, gc);
+    std::printf("%8lld | %10llu %12.2f %12llu %10s\n",
+                static_cast<long long>(gc / kMillisecond),
+                static_cast<unsigned long long>(r.del_msgs),
+                r.avg_history_B,
+                static_cast<unsigned long long>(r.total_bytes),
+                r.converged ? "yes" : "NO");
+  }
+  std::printf("\ndel routing (Appendix G variant (ii)), dedupe + compaction "
+              "on, Tgc = 100 ms:\n");
+  std::printf("%12s | %10s %12s %10s\n", "routing", "del msgs", "del bytes",
+              "converged");
+  for (DelRouting routing : {DelRouting::kDirect, DelRouting::kViaLeader}) {
+    const Result r = run(true, true, 100 * kMillisecond, routing);
+    std::printf("%12s | %10llu %12llu %10s\n",
+                routing == DelRouting::kDirect ? "direct" : "via leader",
+                static_cast<unsigned long long>(r.del_msgs),
+                static_cast<unsigned long long>(r.del_bytes),
+                r.converged ? "yes" : "NO");
+  }
+
+  std::printf("\nexpected: dedupe cuts del traffic sharply with no effect "
+              "on convergence;\ncompaction bounds DelL metadata; larger "
+              "T_gc trades history residency for\nfewer GC messages; "
+              "leader routing trades sender fan-out for an extra hop\n"
+              "(Sec. 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Extension bench -- the paper's stated open problem (Sec. 6): automatic
+// cross-object code design for a given topology. Compares the heuristic
+// designer against the paper's hand-tuned code, optimal partial
+// replication, and intra-object RS on the Fig. 1 topology, then
+// demonstrates generality on random topologies.
+#include <cstdio>
+
+#include "common/random.h"
+#include "erasure/codes.h"
+#include "placement/designer.h"
+#include "placement/rtt_matrix.h"
+
+using namespace causalec;
+using namespace causalec::placement;
+
+namespace {
+
+void print_row(const char* name, double worst, double avg,
+               const char* extra = "") {
+  std::printf("%-28s %10.0f %10.2f   %s\n", name, worst, avg, extra);
+}
+
+std::string mask_string(const std::vector<std::uint32_t>& masks,
+                        std::size_t groups) {
+  std::string out;
+  for (std::size_t s = 0; s < masks.size(); ++s) {
+    if (s) out += " ";
+    bool first = true;
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (masks[s] >> g & 1) {
+        out += first ? "G" : "+G";
+        out += std::to_string(g + 1);
+        first = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: automatic cross-object code design (the Sec. 6 "
+              "open problem)\n\n");
+  const auto& rtt = six_dc_rtt_ms();
+
+  std::printf("Fig. 1 topology, 4 groups, capacity 1 symbol/DC:\n");
+  std::printf("%-28s %10s %10s\n", "scheme", "worst ms", "avg ms");
+
+  const auto partial = brute_force_partial_replication(rtt, 4);
+  print_row("partial replication (opt)", partial.worst_read_latency_ms,
+            partial.avg_read_latency_ms);
+  const auto intra = evaluate_intra_object_rs(rtt, 4);
+  print_row("intra-object RS(6,4)", intra.worst_read_latency_ms,
+            intra.avg_read_latency_ms);
+  const auto paper = evaluate_code(*erasure::make_six_dc_cross_object(1024),
+                                   rtt, "paper");
+  print_row("paper hand-tuned code", paper.worst_read_latency_ms,
+            paper.avg_read_latency_ms);
+
+  DesignOptions options;
+  options.restarts = 8;
+  options.max_steps_per_restart = 32;
+  const auto designed = design_cross_object_code(rtt, 4, options);
+  print_row("designer (this work)", designed.eval.worst_read_latency_ms,
+            designed.eval.avg_read_latency_ms);
+  std::printf("  designed layout: %s  (%d candidate evaluations)\n\n",
+              mask_string(designed.masks, 4).c_str(), designed.evaluations);
+
+  std::printf("Random topologies (4 groups, RTTs uniform in [10, 250) ms), "
+              "designer vs. optimal partial replication:\n");
+  std::printf("%6s | %22s | %22s\n", "nodes", "partial worst/avg",
+              "designed worst/avg");
+  Rng rng(4242);
+  for (std::size_t n : {5u, 6u, 7u, 8u}) {
+    std::vector<std::vector<double>> random_rtt(n,
+                                                std::vector<double>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        random_rtt[i][j] = random_rtt[j][i] =
+            10 + static_cast<double>(rng.next_below(240));
+      }
+    }
+    const auto p = brute_force_partial_replication(random_rtt, 4);
+    DesignOptions opt;
+    opt.seed = n;
+    opt.restarts = 6;
+    opt.max_steps_per_restart = 24;
+    const auto d = design_cross_object_code(random_rtt, 4, opt);
+    std::printf("%6zu | %10.0f / %8.2f | %10.0f / %8.2f\n", n,
+                p.worst_read_latency_ms, p.avg_read_latency_ms,
+                d.eval.worst_read_latency_ms, d.eval.avg_read_latency_ms);
+  }
+  std::printf("\nexpected: the designer matches or beats the hand-tuned "
+              "code on Fig. 1 and\nconsistently beats partial replication's "
+              "worst case on random topologies\nwhile staying close on "
+              "average latency.\n");
+  return 0;
+}

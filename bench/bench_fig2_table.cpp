@@ -1,0 +1,96 @@
+// E1 -- Regenerates the Fig. 2 table: cost and latency comparison between
+// partial replication, intra-object coding, and cross-object coding over
+// the Fig. 1 six-DC RTT matrix.
+//
+// Paper's published row values:
+//   Partial replication: worst 228 ms, avg 88 ms,  read 3B/4, write 6B
+//   Intra-object coding: worst 138 ms, avg 132 ms, read 3B/4, write 6B/4
+//   Cross-object coding: worst 138 ms, avg 88 ms,  read 3B/4, write 12B
+//
+// Our regeneration (see EXPERIMENTS.md): identical shape; the cross-object
+// worst case computes to 146 ms from the published Fig. 1 matrix (the
+// paper's 138/87.5 pair corresponds to RTT(N.California, London) = 136).
+#include <cstdio>
+
+#include "erasure/codes.h"
+#include "placement/latency_eval.h"
+#include "placement/rtt_matrix.h"
+
+using namespace causalec;
+using namespace causalec::placement;
+
+int main() {
+  const auto& rtt = six_dc_rtt_ms();
+  const std::size_t kGroups = 4;  // 4M objects = 4 groups of M, capacity M/DC
+
+  std::printf("E1: Fig. 2 -- cost and latency comparison (6 DCs, Fig. 1 "
+              "RTTs, 4 object groups)\n");
+  std::printf("%-22s %12s %12s %14s %15s\n", "scheme", "worst ms", "avg ms",
+              "read comm", "write comm");
+
+  // --- Partial replication: brute-force optimal placement. --------------
+  const auto partial = brute_force_partial_replication(rtt, kGroups);
+  {
+    // Read comm: a read is remote unless the DC hosts the group; with the
+    // optimal placement r replicas per group, remote probability is
+    // 1 - (#hosts of the read DC's group) / 6 averaged over (dc, group).
+    double remote = 0;
+    for (NodeId dc = 0; dc < 6; ++dc) {
+      for (ObjectId g = 0; g < kGroups; ++g) {
+        if (partial.placement[dc] != g) remote += 1;
+      }
+    }
+    const double read_b = remote / (6.0 * kGroups);
+    // Write comm: propagate the value to every other server (Appendix A).
+    const double write_b = 5.0;
+    std::printf("%-22s %12.0f %12.2f %13.2fB %14.2fB\n",
+                "partial replication", partial.worst_read_latency_ms,
+                partial.avg_read_latency_ms, read_b, write_b);
+  }
+
+  // --- Intra-object RS(6,4). ---------------------------------------------
+  const auto intra = evaluate_intra_object_rs(rtt, 4);
+  {
+    const double read_b = 3.0 / 4.0;   // 3 remote fragments of B/4
+    const double write_b = 5.0 / 4.0;  // 5 remote fragments of B/4
+    std::printf("%-22s %12.0f %12.2f %13.2fB %14.2fB\n",
+                "intra-object RS(6,4)", intra.worst_read_latency_ms,
+                intra.avg_read_latency_ms, read_b, write_b);
+  }
+
+  // --- Cross-object code (the paper's placement). -------------------------
+  const auto code = erasure::make_six_dc_cross_object(64);
+  const auto cross = evaluate_code(*code, rtt, "cross-object");
+  {
+    // Write comm: app to 5 remote servers (5B) + re-encoding internal
+    // reads at the coded servers. Each group is coded at exactly one
+    // remote DC beyond its uncoded host (Seoul or Mumbai); re-encoding
+    // there triggers an internal read whose responses carry ~k symbols.
+    // The paper charges 12B for this protocol ("up to kB extra"); the
+    // measured value comes from bench_geo_sim.
+    const double write_b = 5.0 + 2.0;  // app broadcast + internal read floor
+    std::printf("%-22s %12.0f %12.2f %13.2fB %14.2fB+\n",
+                "cross-object CausalEC", cross.worst_read_latency_ms,
+                cross.avg_read_latency_ms, cross.read_comm_B, write_b);
+  }
+
+  // --- The paper's variant of the cross-object row (RTT NC-London = 136).
+  {
+    auto rtt136 = rtt;
+    rtt136[kNCalifornia][kLondon] = rtt136[kLondon][kNCalifornia] = 136;
+    const auto fixed = evaluate_code(*code, rtt136, "cross-object-136");
+    std::printf("%-22s %12.0f %12.2f %13.2fB %14s\n",
+                "  (with NC-Lon=136ms)", fixed.worst_read_latency_ms,
+                fixed.avg_read_latency_ms, fixed.read_comm_B, "-");
+  }
+
+  std::printf("\npaper reference:      partial 228/88.25, intra 138/132.5, "
+              "cross 138/87.5 (ms)\n");
+  std::printf("optimal partial replication placement found:");
+  for (NodeId dc = 0; dc < 6; ++dc) {
+    std::printf(" %s=G%u", dc_names()[dc].c_str(),
+                partial.placement[dc] + 1);
+  }
+  std::printf("\n");
+  return 0;
+}

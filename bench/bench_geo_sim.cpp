@@ -1,0 +1,222 @@
+// E2 -- Fig. 2 cross-checked by full-protocol simulation: partial
+// replication, intra-object RS(6,4), and cross-object CausalEC all run on
+// the simulated six-DC network (Fig. 1 RTTs). Reads are issued uniformly
+// from every DC to every group; measured wall-clock latency and measured
+// bytes on the wire per operation are reported, regenerating the Fig. 2
+// rows from live executions rather than analysis.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/intra_object_store.h"
+#include "baselines/replicated_store.h"
+#include "causalec/cluster.h"
+#include "erasure/codes.h"
+#include "placement/designer.h"
+#include "placement/latency_eval.h"
+#include "placement/rtt_matrix.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr std::size_t kValueBytes = 4096;  // B = 4 KiB
+constexpr std::size_t kGroups = 4;
+constexpr std::size_t kDcs = 6;
+
+struct Row {
+  const char* name;
+  double worst_read_ms = 0;
+  double avg_read_ms = 0;
+  double read_bytes_B = 0;   // measured bytes per read, units of B
+  double write_bytes_B = 0;  // measured bytes per write, units of B
+};
+
+/// Measures a store through read/write closures.
+struct StoreDriver {
+  std::function<void(NodeId, ObjectId, Value)> write;          // synchronous
+  std::function<void(NodeId, ObjectId, std::function<void()>)> read;
+  std::function<void()> settle;  // drain protocol activity
+  sim::Simulation* sim = nullptr;
+};
+
+Row measure(const char* name, StoreDriver& store) {
+  Row row{name};
+  // Seed every group once from its "home" DC and drain.
+  for (ObjectId g = 0; g < kGroups; ++g) {
+    store.write(g % kDcs, g, Value(kValueBytes, static_cast<std::uint8_t>(g + 1)));
+  }
+  store.settle();
+
+  // --- Read phase: every (dc, group) pair once, sequentially. ------------
+  store.sim->stats().reset();
+  std::vector<double> latencies;
+  for (NodeId dc = 0; dc < kDcs; ++dc) {
+    for (ObjectId g = 0; g < kGroups; ++g) {
+      const SimTime start = store.sim->now();
+      SimTime done = -1;
+      store.read(dc, g, [&] { done = store.sim->now(); });
+      store.sim->run_until(start + 5 * kSecond);
+      CEC_CHECK_MSG(done >= 0, "read did not complete");
+      latencies.push_back(static_cast<double>(done - start) / 1e6);
+    }
+  }
+  const double reads = static_cast<double>(latencies.size());
+  row.read_bytes_B = static_cast<double>(store.sim->stats().total_bytes) /
+                     reads / kValueBytes;
+  row.worst_read_ms = *std::max_element(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (double l : latencies) sum += l;
+  row.avg_read_ms = sum / reads;
+
+  // --- Write phase: one write per (dc, group), drained afterwards so the
+  // cost includes propagation, re-encoding and garbage collection. --------
+  store.settle();
+  store.sim->stats().reset();
+  std::size_t writes = 0;
+  for (NodeId dc = 0; dc < kDcs; ++dc) {
+    for (ObjectId g = 0; g < kGroups; ++g) {
+      store.write(dc, g, Value(kValueBytes, static_cast<std::uint8_t>(dc)));
+      store.sim->run_until(store.sim->now() + 2 * kSecond);
+      ++writes;
+    }
+  }
+  store.settle();
+  row.write_bytes_B = static_cast<double>(store.sim->stats().total_bytes) /
+                      static_cast<double>(writes) / kValueBytes;
+  return row;
+}
+
+Row run_partial_replication() {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  auto sim = std::make_unique<sim::Simulation>(std::move(latency), 1);
+  // The optimal placement found by the brute-force search (E1):
+  // G1 at {Seoul, Ireland}, G2 at {Mumbai, London}, G3 at Oregon,
+  // G4 at N.California.
+  baselines::ReplicatedStoreConfig config;
+  config.num_objects = kGroups;
+  config.value_bytes = kValueBytes;
+  config.placement = {{0}, {1}, {0}, {1}, {3}, {2}};
+  config.rtt_ms = placement::six_dc_rtt_ms();
+  baselines::ReplicatedStore store(sim.get(), std::move(config));
+
+  StoreDriver driver;
+  driver.sim = sim.get();
+  driver.write = [&](NodeId at, ObjectId g, Value v) {
+    store.write(at, g, std::move(v));
+  };
+  driver.read = [&](NodeId at, ObjectId g, std::function<void()> done) {
+    store.read(at, g, [done](const Value&, const Tag&) { done(); });
+  };
+  driver.settle = [&] { sim->run_until_idle(); };
+  return measure("partial replication", driver);
+}
+
+Row run_intra_object() {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  auto sim = std::make_unique<sim::Simulation>(std::move(latency), 1);
+  baselines::IntraObjectStoreConfig config;
+  config.num_servers = kDcs;
+  config.num_objects = kGroups;
+  config.value_bytes = kValueBytes;
+  config.k = 4;
+  config.rtt_ms = placement::six_dc_rtt_ms();
+  baselines::IntraObjectStore store(sim.get(), std::move(config));
+
+  StoreDriver driver;
+  driver.sim = sim.get();
+  driver.write = [&](NodeId at, ObjectId g, Value v) {
+    store.write(at, g, std::move(v));
+  };
+  driver.read = [&](NodeId at, ObjectId g, std::function<void()> done) {
+    store.read(at, g, [done](const Value&, const Tag&) { done(); });
+  };
+  driver.settle = [&] { sim->run_until_idle(); };
+  return measure("intra-object RS(6,4)", driver);
+}
+
+Row run_causalec_with(const char* name, erasure::CodePtr code,
+                      bool opportunistic_local_decode = true);
+
+Row run_causalec() {
+  return run_causalec_with("cross-object CausalEC",
+                           erasure::make_six_dc_cross_object(kValueBytes));
+}
+
+Row run_causalec_designed() {
+  // The code found by the automatic designer (E10) for the Fig. 1 topology.
+  placement::DesignOptions options;
+  options.restarts = 8;
+  options.max_steps_per_restart = 32;
+  options.value_bytes = kValueBytes;
+  const auto designed = placement::design_cross_object_code(
+      placement::six_dc_rtt_ms(), kGroups, options);
+  return run_causalec_with("designed CausalEC (E10)", designed.code);
+}
+
+Row run_causalec_with(const char* name, erasure::CodePtr code,
+                      bool opportunistic_local_decode) {
+  ClusterConfig config;
+  config.gc_period = 200 * kMillisecond;
+  config.server.opportunistic_local_decode = opportunistic_local_decode;
+  // Footnote-14 fanout: contact the nearest recovery set first, ranked by
+  // the per-DC RTT rows.
+  config.server.fanout = ReadFanout::kNearestRecoverySet;
+  config.proximity_matrix = placement::six_dc_rtt_ms();
+  auto cluster = std::make_unique<Cluster>(
+      std::move(code),
+      sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms()), config);
+
+  StoreDriver driver;
+  driver.sim = &cluster->sim();
+  auto clients = std::make_shared<std::vector<Client*>>();
+  for (NodeId dc = 0; dc < kDcs; ++dc) {
+    clients->push_back(&cluster->make_client(dc));
+  }
+  driver.write = [cluster = cluster.get(), clients](NodeId at, ObjectId g,
+                                                    Value v) {
+    (*clients)[at]->write(g, std::move(v));
+  };
+  driver.read = [cluster = cluster.get()](NodeId at, ObjectId g,
+                                          std::function<void()> done) {
+    // One-shot client per read keeps sessions single-pending.
+    cluster->make_client(at).read(
+        g, [done](const Value&, const Tag&, const VectorClock&) { done(); });
+  };
+  driver.settle = [cluster = cluster.get()] { cluster->settle(); };
+  Row row = measure(name, driver);
+  // Keep the cluster alive through measure().
+  (void)cluster.release();  // intentional: bench process exits right after
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: Fig. 2 regenerated by full-protocol simulation "
+              "(B = %zu bytes, Fig. 1 RTTs)\n\n", kValueBytes);
+  std::printf("%-24s %10s %10s %12s %12s\n", "scheme (measured)", "worst ms",
+              "avg ms", "read B/op", "write B/op");
+
+  const Row rows[] = {run_partial_replication(), run_intra_object(),
+                      run_causalec(), run_causalec_designed()};
+  for (const Row& row : rows) {
+    std::printf("%-24s %10.0f %10.2f %11.2fB %11.2fB\n", row.name,
+                row.worst_read_ms, row.avg_read_ms, row.read_bytes_B,
+                row.write_bytes_B);
+  }
+  std::printf("\npaper (Fig. 2):          partial 228/88 3B/4 6B | intra "
+              "138/132.5 3B/4 6B/4 | cross 138/87.5 3B/4 12B\n");
+  std::printf("(measured columns include metadata bytes. CausalEC's "
+              "measured write cost sits below\n the paper's 12B estimate "
+              "because systematic servers re-encode from their own symbol\n "
+              "and coded servers fetch only their nearest recovery set, "
+              "not k full symbols.)\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E7 -- The liveness properties (I)-(IV) measured on live executions:
+//   (I)  writes return locally: zero elapsed simulated time, regardless of
+//        cluster health;
+//   (II) reads complete in at most one round trip to a recovery set, and
+//        keep completing while any recovery set survives crashes;
+//   (III)/(IV) storage converges to the code prescription after writes stop.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "causalec/cluster.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr std::size_t kValueBytes = 256;
+constexpr SimTime kOneWay = 20 * kMillisecond;
+
+struct CrashRow {
+  std::size_t crashed;
+  int reads_ok = 0;
+  int reads_total = 0;
+  double avg_ms = 0;
+  bool writes_local = true;
+  bool storage_converged = false;
+};
+
+CrashRow run_with_crashes(std::size_t crash_count) {
+  ClusterConfig config;
+  config.server.fanout = ReadFanout::kNearestRecoverySet;
+  auto cluster = std::make_unique<Cluster>(
+      erasure::make_systematic_rs(6, 4, kValueBytes),
+      std::make_unique<sim::ConstantLatency>(kOneWay), config);
+
+  for (ObjectId x = 0; x < 4; ++x) {
+    cluster->make_client(x % 6).write(x, Value(kValueBytes, 1));
+  }
+  cluster->settle();
+
+  CrashRow row{crash_count};
+  row.storage_converged = cluster->storage_converged();
+  for (std::size_t c = 0; c < crash_count; ++c) {
+    cluster->halt_server(static_cast<NodeId>(c));
+  }
+
+  // Writes at a live server must return in zero simulated time.
+  Client& writer = cluster->make_client(5);
+  const SimTime before = cluster->sim().now();
+  writer.write(0, Value(kValueBytes, 9));
+  row.writes_local = cluster->sim().now() == before;
+
+  // Reads at every live server for every object.
+  double latency_sum = 0;
+  for (NodeId s = static_cast<NodeId>(crash_count); s < 6; ++s) {
+    for (ObjectId x = 0; x < 4; ++x) {
+      ++row.reads_total;
+      const SimTime start = cluster->sim().now();
+      SimTime done = -1;
+      cluster->make_client(s).read(
+          x, [&done, cluster = cluster.get()](const Value&, const Tag&,
+                                              const VectorClock&) {
+            done = cluster->sim().now();
+          });
+      cluster->run_for(3 * kSecond);
+      if (done >= 0) {
+        ++row.reads_ok;
+        latency_sum += static_cast<double>(done - start) / 1e6;
+      }
+    }
+  }
+  row.avg_ms = row.reads_ok ? latency_sum / row.reads_ok : -1;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: liveness properties on RS(6,4), %lld ms one-way links\n\n",
+              static_cast<long long>(kOneWay / kMillisecond));
+  std::printf("%8s %12s %14s %14s %12s\n", "crashed", "reads ok",
+              "avg read ms", "writes local", "converged");
+  for (std::size_t crashed : {0u, 1u, 2u, 3u}) {
+    const CrashRow row = run_with_crashes(crashed);
+    std::printf("%8zu %7d/%-4d %14.1f %14s %12s\n", row.crashed,
+                row.reads_ok, row.reads_total, row.avg_ms,
+                row.writes_local ? "yes" : "NO",
+                row.storage_converged ? "yes" : "NO");
+  }
+  std::printf("\nexpected: all reads complete through 2 crashes (N-K=2); "
+              "with 3 crashes reads\nstill complete whenever the value is "
+              "in a live history list or a live recovery\nset remains; "
+              "writes are always local (Property I); storage always "
+              "converges\nbefore the crashes (Theorem 4.5).\n");
+
+  // One-round-trip check (Property II): read at a parity server completes
+  // in exactly 2 * one-way after convergence.
+  ClusterConfig config;
+  config.server.fanout = ReadFanout::kNearestRecoverySet;
+  auto cluster = std::make_unique<Cluster>(
+      erasure::make_paper_5_3_gf256(kValueBytes),
+      std::make_unique<sim::ConstantLatency>(kOneWay), config);
+  cluster->make_client(1).write(1, Value(kValueBytes, 3));
+  cluster->settle();
+  const SimTime start = cluster->sim().now();
+  SimTime done = -1;
+  cluster->make_client(4).read(
+      1, [&done, &cluster](const Value&, const Tag&, const VectorClock&) {
+        done = cluster->sim().now();
+      });
+  cluster->run_for(kSecond);
+  std::printf("\nProperty (II) spot check, paper (5,3) code: read X2 at "
+              "server 5 completed in %.0f ms = %s one round trip\n",
+              static_cast<double>(done - start) / 1e6,
+              done - start == 2 * kOneWay ? "exactly" : "NOT");
+  return 0;
+}

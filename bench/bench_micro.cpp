@@ -1,0 +1,220 @@
+// E8 -- Microbenchmarks (google-benchmark): finite-field kernels, erasure
+// encode/re-encode/decode, vector-clock and tag operations, and the
+// CausalEC server fast paths.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "causalec/history_list.h"
+#include "causalec/tag.h"
+#include "common/random.h"
+#include "erasure/codes.h"
+#include "gf/gf256.h"
+#include "gf/prime_field.h"
+#include "gf/vector_ops.h"
+#include "sim/latency.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace causalec;
+using erasure::Value;
+
+// ---------------------------------------------------------------------------
+// Field kernels.
+// ---------------------------------------------------------------------------
+
+void BM_GF256_Mul(benchmark::State& state) {
+  Rng rng(1);
+  std::uint8_t a = 3, b = 7;
+  for (auto _ : state) {
+    a = gf::GF256::mul(a, b);
+    b ^= 0x5A;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GF256_Mul);
+
+void BM_GF256_Axpy(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<std::uint8_t> dst(n, 1), src(n, 2);
+  for (auto _ : state) {
+    gf::axpy<gf::GF256>(std::span<std::uint8_t>(dst), 0x1D,
+                        std::span<const std::uint8_t>(src));
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GF256_Axpy)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_F257_Axpy(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<std::uint32_t> dst(n, 1), src(n, 2);
+  for (auto _ : state) {
+    gf::axpy<gf::F257>(std::span<std::uint32_t>(dst), 29,
+                       std::span<const std::uint32_t>(src));
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_F257_Axpy)->Arg(256)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// Erasure code operations (RS(6,4), 4 KiB values).
+// ---------------------------------------------------------------------------
+
+struct CodeFixture {
+  erasure::CodePtr code = erasure::make_systematic_rs(6, 4, 4096);
+  std::vector<Value> values;
+  std::vector<erasure::Symbol> symbols;
+  CodeFixture() {
+    Rng rng(2);
+    for (int i = 0; i < 4; ++i) {
+      Value v(4096);
+      for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+      values.push_back(std::move(v));
+    }
+    for (NodeId s = 0; s < 6; ++s) symbols.push_back(code->encode(s, values));
+  }
+};
+
+void BM_RS_Encode(benchmark::State& state) {
+  CodeFixture f;
+  for (auto _ : state) {
+    auto sym = f.code->encode(5, f.values);  // parity row: full work
+    benchmark::DoNotOptimize(sym.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4 * 4096);
+}
+BENCHMARK(BM_RS_Encode);
+
+void BM_RS_Reencode(benchmark::State& state) {
+  CodeFixture f;
+  auto sym = f.symbols[5];
+  Value next(4096, 7);
+  for (auto _ : state) {
+    f.code->reencode(5, sym, 2, f.values[2], next);
+    std::swap(f.values[2], next);
+    benchmark::DoNotOptimize(sym.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_RS_Reencode);
+
+void BM_RS_Decode(benchmark::State& state) {
+  CodeFixture f;
+  const std::vector<NodeId> servers = {2, 3, 4, 5};
+  std::vector<erasure::Symbol> subset;
+  for (NodeId s : servers) subset.push_back(f.symbols[s]);
+  for (auto _ : state) {
+    auto v = f.code->decode(0, servers, subset);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_RS_Decode);
+
+// ---------------------------------------------------------------------------
+// Vector clocks / tags / history lists.
+// ---------------------------------------------------------------------------
+
+void BM_VectorClock_Compare(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  VectorClock a(n), b(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.next_below(100));
+    b.set(i, rng.next_below(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.leq(b));
+    benchmark::DoNotOptimize(b.leq(a));
+  }
+}
+BENCHMARK(BM_VectorClock_Compare)->Arg(6)->Arg(16)->Arg(64);
+
+void BM_Tag_TotalOrder(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Tag> tags;
+  for (int i = 0; i < 64; ++i) {
+    VectorClock vc(8);
+    for (std::size_t j = 0; j < 8; ++j) vc.set(j, rng.next_below(16));
+    tags.emplace_back(vc, i);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tags[i % 64] < tags[(i + 17) % 64]);
+    ++i;
+  }
+}
+BENCHMARK(BM_Tag_TotalOrder);
+
+void BM_HistoryList_InsertLookup(benchmark::State& state) {
+  HistoryList list(6, 64);
+  Rng rng(5);
+  std::vector<Tag> tags;
+  for (int i = 0; i < 256; ++i) {
+    VectorClock vc(6);
+    vc.set(0, i + 1);
+    tags.emplace_back(vc, 1);
+    list.insert(tags.back(), Value(64, static_cast<std::uint8_t>(i)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.lookup(tags[i % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_HistoryList_InsertLookup);
+
+// ---------------------------------------------------------------------------
+// Server fast paths (zero-latency network).
+// ---------------------------------------------------------------------------
+
+void BM_Server_LocalWrite(benchmark::State& state) {
+  Cluster cluster(erasure::make_systematic_rs(5, 3, 1024),
+                  std::make_unique<sim::ConstantLatency>(0));
+  Client& client = cluster.make_client(0);
+  Value v(1024, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.write(0, v));
+    // Drain same-timestamp propagation (zero-latency links) so queues stay
+    // bounded; GC timers sit in the future and are untouched.
+    cluster.sim().run_until(cluster.sim().now());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Server_LocalWrite);
+
+void BM_Server_LocalRead(benchmark::State& state) {
+  Cluster cluster(erasure::make_systematic_rs(5, 3, 1024),
+                  std::make_unique<sim::ConstantLatency>(0));
+  cluster.make_client(0).write(0, Value(1024, 1));
+  cluster.settle();
+  Client& reader = cluster.make_client(0);  // systematic server: local
+  for (auto _ : state) {
+    bool done = false;
+    reader.read(0, [&done](const Value&, const Tag&, const VectorClock&) {
+      done = true;
+    });
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_Server_LocalRead);
+
+void BM_Zipf_Next(benchmark::State& state) {
+  workload::ZipfGenerator gen(1'000'000, 0.99, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_Zipf_Next);
+
+}  // namespace
+
+BENCHMARK_MAIN();

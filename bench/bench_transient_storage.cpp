@@ -1,0 +1,106 @@
+// E4 -- Sec. 4.2 transient storage: the history-list overhead under a
+// Poisson write workload, as a function of the per-object write rate rho_w
+// and the garbage-collection period T_gc.
+//
+// The paper's residency argument: a version may wait up to T_gc for the
+// first GC and can need ~2 further GC rounds to clear, so a history entry
+// lives O(3 T_gc) and the expected history payload per object is about
+//   overhead ~ min(rho_w * 3 T_gc, versions outstanding) * B.
+// (The paper prints the bound as "3B / (rho_w T_gc)"; dimensional analysis
+// and the YCSB aggregate it derives are consistent with rho_w * 3 T_gc * B
+// -- see EXPERIMENTS.md.)
+//
+// We drive one object with Poisson writes, sample per-server history bytes,
+// and print measured overhead (units of B) against the residency model.
+#include <cstdio>
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "common/random.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct Sampled {
+  double avg_history_B = 0;  // mean history payload per server, units of B
+  double peak_history_B = 0;
+};
+
+Sampled run(double rho_w_hz, SimTime gc_period, std::uint64_t seed) {
+  constexpr std::size_t kValueBytes = 1024;
+  ClusterConfig config;
+  config.gc_period = gc_period;
+  config.seed = seed;
+  auto cluster = std::make_unique<Cluster>(
+      erasure::make_systematic_rs(5, 3, kValueBytes),
+      std::make_unique<sim::ConstantLatency>(10 * kMillisecond), config);
+
+  // Poisson writes to object 0 from a client at server 0.
+  Rng rng(seed);
+  auto& sim = cluster->sim();
+  Client& writer = cluster->make_client(0);
+  const SimTime horizon = 60 * kSecond;
+  std::function<void()> write_loop = [&] {
+    if (sim.now() >= horizon) return;
+    writer.write(0, Value(kValueBytes, static_cast<std::uint8_t>(
+                                           rng.next_u64())));
+    sim.schedule_after(
+        static_cast<SimTime>(rng.next_exponential(rho_w_hz) * 1e9),
+        write_loop);
+  };
+  sim.schedule_after(
+      static_cast<SimTime>(rng.next_exponential(rho_w_hz) * 1e9), write_loop);
+
+  // Sample history payload every 50 ms, discarding a warmup window.
+  Sampled sampled;
+  std::uint64_t samples = 0;
+  double sum = 0, peak = 0;
+  const SimTime warmup = 10 * kSecond;
+  sim.schedule_periodic(warmup, 50 * kMillisecond, [&] {
+    for (NodeId s = 0; s < cluster->num_servers(); ++s) {
+      const double b = static_cast<double>(
+                           cluster->server(s).storage().history_bytes) /
+                       kValueBytes;
+      sum += b;
+      peak = std::max(peak, b);
+      ++samples;
+    }
+  }, horizon);
+
+  cluster->run_for(horizon);
+  sampled.avg_history_B = sum / static_cast<double>(samples);
+  sampled.peak_history_B = peak;
+  return sampled;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: Sec. 4.2 transient storage overhead of history lists\n");
+  std::printf("RS(5,3), B = 1 KiB, Poisson writes to one object, 60 s "
+              "simulated\n\n");
+  std::printf("%10s %10s | %14s %14s | %16s\n", "rho_w /s", "T_gc s",
+              "avg hist (B)", "peak hist (B)", "model 3*rho*Tgc");
+
+  std::uint64_t seed = 1000;
+  for (double rho : {1.0, 4.0, 16.0}) {
+    for (SimTime gc : {100 * kMillisecond, 500 * kMillisecond, 2 * kSecond}) {
+      const Sampled s = run(rho, gc, seed++);
+      const double model = 3.0 * rho * static_cast<double>(gc) / 1e9;
+      std::printf("%10.1f %10.1f | %14.2f %14.2f | %16.2f\n", rho,
+                  static_cast<double>(gc) / 1e9, s.avg_history_B,
+                  s.peak_history_B, model);
+    }
+  }
+  std::printf("\nExpected shape: measured overhead grows ~linearly in both "
+              "rho_w and T_gc and\nsits at or below the 3*rho_w*T_gc "
+              "residency model (versions can clear in fewer\nthan 3 GC "
+              "rounds when del announcements line up).\n");
+  return 0;
+}

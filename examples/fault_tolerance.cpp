@@ -1,0 +1,75 @@
+// Fault tolerance (Property II / Theorem 4.3): with a Reed-Solomon (6,4)
+// code, CausalEC inherits the code's tolerance of N-K = 2 crashed servers:
+// reads keep completing as long as one recovery set (any 4 servers) is
+// alive, and writes are always local so they never block at all.
+#include <cstdio>
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+
+namespace {
+
+void try_read(Cluster& cluster, NodeId at, ObjectId object,
+              const char* label) {
+  Client& client = cluster.make_client(at);
+  bool completed = false;
+  const SimTime start = cluster.sim().now();
+  client.read(object, [&](const Value& v, const Tag&, const VectorClock&) {
+    completed = true;
+    std::printf("  %-34s -> value %3u after %.0f ms\n", label, v[0],
+                static_cast<double>(cluster.sim().now() - start) / 1e6);
+  });
+  cluster.run_for(5 * sim::kSecond);
+  if (!completed) {
+    std::printf("  %-34s -> still pending (no live recovery set)\n", label);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kValueBytes = 64;
+  auto code = erasure::make_systematic_rs(/*num_servers=*/6,
+                                          /*num_objects=*/4, kValueBytes);
+  Cluster cluster(code, std::make_unique<sim::ConstantLatency>(
+                            15 * sim::kMillisecond));
+  std::printf("code: %s -- any 4 of 6 servers can decode anything (MDS)\n\n",
+              code->describe().c_str());
+
+  Client& writer = cluster.make_client(0);
+  writer.write(0, Value(kValueBytes, 9));
+  writer.write(2, Value(kValueBytes, 42));
+  cluster.settle();
+
+  std::printf("healthy cluster (histories drained; data lives only in "
+              "codeword symbols):\n");
+  try_read(cluster, 5, 2, "read X3 at parity server 5");
+
+  std::printf("\ncrash servers 1 and 2 (the tolerated maximum, N-K=2):\n");
+  cluster.halt_server(1);
+  cluster.halt_server(2);
+  try_read(cluster, 5, 2, "read X3 at parity server 5");
+  try_read(cluster, 3, 0, "read X1 at server 3");
+
+  std::printf("\nwrites stay local even with half the cluster down:\n");
+  cluster.halt_server(4);
+  Client& survivor = cluster.make_client(0);
+  const Tag tag = survivor.write(1, Value(kValueBytes, 7));
+  std::printf("  write X2 at server 0 acked with ts[0]=%llu immediately\n",
+              static_cast<unsigned long long>(tag.ts[0]));
+
+  std::printf("\nwith 3 servers down (beyond N-K), decoding stalls but the "
+              "protocol degrades safely:\n");
+  cluster.run_for(sim::kSecond);  // let the new write propagate
+  try_read(cluster, 5, 1, "read X2 at parity server 5");
+  std::printf("  (garbage collection needs del announcements from every "
+              "server, so the crashed\n   servers block it: live servers "
+              "retain the new version in their history lists\n   and serve "
+              "it from there -- no decode required)\n");
+  return 0;
+}

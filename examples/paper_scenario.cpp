@@ -1,0 +1,103 @@
+// The Sec. 1.2 / Fig. 4 walk-through: servers end up encoding *different
+// versions* of the objects, and a read is served by re-encoding codeword
+// symbols on both sides of the wire.
+//
+// Setup: the (5,3) code Y1=X1, Y2=X2, Y3=X3, Y4=X1+X2+X3, Y5=X1+2*X2+X3.
+// We converge on version 1 of every object (so the version-1 values survive
+// only inside codeword symbols), then isolate server 5 and write version 2.
+// A read for X2 at server 5 must then be answered by server 4 re-encoding
+// Y4 from its version-2 state back toward version 1 -- the exact flow of
+// Fig. 4 -- while every history list involved has already been garbage
+// collected.
+#include <cstdio>
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+
+namespace {
+
+Value val257(std::uint8_t fill, std::size_t bytes) {
+  Value v(bytes, 0);
+  for (std::size_t i = 0; i < bytes; i += 2) v[i] = fill;
+  return v;
+}
+
+void print_server_versions(const Cluster& cluster) {
+  for (NodeId s = 0; s < cluster.num_servers(); ++s) {
+    std::printf("  server %u encodes versions:", s);
+    for (ObjectId x = 0; x < 3; ++x) {
+      const Tag& tag = cluster.server(s).codeword_tag(x);
+      std::printf(" X%u@%llu", x + 1,
+                  static_cast<unsigned long long>(tag.ts.sum()));
+    }
+    const auto storage = cluster.server(s).storage();
+    std::printf("  (history entries: %zu)\n", storage.history_entries);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kValueBytes = 16;
+  auto code = erasure::make_paper_5_3(kValueBytes);
+  Cluster cluster(code, std::make_unique<sim::ConstantLatency>(
+                            10 * sim::kMillisecond));
+  std::printf("code: %s\n", code->describe().c_str());
+
+  Client& w1 = cluster.make_client(0);
+  Client& w2 = cluster.make_client(1);
+  Client& w3 = cluster.make_client(2);
+
+  std::printf("\n== round 1: write version 1 of X1, X2, X3 and settle ==\n");
+  w1.write(0, val257(11, kValueBytes));
+  const Tag x2_v1 = w2.write(1, val257(21, kValueBytes));
+  w3.write(2, val257(31, kValueBytes));
+  cluster.settle();
+  print_server_versions(cluster);
+  std::printf("  storage converged: %s (version-1 values now live only "
+              "inside codeword symbols)\n",
+              cluster.storage_converged() ? "yes" : "no");
+
+  std::printf("\n== round 2: isolate server 5, write version 2 ==\n");
+  for (NodeId from = 0; from < 3; ++from) {
+    cluster.sim().add_channel_delay(from, 4, 60 * sim::kSecond);
+  }
+  w1.write(0, val257(12, kValueBytes));
+  w2.write(1, val257(22, kValueBytes));
+  w3.write(2, val257(32, kValueBytes));
+  cluster.run_for(2 * sim::kSecond);
+  print_server_versions(cluster);
+
+  std::printf("\n== read X2 at server 5 (stores X1+2*X2+X3 at version 1) ==\n");
+  Client& reader = cluster.make_client(4);
+  reader.read(1, [&](const Value& v, const Tag& tag, const VectorClock&) {
+    std::printf("  read returned version with ts-sum %llu, payload %u "
+                "(expected version 1 payload 21)\n",
+                static_cast<unsigned long long>(tag.ts.sum()), v[0]);
+    std::printf("  matches X2(1): %s\n", tag == x2_v1 ? "yes" : "no");
+  });
+  cluster.run_for(sim::kSecond);
+
+  std::printf("\n== partition heals; everything converges to version 2 ==\n");
+  cluster.settle();
+  print_server_versions(cluster);
+  reader.read(1, [](const Value& v, const Tag&, const VectorClock&) {
+    std::printf("  read X2 -> payload %u (version 2)\n", v[0]);
+  });
+  cluster.run_for(sim::kSecond);
+
+  std::printf("\nError1/Error2 invariant events across all servers: ");
+  std::uint64_t errors = 0;
+  for (NodeId s = 0; s < cluster.num_servers(); ++s) {
+    errors += cluster.server(s).counters().error1_events +
+              cluster.server(s).counters().error2_events;
+  }
+  std::printf("%llu (the paper proves these never occur)\n",
+              static_cast<unsigned long long>(errors));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: a five-server CausalEC deployment storing three objects with
+// the paper's (5,3) cross-object code
+//
+//   Y1 = X1, Y2 = X2, Y3 = X3, Y4 = X1+X2+X3, Y5 = X1+2*X2+X3
+//
+// over F_257. Shows local writes, local reads, erasure-decoded remote
+// reads, and storage convergence.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "causalec/cluster.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+using namespace causalec;
+using erasure::Value;
+
+namespace {
+
+/// Pack a short ASCII string into an F_257 value (one char per element,
+/// 2 bytes each).
+Value encode_string(const std::string& text, std::size_t value_bytes) {
+  Value v(value_bytes, 0);
+  for (std::size_t i = 0; i < text.size() && 2 * i + 1 < v.size(); ++i) {
+    v[2 * i] = static_cast<std::uint8_t>(text[i]);
+  }
+  return v;
+}
+
+std::string decode_string(const Value& v) {
+  std::string out;
+  for (std::size_t i = 0; i + 1 < v.size(); i += 2) {
+    if (v[i] == 0) break;
+    out.push_back(static_cast<char>(v[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kValueBytes = 32;  // 16 F_257 symbols
+
+  // 1. Pick a code and build a cluster (10 ms one-way links here).
+  auto code = erasure::make_paper_5_3(kValueBytes);
+  Cluster cluster(code,
+                  std::make_unique<sim::ConstantLatency>(10 * sim::kMillisecond));
+  std::printf("cluster: %s\n", code->describe().c_str());
+
+  // 2. Clients attach to servers; writes are local and return immediately.
+  Client& alice = cluster.make_client(/*at_server=*/0);
+  Client& bob = cluster.make_client(/*at_server=*/4);
+
+  const Tag t1 = alice.write(0, encode_string("causal", kValueBytes));
+  std::printf("alice wrote X1 at server 0, tag ts[0]=%llu (local, 0 ms)\n",
+              static_cast<unsigned long long>(t1.ts[0]));
+
+  // 3. Reads at the writer are served from the local history list.
+  alice.read(0, [](const Value& v, const Tag&, const VectorClock&) {
+    std::printf("alice read X1 -> \"%s\" (local)\n",
+                decode_string(v).c_str());
+  });
+
+  // 4. Let the write propagate and the servers re-encode + garbage-collect:
+  //    afterwards every server stores exactly its codeword symbol.
+  cluster.settle();
+  std::printf("storage converged: %s\n",
+              cluster.storage_converged() ? "yes" : "no");
+
+  // 5. Bob reads X1 at server 4, which stores only X1+2*X2+X3. CausalEC
+  //    decodes via a recovery set (one round trip).
+  bob.read(0, [&](const Value& v, const Tag&, const VectorClock&) {
+    std::printf("bob read X1 -> \"%s\" (decoded at t=%.0f ms)\n",
+                decode_string(v).c_str(),
+                static_cast<double>(cluster.sim().now()) / 1e6);
+  });
+  cluster.run_for(sim::kSecond);
+
+  // 6. Causality: bob writes X2 after reading X1; any client that sees
+  //    bob's write also sees alice's.
+  bob.write(1, encode_string("consistent", kValueBytes));
+  cluster.settle();
+  // A client has at most one pending operation (well-formedness), so the
+  // second read is chained inside the first read's completion callback.
+  Client& carol = cluster.make_client(2);
+  carol.read(1, [&](const Value& v, const Tag&, const VectorClock&) {
+    std::printf("carol read X2 -> \"%s\"\n", decode_string(v).c_str());
+    carol.read(0, [](const Value& v2, const Tag&, const VectorClock&) {
+      std::printf("carol read X1 -> \"%s\" (causally visible)\n",
+                  decode_string(v2).c_str());
+    });
+  });
+  cluster.run_for(sim::kSecond);
+
+  const auto& stats = cluster.sim().stats();
+  std::printf("network: %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(stats.total_messages),
+              static_cast<unsigned long long>(stats.total_bytes));
+  return 0;
+}

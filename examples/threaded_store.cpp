@@ -1,0 +1,72 @@
+// The same CausalEC automaton deployed on real OS threads: one thread per
+// server, mutex-guarded FIFO mailboxes as channels, wall-clock garbage
+// collection, and every message serialized to bytes by the binary codec on
+// its way across the node boundary.
+//
+// Contrast with examples/quickstart.cpp, which runs the identical server
+// code on the deterministic discrete-event simulator.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "erasure/codes.h"
+#include "runtime/threaded_cluster.h"
+
+using namespace causalec;
+using namespace std::chrono_literals;
+using erasure::Value;
+
+int main() {
+  constexpr std::size_t kValueBytes = 256;
+  auto code = erasure::make_systematic_rs(/*num_servers=*/6,
+                                          /*num_objects=*/4, kValueBytes);
+  runtime::ThreadedClusterConfig config;
+  config.gc_period = 10ms;
+  runtime::ThreadedCluster cluster(code, config);
+  std::printf("threaded deployment: %s, one OS thread per server, codec-"
+              "serialized channels\n\n", code->describe().c_str());
+
+  // Writers on three application threads, hitting different servers.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&cluster, w] {
+      for (int i = 0; i < 20; ++i) {
+        cluster.write(/*at=*/static_cast<NodeId>(w), /*client=*/1 + w,
+                      /*object=*/static_cast<ObjectId>((w + i) % 4),
+                      Value(kValueBytes, static_cast<std::uint8_t>(i)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const auto write_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1000.0;
+  std::printf("60 writes from 3 application threads in %.1f ms wall clock\n",
+              write_ms);
+
+  // Wait for re-encoding + garbage collection to drain all transient state.
+  const bool converged = cluster.await_convergence(5000ms);
+  std::printf("storage converged: %s\n", converged ? "yes" : "NO");
+  for (NodeId s = 0; s < 6; ++s) {
+    const auto stats = cluster.storage(s);
+    std::printf("  server %u: codeword %zu B, history %zu entries, "
+                "pending reads %zu\n",
+                s, stats.codeword_bytes, stats.history_entries,
+                stats.readl_entries);
+  }
+
+  // Reads from every server agree.
+  std::printf("\nreads (object X1 from every server):\n");
+  for (NodeId s = 0; s < 6; ++s) {
+    const auto [value, tag] = cluster.read(s, /*client=*/50 + s, 0);
+    std::printf("  server %u -> payload %3u (writer client c%llu)\n", s,
+                value[0], static_cast<unsigned long long>(tag.id));
+  }
+  std::printf("\nError1/Error2 events: %llu (always zero)\n",
+              static_cast<unsigned long long>(cluster.total_error_events()));
+  return 0;
+}

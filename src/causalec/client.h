@@ -1,0 +1,63 @@
+// A client session (Sec. 2.1): attached to one server for its lifetime,
+// at most one pending invocation at a time (the well-formedness condition).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "causalec/server.h"
+#include "common/types.h"
+
+namespace causalec {
+
+class Client {
+ public:
+  /// Fired on read completion: (value, tag of returned write, response ts).
+  using ReadDone = ReadCallback;
+
+  Client(ClientId id, Server* server) : id_(id), server_(server) {
+    CEC_CHECK(server_ != nullptr);
+    CEC_CHECK(id_ != kLocalhost);
+  }
+
+  ClientId id() const { return id_; }
+  NodeId server_id() const { return server_->id(); }
+
+  /// Local write; returns the write's tag (synchronous, Property (I)).
+  Tag write(ObjectId object, erasure::Value value) {
+    CEC_CHECK_MSG(!busy_, "client " << id_ << ": operation already pending");
+    const OpId opid = next_opid();
+    return server_->client_write(id_, opid, object, std::move(value));
+  }
+
+  /// Read; `done` fires exactly once (possibly inline for local reads).
+  void read(ObjectId object, ReadDone done) {
+    CEC_CHECK_MSG(!busy_, "client " << id_ << ": operation already pending");
+    busy_ = true;
+    const OpId opid = next_opid();
+    server_->client_read(
+        id_, opid, object,
+        [this, done = std::move(done)](const erasure::Value& value,
+                                       const Tag& tag,
+                                       const VectorClock& ts) {
+          busy_ = false;
+          done(value, tag, ts);
+        });
+  }
+
+  bool busy() const { return busy_; }
+
+ private:
+  OpId next_opid() {
+    // Globally unique: client ids are unique and the high (internal) bit
+    // is never set for client ids below 2^39.
+    return (id_ << 24) | op_counter_++;
+  }
+
+  ClientId id_;
+  Server* server_;
+  std::uint64_t op_counter_ = 0;
+  bool busy_ = false;
+};
+
+}  // namespace causalec

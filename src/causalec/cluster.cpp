@@ -1,0 +1,120 @@
+#include "causalec/cluster.h"
+
+#include <utility>
+
+namespace causalec {
+
+/// Adapts one server's outbound traffic onto the simulator.
+class Cluster::SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Simulation* sim, NodeId self) : sim_(sim), self_(self) {}
+
+  void send(NodeId to, sim::MessagePtr message) override {
+    sim_->send(self_, to, std::move(message));
+  }
+
+  void schedule_after(SimTime delta, std::function<void()> fn) override {
+    sim_->schedule_after(delta, std::move(fn));
+  }
+
+  SimTime now() const override { return sim_->now(); }
+
+ private:
+  sim::Simulation* sim_;
+  NodeId self_;
+};
+
+Cluster::Cluster(erasure::CodePtr code,
+                 std::unique_ptr<sim::LatencyModel> latency,
+                 ClusterConfig config)
+    : code_(std::move(code)), config_(std::move(config)) {
+  sim_ = std::make_unique<sim::Simulation>(std::move(latency), config_.seed);
+  const std::size_t n = code_->num_servers();
+  transports_.reserve(n);
+  servers_.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    transports_.push_back(std::make_unique<SimTransport>(sim_.get(), s));
+    ServerConfig server_config = config_.server;
+    if (!config_.proximity_matrix.empty()) {
+      CEC_CHECK(config_.proximity_matrix.size() == n);
+      server_config.proximity = config_.proximity_matrix[s];
+    }
+    servers_.push_back(std::make_unique<Server>(
+        s, code_, server_config, transports_.back().get()));
+    const NodeId sim_id = sim_->add_node(servers_.back().get());
+    CEC_CHECK(sim_id == s);
+  }
+  arm_gc_timers();
+}
+
+Cluster::~Cluster() = default;
+
+Server& Cluster::server(NodeId id) {
+  CEC_CHECK(id < servers_.size());
+  return *servers_[id];
+}
+
+const Server& Cluster::server(NodeId id) const {
+  CEC_CHECK(id < servers_.size());
+  return *servers_[id];
+}
+
+Client& Cluster::make_client(NodeId at_server) {
+  CEC_CHECK(at_server < servers_.size());
+  clients_.push_back(
+      std::make_unique<Client>(next_client_id_++, servers_[at_server].get()));
+  return *clients_.back();
+}
+
+void Cluster::halt_server(NodeId id) {
+  CEC_CHECK(id < servers_.size());
+  sim_->halt(id);
+}
+
+void Cluster::run_for(SimTime duration) {
+  sim_->run_until(sim_->now() + duration);
+}
+
+void Cluster::settle(std::size_t gc_rounds) {
+  disarm_gc_timers();
+  sim_->run_until_idle();
+  for (std::size_t round = 0; round < gc_rounds; ++round) {
+    for (NodeId s = 0; s < servers_.size(); ++s) {
+      if (!sim_->halted(s)) servers_[s]->run_garbage_collection();
+    }
+    sim_->run_until_idle();
+  }
+  arm_gc_timers();
+}
+
+bool Cluster::storage_converged() const {
+  for (NodeId s = 0; s < servers_.size(); ++s) {
+    if (sim_->halted(s)) continue;
+    const StorageStats stats = servers_[s]->storage();
+    if (stats.history_entries != 0 || stats.inqueue_entries != 0 ||
+        stats.readl_entries != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Cluster::arm_gc_timers() {
+  gc_timer_ids_.clear();
+  for (NodeId s = 0; s < servers_.size(); ++s) {
+    Server* server = servers_[s].get();
+    auto* simulation = sim_.get();
+    gc_timer_ids_.push_back(sim_->schedule_periodic(
+        sim_->now() + config_.gc_period + s * config_.gc_stagger,
+        config_.gc_period, [server, simulation, s] {
+          if (!simulation->halted(s)) server->run_garbage_collection();
+        }));
+  }
+}
+
+void Cluster::disarm_gc_timers() {
+  for (auto id : gc_timer_ids_) sim_->cancel_timer(id);
+  gc_timer_ids_.clear();
+}
+
+}  // namespace causalec

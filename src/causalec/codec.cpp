@@ -1,0 +1,229 @@
+#include "causalec/codec.h"
+
+#include <cstring>
+
+#include "common/expect.h"
+
+namespace causalec {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kApp = 1,
+  kDel = 2,
+  kValInq = 3,
+  kValResp = 4,
+  kValRespEncoded = 5,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void clock(const VectorClock& vc) {
+    u32(static_cast<std::uint32_t>(vc.size()));
+    for (std::size_t i = 0; i < vc.size(); ++i) u64(vc[i]);
+  }
+  void tag(const Tag& t) {
+    clock(t.ts);
+    u64(t.id);
+  }
+  void tagvec(const TagVector& tv) {
+    u32(static_cast<std::uint32_t>(tv.size()));
+    for (const Tag& t : tv) tag(t);
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    CEC_CHECK_MSG(pos_ + 1 <= buf_.size(), "codec: truncated buffer");
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() {
+    CEC_CHECK_MSG(pos_ + 4 <= buf_.size(), "codec: truncated buffer");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    CEC_CHECK_MSG(pos_ + 8 <= buf_.size(), "codec: truncated buffer");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t len = u32();
+    CEC_CHECK_MSG(pos_ + len <= buf_.size(), "codec: truncated buffer");
+    std::vector<std::uint8_t> out(buf_.begin() + pos_,
+                                  buf_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+  VectorClock clock() {
+    const std::uint32_t n = u32();
+    VectorClock vc(n);
+    for (std::uint32_t i = 0; i < n; ++i) vc.set(i, u64());
+    return vc;
+  }
+  Tag tag() {
+    VectorClock vc = clock();
+    const std::uint64_t id = u64();
+    return Tag(std::move(vc), id);
+  }
+  TagVector tagvec() {
+    const std::uint32_t k = u32();
+    TagVector out;
+    out.reserve(k);
+    for (std::uint32_t i = 0; i < k; ++i) out.push_back(tag());
+    return out;
+  }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
+  Writer w;
+  if (const auto* app = dynamic_cast<const AppMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kApp));
+    w.u64(app->wire);
+    w.u32(app->object);
+    w.bytes(app->value);
+    w.tag(app->tag);
+  } else if (const auto* del = dynamic_cast<const DelMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kDel));
+    w.u64(del->wire);
+    w.u32(del->object);
+    w.u32(del->origin);
+    w.u8(del->forward ? 1 : 0);
+    w.tag(del->tag);
+  } else if (const auto* inq = dynamic_cast<const ValInqMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kValInq));
+    w.u64(inq->wire);
+    w.u64(inq->client);
+    w.u64(inq->opid);
+    w.u32(inq->object);
+    w.tagvec(inq->wanted);
+  } else if (const auto* resp =
+                 dynamic_cast<const ValRespMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kValResp));
+    w.u64(resp->wire);
+    w.u64(resp->client);
+    w.u64(resp->opid);
+    w.u32(resp->object);
+    w.bytes(resp->value);
+    w.tagvec(resp->requested);
+  } else if (const auto* enc =
+                 dynamic_cast<const ValRespEncodedMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kValRespEncoded));
+    w.u64(enc->wire);
+    w.u64(enc->client);
+    w.u64(enc->opid);
+    w.u32(enc->object);
+    w.bytes(enc->symbol);
+    w.tagvec(enc->symbol_tags);
+    w.tagvec(enc->requested);
+  } else {
+    CEC_CHECK_MSG(false, "codec: unknown message type "
+                             << message.type_name());
+  }
+  return w.take();
+}
+
+sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer) {
+  Reader r(buffer);
+  const auto type = static_cast<MsgType>(r.u8());
+  const std::uint64_t wire = r.u64();
+  // The WireModel argument is irrelevant: the recorded wire size (the cost
+  // model's output at the sender) is restored verbatim below.
+  const WireModel dummy;
+  sim::MessagePtr out;
+  switch (type) {
+    case MsgType::kApp: {
+      const ObjectId object = r.u32();
+      auto value = r.bytes();
+      auto tag = r.tag();
+      auto msg = std::make_unique<AppMessage>(object, std::move(value),
+                                              std::move(tag), dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kDel: {
+      const ObjectId object = r.u32();
+      const NodeId origin = r.u32();
+      const bool forward = r.u8() != 0;
+      auto tag = r.tag();
+      auto msg = std::make_unique<DelMessage>(object, std::move(tag), origin,
+                                              forward, dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kValInq: {
+      const ClientId client = r.u64();
+      const OpId opid = r.u64();
+      const ObjectId object = r.u32();
+      auto wanted = r.tagvec();
+      auto msg = std::make_unique<ValInqMessage>(client, opid, object,
+                                                 std::move(wanted), dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kValResp: {
+      const ClientId client = r.u64();
+      const OpId opid = r.u64();
+      const ObjectId object = r.u32();
+      auto value = r.bytes();
+      auto requested = r.tagvec();
+      auto msg = std::make_unique<ValRespMessage>(client, opid, object,
+                                                  std::move(value),
+                                                  std::move(requested),
+                                                  dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kValRespEncoded: {
+      const ClientId client = r.u64();
+      const OpId opid = r.u64();
+      const ObjectId object = r.u32();
+      auto symbol = r.bytes();
+      auto symbol_tags = r.tagvec();
+      auto requested = r.tagvec();
+      auto msg = std::make_unique<ValRespEncodedMessage>(
+          client, opid, object, std::move(symbol), std::move(symbol_tags),
+          std::move(requested), dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    default:
+      CEC_CHECK_MSG(false, "codec: unknown message type byte");
+  }
+  CEC_CHECK_MSG(r.done(), "codec: trailing bytes");
+  return out;
+}
+
+}  // namespace causalec

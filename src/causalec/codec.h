@@ -1,0 +1,33 @@
+// Binary serialization of the CausalEC protocol messages.
+//
+// The simulator moves message objects directly and uses wire_bytes() as the
+// *cost model*; the threaded runtime (src/runtime) passes real bytes and
+// uses this codec. Format: little-endian, length-prefixed:
+//
+//   message  := type:u8 wire:u64 body
+//   app      := object:u32 value tag
+//   del      := object:u32 origin:u32 forward:u8 tag
+//   val_inq  := client:u64 opid:u64 object:u32 tagvec
+//   val_resp := client:u64 opid:u64 object:u32 value tagvec
+//   val_resp_encoded := client:u64 opid:u64 object:u32 symbol tagvec tagvec
+//   value/symbol := len:u32 bytes
+//   tag      := vc id:u64         vc := n:u32 entries:u64[n]
+//   tagvec   := k:u32 tag[k]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "causalec/messages.h"
+
+namespace causalec {
+
+/// Serializes any of the five protocol messages. Aborts on foreign types.
+std::vector<std::uint8_t> serialize_message(const sim::Message& message);
+
+/// Parses a buffer produced by serialize_message; aborts on malformed
+/// input (the runtime owns both ends of the channel).
+sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer);
+
+}  // namespace causalec

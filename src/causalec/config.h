@@ -1,0 +1,68 @@
+// Tunables for the CausalEC server.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace causalec {
+
+/// Metadata accounting mode (Sec. 4.2): the algorithm always runs on vector
+/// clocks internally; the "low-cost variant" charges Lamport-sized scalars
+/// for inquiry / response / del message metadata. This knob affects only
+/// wire-size accounting, never behavior.
+enum class MetadataMode { kVectorClock, kLamport };
+
+/// Read inquiry fan-out (footnote 14): broadcast val_inq to everyone, or
+/// contact the closest recovery set first and fall back to a broadcast on
+/// timeout.
+enum class ReadFanout { kBroadcast, kNearestRecoverySet };
+
+/// del-message dissemination (Sec. 4.2 variant (ii) / Appendix G): each
+/// server fans its own dels out directly, or sends one del to a designated
+/// leader that forwards to everyone (halving sender-side fan-out at the
+/// price of an extra hop; assumes a non-halting leader).
+enum class DelRouting { kDirect, kViaLeader };
+
+struct ServerConfig {
+  MetadataMode metadata = MetadataMode::kVectorClock;
+  ReadFanout fanout = ReadFanout::kBroadcast;
+
+  /// With kNearestRecoverySet: proximity[i] ranks server i (lower = closer
+  /// to this server); empty means "use server-id order". Fallback broadcast
+  /// fires after fanout_timeout_ns.
+  std::vector<double> proximity;
+  std::int64_t fanout_timeout_ns = 500'000'000;  // 500 ms
+
+  /// del dissemination topology (Appendix G variant (ii)).
+  DelRouting del_routing = DelRouting::kDirect;
+  NodeId del_leader = 0;
+
+  /// Try to decode a freshly registered read from the local symbol before
+  /// any response arrives. The paper only decodes on response receipt; the
+  /// local attempt lets internal reads at servers whose own symbol decodes
+  /// the object (e.g. uncoded/systematic servers) complete with zero
+  /// network traffic, cutting measured write cost roughly in half (see
+  /// bench_geo_sim). Reads whose inquiry target set is empty are decoded
+  /// locally regardless (liveness).
+  bool opportunistic_local_decode = true;
+
+  /// Suppress duplicate del(X, t) broadcasts from Garbage_Collection
+  /// (Alg. 3 line 48) when the same tag was already sent. Behaviorally
+  /// equivalent over reliable channels; matches the Sec. 4.2 cost analysis.
+  bool dedupe_del_broadcasts = true;
+
+  /// Keep DelL compacted: per (object, server) retain the maximal tag plus
+  /// any tags >= tmax[X]. Preserves the S / Sbar / U computations exactly.
+  bool compact_del_lists = true;
+
+  /// Abort if a val_resp_encoded ever sets Error1/Error2 (the paper proves
+  /// they stay 0; a violation means an implementation bug).
+  bool strict_error_invariants = true;
+
+  /// Fixed per-message envelope bytes (type, src, dst, object id, opid...).
+  std::size_t header_bytes = 16;
+};
+
+}  // namespace causalec

@@ -1,0 +1,176 @@
+#include "causalec/grouped_store.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace causalec {
+
+namespace {
+
+/// Envelope carrying one group's protocol message between nodes. The group
+/// id rides in the (fixed-size) header, so the wire size is the inner
+/// message's.
+struct GroupEnvelope final : sim::Message {
+  std::size_t group;
+  sim::MessagePtr inner;
+
+  GroupEnvelope(std::size_t group_in, sim::MessagePtr inner_in)
+      : group(group_in), inner(std::move(inner_in)) {}
+  std::size_t wire_bytes() const override { return inner->wire_bytes(); }
+  const char* type_name() const override { return inner->type_name(); }
+};
+
+}  // namespace
+
+/// Wraps one group's outbound traffic into envelopes.
+class GroupedStore::GroupTransport final : public Transport {
+ public:
+  GroupTransport(sim::Simulation* sim, NodeId self, std::size_t group)
+      : sim_(sim), self_(self), group_(group) {}
+
+  void send(NodeId to, sim::MessagePtr message) override {
+    sim_->send(self_, to,
+               std::make_unique<GroupEnvelope>(group_, std::move(message)));
+  }
+  void schedule_after(SimTime delta, std::function<void()> fn) override {
+    sim_->schedule_after(delta, std::move(fn));
+  }
+  SimTime now() const override { return sim_->now(); }
+
+ private:
+  sim::Simulation* sim_;
+  NodeId self_;
+  std::size_t group_;
+};
+
+/// One simulated node hosting one server automaton per group.
+class GroupedStore::NodeActor final : public sim::Actor {
+ public:
+  NodeActor(sim::Simulation* sim, NodeId id, const GroupedStoreConfig& config)
+      : id_(id) {
+    const std::size_t groups = config.group_codes.size();
+    transports_.reserve(groups);
+    servers_.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      transports_.push_back(
+          std::make_unique<GroupTransport>(sim, id, g));
+      servers_.push_back(std::make_unique<Server>(
+          id, config.group_codes[g], config.server,
+          transports_.back().get()));
+    }
+  }
+
+  void on_message(NodeId from, sim::MessagePtr message) override {
+    auto* envelope = dynamic_cast<GroupEnvelope*>(message.get());
+    CEC_CHECK_MSG(envelope != nullptr, "GroupedStore expects envelopes");
+    CEC_CHECK(envelope->group < servers_.size());
+    servers_[envelope->group]->on_message(from,
+                                          std::move(envelope->inner));
+  }
+
+  Server& server(std::size_t group) {
+    CEC_CHECK(group < servers_.size());
+    return *servers_[group];
+  }
+  const Server& server(std::size_t group) const {
+    CEC_CHECK(group < servers_.size());
+    return *servers_[group];
+  }
+  std::size_t groups() const { return servers_.size(); }
+
+ private:
+  NodeId id_;
+  std::vector<std::unique_ptr<GroupTransport>> transports_;
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+GroupedStore::GroupedStore(sim::Simulation* sim, GroupedStoreConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  CEC_CHECK(sim_ != nullptr);
+  CEC_CHECK(!config_.group_codes.empty());
+  const std::size_t n = config_.group_codes.front()->num_servers();
+  group_offset_.push_back(0);
+  for (const auto& code : config_.group_codes) {
+    CEC_CHECK_MSG(code->num_servers() == n,
+                  "all groups must span the same servers");
+    total_objects_ += code->num_objects();
+    group_offset_.push_back(total_objects_);
+  }
+  nodes_.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    nodes_.push_back(std::make_unique<NodeActor>(sim_, s, config_));
+    const NodeId sim_id = sim_->add_node(nodes_.back().get());
+    CEC_CHECK(sim_id == s);
+  }
+}
+
+GroupedStore::~GroupedStore() = default;
+
+std::size_t GroupedStore::num_servers() const { return nodes_.size(); }
+
+std::pair<std::size_t, ObjectId> GroupedStore::locate(
+    GlobalObjectId object) const {
+  CEC_CHECK(object < total_objects_);
+  const auto it = std::upper_bound(group_offset_.begin(),
+                                   group_offset_.end(), object);
+  const std::size_t group =
+      static_cast<std::size_t>(it - group_offset_.begin()) - 1;
+  return {group, static_cast<ObjectId>(object - group_offset_[group])};
+}
+
+Tag GroupedStore::write(NodeId at, ClientId client, GlobalObjectId object,
+                        erasure::Value value) {
+  CEC_CHECK(at < nodes_.size());
+  const auto [group, local] = locate(object);
+  return nodes_[at]->server(group).client_write(client, /*opid=*/0, local,
+                                                std::move(value));
+}
+
+void GroupedStore::read(NodeId at, ClientId client, GlobalObjectId object,
+                        ReadCallback callback) {
+  CEC_CHECK(at < nodes_.size());
+  const auto [group, local] = locate(object);
+  nodes_[at]->server(group).client_read(client, next_opid_++, local,
+                                        std::move(callback));
+}
+
+void GroupedStore::run_garbage_collection(NodeId server) {
+  CEC_CHECK(server < nodes_.size());
+  for (std::size_t g = 0; g < nodes_[server]->groups(); ++g) {
+    nodes_[server]->server(g).run_garbage_collection();
+  }
+}
+
+void GroupedStore::arm_gc_timers() {
+  for (NodeId s = 0; s < nodes_.size(); ++s) {
+    sim_->schedule_periodic(
+        config_.gc_period + s * config_.gc_stagger, config_.gc_period,
+        [this, s] {
+          if (!sim_->halted(s)) run_garbage_collection(s);
+        });
+  }
+}
+
+StorageStats GroupedStore::storage(NodeId server) const {
+  CEC_CHECK(server < nodes_.size());
+  StorageStats total;
+  for (std::size_t g = 0; g < nodes_[server]->groups(); ++g) {
+    const StorageStats s = nodes_[server]->server(g).storage();
+    total.codeword_bytes += s.codeword_bytes;
+    total.history_bytes += s.history_bytes;
+    total.history_entries += s.history_entries;
+    total.inqueue_bytes += s.inqueue_bytes;
+    total.inqueue_entries += s.inqueue_entries;
+    total.readl_entries += s.readl_entries;
+    total.dell_entries += s.dell_entries;
+  }
+  return total;
+}
+
+Server& GroupedStore::server(NodeId node, std::size_t group) {
+  CEC_CHECK(node < nodes_.size());
+  return nodes_[node]->server(group);
+}
+
+}  // namespace causalec

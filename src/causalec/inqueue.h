@@ -1,0 +1,84 @@
+// The apply queue InQueue (Sec. 3): pending (origin, object, value, tag)
+// tuples ordered by timestamp, smaller timestamps toward the head; a new
+// tuple is placed after all existing items whose timestamp is smaller than
+// or incomparable with its own.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "causalec/tag.h"
+#include "erasure/value.h"
+
+namespace causalec {
+
+class InQueue {
+ public:
+  struct Entry {
+    NodeId origin;
+    ObjectId object;
+    erasure::Value value;
+    Tag tag;
+  };
+
+  /// Insert per the paper's placement rule: append, then move toward the
+  /// head past any entry whose timestamp is strictly greater (comparable)
+  /// in the vector-clock partial order.
+  void insert(Entry entry) {
+    const Tag tag = entry.tag;
+    entries_.push_back(std::move(entry));
+    std::size_t i = entries_.size() - 1;
+    while (i > 0 && tag.ts.lt(entries_[i - 1].tag.ts)) {
+      std::swap(entries_[i], entries_[i - 1]);
+      --i;
+    }
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const Entry& head() const {
+    CEC_DCHECK(!entries_.empty());
+    return entries_.front();
+  }
+
+  Entry pop_head() {
+    CEC_DCHECK(!entries_.empty());
+    Entry e = std::move(entries_.front());
+    entries_.pop_front();
+    return e;
+  }
+
+  /// Remove and return the first entry (scanning from the head) that
+  /// satisfies the apply predicate; nullopt when none does.
+  ///
+  /// Scanning past a blocked head is required for liveness: with head-only
+  /// processing, an entry whose dependency was inserted *behind* an entry
+  /// with an incomparable timestamp can block the queue forever (DESIGN.md
+  /// note 9). The predicate itself enforces causal delivery, so applying
+  /// out of queue order is safe.
+  template <typename Pred>
+  std::optional<Entry> pop_first_applicable(Pred&& applicable) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (applicable(*it)) {
+        Entry e = std::move(*it);
+        entries_.erase(it);
+        return e;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t payload_bytes() const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.value.size();
+    return n;
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+
+ private:
+  std::deque<Entry> entries_;
+};
+
+}  // namespace causalec

@@ -1,0 +1,150 @@
+// Server-to-server messages of the CausalEC protocol (Algorithms 1-3) with
+// wire-size accounting.
+//
+// Client <-> server traffic is not modeled as network messages: clients are
+// co-located with their server (the paper partitions clients among servers
+// precisely so that client operations involve no wide-area hop).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "causalec/config.h"
+#include "causalec/tag.h"
+#include "erasure/value.h"
+#include "sim/simulation.h"
+
+namespace causalec {
+
+/// Byte-size model shared by all messages of one cluster.
+struct WireModel {
+  std::size_t header_bytes = 16;
+  std::size_t tag_bytes = 0;     // one tag
+  std::size_t tagvec_bytes = 0;  // a full K-entry tag vector
+
+  static WireModel make(const ServerConfig& config, std::size_t num_servers,
+                        std::size_t num_objects) {
+    WireModel wm;
+    wm.header_bytes = config.header_bytes;
+    wm.tag_bytes = config.metadata == MetadataMode::kLamport
+                       ? 16  // Lamport scalar + client id
+                       : 8 * num_servers + 8;
+    wm.tagvec_bytes = wm.tag_bytes * num_objects;
+    return wm;
+  }
+};
+
+/// <app, X, v, t>: write propagation (Alg. 1 line 6).
+struct AppMessage final : sim::Message {
+  ObjectId object;
+  erasure::Value value;
+  Tag tag;
+  std::size_t wire;
+
+  AppMessage(ObjectId object_in, erasure::Value value_in, Tag tag_in,
+             const WireModel& wm)
+      : object(object_in),
+        value(std::move(value_in)),
+        tag(std::move(tag_in)),
+        wire(wm.header_bytes + value.size() + wm.tag_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "app"; }
+};
+
+/// <del, X, t>: garbage-collection progress (Alg. 3 lines 20/32/48).
+///
+/// `origin` is the server announcing the deletion; it differs from the
+/// network-level sender only in the Appendix G leader-forwarding variant,
+/// where a server sends one del to the leader (forward = true) and the
+/// leader fans it out on its behalf.
+struct DelMessage final : sim::Message {
+  ObjectId object;
+  Tag tag;
+  NodeId origin;
+  bool forward;
+  std::size_t wire;
+
+  DelMessage(ObjectId object_in, Tag tag_in, NodeId origin_in,
+             bool forward_in, const WireModel& wm)
+      : object(object_in),
+        tag(std::move(tag_in)),
+        origin(origin_in),
+        forward(forward_in),
+        wire(wm.header_bytes + wm.tag_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "del"; }
+};
+
+/// <val_inq, clientid, opid, X, wantedtagvec>: read inquiry (Alg. 1 line 18,
+/// Alg. 3 line 25).
+struct ValInqMessage final : sim::Message {
+  ClientId client;
+  OpId opid;
+  ObjectId object;
+  TagVector wanted;
+  std::size_t wire;
+
+  ValInqMessage(ClientId client_in, OpId opid_in, ObjectId object_in,
+                TagVector wanted_in, const WireModel& wm)
+      : client(client_in),
+        opid(opid_in),
+        object(object_in),
+        wanted(std::move(wanted_in)),
+        wire(wm.header_bytes + wm.tagvec_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "val_inq"; }
+};
+
+/// <val_resp, ...>: uncoded response to an inquiry (Alg. 2 line 5).
+struct ValRespMessage final : sim::Message {
+  ClientId client;
+  OpId opid;
+  ObjectId object;
+  erasure::Value value;
+  TagVector requested;
+  std::size_t wire;
+
+  ValRespMessage(ClientId client_in, OpId opid_in, ObjectId object_in,
+                 erasure::Value value_in, TagVector requested_in,
+                 const WireModel& wm)
+      : client(client_in),
+        opid(opid_in),
+        object(object_in),
+        value(std::move(value_in)),
+        requested(std::move(requested_in)),
+        wire(wm.header_bytes + value.size() + wm.tagvec_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "val_resp"; }
+};
+
+/// <val_resp_encoded, M, ...>: re-encoded codeword symbol response
+/// (Alg. 2 end of the val_inq handler).
+struct ValRespEncodedMessage final : sim::Message {
+  ClientId client;
+  OpId opid;
+  ObjectId object;
+  erasure::Symbol symbol;   // ResponsetoValInq.val
+  TagVector symbol_tags;    // ResponsetoValInq.tagvec
+  TagVector requested;      // wantedtagvec echoed back
+  std::size_t wire;
+
+  ValRespEncodedMessage(ClientId client_in, OpId opid_in, ObjectId object_in,
+                        erasure::Symbol symbol_in, TagVector symbol_tags_in,
+                        TagVector requested_in, const WireModel& wm)
+      : client(client_in),
+        opid(opid_in),
+        object(object_in),
+        symbol(std::move(symbol_in)),
+        symbol_tags(std::move(symbol_tags_in)),
+        requested(std::move(requested_in)),
+        wire(wm.header_bytes + symbol.size() + 2 * wm.tagvec_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "val_resp_encoded"; }
+};
+
+}  // namespace causalec

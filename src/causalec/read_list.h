@@ -1,0 +1,78 @@
+// The pending-read list ReadL (Sec. 3): reads (external and internal
+// "localhost" reads issued by the Encoding action) waiting for codeword
+// symbols from a recovery set.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "causalec/tag.h"
+#include "erasure/value.h"
+
+namespace causalec {
+
+/// Invoked when a pending external read completes: the returned value, the
+/// tag of the write whose value is returned, and the server's vector clock
+/// at the response point (the operation timestamp of Definition 6, consumed
+/// by the consistency checker).
+using ReadCallback =
+    std::function<void(const erasure::Value&, const Tag& value_tag,
+                       const VectorClock& response_ts)>;
+
+struct PendingRead {
+  ClientId client = 0;  // kLocalhost for internal reads
+  OpId opid = 0;
+  ObjectId object = 0;
+  TagVector requested;  // M.tagvec at registration time
+  // One slot per server; nullopt until that server's re-encoded symbol (or
+  // our own local symbol) is recorded.
+  std::vector<std::optional<erasure::Symbol>> symbols;
+  ReadCallback callback;  // empty for localhost
+  /// Inquiries go to every server (either the configured fan-out, or the
+  /// escalation after a nearest-recovery-set timeout).
+  bool broadcast = true;
+
+  bool is_internal() const { return client == kLocalhost; }
+};
+
+class ReadList {
+ public:
+  void add(PendingRead read) { reads_.push_back(std::move(read)); }
+
+  PendingRead* find(OpId opid) {
+    for (auto& r : reads_) {
+      if (r.opid == opid) return &r;
+    }
+    return nullptr;
+  }
+
+  void remove(OpId opid) {
+    std::erase_if(reads_, [opid](const PendingRead& r) {
+      return r.opid == opid;
+    });
+  }
+
+  bool empty() const { return reads_.empty(); }
+  std::size_t size() const { return reads_.size(); }
+
+  std::vector<PendingRead>& all() { return reads_; }
+  const std::vector<PendingRead>& all() const { return reads_; }
+
+  /// True iff an internal read exists for `object` with requested tag
+  /// `tag` on that object (guard in Alg. 3 line 22).
+  bool has_internal_for(ObjectId object, const Tag& tag) const {
+    for (const auto& r : reads_) {
+      if (r.is_internal() && r.object == object &&
+          r.requested[object] == tag) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<PendingRead> reads_;
+};
+
+}  // namespace causalec

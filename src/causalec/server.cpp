@@ -1,0 +1,654 @@
+#include "causalec/server.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace causalec {
+
+namespace {
+
+/// Internal-read opids live in their own half of the id space so they can
+/// never collide with client-generated opids.
+constexpr OpId kInternalOpidBase = OpId{1} << 63;
+
+}  // namespace
+
+Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
+               Transport* transport)
+    : id_(id),
+      code_(std::move(code)),
+      config_(std::move(config)),
+      transport_(transport),
+      wire_(WireModel::make(config_, code_->num_servers(),
+                            code_->num_objects())),
+      n_(code_->num_servers()),
+      k_(code_->num_objects()),
+      vc_(n_),
+      m_val_(code_->zero_symbol(id)),
+      m_tags_(zero_tag_vector(k_, n_)),
+      tmax_(zero_tag_vector(k_, n_)),
+      last_del_broadcast_all_(zero_tag_vector(k_, n_)) {
+  CEC_CHECK(transport_ != nullptr);
+  CEC_CHECK(id_ < n_);
+  lists_.reserve(k_);
+  dels_.reserve(k_);
+  containing_.resize(k_);
+  for (std::size_t x = 0; x < k_; ++x) {
+    lists_.emplace_back(n_, code_->value_bytes());
+    dels_.emplace_back(n_);
+    for (NodeId j = 0; j < n_; ++j) {
+      if (code_->contains(j, static_cast<ObjectId>(x))) {
+        containing_[x].push_back(j);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client operations (Algorithm 1).
+// ---------------------------------------------------------------------------
+
+Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
+                         erasure::Value value) {
+  (void)opid;  // the synchronous ack needs no correlation
+  CEC_CHECK(object < k_);
+  CEC_CHECK(value.size() == code_->value_bytes());
+  ++counters_.writes;
+
+  vc_.increment(id_);
+  Tag tag(vc_, client);
+  lists_[object].insert(tag, value);
+
+  // Alg. 1 lines 7-9: answer every pending *external* read on this object
+  // with the fresh (causally newest local) value.
+  std::vector<OpId> to_complete;
+  for (auto& read : reads_.all()) {
+    if (!read.is_internal() && read.object == object) {
+      to_complete.push_back(read.opid);
+    }
+  }
+  for (OpId completed : to_complete) {
+    if (PendingRead* read = reads_.find(completed)) {
+      complete_pending_read(*read, value, tag);
+      reads_.remove(completed);
+    }
+  }
+
+  // Alg. 1 line 6: propagate to every other node.
+  for (NodeId j = 0; j < n_; ++j) {
+    if (j == id_) continue;
+    transport_->send(j, std::make_unique<AppMessage>(object, value, tag,
+                                                     wire_));
+  }
+
+  run_internal_actions();  // Encoding picks the new version up eagerly
+  return tag;
+}
+
+void Server::client_read(ClientId client, OpId opid, ObjectId object,
+                         ReadCallback callback) {
+  CEC_CHECK(object < k_);
+  CEC_CHECK(callback != nullptr);
+  ++counters_.reads;
+
+  // Alg. 1 line 11: serve from the history list when it is at least as new
+  // as the encoded version (the zero tag acts as the virtual initial entry).
+  const Tag highest = lists_[object].highest_tag();
+  if (highest >= m_tags_[object]) {
+    ++counters_.reads_served_from_history;
+    const auto value = lists_[object].lookup(highest);
+    CEC_CHECK(value.has_value());
+    callback(*value, highest, vc_);
+    return;
+  }
+
+  // Alg. 1 line 13: local decode when {s} is a recovery set.
+  if (code_->is_local(id_, object)) {
+    ++counters_.reads_served_local_decode;
+    const NodeId self[] = {id_};
+    const erasure::Symbol syms[] = {m_val_};
+    callback(code_->decode(object, self, syms), m_tags_[object], vc_);
+    return;
+  }
+
+  // Alg. 1 lines 16-18: register and inquire.
+  ++counters_.reads_registered_remote;
+  PendingRead read;
+  read.client = client;
+  read.opid = opid;
+  read.object = object;
+  read.requested = m_tags_;
+  read.symbols.assign(n_, std::nullopt);
+  read.symbols[id_] = m_val_;
+  read.callback = std::move(callback);
+  read.broadcast = config_.fanout == ReadFanout::kBroadcast;
+  register_read(std::move(read));
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch.
+// ---------------------------------------------------------------------------
+
+void Server::on_message(NodeId from, sim::MessagePtr message) {
+  if (auto* app = dynamic_cast<AppMessage*>(message.get())) {
+    handle_app(from, *app);
+  } else if (auto* del = dynamic_cast<DelMessage*>(message.get())) {
+    handle_del(from, *del);
+  } else if (auto* inq = dynamic_cast<ValInqMessage*>(message.get())) {
+    handle_val_inq(from, *inq);
+  } else if (auto* resp = dynamic_cast<ValRespMessage*>(message.get())) {
+    handle_val_resp(from, *resp);
+  } else if (auto* enc = dynamic_cast<ValRespEncodedMessage*>(message.get())) {
+    handle_val_resp_encoded(from, *enc);
+  } else {
+    CEC_CHECK_MSG(false, "unknown message type " << message->type_name());
+  }
+  run_internal_actions();
+}
+
+void Server::handle_app(NodeId from, const AppMessage& msg) {
+  inqueue_.insert(InQueue::Entry{from, msg.object, msg.value, msg.tag});
+}
+
+void Server::handle_del(NodeId from, const DelMessage& msg) {
+  (void)from;
+  dels_[msg.object].add(msg.origin, msg.tag);
+  // Appendix G variant (ii): the leader fans forwarded dels out to
+  // everyone on the origin's behalf.
+  if (msg.forward && id_ == config_.del_leader) {
+    for (NodeId j = 0; j < n_; ++j) {
+      if (j == id_ || j == msg.origin) continue;
+      transport_->send(j, std::make_unique<DelMessage>(
+                              msg.object, msg.tag, msg.origin,
+                              /*forward=*/false, wire_));
+    }
+  }
+}
+
+void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
+  ++counters_.val_inq_handled;
+  const ObjectId object = msg.object;
+
+  // Alg. 2 line 4: uncoded response when the wanted version is in our list.
+  if (const auto value = lists_[object].lookup(msg.wanted[object])) {
+    ++counters_.val_resp_sent;
+    transport_->send(from, std::make_unique<ValRespMessage>(
+                               msg.client, msg.opid, object, *value,
+                               msg.wanted, wire_));
+    return;
+  }
+
+  // Alg. 2 lines 6-14: re-encode our codeword symbol toward the wanted
+  // versions where the history list allows it. The "apply wanted" step runs
+  // only when the "cancel current" step succeeded (DESIGN.md note 2).
+  erasure::Symbol resp_val = m_val_;
+  TagVector resp_tags = m_tags_;
+  for (ObjectId x : code_->support(id_)) {
+    if (resp_tags[x] == msg.wanted[x]) continue;
+    const auto current = lists_[x].lookup(resp_tags[x]);
+    if (!current) continue;  // case (iii): leave this object's version as is
+    code_->reencode(id_, resp_val, x, *current, {});
+    resp_tags[x] = Tag::zero(n_);
+    if (const auto wanted_value = lists_[x].lookup(msg.wanted[x])) {
+      code_->reencode(id_, resp_val, x, {}, *wanted_value);
+      resp_tags[x] = msg.wanted[x];
+    }
+  }
+  ++counters_.val_resp_encoded_sent;
+  transport_->send(from, std::make_unique<ValRespEncodedMessage>(
+                             msg.client, msg.opid, object, std::move(resp_val),
+                             std::move(resp_tags), msg.wanted, wire_));
+}
+
+void Server::handle_val_resp(NodeId from, const ValRespMessage& msg) {
+  (void)from;
+  PendingRead* read = reads_.find(msg.opid);
+  if (read == nullptr) return;  // already served
+  CEC_DCHECK(read->client == msg.client && read->object == msg.object);
+  complete_pending_read(*read, msg.value, msg.requested[msg.object]);
+  reads_.remove(msg.opid);
+}
+
+void Server::handle_val_resp_encoded(NodeId from,
+                                     const ValRespEncodedMessage& msg) {
+  PendingRead* read = reads_.find(msg.opid);
+  if (read == nullptr) return;  // already served
+  CEC_DCHECK(read->client == msg.client && read->object == msg.object);
+
+  // Alg. 2 lines 15-27: re-encode the sender's symbol to the requested
+  // versions using *our* history list. The symbol lives in the sender's
+  // space W_j, so re-encoding uses the sender's coefficients (DESIGN note 1).
+  erasure::Symbol modified = msg.symbol;
+  bool error = false;
+  for (ObjectId x : code_->support(from)) {
+    if (msg.requested[x] == msg.symbol_tags[x]) continue;
+    const auto current = lists_[x].lookup(msg.symbol_tags[x]);
+    if (!current) {
+      ++counters_.error1_events;
+      CEC_CHECK_MSG(!config_.strict_error_invariants,
+                    "Error1 raised at server "
+                        << id_ << " for object X" << x << " from server "
+                        << from << " opid " << msg.opid << " internal="
+                        << (msg.client == kLocalhost) << " symbol_tag "
+                        << msg.symbol_tags[x] << " requested "
+                        << msg.requested[x] << " my M.tag " << m_tags_[x]
+                        << " (symbol tag not in history; Lemma D.1 violated)");
+      error = true;
+      continue;
+    }
+    code_->reencode(from, modified, x, *current, {});
+    const auto wanted_value = lists_[x].lookup(msg.requested[x]);
+    if (!wanted_value) {
+      ++counters_.error2_events;
+      CEC_CHECK_MSG(!config_.strict_error_invariants,
+                    "Error2 raised at server "
+                        << id_ << " for object X" << x
+                        << " (requested tag not in history; Lemma D.2 "
+                           "violated)");
+      error = true;
+      continue;
+    }
+    code_->reencode(from, modified, x, {}, *wanted_value);
+  }
+  if (error) return;  // leave the read pending for other responders
+
+  read->symbols[from] = std::move(modified);
+  try_decode_pending_read(msg.opid);
+}
+
+// ---------------------------------------------------------------------------
+// Internal actions (Algorithm 3).
+// ---------------------------------------------------------------------------
+
+void Server::run_internal_actions() {
+  if (in_internal_actions_) return;  // re-entrancy via client callbacks
+  in_internal_actions_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (apply_inqueue_step()) progress = true;
+    if (encoding_step()) progress = true;
+  }
+  in_internal_actions_ = false;
+}
+
+bool Server::apply_inqueue_step() {
+  if (inqueue_.empty()) return false;
+  // Alg. 3 line 4: the causality predicate. Scanning (rather than testing
+  // only the head) is needed for liveness -- see InQueue::pop_first_applicable.
+  auto popped = inqueue_.pop_first_applicable([&](const InQueue::Entry& e) {
+    const NodeId j = e.origin;
+    if (e.tag.ts[j] != vc_[j] + 1) return false;
+    for (NodeId p = 0; p < n_; ++p) {
+      if (p != j && e.tag.ts[p] > vc_[p]) return false;
+    }
+    return true;
+  });
+  if (!popped) return false;
+  InQueue::Entry entry = std::move(*popped);
+  const NodeId j = entry.origin;
+  vc_.set(j, entry.tag.ts[j]);
+  lists_[entry.object].insert(entry.tag, entry.value);
+
+  // Alg. 3 lines 8-12: clear pending reads this version can serve.
+  std::vector<OpId> external_done;
+  std::vector<OpId> internal_done;
+  for (const auto& read : reads_.all()) {
+    if (read.object != entry.object) continue;
+    if (!read.is_internal() && read.requested[entry.object] <= entry.tag) {
+      external_done.push_back(read.opid);
+    } else if (read.is_internal() &&
+               read.requested[entry.object] == entry.tag) {
+      internal_done.push_back(read.opid);
+    }
+  }
+  for (OpId opid : external_done) {
+    if (PendingRead* read = reads_.find(opid)) {
+      complete_pending_read(*read, entry.value, entry.tag);
+      reads_.remove(opid);
+    }
+  }
+  for (OpId opid : internal_done) {
+    reads_.remove(opid);  // the value just landed in L[X]
+  }
+  return true;
+}
+
+bool Server::encoding_step() {
+  bool changed = false;
+
+  // Objects this server stores (Alg. 3 lines 15-25).
+  for (ObjectId x : code_->support(id_)) {
+    const Tag highest = lists_[x].highest_tag();
+    if (!(highest > m_tags_[x])) continue;
+    const auto current = lists_[x].lookup(m_tags_[x]);
+    if (current) {
+      const auto newest = lists_[x].lookup(highest);
+      CEC_CHECK(newest.has_value());
+      code_->reencode(id_, m_val_, x, *current, *newest);
+      m_tags_[x] = highest;
+      ++counters_.reencodes;
+      record_del(x, highest);
+      send_del_to_containing(x, highest);
+      changed = true;
+    } else if (!reads_.has_internal_for(x, m_tags_[x])) {
+      // Alg. 3 lines 22-25: recover the currently-encoded version via an
+      // internal read so a later Encoding can re-encode away from it.
+      ++counters_.internal_reads_started;
+      PendingRead read;
+      read.client = kLocalhost;
+      read.opid = next_internal_opid();
+      read.object = x;
+      read.requested = m_tags_;
+      read.symbols.assign(n_, std::nullopt);
+      read.symbols[id_] = m_val_;
+      read.broadcast = config_.fanout == ReadFanout::kBroadcast;
+      register_read(std::move(read));
+      // The internal read may have completed synchronously from our own
+      // symbol; if the needed version just landed in L[X], loop again so
+      // the re-encode branch above runs.
+      if (lists_[x].contains(m_tags_[x])) changed = true;
+    }
+  }
+
+  // Bookkeeping for objects this server does not store (lines 26-32).
+  for (ObjectId x = 0; x < k_; ++x) {
+    if (code_->contains(id_, x)) continue;
+    const Tag highest = lists_[x].highest_tag();
+    if (!(highest > m_tags_[x])) continue;
+    const auto& containing = containing_servers(x);
+    const auto floor_r = dels_[x].floor_of(containing);
+    if (!floor_r) continue;
+    // max(U & Ubar): the highest tag in L[X] that is covered by every
+    // containing server's del announcements and exceeds M.tagvec[X].
+    const auto candidate = lists_[x].highest_leq(*floor_r);
+    if (!candidate || !(*candidate > m_tags_[x])) continue;
+    m_tags_[x] = *candidate;
+    record_del(x, *candidate);
+    broadcast_del(x, *candidate, /*dedupe=*/config_.dedupe_del_broadcasts);
+    changed = true;
+  }
+  return changed;
+}
+
+void Server::run_garbage_collection() {
+  ++counters_.gc_runs;
+  for (ObjectId x = 0; x < k_; ++x) {
+    // tmax[X] = max(S) (Alg. 3 lines 36-37); monotone by construction.
+    if (const auto floor = dels_[x].floor_all()) {
+      if (*floor > tmax_[x]) tmax_[x] = *floor;
+    }
+    CEC_DCHECK(tmax_[x] <= m_tags_[x]);  // invariant (Sec. 3)
+
+    // Protected tags T (line 39): requested tags of *any* pending read.
+    std::set<Tag> protected_tags;
+    for (const auto& read : reads_.all()) {
+      if (read.requested[x] < m_tags_[x]) {
+        protected_tags.insert(read.requested[x]);
+      }
+    }
+    const auto not_protected = [&](const Tag& t) {
+      return protected_tags.count(t) == 0;
+    };
+
+    std::size_t removed = 0;
+    const Tag tm = tmax_[x];
+    if (tm == m_tags_[x] && dels_[x].has_exact_from_all(m_tags_[x]) &&
+        lists_[x].highest_tag() <= m_tags_[x]) {
+      // Line 40-41: full cleanup, including the currently-encoded version.
+      removed = lists_[x].erase_if(
+          [&](const Tag& t) { return t <= tm && not_protected(t); });
+    } else if (tm < m_tags_[x] && !code_->contains(id_, x)) {
+      // Line 42-43.
+      removed = lists_[x].erase_if(
+          [&](const Tag& t) { return t <= tm && not_protected(t); });
+    } else {
+      // Line 44: strict inequality for stored objects.
+      removed = lists_[x].erase_if(
+          [&](const Tag& t) { return t < tm && not_protected(t); });
+    }
+    counters_.history_entries_collected += removed;
+
+    // Lines 45-48: containing servers re-announce max(U) to everyone so
+    // non-containing servers can advance their bookkeeping and GC.
+    if (code_->contains(id_, x)) {
+      const auto floor_r = dels_[x].floor_of(containing_servers(x));
+      if (floor_r) {
+        broadcast_del(x, *floor_r, /*dedupe=*/config_.dedupe_del_broadcasts);
+      }
+    }
+
+    if (config_.compact_del_lists) dels_[x].compact(tmax_[x]);
+  }
+  run_internal_actions();
+}
+
+// ---------------------------------------------------------------------------
+// Pending-read plumbing.
+// ---------------------------------------------------------------------------
+
+void Server::complete_pending_read(PendingRead& read,
+                                   const erasure::Value& value,
+                                   const Tag& value_tag) {
+  if (read.is_internal()) {
+    lists_[read.object].insert(value_tag, value);
+  } else {
+    CEC_CHECK(read.callback != nullptr);
+    read.callback(value, value_tag, vc_);
+  }
+}
+
+void Server::try_decode_pending_read(OpId opid) {
+  PendingRead* read = reads_.find(opid);
+  if (read == nullptr) return;
+  std::vector<NodeId> servers;
+  std::vector<erasure::Symbol> symbols;
+  for (NodeId s = 0; s < n_; ++s) {
+    if (read->symbols[s].has_value()) {
+      servers.push_back(s);
+      symbols.push_back(*read->symbols[s]);
+    }
+  }
+  if (!code_->is_recovery_set(read->object, servers)) return;
+  const erasure::Value value = code_->decode(read->object, servers, symbols);
+  complete_pending_read(*read, value, read->requested[read->object]);
+  reads_.remove(opid);
+}
+
+void Server::register_read(PendingRead read) {
+  const OpId opid = read.opid;
+  const bool escalate = !read.broadcast;
+  reads_.add(std::move(read));
+
+  const PendingRead& stored = *reads_.find(opid);
+  const std::vector<NodeId> targets = initial_fanout_targets(stored);
+  send_val_inq_to(targets, stored);
+
+  // The local symbol recorded at registration may already form a recovery
+  // set (e.g. an internal read at a server whose own symbol decodes the
+  // object) -- complete immediately in that case. Mandatory when the
+  // fan-out chose a recovery set with no remote members.
+  if (config_.opportunistic_local_decode || targets.empty()) {
+    try_decode_pending_read(opid);
+  }
+
+  if (escalate && reads_.find(opid) != nullptr) {
+    // Footnote 14: fall back to a broadcast if the chosen recovery set does
+    // not produce an answer in time (e.g. one of its members crashed).
+    // Re-sending the *original* inquiry would be unsound: the garbage-
+    // collection protections (Lemmas D.1/D.2) only cover inquiries sent at
+    // the moment their requested tag vector was M.tagvec, so a late inquiry
+    // with stale tags can be unanswerable. Instead the pending read is
+    // dropped and restarted with fresh tags and full broadcast.
+    transport_->schedule_after(config_.fanout_timeout_ns,
+                               [this, opid] { retry_pending_read(opid); });
+  }
+}
+
+void Server::retry_pending_read(OpId opid) {
+  PendingRead* pending = reads_.find(opid);
+  if (pending == nullptr) return;  // served already
+  const ClientId client = pending->client;
+  const ObjectId object = pending->object;
+  ReadCallback callback = std::move(pending->callback);
+  reads_.remove(opid);
+
+  if (client != kLocalhost) {
+    // Re-enter the full read path (the history list may serve it by now);
+    // if it registers again, it registers as a broadcast. The opid is
+    // server-generated: the client correlates through its callback.
+    const Tag highest = lists_[object].highest_tag();
+    if (highest >= m_tags_[object]) {
+      const auto value = lists_[object].lookup(highest);
+      CEC_CHECK(value.has_value());
+      callback(*value, highest, vc_);
+      return;
+    }
+    PendingRead retry;
+    retry.client = client;
+    retry.opid = next_internal_opid();
+    retry.object = object;
+    retry.requested = m_tags_;
+    retry.symbols.assign(n_, std::nullopt);
+    retry.symbols[id_] = m_val_;
+    retry.callback = std::move(callback);
+    retry.broadcast = true;
+    register_read(std::move(retry));
+    return;
+  }
+
+  // Internal read: recreate with fresh tags (and full broadcast) only if
+  // the Encoding action still needs the currently-encoded version.
+  const Tag highest = lists_[object].highest_tag();
+  if (highest > m_tags_[object] && !lists_[object].contains(m_tags_[object]) &&
+      !reads_.has_internal_for(object, m_tags_[object])) {
+    PendingRead retry;
+    retry.client = kLocalhost;
+    retry.opid = next_internal_opid();
+    retry.object = object;
+    retry.requested = m_tags_;
+    retry.symbols.assign(n_, std::nullopt);
+    retry.symbols[id_] = m_val_;
+    retry.broadcast = true;
+    register_read(std::move(retry));
+  }
+  run_internal_actions();
+}
+
+void Server::send_val_inq_to(const std::vector<NodeId>& targets,
+                             const PendingRead& read) {
+  for (NodeId j : targets) {
+    CEC_DCHECK(j != id_);
+    transport_->send(j, std::make_unique<ValInqMessage>(
+                            read.client, read.opid, read.object,
+                            read.requested, wire_));
+  }
+}
+
+std::vector<NodeId> Server::initial_fanout_targets(
+    const PendingRead& read) const {
+  const ObjectId object = read.object;
+  std::vector<NodeId> targets;
+  if (read.broadcast) {
+    for (NodeId j = 0; j < n_; ++j) {
+      if (j != id_) targets.push_back(j);
+    }
+    return targets;
+  }
+  // Pick the recovery set with the smallest worst-member proximity
+  // (excluding ourselves -- our own symbol is already in hand).
+  const auto proximity = [&](NodeId j) {
+    if (j < config_.proximity.size()) return config_.proximity[j];
+    return static_cast<double>(j);
+  };
+  const std::vector<erasure::RecoverySet>& sets =
+      code_->recovery_sets(object);
+  double best_cost = -1;
+  const erasure::RecoverySet* best = nullptr;
+  for (const auto& set : sets) {
+    double cost = 0;
+    for (NodeId j : set) {
+      if (j != id_) cost = std::max(cost, proximity(j));
+    }
+    if (best == nullptr || cost < best_cost) {
+      best = &set;
+      best_cost = cost;
+    }
+  }
+  CEC_CHECK(best != nullptr);
+  for (NodeId j : *best) {
+    if (j != id_) targets.push_back(j);
+  }
+  return targets;
+}
+
+// ---------------------------------------------------------------------------
+// del bookkeeping.
+// ---------------------------------------------------------------------------
+
+void Server::record_del(ObjectId object, const Tag& tag) {
+  dels_[object].add(id_, tag);
+}
+
+void Server::send_del_to_containing(ObjectId object, const Tag& tag) {
+  if (config_.del_routing == DelRouting::kViaLeader &&
+      id_ != config_.del_leader) {
+    // One hop to the leader, who forwards to everyone -- a superset of the
+    // containing servers, which only adds (harmless) DelL entries.
+    transport_->send(config_.del_leader,
+                     std::make_unique<DelMessage>(object, tag, id_,
+                                                  /*forward=*/true, wire_));
+    return;
+  }
+  for (NodeId j : containing_servers(object)) {
+    if (j == id_) continue;
+    transport_->send(j, std::make_unique<DelMessage>(object, tag, id_,
+                                                     /*forward=*/false,
+                                                     wire_));
+  }
+}
+
+void Server::broadcast_del(ObjectId object, const Tag& tag, bool dedupe) {
+  if (dedupe && !(tag > last_del_broadcast_all_[object])) return;
+  last_del_broadcast_all_[object] = tag;
+  if (config_.del_routing == DelRouting::kViaLeader &&
+      id_ != config_.del_leader) {
+    transport_->send(config_.del_leader,
+                     std::make_unique<DelMessage>(object, tag, id_,
+                                                  /*forward=*/true, wire_));
+    return;
+  }
+  for (NodeId j = 0; j < n_; ++j) {
+    if (j == id_) continue;
+    transport_->send(j, std::make_unique<DelMessage>(object, tag, id_,
+                                                     /*forward=*/false,
+                                                     wire_));
+  }
+}
+
+OpId Server::next_internal_opid() {
+  return kInternalOpidBase | (static_cast<OpId>(id_) << 40) |
+         internal_opid_counter_++;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+StorageStats Server::storage() const {
+  StorageStats stats;
+  stats.codeword_bytes = m_val_.size();
+  for (ObjectId x = 0; x < k_; ++x) {
+    stats.history_bytes += lists_[x].payload_bytes();
+    stats.history_entries += lists_[x].size();
+    stats.dell_entries += dels_[x].total_entries();
+  }
+  stats.inqueue_bytes = inqueue_.payload_bytes();
+  stats.inqueue_entries = inqueue_.size();
+  stats.readl_entries = reads_.size();
+  return stats;
+}
+
+}  // namespace causalec

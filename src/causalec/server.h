@@ -1,0 +1,181 @@
+// The CausalEC server automaton (Algorithms 1, 2, 3).
+//
+// Transport-agnostic: the server emits messages through a Transport and is
+// driven by on_message / internal-action entry points. The discrete-event
+// cluster (cluster.h) hosts it on the simulator; any other runtime could.
+//
+// Clients are co-located with their server (the paper's C_s partition):
+// client operations enter through direct calls and never touch the modeled
+// network. Writes return synchronously (Property (I): writes are local);
+// reads either return inline (local history / local decode) or complete
+// later through the registered callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "causalec/config.h"
+#include "causalec/del_list.h"
+#include "causalec/history_list.h"
+#include "causalec/inqueue.h"
+#include "causalec/messages.h"
+#include "causalec/read_list.h"
+#include "causalec/tag.h"
+#include "common/types.h"
+#include "erasure/code.h"
+#include "sim/simulation.h"
+
+namespace causalec {
+
+/// Outbound interface the server needs from its runtime.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(NodeId to, sim::MessagePtr message) = 0;
+  virtual void schedule_after(SimTime delta, std::function<void()> fn) = 0;
+  virtual SimTime now() const = 0;
+};
+
+/// Point-in-time storage footprint of one server (Theorem 4.5 / Sec. 4.2
+/// transient-cost accounting). Payload bytes only; metadata counted as
+/// entry counts.
+struct StorageStats {
+  std::size_t codeword_bytes = 0;       // |M.val| -- the stable-state cost
+  std::size_t history_bytes = 0;        // sum over X of |L[X]| payloads
+  std::size_t history_entries = 0;
+  std::size_t inqueue_bytes = 0;
+  std::size_t inqueue_entries = 0;
+  std::size_t readl_entries = 0;
+  std::size_t dell_entries = 0;
+};
+
+/// Operation counters for benches and tests.
+struct ServerCounters {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t reads_served_from_history = 0;
+  std::uint64_t reads_served_local_decode = 0;
+  std::uint64_t reads_registered_remote = 0;
+  std::uint64_t internal_reads_started = 0;
+  std::uint64_t reencodes = 0;
+  std::uint64_t val_inq_handled = 0;
+  std::uint64_t val_resp_sent = 0;
+  std::uint64_t val_resp_encoded_sent = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t history_entries_collected = 0;
+  std::uint64_t error1_events = 0;  // stays 0 in every correct execution
+  std::uint64_t error2_events = 0;  // stays 0 in every correct execution
+};
+
+class Server final : public sim::Actor {
+ public:
+  Server(NodeId id, erasure::CodePtr code, ServerConfig config,
+         Transport* transport);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  NodeId id() const { return id_; }
+  const erasure::Code& code() const { return *code_; }
+
+  // -- Client-facing operations (Alg. 1) ----------------------------------
+
+  /// Local write (Alg. 1, on receive <write>); returns the write's tag
+  /// (the acknowledgement is synchronous -- Property (I)).
+  Tag client_write(ClientId client, OpId opid, ObjectId object,
+                   erasure::Value value);
+
+  /// Read (Alg. 1, on receive <read>). The callback fires exactly once --
+  /// possibly inline when the read is served locally.
+  void client_read(ClientId client, OpId opid, ObjectId object,
+                   ReadCallback callback);
+
+  // -- Runtime entry points ------------------------------------------------
+
+  void on_message(NodeId from, sim::MessagePtr message) override;
+
+  /// Apply_InQueue + Encoding, run to a fixed point. Invoked automatically
+  /// after every message receipt; exposed for tests.
+  void run_internal_actions();
+
+  /// Garbage_Collection (Alg. 3). Drive from a periodic timer.
+  void run_garbage_collection();
+
+  // -- Introspection -------------------------------------------------------
+
+  const VectorClock& clock() const { return vc_; }
+  const Tag& codeword_tag(ObjectId object) const { return m_tags_[object]; }
+  const erasure::Symbol& codeword_value() const { return m_val_; }
+  const HistoryList& history(ObjectId object) const { return lists_[object]; }
+  const DelList& del_list(ObjectId object) const { return dels_[object]; }
+  const InQueue& inqueue() const { return inqueue_; }
+  const ReadList& read_list() const { return reads_; }
+  const Tag& tmax(ObjectId object) const { return tmax_[object]; }
+  StorageStats storage() const;
+  const ServerCounters& counters() const { return counters_; }
+
+ private:
+  // Message handlers (Alg. 1 line 44, Alg. 2).
+  void handle_app(NodeId from, const AppMessage& msg);
+  void handle_del(NodeId from, const DelMessage& msg);
+  void handle_val_inq(NodeId from, const ValInqMessage& msg);
+  void handle_val_resp(NodeId from, const ValRespMessage& msg);
+  void handle_val_resp_encoded(NodeId from, const ValRespEncodedMessage& msg);
+
+  // Internal actions (Alg. 3).
+  bool apply_inqueue_step();   // one Apply_InQueue; true if it applied
+  bool encoding_step();        // one Encoding pass; true if state changed
+
+  // Pending-read plumbing.
+  void complete_pending_read(PendingRead& read, const erasure::Value& value,
+                             const Tag& value_tag);
+  void try_decode_pending_read(OpId opid);
+  void register_read(PendingRead read);
+  void retry_pending_read(OpId opid);
+  void send_val_inq_to(const std::vector<NodeId>& targets,
+                       const PendingRead& read);
+  std::vector<NodeId> initial_fanout_targets(const PendingRead& read) const;
+
+  // del bookkeeping.
+  void record_del(ObjectId object, const Tag& tag);  // own DelL entry
+  void send_del_to_containing(ObjectId object, const Tag& tag);
+  void broadcast_del(ObjectId object, const Tag& tag, bool dedupe);
+
+  OpId next_internal_opid();
+
+  /// R = { i : X in X_i } (the servers whose encoding depends on X).
+  const std::vector<NodeId>& containing_servers(ObjectId object) const {
+    return containing_[object];
+  }
+
+  NodeId id_;
+  erasure::CodePtr code_;
+  ServerConfig config_;
+  Transport* transport_;
+  WireModel wire_;
+  std::size_t n_;  // number of servers
+  std::size_t k_;  // number of objects
+
+  // -- Algorithm state (Fig. 3) --------------------------------------------
+  VectorClock vc_;
+  InQueue inqueue_;
+  std::vector<HistoryList> lists_;   // L[X]
+  std::vector<DelList> dels_;       // DelL[X]
+  erasure::Symbol m_val_;            // M.val
+  TagVector m_tags_;                 // M.tagvec
+  ReadList reads_;                   // ReadL
+  TagVector tmax_;                   // tmax[X]
+
+  // -- Implementation bookkeeping ------------------------------------------
+  std::uint64_t internal_opid_counter_ = 0;
+  std::vector<std::vector<NodeId>> containing_;  // per object
+  // Last tag broadcast to *all* nodes per object (del dedupe, DESIGN note 6).
+  TagVector last_del_broadcast_all_;
+  ServerCounters counters_;
+  bool in_internal_actions_ = false;
+};
+
+}  // namespace causalec

@@ -1,0 +1,140 @@
+// Vector clocks and tags (Sec. 3, "State variables").
+//
+// A tag is (timestamp, client id) where the timestamp is a vector-clock
+// value. The paper requires a total order on tags that extends vector-clock
+// causality; we use (component sum, lexicographic components, client id),
+// which is a genuine total order, coincides with the vector-clock order on
+// comparable timestamps, and is evaluated identically by every server (all
+// the correctness argument needs for last-writer-wins arbitration).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/types.h"
+
+namespace causalec {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : c_(n, 0), sum_(0) {}
+
+  std::size_t size() const { return c_.size(); }
+
+  std::uint64_t operator[](std::size_t i) const {
+    CEC_DCHECK(i < c_.size());
+    return c_[i];
+  }
+
+  void set(std::size_t i, std::uint64_t v) {
+    CEC_DCHECK(i < c_.size());
+    sum_ += v - c_[i];
+    c_[i] = v;
+  }
+
+  void increment(std::size_t i) { set(i, c_[i] + 1); }
+
+  std::uint64_t sum() const { return sum_; }
+
+  bool is_zero() const { return sum_ == 0; }
+
+  /// Component-wise <= (the partial order).
+  bool leq(const VectorClock& other) const {
+    CEC_DCHECK(size() == other.size());
+    if (sum_ > other.sum_) return false;  // fast reject
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.c_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const VectorClock& other) const { return c_ == other.c_; }
+
+  /// Strictly less in the partial order.
+  bool lt(const VectorClock& other) const {
+    return leq(other) && !(*this == other);
+  }
+
+  /// Neither leq nor geq.
+  bool concurrent_with(const VectorClock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+  /// Component-wise max, in place.
+  void merge(const VectorClock& other) {
+    CEC_DCHECK(size() == other.size());
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) set(i, other.c_[i]);
+    }
+  }
+
+  /// Total order extending the partial order: (sum, lexicographic).
+  std::strong_ordering total_order(const VectorClock& other) const {
+    CEC_DCHECK(size() == other.size());
+    if (sum_ != other.sum_) return sum_ <=> other.sum_;
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] != other.c_[i]) return c_[i] <=> other.c_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+    os << "[";
+    for (std::size_t i = 0; i < vc.c_.size(); ++i) {
+      if (i) os << ",";
+      os << vc.c_[i];
+    }
+    return os << "]";
+  }
+
+ private:
+  std::vector<std::uint64_t> c_;
+  std::uint64_t sum_ = 0;
+};
+
+struct Tag {
+  VectorClock ts;
+  ClientId id = 0;
+
+  Tag() = default;
+  Tag(VectorClock ts_in, ClientId id_in) : ts(std::move(ts_in)), id(id_in) {}
+
+  /// The zero tag (initial object version).
+  static Tag zero(std::size_t n) { return Tag(VectorClock(n), 0); }
+
+  bool is_zero() const { return ts.is_zero(); }
+
+  bool operator==(const Tag& other) const {
+    return id == other.id && ts == other.ts;
+  }
+
+  /// The deterministic total order on tags.
+  bool operator<(const Tag& other) const {
+    const auto cmp = ts.total_order(other.ts);
+    if (cmp != std::strong_ordering::equal) return cmp < 0;
+    return id < other.id;
+  }
+  bool operator<=(const Tag& other) const {
+    return *this == other || *this < other;
+  }
+  bool operator>(const Tag& other) const { return other < *this; }
+  bool operator>=(const Tag& other) const { return other <= *this; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Tag& t) {
+    return os << "(" << t.ts << ",c" << t.id << ")";
+  }
+};
+
+/// A tag per object (the paper's T^X), indexed by ObjectId.
+using TagVector = std::vector<Tag>;
+
+inline TagVector zero_tag_vector(std::size_t num_objects,
+                                 std::size_t num_servers) {
+  return TagVector(num_objects, Tag::zero(num_servers));
+}
+
+}  // namespace causalec

@@ -1,0 +1,47 @@
+// Checked-precondition macros.
+//
+// CEC_CHECK is always on (it guards protocol invariants whose violation means
+// the implementation is wrong; continuing would silently corrupt data).
+// CEC_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace causalec::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace causalec::detail
+
+#define CEC_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::causalec::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
+    }                                                                    \
+  } while (0)
+
+#define CEC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream cec_oss_;                                       \
+      cec_oss_ << msg;                                                   \
+      ::causalec::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                       cec_oss_.str());                  \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define CEC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define CEC_DCHECK(cond) CEC_CHECK(cond)
+#endif

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// The simulator and servers log through this; tests run with the logger
+// silenced (level Off) unless debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace causalec {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace causalec
+
+#define CEC_LOG(level)                                          \
+  if (::causalec::LogLevel::level < ::causalec::log_level()) {  \
+  } else                                                        \
+    ::causalec::LogLine(::causalec::LogLevel::level)

@@ -1,0 +1,35 @@
+// Basic strongly-named scalar types shared across the library.
+//
+// We keep these as plain aliases (not wrapper classes) because they cross
+// module boundaries constantly and appear in aggregate message structs; the
+// naming carries the intent while staying trivially copyable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace causalec {
+
+/// Index of a server node in {0, ..., N-1}.
+using NodeId = std::uint32_t;
+
+/// Index of an object (the paper's X_1..X_K) in {0, ..., K-1}.
+using ObjectId = std::uint32_t;
+
+/// Unique client identifier (the paper's natural-number id).
+using ClientId = std::uint64_t;
+
+/// Unique operation identifier (the paper's opid from set I).
+using OpId = std::uint64_t;
+
+/// Simulated time in nanoseconds.
+using SimTime = std::int64_t;
+
+/// The reserved "client id" used for internal (localhost) reads that the
+/// Encoding action issues to re-encode the stored codeword symbol.
+inline constexpr ClientId kLocalhost = std::numeric_limits<ClientId>::max();
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace causalec

@@ -1,0 +1,189 @@
+#include "consistency/causal_checker.h"
+
+#include <map>
+#include <sstream>
+
+namespace causalec::consistency {
+
+namespace {
+
+std::string describe(const OpRecord& op) {
+  std::ostringstream oss;
+  oss << (op.is_write ? "write" : "read") << "(X" << op.object << ") by c"
+      << op.client << "#" << op.session_seq << " @s" << op.server
+      << " ts=" << op.timestamp << " tag=" << op.tag;
+  return oss.str();
+}
+
+/// pi1 ~> pi2 per Definition 7 (restricted to the clauses that apply to
+/// completed, timestamped operations).
+bool visible_before(const OpRecord& a, const OpRecord& b) {
+  if (a.timestamp.lt(b.timestamp)) return true;
+  if (a.timestamp == b.timestamp) {
+    if (a.is_write) return true;
+    if (!a.is_write && !b.is_write && a.client == b.client &&
+        a.session_seq < b.session_seq) {
+      return true;
+    }
+  }
+  if (a.is_write && b.is_write && a.tag < b.tag) return true;
+  return false;
+}
+
+}  // namespace
+
+CheckResult check_causal_consistency(const History& history) {
+  CheckResult result;
+  const auto& ops = history.ops();
+
+  // Index the writes: tag -> record.
+  std::map<Tag, const OpRecord*> writes;
+  for (const auto& op : ops) {
+    if (!op.is_write) continue;
+    auto [it, inserted] = writes.try_emplace(op.tag, &op);
+    if (!inserted) {
+      result.fail("duplicate write tag: " + describe(op) + " vs " +
+                  describe(*it->second));
+    }
+  }
+
+  // 1b. Causal arbitration (Definition 5(b)): the total write order (tags)
+  // must extend visibility among writes -- ts(w1) < ts(w2) => tag(w1) <
+  // tag(w2).
+  for (const auto& [tag1, w1] : writes) {
+    for (const auto& [tag2, w2] : writes) {
+      if (w1 == w2) continue;
+      if (w1->timestamp.lt(w2->timestamp) && !(tag1 < tag2)) {
+        result.fail("arbitration does not extend visibility: " +
+                    describe(*w1) + " vs " + describe(*w2));
+      }
+    }
+  }
+
+  // 2. Session order implies visibility.
+  std::map<ClientId, const OpRecord*> last_of_client;
+  // (assumes history.ops() is recorded in completion order per client)
+  for (const auto& op : ops) {
+    auto it = last_of_client.find(op.client);
+    if (it != last_of_client.end()) {
+      const OpRecord& prev = *it->second;
+      if (!visible_before(prev, op)) {
+        result.fail("session order not respected: " + describe(prev) +
+                    " then " + describe(op));
+      }
+    }
+    last_of_client[op.client] = &op;
+  }
+
+  // 3. Last-writer-wins against the causal past; 4. value integrity.
+  for (const auto& op : ops) {
+    if (op.is_write) continue;
+    // Largest-tag write to the object with ts(w) <= ts(op).
+    Tag best = Tag::zero(op.timestamp.size());
+    bool found = false;
+    for (const auto& [tag, w] : writes) {
+      if (w->object != op.object) continue;
+      if (!w->timestamp.leq(op.timestamp)) continue;
+      if (!found || best < tag) {
+        best = tag;
+        found = true;
+      }
+    }
+    if (op.tag.is_zero()) {
+      if (found) {
+        result.fail("read returned the initial value but " +
+                    describe(*writes.at(best)) + " is in its causal past: " +
+                    describe(op));
+      }
+      continue;
+    }
+    auto it = writes.find(op.tag);
+    if (it == writes.end()) {
+      result.fail("read returned a tag no write produced: " + describe(op));
+      continue;
+    }
+    const OpRecord& w = *it->second;
+    if (w.object != op.object) {
+      result.fail("read returned a write to a different object: " +
+                  describe(op) + " got " + describe(w));
+    }
+    if (w.value_hash != op.value_hash) {
+      result.fail("read returned bytes that differ from the write it "
+                  "claims: " +
+                  describe(op));
+    }
+    if (!found || !(op.tag == best)) {
+      result.fail("read is not last-writer-wins: " + describe(op) +
+                  " expected tag " + (found ? describe(*writes.at(best))
+                                            : std::string("<initial>")));
+    }
+  }
+
+  return result;
+}
+
+CheckResult check_session_guarantees(const History& history) {
+  CheckResult result;
+  struct PerObjectState {
+    bool has_read = false;
+    Tag last_read_tag;
+    bool has_written = false;
+    Tag last_write_tag;
+  };
+  std::map<ClientId, std::map<ObjectId, PerObjectState>> sessions;
+  std::map<ClientId, Tag> last_write_any;
+
+  for (const auto& op : history.ops()) {
+    auto& state = sessions[op.client][op.object];
+    if (op.is_write) {
+      // Monotonic writes.
+      auto it = last_write_any.find(op.client);
+      if (it != last_write_any.end() && !(it->second < op.tag)) {
+        result.fail("monotonic writes violated: " + describe(op));
+      }
+      last_write_any[op.client] = op.tag;
+      state.has_written = true;
+      state.last_write_tag = op.tag;
+    } else {
+      // Monotonic reads (per object).
+      if (state.has_read && op.tag < state.last_read_tag) {
+        result.fail("monotonic reads violated: " + describe(op));
+      }
+      // Read-your-writes (per object).
+      if (state.has_written && op.tag < state.last_write_tag) {
+        result.fail("read-your-writes violated: " + describe(op));
+      }
+      state.has_read = true;
+      state.last_read_tag = op.tag;
+    }
+  }
+  return result;
+}
+
+CheckResult check_convergence(const History& history,
+                              const std::vector<OpRecord>& final_reads) {
+  CheckResult result;
+  std::map<ObjectId, Tag> winner;
+  for (const auto& op : history.ops()) {
+    if (!op.is_write) continue;
+    auto [it, inserted] = winner.try_emplace(op.object, op.tag);
+    if (!inserted && it->second < op.tag) it->second = op.tag;
+  }
+  for (const auto& read : final_reads) {
+    CEC_CHECK(!read.is_write);
+    auto it = winner.find(read.object);
+    const bool expect_initial = it == winner.end();
+    if (expect_initial) {
+      if (!read.tag.is_zero()) {
+        result.fail("final read of never-written object is not initial: " +
+                    describe(read));
+      }
+    } else if (!(read.tag == it->second)) {
+      result.fail("final read did not converge to the last write: " +
+                  describe(read));
+    }
+  }
+  return result;
+}
+
+}  // namespace causalec::consistency

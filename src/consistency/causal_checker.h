@@ -1,0 +1,50 @@
+// Checks executions against Definition 5 (causal + eventual consistency)
+// using the witness orders of Definitions 6/7, plus the classical session
+// guarantees (black-box checks that need no timestamps).
+//
+// The visibility witness: for a completed operation pi, ts(pi) is the
+// issuing server's vector clock at the response point. Definition 7 yields
+//   pi1 ~> pi2  iff  ts(pi1) < ts(pi2), or ts(pi1) == ts(pi2) with pi1 a
+//                    write, or both reads of one client in session order.
+// A read phi must return the value of the write with the largest tag among
+// { w : ts(w) <= ts(phi) } (or the initial value if none).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consistency/history.h"
+
+namespace causalec::consistency {
+
+struct CheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message) {
+    ok = false;
+    violations.push_back(std::move(message));
+  }
+};
+
+/// Full causal-consistency check (Definition 5 via Definitions 6/7):
+///   1. every write has a unique tag and timestamp (Lemma B.3);
+///   2. session order implies visibility (Definition 5(a));
+///   3. every read returns the largest-tag write in its causal past
+///      (Definition 5(c), last-writer-wins);
+///   4. reads return tags of writes to the same object (value integrity via
+///      the recorded value hashes).
+CheckResult check_causal_consistency(const History& history);
+
+/// Session guarantees, checked black-box (no cross-client metadata):
+/// monotonic reads, monotonic writes, read-your-writes. (Writes-follow-reads
+/// is implied by the full causal check above.)
+CheckResult check_session_guarantees(const History& history);
+
+/// Eventual visibility (Definition 5, second part): the reads in
+/// `final_reads` (issued after all writes settled) must all return the
+/// globally largest write tag of their object as recorded in `history`.
+CheckResult check_convergence(const History& history,
+                              const std::vector<OpRecord>& final_reads);
+
+}  // namespace causalec::consistency

@@ -1,0 +1,56 @@
+// Operation-history recording for consistency checking.
+//
+// Each completed operation is recorded with the metadata Definition 6
+// assigns it: its timestamp (the server's vector clock at the response
+// point), its tag (writes), and -- for reads -- the tag of the write whose
+// value was returned. The checker then verifies Definition 5 against the
+// witness orders of Definition 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causalec/tag.h"
+#include "common/types.h"
+
+namespace causalec::consistency {
+
+struct OpRecord {
+  ClientId client = 0;
+  std::uint64_t session_seq = 0;  // position within the client's session
+  bool is_write = false;
+  ObjectId object = 0;
+  NodeId server = 0;
+  /// ts(pi): the issuing server's vector clock at the response point.
+  VectorClock timestamp;
+  /// Writes: tag(pi). Reads: the tag of the write whose value was returned
+  /// (zero tag = initial value).
+  Tag tag;
+  /// FNV-1a hash of the written / returned value bytes.
+  std::uint64_t value_hash = 0;
+  SimTime invoked_at = 0;
+  SimTime responded_at = 0;
+};
+
+/// FNV-1a, for OpRecord::value_hash.
+inline std::uint64_t hash_value_bytes(const std::vector<std::uint8_t>& v) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint8_t b : v) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class History {
+ public:
+  void record(OpRecord record) { ops_.push_back(std::move(record)); }
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace causalec::consistency

@@ -1,0 +1,71 @@
+// SessionRecorder: wraps a Client so every operation lands in a History
+// with the metadata the checkers need.
+#pragma once
+
+#include <functional>
+
+#include "causalec/client.h"
+#include "consistency/history.h"
+
+namespace causalec::consistency {
+
+class SessionRecorder {
+ public:
+  /// `now` supplies the current simulated time (for latency bookkeeping).
+  SessionRecorder(Client* client, History* history,
+                  std::function<SimTime()> now)
+      : client_(client), history_(history), now_(std::move(now)) {
+    CEC_CHECK(client_ != nullptr && history_ != nullptr && now_ != nullptr);
+  }
+
+  Client& client() { return *client_; }
+  bool busy() const { return client_->busy(); }
+
+  Tag write(ObjectId object, erasure::Value value) {
+    OpRecord record;
+    record.client = client_->id();
+    record.session_seq = seq_++;
+    record.is_write = true;
+    record.object = object;
+    record.server = client_->server_id();
+    record.value_hash = hash_value_bytes(value);
+    record.invoked_at = now_();
+    const Tag tag = client_->write(object, std::move(value));
+    record.tag = tag;
+    record.timestamp = tag.ts;
+    record.responded_at = now_();
+    history_->record(std::move(record));
+    return tag;
+  }
+
+  /// Issues a read; the record is appended when the read completes.
+  /// `done` (optional) fires after recording.
+  void read(ObjectId object, std::function<void(const erasure::Value&,
+                                                const Tag&)> done = {}) {
+    OpRecord record;
+    record.client = client_->id();
+    record.session_seq = seq_++;
+    record.is_write = false;
+    record.object = object;
+    record.server = client_->server_id();
+    record.invoked_at = now_();
+    client_->read(object, [this, record, done = std::move(done)](
+                              const erasure::Value& value, const Tag& tag,
+                              const VectorClock& ts) mutable {
+      record.tag = tag;
+      record.timestamp = ts;
+      record.value_hash = hash_value_bytes(value);
+      record.responded_at = now_();
+      history_->record(std::move(record));
+      if (done) done(value, tag);
+    });
+  }
+
+ private:
+  Client* client_;
+  History* history_;
+  std::function<SimTime()> now_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace causalec::consistency

@@ -1,0 +1,88 @@
+// The type-erased linear-code interface (Definitions 1-4 of the paper).
+//
+// A code C(N, K, F) assigns to each server i a linear encoding function
+// Phi_i : V^K -> W_i. This interface exposes exactly the operations the
+// CausalEC algorithm needs:
+//   * encode          -- Phi_i applied to a full object vector
+//   * reencode        -- the re-encoding functions Gamma_{i,k} (Def. 4)
+//   * decode          -- the recovery functions Psi_S^{(k)} (Def. 2)
+//   * recovery_sets   -- the minimal recovery sets R_k
+//   * support         -- the object sets X_i (Def. 3)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "erasure/value.h"
+
+namespace causalec::erasure {
+
+/// A recovery set: servers whose codeword symbols suffice to decode one
+/// object. Stored sorted ascending.
+using RecoverySet = std::vector<NodeId>;
+
+class Code {
+ public:
+  virtual ~Code() = default;
+
+  /// N: number of servers the code spans.
+  virtual std::size_t num_servers() const = 0;
+  /// K: number of objects the code stores.
+  virtual std::size_t num_objects() const = 0;
+  /// Size in bytes of one object value (all objects equal-sized, Sec. 2.2).
+  virtual std::size_t value_bytes() const = 0;
+  /// Size in bytes of server i's codeword symbol (0 if it stores nothing).
+  virtual std::size_t symbol_bytes(NodeId server) const = 0;
+
+  /// All-zero value / symbol of the right size.
+  Value zero_value() const { return Value(value_bytes(), 0); }
+  Symbol zero_symbol(NodeId server) const {
+    return Symbol(symbol_bytes(server), 0);
+  }
+
+  /// Phi_i over a full object vector (values.size() == K).
+  virtual Symbol encode(NodeId server, std::span<const Value> values) const = 0;
+
+  /// Gamma_{i,k}(symbol, old_value, new_value): transform server i's symbol
+  /// from an encoding with object k = old_value to one with object k =
+  /// new_value, leaving all other objects untouched. Either value may be
+  /// empty(), meaning the zero vector (the paper's bold-0).
+  virtual void reencode(NodeId server, Symbol& symbol, ObjectId object,
+                        std::span<const std::uint8_t> old_value,
+                        std::span<const std::uint8_t> new_value) const = 0;
+
+  /// Psi_S^{(k)}: decode object `object` from the symbols of the servers in
+  /// `servers` (parallel spans). `servers` must contain a recovery set for
+  /// the object; extra symbols are permitted and ignored as needed.
+  virtual Value decode(ObjectId object, std::span<const NodeId> servers,
+                       std::span<const Symbol> symbols) const = 0;
+
+  /// Minimal recovery sets R_k for an object, each sorted ascending,
+  /// ordered by (size, lexicographic).
+  virtual const std::vector<RecoverySet>& recovery_sets(
+      ObjectId object) const = 0;
+
+  /// X_i: the objects server i's encoding function depends on (sorted).
+  virtual const std::vector<ObjectId>& support(NodeId server) const = 0;
+
+  /// True iff object is in X_i.
+  virtual bool contains(NodeId server, ObjectId object) const = 0;
+
+  /// True iff the (sorted or unsorted) server set can decode the object.
+  virtual bool is_recovery_set(ObjectId object,
+                               std::span<const NodeId> servers) const = 0;
+
+  /// True iff {server} alone is a recovery set for object (local read).
+  virtual bool is_local(NodeId server, ObjectId object) const = 0;
+
+  /// Human-readable description for logs and bench tables.
+  virtual std::string describe() const = 0;
+};
+
+using CodePtr = std::shared_ptr<const Code>;
+
+}  // namespace causalec::erasure

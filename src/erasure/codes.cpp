@@ -1,0 +1,182 @@
+#include "erasure/codes.h"
+
+#include <numeric>
+
+#include "common/random.h"
+#include "erasure/linear_code.h"
+#include "gf/gf256.h"
+#include "gf/prime_field.h"
+
+namespace causalec::erasure {
+
+namespace {
+
+using GF = gf::GF256;
+using MatrixGF = linalg::Matrix<GF>;
+
+}  // namespace
+
+CodePtr make_replication(std::size_t num_servers, std::size_t num_objects,
+                         std::size_t value_bytes) {
+  std::vector<MatrixGF> per_server(num_servers,
+                                   MatrixGF::identity(num_objects));
+  return std::make_shared<LinearCodeT<GF>>(std::move(per_server), value_bytes,
+                                           "replication");
+}
+
+CodePtr make_partial_replication(
+    const std::vector<std::vector<ObjectId>>& placement,
+    std::size_t num_objects, std::size_t value_bytes) {
+  std::vector<MatrixGF> per_server;
+  per_server.reserve(placement.size());
+  std::vector<bool> covered(num_objects, false);
+  for (const auto& objects : placement) {
+    MatrixGF m(objects.size(), num_objects);
+    for (std::size_t r = 0; r < objects.size(); ++r) {
+      CEC_CHECK(objects[r] < num_objects);
+      m(r, objects[r]) = GF::one;
+      covered[objects[r]] = true;
+    }
+    per_server.push_back(std::move(m));
+  }
+  for (std::size_t k = 0; k < num_objects; ++k) {
+    CEC_CHECK_MSG(covered[k], "object X" << k << " placed nowhere");
+  }
+  return std::make_shared<LinearCodeT<GF>>(std::move(per_server), value_bytes,
+                                           "partial-replication");
+}
+
+CodePtr make_systematic_rs(std::size_t num_servers, std::size_t num_objects,
+                           std::size_t value_bytes) {
+  const std::size_t n = num_servers;
+  const std::size_t k = num_objects;
+  CEC_CHECK(n >= k);
+  CEC_CHECK_MSG(n <= 256, "GF(2^8) RS supports at most 256 servers");
+  MatrixGF stacked(n, k);
+  // Systematic part.
+  for (std::size_t i = 0; i < k; ++i) stacked(i, i) = GF::one;
+  // Cauchy parity rows: entry (i, j) = 1 / (x_i + y_j) with
+  // x_i = i + k, y_j = j; all sums nonzero and distinct in GF(2^8).
+  for (std::size_t i = k; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const GF::Elem x = GF::from_int(i);
+      const GF::Elem y = GF::from_int(j);
+      stacked(i, j) = GF::inv(GF::add(x, y));
+    }
+  }
+  return LinearCodeT<GF>::one_row_per_server(stacked, value_bytes,
+                                             "systematic-RS");
+}
+
+CodePtr make_paper_5_3(std::size_t value_bytes) {
+  using F = gf::F257;
+  using M = linalg::Matrix<F>;
+  const M stacked = M::from_rows({{1, 0, 0},
+                                  {0, 1, 0},
+                                  {0, 0, 1},
+                                  {1, 1, 1},
+                                  {1, 2, 1}});
+  return LinearCodeT<F>::one_row_per_server(stacked, value_bytes,
+                                            "paper-(5,3)-F257");
+}
+
+CodePtr make_paper_5_3_gf256(std::size_t value_bytes) {
+  const MatrixGF stacked = MatrixGF::from_rows({{1, 0, 0},
+                                                {0, 1, 0},
+                                                {0, 0, 1},
+                                                {1, 1, 1},
+                                                {1, 2, 1}});
+  return LinearCodeT<GF>::one_row_per_server(stacked, value_bytes,
+                                             "paper-(5,3)-GF256");
+}
+
+CodePtr make_six_dc_cross_object(std::size_t value_bytes) {
+  // Order: Seoul, Mumbai, Ireland, London, N.California, Oregon.
+  const MatrixGF stacked = MatrixGF::from_rows({{1, 0, 1, 0},
+                                                {0, 1, 0, 1},
+                                                {1, 0, 0, 0},
+                                                {0, 1, 0, 0},
+                                                {0, 0, 0, 1},
+                                                {0, 0, 1, 0}});
+  return LinearCodeT<GF>::one_row_per_server(stacked, value_bytes,
+                                             "six-dc-cross-object");
+}
+
+CodePtr make_random_code(std::uint64_t seed, std::size_t num_servers,
+                         std::size_t num_objects, std::size_t value_bytes,
+                         double density) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    MatrixGF stacked(num_servers, num_objects);
+    for (std::size_t i = 0; i < num_servers; ++i) {
+      bool any = false;
+      for (std::size_t j = 0; j < num_objects; ++j) {
+        if (rng.next_bool(density)) {
+          stacked(i, j) = GF::from_int(rng.next_in(1, 255));
+          any = true;
+        }
+      }
+      // Avoid useless all-zero servers: force one entry.
+      if (!any) {
+        stacked(i, rng.next_below(num_objects)) =
+            GF::from_int(rng.next_in(1, 255));
+      }
+    }
+    // Recoverability of every object requires the stacked matrix to have
+    // full column rank; check cheaply before paying for set enumeration.
+    if (linalg::rank<GF>(stacked) != num_objects) continue;
+    return LinearCodeT<GF>::one_row_per_server(stacked, value_bytes,
+                                               "random-code");
+  }
+  CEC_CHECK_MSG(false, "could not generate a recoverable random code");
+}
+
+CodePtr make_lrc(std::size_t num_objects, std::size_t local_group_size,
+                 std::size_t global_parities, std::size_t value_bytes) {
+  CEC_CHECK(num_objects >= 1 && local_group_size >= 1);
+  CEC_CHECK(num_objects % local_group_size == 0);
+  const std::size_t num_groups = num_objects / local_group_size;
+  const std::size_t n = num_objects + num_groups + global_parities;
+  CEC_CHECK_MSG(n <= 16, "recovery-set enumeration caps the server count");
+
+  MatrixGF stacked(n, num_objects);
+  // Data servers: one uncoded object each.
+  for (std::size_t i = 0; i < num_objects; ++i) stacked(i, i) = GF::one;
+  // Local parities: XOR of each group.
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::size_t row = num_objects + g;
+    for (std::size_t j = 0; j < local_group_size; ++j) {
+      stacked(row, g * local_group_size + j) = GF::one;
+    }
+  }
+  // Global parities: Cauchy rows over all objects, chosen to avoid the
+  // x-coordinates used implicitly above.
+  for (std::size_t p = 0; p < global_parities; ++p) {
+    const std::size_t row = num_objects + num_groups + p;
+    for (std::size_t j = 0; j < num_objects; ++j) {
+      const GF::Elem x = GF::from_int(64 + p);
+      const GF::Elem y = GF::from_int(j);
+      stacked(row, j) = GF::inv(GF::add(x, y));
+    }
+  }
+  return LinearCodeT<GF>::one_row_per_server(stacked, value_bytes, "LRC");
+}
+
+bool is_mds(const Code& code) {
+  const std::size_t n = code.num_servers();
+  const std::size_t k = code.num_objects();
+  CEC_CHECK(n <= 16);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) != k) continue;
+    std::vector<NodeId> servers;
+    for (NodeId s = 0; s < n; ++s) {
+      if (mask >> s & 1) servers.push_back(s);
+    }
+    for (ObjectId obj = 0; obj < k; ++obj) {
+      if (!code.is_recovery_set(obj, servers)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace causalec::erasure

@@ -1,0 +1,66 @@
+// Factory functions for the code families used in the paper and the
+// benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "erasure/code.h"
+
+namespace causalec::erasure {
+
+/// Full replication: every server stores every object uncoded
+/// (the classical causally consistent data store layout).
+CodePtr make_replication(std::size_t num_servers, std::size_t num_objects,
+                         std::size_t value_bytes);
+
+/// Partial replication: server i stores uncoded copies of exactly the
+/// objects in placement[i]. Every object must appear somewhere.
+CodePtr make_partial_replication(
+    const std::vector<std::vector<ObjectId>>& placement,
+    std::size_t num_objects, std::size_t value_bytes);
+
+/// Systematic Reed-Solomon over GF(2^8) built from a Cauchy matrix:
+/// servers 0..K-1 store x_0..x_{K-1} uncoded, servers K..N-1 store parity
+/// combinations; any K servers form a recovery set for every object (MDS).
+/// Requires N <= 256.
+CodePtr make_systematic_rs(std::size_t num_servers, std::size_t num_objects,
+                           std::size_t value_bytes);
+
+/// The paper's running (5,3) example (Sec. 1.2):
+///   Y1=X1, Y2=X2, Y3=X3, Y4=X1+X2+X3, Y5=X1+2*X2+X3
+/// over the odd-characteristic field F_257 as the paper requires.
+CodePtr make_paper_5_3(std::size_t value_bytes);
+
+/// Same layout over GF(2^8) (works because coefficients 1 and 2 remain
+/// distinct and the relevant submatrices stay invertible).
+CodePtr make_paper_5_3_gf256(std::size_t value_bytes);
+
+/// The Sec. 1.1 six-data-center cross-object code over 4 object groups:
+///   Seoul: G1+G3, Mumbai: G2+G4, Ireland: G1, London: G2,
+///   N.California: G4, Oregon: G3.
+CodePtr make_six_dc_cross_object(std::size_t value_bytes);
+
+/// A random one-row-per-server code over GF(2^8) with the given coefficient
+/// density; regenerates until every object is recoverable. For property
+/// tests.
+CodePtr make_random_code(std::uint64_t seed, std::size_t num_servers,
+                         std::size_t num_objects, std::size_t value_bytes,
+                         double density);
+
+/// A locally repairable code (Azure-LRC style) -- thematically the closest
+/// classical relative of cross-object coding, since it optimizes *locality*:
+/// objects are split into local groups of `local_group_size`, each group
+/// gets one XOR local parity server, plus `global_parities` Reed-Solomon
+/// style global parity servers over all objects. Layout (servers in order):
+///   [ data servers (one per object) | one local parity per group |
+///     global parities ]
+/// A failed data server recovers from its small local group; reads of any
+/// object are local at its data server.
+CodePtr make_lrc(std::size_t num_objects, std::size_t local_group_size,
+                 std::size_t global_parities, std::size_t value_bytes);
+
+/// True iff every K-subset of servers is a recovery set for every object.
+bool is_mds(const Code& code);
+
+}  // namespace causalec::erasure

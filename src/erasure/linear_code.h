@@ -1,0 +1,391 @@
+// Concrete generator-matrix linear codes over a field F.
+//
+// Each server i is assigned an m_i x K coefficient matrix C_i; its codeword
+// symbol is the stack of the m_i linear combinations sum_k C_i[r][k] * x_k.
+// m_i = 1 is the common case (one combination per server, e.g. Reed-Solomon
+// or the paper's cross-object examples); m_i > 1 expresses partial
+// replication and other multi-symbol layouts; m_i = 0 means the server
+// stores nothing.
+//
+// Recovery sets, decoders and re-encoders are all derived from the matrices
+// by Gaussian elimination at construction time.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "common/expect.h"
+#include "erasure/code.h"
+#include "gf/field.h"
+#include "gf/vector_ops.h"
+#include "linalg/gaussian.h"
+#include "linalg/matrix.h"
+
+namespace causalec::erasure {
+
+namespace detail {
+
+/// Pack/unpack field elements <-> little-endian bytes.
+template <gf::Field F>
+void unpack(std::span<const std::uint8_t> bytes,
+            std::span<typename F::Elem> out) {
+  constexpr std::size_t eb = F::kElemBytes;
+  CEC_DCHECK(bytes.size() == out.size() * eb);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < eb; ++b) {
+      v |= static_cast<std::uint64_t>(bytes[i * eb + b]) << (8 * b);
+    }
+    out[i] = static_cast<typename F::Elem>(v);
+  }
+}
+
+template <gf::Field F>
+void pack(std::span<const typename F::Elem> elems,
+          std::span<std::uint8_t> bytes) {
+  constexpr std::size_t eb = F::kElemBytes;
+  CEC_DCHECK(bytes.size() == elems.size() * eb);
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    auto v = static_cast<std::uint64_t>(elems[i]);
+    for (std::size_t b = 0; b < eb; ++b) {
+      bytes[i * eb + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+}  // namespace detail
+
+template <gf::Field F>
+class LinearCodeT final : public Code {
+ public:
+  using Matrix = linalg::Matrix<F>;
+  using Elem = typename F::Elem;
+
+  /// One coefficient matrix per server; every matrix must have K columns.
+  /// value_bytes must be a multiple of the field element size.
+  LinearCodeT(std::vector<Matrix> server_matrices, std::size_t value_bytes,
+              std::string name = "linear-code")
+      : matrices_(std::move(server_matrices)),
+        value_bytes_(value_bytes),
+        name_(std::move(name)) {
+    CEC_CHECK(!matrices_.empty());
+    CEC_CHECK_MSG(matrices_.size() <= 16,
+                  "recovery-set enumeration supports at most 16 servers");
+    k_ = matrices_.front().cols();
+    CEC_CHECK(k_ >= 1 && k_ <= 63);
+    CEC_CHECK(value_bytes_ > 0 && value_bytes_ % F::kElemBytes == 0);
+    elems_per_value_ = value_bytes_ / F::kElemBytes;
+    for (const auto& m : matrices_) CEC_CHECK(m.cols() == k_);
+    build_stacked();
+    build_supports();
+    build_recovery_sets();
+  }
+
+  /// Convenience: one row per server, given as a stacked N x K matrix.
+  static std::shared_ptr<LinearCodeT> one_row_per_server(
+      const Matrix& stacked, std::size_t value_bytes,
+      std::string name = "linear-code") {
+    std::vector<Matrix> per_server;
+    per_server.reserve(stacked.rows());
+    for (std::size_t i = 0; i < stacked.rows(); ++i) {
+      Matrix row(1, stacked.cols());
+      for (std::size_t j = 0; j < stacked.cols(); ++j) {
+        row(0, j) = stacked(i, j);
+      }
+      per_server.push_back(std::move(row));
+    }
+    return std::make_shared<LinearCodeT>(std::move(per_server), value_bytes,
+                                         std::move(name));
+  }
+
+  std::size_t num_servers() const override { return matrices_.size(); }
+  std::size_t num_objects() const override { return k_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  std::size_t symbol_bytes(NodeId server) const override {
+    return matrix(server).rows() * value_bytes_;
+  }
+
+  Symbol encode(NodeId server, std::span<const Value> values) const override {
+    CEC_CHECK(values.size() == k_);
+    const Matrix& c = matrix(server);
+    Symbol out(symbol_bytes(server), 0);
+    std::vector<Elem> acc(elems_per_value_);
+    std::vector<Elem> val(elems_per_value_);
+    for (std::size_t r = 0; r < c.rows(); ++r) {
+      gf::set_zero<F>(std::span<Elem>(acc));
+      for (std::size_t k = 0; k < k_; ++k) {
+        if (c(r, k) == F::zero) continue;
+        CEC_CHECK(values[k].size() == value_bytes_);
+        detail::unpack<F>(values[k], std::span<Elem>(val));
+        gf::axpy<F>(std::span<Elem>(acc), c(r, k),
+                    std::span<const Elem>(val));
+      }
+      detail::pack<F>(std::span<const Elem>(acc),
+                      std::span<std::uint8_t>(out).subspan(
+                          r * value_bytes_, value_bytes_));
+    }
+    return out;
+  }
+
+  void reencode(NodeId server, Symbol& symbol, ObjectId object,
+                std::span<const std::uint8_t> old_value,
+                std::span<const std::uint8_t> new_value) const override {
+    const Matrix& c = matrix(server);
+    CEC_CHECK(symbol.size() == symbol_bytes(server));
+    CEC_CHECK(object < k_);
+    CEC_CHECK(old_value.empty() || old_value.size() == value_bytes_);
+    CEC_CHECK(new_value.empty() || new_value.size() == value_bytes_);
+    // delta = new - old over F^d.
+    std::vector<Elem> delta(elems_per_value_, F::zero);
+    std::vector<Elem> tmp(elems_per_value_);
+    if (!new_value.empty()) {
+      detail::unpack<F>(new_value, std::span<Elem>(delta));
+    }
+    if (!old_value.empty()) {
+      detail::unpack<F>(old_value, std::span<Elem>(tmp));
+      gf::sub_into<F>(std::span<Elem>(delta), std::span<const Elem>(tmp));
+    }
+    if (gf::is_zero<F>(std::span<const Elem>(delta))) return;
+    std::vector<Elem> row(elems_per_value_);
+    for (std::size_t r = 0; r < c.rows(); ++r) {
+      const Elem coeff = c(r, object);
+      if (coeff == F::zero) continue;
+      auto row_bytes = std::span<std::uint8_t>(symbol).subspan(
+          r * value_bytes_, value_bytes_);
+      detail::unpack<F>(row_bytes, std::span<Elem>(row));
+      gf::axpy<F>(std::span<Elem>(row), coeff, std::span<const Elem>(delta));
+      detail::pack<F>(std::span<const Elem>(row), row_bytes);
+    }
+  }
+
+  Value decode(ObjectId object, std::span<const NodeId> servers,
+               std::span<const Symbol> symbols) const override {
+    CEC_CHECK(object < k_);
+    CEC_CHECK(servers.size() == symbols.size());
+    // Build the provided-server mask and find a minimal recovery set inside.
+    std::uint32_t mask = 0;
+    for (NodeId s : servers) {
+      CEC_CHECK(s < num_servers());
+      mask |= 1u << s;
+    }
+    for (const auto& pre : precomputed_[object]) {
+      if ((mask & pre.mask) != pre.mask) continue;
+      return decode_with(pre, servers, symbols);
+    }
+    CEC_CHECK_MSG(false, "decode: servers do not form a recovery set for X"
+                             << object);
+  }
+
+  const std::vector<RecoverySet>& recovery_sets(
+      ObjectId object) const override {
+    CEC_CHECK(object < k_);
+    return recovery_sets_[object];
+  }
+
+  const std::vector<ObjectId>& support(NodeId server) const override {
+    CEC_CHECK(server < num_servers());
+    return supports_[server];
+  }
+
+  bool contains(NodeId server, ObjectId object) const override {
+    CEC_CHECK(server < num_servers() && object < k_);
+    return support_masks_[server] >> object & 1;
+  }
+
+  bool is_recovery_set(ObjectId object,
+                       std::span<const NodeId> servers) const override {
+    CEC_CHECK(object < k_);
+    std::uint32_t mask = 0;
+    for (NodeId s : servers) {
+      CEC_CHECK(s < num_servers());
+      mask |= 1u << s;
+    }
+    for (const auto& pre : precomputed_[object]) {
+      if ((mask & pre.mask) == pre.mask) return true;
+    }
+    return false;
+  }
+
+  bool is_local(NodeId server, ObjectId object) const override {
+    CEC_CHECK(server < num_servers() && object < k_);
+    return local_[object] >> server & 1;
+  }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << name_ << " (N=" << num_servers() << ", K=" << k_
+        << ", B=" << value_bytes_ << ")";
+    return oss.str();
+  }
+
+  /// Direct coefficient access for analytics and tests.
+  const Matrix& matrix(NodeId server) const {
+    CEC_CHECK(server < matrices_.size());
+    return matrices_[server];
+  }
+
+ private:
+  struct PrecomputedDecoder {
+    std::uint32_t mask = 0;            // bitmask of servers in the set
+    RecoverySet servers;               // sorted ascending
+    // lambda[j] multiplies the j-th stacked row of the set's symbols,
+    // enumerated as (server ascending, local row ascending).
+    std::vector<Elem> lambda;
+  };
+
+  void build_stacked() {
+    std::size_t total_rows = 0;
+    for (const auto& m : matrices_) total_rows += m.rows();
+    stacked_ = Matrix(total_rows, k_);
+    std::size_t r = 0;
+    for (const auto& m : matrices_) {
+      for (std::size_t lr = 0; lr < m.rows(); ++lr, ++r) {
+        for (std::size_t c = 0; c < k_; ++c) stacked_(r, c) = m(lr, c);
+      }
+    }
+  }
+
+  void build_supports() {
+    supports_.resize(num_servers());
+    support_masks_.assign(num_servers(), 0);
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      const Matrix& m = matrices_[s];
+      for (ObjectId k = 0; k < k_; ++k) {
+        bool nonzero = false;
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+          if (m(r, k) != F::zero) {
+            nonzero = true;
+            break;
+          }
+        }
+        if (nonzero) {
+          supports_[s].push_back(k);
+          support_masks_[s] |= 1ull << k;
+        }
+      }
+    }
+  }
+
+  /// Stack the rows of the servers in `mask` (server ascending order).
+  Matrix stack_subset(std::uint32_t mask) const {
+    std::size_t rows = 0;
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      if (mask >> s & 1) rows += matrices_[s].rows();
+    }
+    Matrix out(rows, k_);
+    std::size_t r = 0;
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      if (!(mask >> s & 1)) continue;
+      const Matrix& m = matrices_[s];
+      for (std::size_t lr = 0; lr < m.rows(); ++lr, ++r) {
+        for (std::size_t c = 0; c < k_; ++c) out(r, c) = m(lr, c);
+      }
+    }
+    return out;
+  }
+
+  void build_recovery_sets() {
+    const std::size_t n = num_servers();
+    recovery_sets_.resize(k_);
+    precomputed_.resize(k_);
+    local_.assign(k_, 0);
+    // Candidate masks sorted by popcount then value -> minimal sets found
+    // in (size, lexicographic-ish) order; supersets of found sets skipped.
+    std::vector<std::uint32_t> masks;
+    masks.reserve((1u << n) - 1);
+    for (std::uint32_t m = 1; m < (1u << n); ++m) masks.push_back(m);
+    std::sort(masks.begin(), masks.end(), [](std::uint32_t a, std::uint32_t b) {
+      const int pa = std::popcount(a), pb = std::popcount(b);
+      return pa != pb ? pa < pb : a < b;
+    });
+
+    std::vector<Elem> target(k_);
+    for (ObjectId obj = 0; obj < k_; ++obj) {
+      std::fill(target.begin(), target.end(), F::zero);
+      target[obj] = F::one;
+      std::vector<std::uint32_t> found;
+      for (std::uint32_t mask : masks) {
+        bool superset = false;
+        for (std::uint32_t f : found) {
+          if ((mask & f) == f) {
+            superset = true;
+            break;
+          }
+        }
+        if (superset) continue;
+        const Matrix sub = stack_subset(mask);
+        auto lambda = linalg::express_in_row_space<F>(
+            sub, std::span<const Elem>(target));
+        if (!lambda) continue;
+        found.push_back(mask);
+        PrecomputedDecoder pre;
+        pre.mask = mask;
+        for (NodeId s = 0; s < n; ++s) {
+          if (mask >> s & 1) pre.servers.push_back(s);
+        }
+        pre.lambda = std::move(*lambda);
+        if (pre.servers.size() == 1) local_[obj] |= 1ull << pre.servers[0];
+        recovery_sets_[obj].push_back(pre.servers);
+        precomputed_[obj].push_back(std::move(pre));
+      }
+      CEC_CHECK_MSG(!recovery_sets_[obj].empty(),
+                    "object X" << obj << " is not recoverable from any "
+                               << "subset: code is not a storage code");
+    }
+  }
+
+  Value decode_with(const PrecomputedDecoder& pre,
+                    std::span<const NodeId> servers,
+                    std::span<const Symbol> symbols) const {
+    std::vector<Elem> acc(elems_per_value_, F::zero);
+    std::vector<Elem> row(elems_per_value_);
+    std::size_t lambda_idx = 0;
+    for (NodeId s : pre.servers) {
+      // Locate s in the provided list.
+      std::size_t pos = servers.size();
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (servers[i] == s) {
+          pos = i;
+          break;
+        }
+      }
+      CEC_CHECK(pos < servers.size());
+      const Symbol& sym = symbols[pos];
+      CEC_CHECK_MSG(sym.size() == symbol_bytes(s),
+                    "decode: bad symbol size from server " << s);
+      const std::size_t rows = matrices_[s].rows();
+      for (std::size_t r = 0; r < rows; ++r, ++lambda_idx) {
+        const Elem coeff = pre.lambda[lambda_idx];
+        if (coeff == F::zero) continue;
+        detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
+                              r * value_bytes_, value_bytes_),
+                          std::span<Elem>(row));
+        gf::axpy<F>(std::span<Elem>(acc), coeff, std::span<const Elem>(row));
+      }
+    }
+    CEC_DCHECK(lambda_idx == pre.lambda.size());
+    Value out(value_bytes_);
+    detail::pack<F>(std::span<const Elem>(acc), std::span<std::uint8_t>(out));
+    return out;
+  }
+
+  std::vector<Matrix> matrices_;
+  std::size_t value_bytes_;
+  std::string name_;
+  std::size_t k_ = 0;
+  std::size_t elems_per_value_ = 0;
+  Matrix stacked_;
+  std::vector<std::vector<ObjectId>> supports_;
+  std::vector<std::uint64_t> support_masks_;
+  std::vector<std::vector<RecoverySet>> recovery_sets_;
+  std::vector<std::vector<PrecomputedDecoder>> precomputed_;
+  std::vector<std::uint64_t> local_;  // per object: bitmask of local servers
+};
+
+}  // namespace causalec::erasure

@@ -1,0 +1,18 @@
+// Object values and codeword symbols as opaque byte buffers.
+//
+// The CausalEC server core is untemplated; all field-specific packing lives
+// behind the erasure::Code interface. A Value is an element of V = F^d
+// packed little-endian; a Symbol is a server's codeword symbol, i.e. an
+// element of W_i (possibly several stacked rows for servers that the code
+// assigns more than one linear combination).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace causalec::erasure {
+
+using Value = std::vector<std::uint8_t>;
+using Symbol = std::vector<std::uint8_t>;
+
+}  // namespace causalec::erasure

@@ -1,0 +1,57 @@
+// The Field concept.
+//
+// A Field type in this library is a stateless tag type with static members
+// operating on its element type. This keeps field arithmetic inlineable and
+// lets linear-algebra / coding code be templated with zero overhead.
+//
+// Required interface:
+//   using Elem = <unsigned integral element representation>;
+//   static constexpr Elem zero, one;
+//   static Elem add(Elem, Elem), sub(Elem, Elem), mul(Elem, Elem);
+//   static Elem neg(Elem), inv(Elem);           // inv(0) is UB (checked)
+//   static Elem from_int(std::uint64_t);        // canonical embedding
+//   static constexpr std::size_t kElemBytes;    // wire size of one element
+//   static constexpr std::uint64_t kOrder;      // number of field elements
+//   static constexpr bool kOddCharacteristic;
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace causalec::gf {
+
+template <typename F>
+concept Field = requires(typename F::Elem a, typename F::Elem b) {
+  { F::zero } -> std::convertible_to<typename F::Elem>;
+  { F::one } -> std::convertible_to<typename F::Elem>;
+  { F::add(a, b) } -> std::same_as<typename F::Elem>;
+  { F::sub(a, b) } -> std::same_as<typename F::Elem>;
+  { F::mul(a, b) } -> std::same_as<typename F::Elem>;
+  { F::neg(a) } -> std::same_as<typename F::Elem>;
+  { F::inv(a) } -> std::same_as<typename F::Elem>;
+  { F::from_int(std::uint64_t{}) } -> std::same_as<typename F::Elem>;
+  { F::kElemBytes } -> std::convertible_to<std::size_t>;
+  { F::kOrder } -> std::convertible_to<std::uint64_t>;
+  { F::kOddCharacteristic } -> std::convertible_to<bool>;
+};
+
+/// a / b.
+template <Field F>
+typename F::Elem div(typename F::Elem a, typename F::Elem b) {
+  return F::mul(a, F::inv(b));
+}
+
+/// a^e by square-and-multiply.
+template <Field F>
+typename F::Elem pow(typename F::Elem a, std::uint64_t e) {
+  typename F::Elem result = F::one;
+  typename F::Elem base = a;
+  while (e != 0) {
+    if (e & 1) result = F::mul(result, base);
+    base = F::mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace causalec::gf

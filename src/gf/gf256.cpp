@@ -1,0 +1,15 @@
+// GF256 is header-only (constexpr tables); this TU exists so the gf library
+// has at least one object file and to anchor a sanity check at load time.
+#include "gf/gf256.h"
+
+namespace causalec::gf {
+
+namespace {
+// Compile-time sanity: alpha^255 == 1 and 2*142 == 1 under 0x11D... the
+// latter is the classic inverse pair for this polynomial.
+static_assert(GF256::mul(2, 142) == 1);
+static_assert(GF256::mul(GF256::exp(254), 2) == 1);
+static_assert(GF256::add(7, 7) == 0);
+}  // namespace
+
+}  // namespace causalec::gf

@@ -1,0 +1,83 @@
+// GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D), the
+// polynomial used by Reed-Solomon implementations such as jerasure and
+// ISA-L. Multiplication via constexpr-built log/exp tables.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/expect.h"
+
+namespace causalec::gf {
+
+namespace detail256 {
+
+constexpr std::uint32_t kPoly = 0x11D;
+
+constexpr std::array<std::uint8_t, 510> build_exp() {
+  std::array<std::uint8_t, 510> exp{};
+  std::uint32_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    exp[static_cast<std::size_t>(i + 255)] = static_cast<std::uint8_t>(x);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  return exp;
+}
+
+constexpr std::array<std::uint8_t, 256> build_log() {
+  std::array<std::uint8_t, 256> log{};
+  const auto exp = build_exp();
+  for (int i = 0; i < 255; ++i) {
+    log[exp[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  }
+  log[0] = 0;  // never consulted for zero operands
+  return log;
+}
+
+inline constexpr auto kExp = build_exp();
+inline constexpr auto kLog = build_log();
+
+}  // namespace detail256
+
+class GF256 {
+ public:
+  using Elem = std::uint8_t;
+
+  static constexpr Elem zero = 0;
+  static constexpr Elem one = 1;
+  static constexpr std::size_t kElemBytes = 1;
+  static constexpr std::uint64_t kOrder = 256;
+  static constexpr bool kOddCharacteristic = false;
+
+  static constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+  static constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+  static constexpr Elem neg(Elem a) { return a; }
+
+  static constexpr Elem mul(Elem a, Elem b) {
+    if (a == 0 || b == 0) return 0;
+    return detail256::kExp[static_cast<std::size_t>(detail256::kLog[a]) +
+                           detail256::kLog[b]];
+  }
+
+  static Elem inv(Elem a) {
+    CEC_CHECK_MSG(a != 0, "GF256 inverse of zero");
+    return detail256::kExp[255 - detail256::kLog[a]];
+  }
+
+  static constexpr Elem from_int(std::uint64_t x) {
+    return static_cast<Elem>(x & 0xFF);
+  }
+
+  /// Generator of the multiplicative group (alpha = 2 for 0x11D).
+  static constexpr Elem generator() { return 2; }
+
+  /// alpha^i.
+  static constexpr Elem exp(std::uint32_t i) {
+    return detail256::kExp[i % 255];
+  }
+};
+
+}  // namespace causalec::gf

@@ -1,0 +1,26 @@
+#include "gf/gf2_16.h"
+
+#include <memory>
+
+namespace causalec::gf {
+
+const GF2_16::Tables& GF2_16::tables() {
+  // Heap-allocated and leaked intentionally: function-local static with
+  // trivial destruction order concerns, built exactly once.
+  static const Tables* t = [] {
+    auto tables = std::make_unique<Tables>();
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < 65535; ++i) {
+      tables->exp[i] = static_cast<std::uint16_t>(x);
+      tables->exp[i + 65535] = static_cast<std::uint16_t>(x);
+      tables->log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= kPoly;
+    }
+    tables->log[0] = 0;
+    return tables.release();
+  }();
+  return *t;
+}
+
+}  // namespace causalec::gf

@@ -1,0 +1,54 @@
+// GF(2^16) with primitive polynomial x^16+x^12+x^3+x+1 (0x1100B).
+// Tables are built once at first use (they are ~380 KiB, too large to bake
+// into every translation unit as constexpr data).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/expect.h"
+
+namespace causalec::gf {
+
+class GF2_16 {
+ public:
+  using Elem = std::uint16_t;
+
+  static constexpr Elem zero = 0;
+  static constexpr Elem one = 1;
+  static constexpr std::size_t kElemBytes = 2;
+  static constexpr std::uint64_t kOrder = 65536;
+  static constexpr bool kOddCharacteristic = false;
+  static constexpr std::uint32_t kPoly = 0x1100B;
+
+  static Elem add(Elem a, Elem b) { return a ^ b; }
+  static Elem sub(Elem a, Elem b) { return a ^ b; }
+  static Elem neg(Elem a) { return a; }
+
+  static Elem mul(Elem a, Elem b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+  }
+
+  static Elem inv(Elem a) {
+    CEC_CHECK_MSG(a != 0, "GF2_16 inverse of zero");
+    const Tables& t = tables();
+    return t.exp[65535 - t.log[a]];
+  }
+
+  static Elem from_int(std::uint64_t x) {
+    return static_cast<Elem>(x & 0xFFFF);
+  }
+
+  static Elem generator() { return 2; }
+
+ private:
+  struct Tables {
+    std::uint16_t exp[131070];
+    std::uint16_t log[65536];
+  };
+  static const Tables& tables();
+};
+
+}  // namespace causalec::gf

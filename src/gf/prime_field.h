@@ -1,0 +1,96 @@
+// Prime fields F_p for odd p.
+//
+// The paper's running (5,3) example ("values over a finite field with odd
+// characteristic", coefficients 1 and 2) needs characteristic != 2; we
+// provide F_p for any odd prime p that fits in 31 bits. Elements are stored
+// canonically in [0, p).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/expect.h"
+
+namespace causalec::gf {
+
+namespace detail_fp {
+
+constexpr bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+constexpr std::size_t bytes_for(std::uint64_t p) {
+  std::size_t bytes = 1;
+  std::uint64_t limit = 256;
+  while (limit < p) {
+    ++bytes;
+    limit <<= 8;
+  }
+  return bytes;
+}
+
+}  // namespace detail_fp
+
+template <std::uint32_t P>
+class PrimeField {
+  static_assert(P >= 3, "PrimeField requires an odd prime >= 3");
+  static_assert(P % 2 == 1, "PrimeField has odd characteristic by design");
+  static_assert(detail_fp::is_prime(P), "P must be prime");
+  static_assert(P < (1u << 31), "P must fit in 31 bits");
+
+ public:
+  using Elem = std::uint32_t;
+
+  static constexpr Elem zero = 0;
+  static constexpr Elem one = 1;
+  static constexpr std::size_t kElemBytes = detail_fp::bytes_for(P);
+  static constexpr std::uint64_t kOrder = P;
+  static constexpr bool kOddCharacteristic = true;
+
+  static constexpr Elem add(Elem a, Elem b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return static_cast<Elem>(s >= P ? s - P : s);
+  }
+
+  static constexpr Elem sub(Elem a, Elem b) {
+    return a >= b ? a - b : static_cast<Elem>(a + P - b);
+  }
+
+  static constexpr Elem neg(Elem a) { return a == 0 ? 0 : P - a; }
+
+  static constexpr Elem mul(Elem a, Elem b) {
+    return static_cast<Elem>(static_cast<std::uint64_t>(a) * b % P);
+  }
+
+  static Elem inv(Elem a) {
+    CEC_CHECK_MSG(a != 0, "PrimeField inverse of zero");
+    // Extended Euclid.
+    std::int64_t t = 0, new_t = 1;
+    std::int64_t r = P, new_r = a;
+    while (new_r != 0) {
+      const std::int64_t q = r / new_r;
+      t -= q * new_t;
+      r -= q * new_r;
+      std::swap(t, new_t);
+      std::swap(r, new_r);
+    }
+    CEC_DCHECK(r == 1);
+    if (t < 0) t += P;
+    return static_cast<Elem>(t);
+  }
+
+  static constexpr Elem from_int(std::uint64_t x) {
+    return static_cast<Elem>(x % P);
+  }
+};
+
+/// Convenient instantiations.
+using F257 = PrimeField<257>;        // smallest field holding a byte
+using F65537 = PrimeField<65537>;    // Fermat prime, holds 16-bit symbols
+using F13 = PrimeField<13>;          // tiny field for exhaustive tests
+
+}  // namespace causalec::gf

@@ -1,0 +1,104 @@
+// Bulk operations on vectors of field elements.
+//
+// Object values in CausalEC are elements of V = F^d; codeword symbols are
+// linear combinations of such vectors. These kernels are the hot path of
+// encode / re-encode / decode.
+#pragma once
+
+#include <array>
+#include <span>
+#include <type_traits>
+
+#include "common/expect.h"
+#include "gf/field.h"
+#include "gf/gf256.h"
+
+namespace causalec::gf {
+
+namespace detail_vec {
+
+/// GF(2^8) fast path: one 256-entry product table for the coefficient
+/// (256 multiplications to build), then a single lookup per byte instead of
+/// two log/exp lookups plus an add. Pays off once the vector is longer than
+/// the table-build cost.
+inline constexpr std::size_t kGf256TableThreshold = 1024;
+
+inline void axpy_gf256_table(std::span<std::uint8_t> dst, std::uint8_t a,
+                             std::span<const std::uint8_t> src) {
+  std::array<std::uint8_t, 256> table;
+  for (int x = 0; x < 256; ++x) {
+    table[static_cast<std::size_t>(x)] =
+        GF256::mul(a, static_cast<std::uint8_t>(x));
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] ^= table[src[i]];
+  }
+}
+
+}  // namespace detail_vec
+
+/// dst += src (elementwise field addition).
+template <Field F>
+void add_into(std::span<typename F::Elem> dst,
+              std::span<const typename F::Elem> src) {
+  CEC_DCHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = F::add(dst[i], src[i]);
+  }
+}
+
+/// dst -= src.
+template <Field F>
+void sub_into(std::span<typename F::Elem> dst,
+              std::span<const typename F::Elem> src) {
+  CEC_DCHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = F::sub(dst[i], src[i]);
+  }
+}
+
+/// dst += a * src ("axpy"). a == 0 is a no-op; a == 1 degrades to add;
+/// long GF(2^8) vectors take the product-table fast path.
+template <Field F>
+void axpy(std::span<typename F::Elem> dst, typename F::Elem a,
+          std::span<const typename F::Elem> src) {
+  CEC_DCHECK(dst.size() == src.size());
+  if (a == F::zero) return;
+  if (a == F::one) {
+    add_into<F>(dst, src);
+    return;
+  }
+  if constexpr (std::is_same_v<F, GF256>) {
+    if (dst.size() >= detail_vec::kGf256TableThreshold) {
+      detail_vec::axpy_gf256_table(dst, a, src);
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = F::add(dst[i], F::mul(a, src[i]));
+  }
+}
+
+/// dst *= a.
+template <Field F>
+void scale(std::span<typename F::Elem> dst, typename F::Elem a) {
+  if (a == F::one) return;
+  for (auto& x : dst) x = F::mul(a, x);
+}
+
+/// dst = 0.
+template <Field F>
+void set_zero(std::span<typename F::Elem> dst) {
+  for (auto& x : dst) x = F::zero;
+}
+
+/// True iff every element is zero.
+template <Field F>
+bool is_zero(std::span<const typename F::Elem> v) {
+  for (auto x : v) {
+    if (x != F::zero) return false;
+  }
+  return true;
+}
+
+}  // namespace causalec::gf

@@ -1,0 +1,111 @@
+// Gaussian elimination over arbitrary fields: rank, solve, inverse, and the
+// "express a target vector in the row space" primitive that recovery-set
+// computation is built on.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace causalec::linalg {
+
+/// Reduced row-echelon form computed in place; returns the pivot column of
+/// each pivot row (so .size() == rank).
+template <gf::Field F>
+std::vector<std::size_t> rref_in_place(Matrix<F>& m) {
+  using Elem = typename F::Elem;
+  std::vector<std::size_t> pivot_cols;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < m.cols() && pivot_row < m.rows(); ++col) {
+    // Find a pivot.
+    std::size_t sel = pivot_row;
+    while (sel < m.rows() && m(sel, col) == F::zero) ++sel;
+    if (sel == m.rows()) continue;
+    // Swap into place.
+    if (sel != pivot_row) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        std::swap(m(sel, j), m(pivot_row, j));
+      }
+    }
+    // Normalize pivot row.
+    const Elem pivot_inv = F::inv(m(pivot_row, col));
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      m(pivot_row, j) = F::mul(pivot_inv, m(pivot_row, j));
+    }
+    // Eliminate all other rows.
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (r == pivot_row) continue;
+      const Elem factor = m(r, col);
+      if (factor == F::zero) continue;
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        m(r, j) = F::sub(m(r, j), F::mul(factor, m(pivot_row, j)));
+      }
+    }
+    pivot_cols.push_back(col);
+    ++pivot_row;
+  }
+  return pivot_cols;
+}
+
+template <gf::Field F>
+std::size_t rank(Matrix<F> m) {
+  return rref_in_place(m).size();
+}
+
+/// Solve lambda * A = target for a row vector lambda (i.e. express `target`
+/// as a linear combination of the rows of A). Returns std::nullopt when
+/// target is not in the row space.
+template <gf::Field F>
+std::optional<std::vector<typename F::Elem>> express_in_row_space(
+    const Matrix<F>& a, std::span<const typename F::Elem> target) {
+  CEC_CHECK(target.size() == a.cols());
+  // Work on the transpose: solve A^T x = target^T.
+  const std::size_t n_unknowns = a.rows();
+  Matrix<F> aug(a.cols(), n_unknowns + 1);
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < n_unknowns; ++j) aug(i, j) = a(j, i);
+    aug(i, n_unknowns) = target[i];
+  }
+  const auto pivots = rref_in_place(aug);
+  // Inconsistent iff some pivot lands in the augmented column.
+  for (std::size_t p : pivots) {
+    if (p == n_unknowns) return std::nullopt;
+  }
+  std::vector<typename F::Elem> solution(n_unknowns, F::zero);
+  for (std::size_t r = 0; r < pivots.size(); ++r) {
+    solution[pivots[r]] = aug(r, n_unknowns);
+  }
+  return solution;
+}
+
+/// True iff `target` lies in the row space of A.
+template <gf::Field F>
+bool in_row_space(const Matrix<F>& a,
+                  std::span<const typename F::Elem> target) {
+  return express_in_row_space(a, target).has_value();
+}
+
+/// Matrix inverse; nullopt when singular.
+template <gf::Field F>
+std::optional<Matrix<F>> inverse(const Matrix<F>& m) {
+  CEC_CHECK(m.rows() == m.cols());
+  const std::size_t n = m.rows();
+  Matrix<F> aug(n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = m(i, j);
+    aug(i, n + i) = F::one;
+  }
+  const auto pivots = rref_in_place(aug);
+  if (pivots.size() != n) return std::nullopt;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pivots[i] != i) return std::nullopt;
+  }
+  Matrix<F> inv(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) inv(i, j) = aug(i, n + j);
+  }
+  return inv;
+}
+
+}  // namespace causalec::linalg

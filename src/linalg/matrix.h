@@ -1,0 +1,110 @@
+// Dense matrices over an arbitrary field.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/expect.h"
+#include "gf/field.h"
+
+namespace causalec::linalg {
+
+template <gf::Field F>
+class Matrix {
+ public:
+  using Elem = typename F::Elem;
+
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, F::zero) {}
+
+  /// Row-major construction from integer literals (taken through
+  /// F::from_int) -- convenient for writing down small codes in tests.
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<std::uint64_t>> rows) {
+    CEC_CHECK(rows.size() > 0);
+    Matrix m(rows.size(), rows.begin()->size());
+    std::size_t r = 0;
+    for (const auto& row : rows) {
+      CEC_CHECK_MSG(row.size() == m.cols_, "ragged initializer");
+      std::size_t c = 0;
+      for (auto v : row) m(r, c++) = F::from_int(v);
+      ++r;
+    }
+    return m;
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = F::one;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Elem& operator()(std::size_t r, std::size_t c) {
+    CEC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  Elem operator()(std::size_t r, std::size_t c) const {
+    CEC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<Elem> row(std::size_t r) {
+    CEC_DCHECK(r < rows_);
+    return std::span<Elem>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const Elem> row(std::size_t r) const {
+    CEC_DCHECK(r < rows_);
+    return std::span<const Elem>(data_.data() + r * cols_, cols_);
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+  /// Matrix product (this * rhs).
+  Matrix mul(const Matrix& rhs) const {
+    CEC_CHECK(cols_ == rhs.rows_);
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const Elem a = (*this)(i, k);
+        if (a == F::zero) continue;
+        for (std::size_t j = 0; j < rhs.cols_; ++j) {
+          out(i, j) = F::add(out(i, j), F::mul(a, rhs(k, j)));
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Submatrix formed by the given rows (in the given order).
+  Matrix select_rows(std::span<const std::size_t> row_ids) const {
+    Matrix out(row_ids.size(), cols_);
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+      CEC_CHECK(row_ids[i] < rows_);
+      for (std::size_t j = 0; j < cols_; ++j) {
+        out(i, j) = (*this)(row_ids[i], j);
+      }
+    }
+    return out;
+  }
+
+  Matrix transpose() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Elem> data_;
+};
+
+}  // namespace causalec::linalg

@@ -1,0 +1,164 @@
+#include "placement/designer.h"
+
+#include <bit>
+#include <limits>
+
+#include "common/expect.h"
+#include "common/random.h"
+#include "erasure/linear_code.h"
+#include "gf/gf256.h"
+#include "linalg/gaussian.h"
+
+namespace causalec::placement {
+
+namespace {
+
+using GF = gf::GF256;
+using MatrixGF = linalg::Matrix<GF>;
+
+MatrixGF stacked_from_masks(const std::vector<std::uint32_t>& masks,
+                            std::size_t num_groups) {
+  MatrixGF stacked(masks.size(), num_groups);
+  for (std::size_t s = 0; s < masks.size(); ++s) {
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (masks[s] >> g & 1) {
+        // Distinct nonzero coefficient per server keeps stacked rows with
+        // equal masks independent (Vandermonde-style).
+        stacked(s, g) = GF::exp(static_cast<std::uint32_t>(s));
+      }
+    }
+  }
+  return stacked;
+}
+
+/// Build and evaluate a candidate; returns nullopt when some object is not
+/// recoverable.
+std::optional<std::pair<erasure::CodePtr, SchemeEval>> try_candidate(
+    const std::vector<std::uint32_t>& masks, std::size_t num_groups,
+    const std::vector<std::vector<double>>& rtt_ms,
+    std::size_t value_bytes) {
+  const MatrixGF stacked = stacked_from_masks(masks, num_groups);
+  if (linalg::rank<GF>(stacked) != num_groups) return std::nullopt;
+  auto code = erasure::LinearCodeT<GF>::one_row_per_server(
+      stacked, value_bytes, "designed-cross-object");
+  SchemeEval eval = evaluate_code(*code, rtt_ms, "designed");
+  return std::make_pair(std::move(code), std::move(eval));
+}
+
+}  // namespace
+
+DesignResult design_cross_object_code(
+    const std::vector<std::vector<double>>& rtt_ms, std::size_t num_groups,
+    const DesignOptions& options) {
+  const std::size_t n = rtt_ms.size();
+  CEC_CHECK(n >= 2 && num_groups >= 1 && num_groups <= 20);
+  CEC_CHECK_MSG(n <= 16, "recovery-set enumeration caps the server count");
+  const std::uint32_t mask_limit = 1u << num_groups;
+  Rng rng(options.seed);
+
+  DesignResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  int evaluations = 0;
+
+  const auto objective = [&](const SchemeEval& eval) {
+    return eval.avg_read_latency_ms +
+           options.worst_weight * eval.worst_read_latency_ms;
+  };
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    // Random valid start: cover every group at least once, then randomize.
+    std::vector<std::uint32_t> masks(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      masks[s] = static_cast<std::uint32_t>(
+          1 + rng.next_below(mask_limit - 1));
+    }
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      masks[g % n] |= 1u << g;  // coverage
+    }
+    auto current = try_candidate(masks, num_groups, rtt_ms,
+                                 options.value_bytes);
+    ++evaluations;
+    if (!current) continue;
+    double current_obj = objective(current->second);
+
+    // Steepest-descent over single-server mask changes; when that stalls,
+    // sample coordinated pair moves (a mixed symbol only pays off once a
+    // matching helper symbol exists, which single moves cannot reach).
+    for (int step = 0; step < options.max_steps_per_restart; ++step) {
+      double best_delta_obj = current_obj;
+      std::size_t best_server = n;
+      std::uint32_t best_mask = 0;
+      std::optional<std::pair<erasure::CodePtr, SchemeEval>> best_cand;
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::uint32_t original = masks[s];
+        for (std::uint32_t mask = 1; mask < mask_limit; ++mask) {
+          if (mask == original) continue;
+          masks[s] = mask;
+          auto cand = try_candidate(masks, num_groups, rtt_ms,
+                                    options.value_bytes);
+          ++evaluations;
+          if (cand) {
+            const double obj = objective(cand->second);
+            if (obj < best_delta_obj) {
+              best_delta_obj = obj;
+              best_server = s;
+              best_mask = mask;
+              best_cand = std::move(cand);
+            }
+          }
+        }
+        masks[s] = original;
+      }
+      if (best_server != n) {
+        masks[best_server] = best_mask;
+        current = std::move(best_cand);
+        current_obj = best_delta_obj;
+        continue;
+      }
+
+      // Single moves stalled: try random pair moves.
+      bool escaped = false;
+      for (std::size_t s1 = 0; s1 < n && !escaped; ++s1) {
+        for (std::size_t s2 = s1 + 1; s2 < n && !escaped; ++s2) {
+          const std::uint32_t orig1 = masks[s1];
+          const std::uint32_t orig2 = masks[s2];
+          for (int sample = 0; sample < options.pair_move_samples;
+               ++sample) {
+            masks[s1] = static_cast<std::uint32_t>(
+                1 + rng.next_below(mask_limit - 1));
+            masks[s2] = static_cast<std::uint32_t>(
+                1 + rng.next_below(mask_limit - 1));
+            auto cand = try_candidate(masks, num_groups, rtt_ms,
+                                      options.value_bytes);
+            ++evaluations;
+            if (cand && objective(cand->second) < current_obj) {
+              current = std::move(cand);
+              current_obj = objective(current->second);
+              escaped = true;
+              break;
+            }
+          }
+          if (!escaped) {
+            masks[s1] = orig1;
+            masks[s2] = orig2;
+          }
+        }
+      }
+      if (!escaped) break;  // genuine local optimum
+    }
+
+    if (current_obj < best.objective) {
+      best.objective = current_obj;
+      best.code = current->first;
+      best.eval = current->second;
+      best.masks = masks;
+    }
+  }
+
+  CEC_CHECK_MSG(best.code != nullptr,
+                "designer found no recoverable code (increase restarts)");
+  best.evaluations = evaluations;
+  return best;
+}
+
+}  // namespace causalec::placement

@@ -1,0 +1,59 @@
+// Cross-object code design for a given network topology.
+//
+// The paper demonstrates that a hand-tuned cross-object code beats both
+// partial replication and intra-object coding on the Fig. 1 topology, and
+// names the general design problem -- "the design of cross-object erasure
+// codes that minimize average/worst-case latency for general topologies" --
+// as an open problem (Sec. 1.1, Sec. 6). This module implements a practical
+// heuristic for it:
+//
+//   * search space: each server stores one linear combination of a subset
+//     of the K object groups (subset mask in [1, 2^K)), with per-server
+//     distinct nonzero coefficients so stacked subsets stay informative;
+//   * constraint: every object recoverable from some server subset
+//     (full column rank of the stacked generator matrix, then exact
+//     recovery-set enumeration);
+//   * objective: weighted average + worst-case read latency, evaluated
+//     through the recovery sets exactly as evaluate_code does;
+//   * search: steepest-descent hill climbing over single-server subset
+//     changes with random restarts (deterministic given the seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "erasure/code.h"
+#include "placement/latency_eval.h"
+
+namespace causalec::placement {
+
+struct DesignOptions {
+  std::uint64_t seed = 1;
+  int restarts = 8;
+  int max_steps_per_restart = 64;
+  /// Objective = avg + worst_weight * worst (milliseconds).
+  double worst_weight = 0.25;
+  std::size_t value_bytes = 1024;
+  /// When single-server moves stall, sample this many random *pair* moves
+  /// per server pair before giving up on the restart. Cross-object gains
+  /// often need coordinated changes (a mixed symbol is useless until a
+  /// matching helper appears), which single moves cannot reach.
+  int pair_move_samples = 20;
+};
+
+struct DesignResult {
+  erasure::CodePtr code;
+  /// Per-server subset of groups encoded (bitmask over object ids).
+  std::vector<std::uint32_t> masks;
+  SchemeEval eval;
+  double objective = 0;
+  int evaluations = 0;
+};
+
+/// Searches for a one-symbol-per-server cross-object code over `num_groups`
+/// object groups on the topology given by `rtt_ms`.
+DesignResult design_cross_object_code(
+    const std::vector<std::vector<double>>& rtt_ms, std::size_t num_groups,
+    const DesignOptions& options = {});
+
+}  // namespace causalec::placement

@@ -1,0 +1,151 @@
+#include "placement/latency_eval.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace causalec::placement {
+
+namespace {
+
+/// (latency, remote symbol count) of the latency-optimal recovery set for
+/// (dc, object); ties broken toward fewer remote fetches.
+std::pair<double, double> best_recovery(
+    const erasure::Code& code, const std::vector<std::vector<double>>& rtt_ms,
+    NodeId dc, ObjectId object) {
+  double best_latency = std::numeric_limits<double>::infinity();
+  double best_remote = std::numeric_limits<double>::infinity();
+  for (const auto& set : code.recovery_sets(object)) {
+    double latency = 0;
+    double remote = 0;
+    for (NodeId member : set) {
+      if (member == dc) continue;
+      latency = std::max(latency, rtt_ms[dc][member]);
+      remote += 1;
+    }
+    if (latency < best_latency ||
+        (latency == best_latency && remote < best_remote)) {
+      best_latency = latency;
+      best_remote = remote;
+    }
+  }
+  CEC_CHECK(best_latency < std::numeric_limits<double>::infinity());
+  return {best_latency, best_remote};
+}
+
+}  // namespace
+
+double read_latency_ms(const erasure::Code& code,
+                       const std::vector<std::vector<double>>& rtt_ms,
+                       NodeId dc, ObjectId object) {
+  return best_recovery(code, rtt_ms, dc, object).first;
+}
+
+double read_bytes_B(const erasure::Code& code,
+                    const std::vector<std::vector<double>>& rtt_ms,
+                    NodeId dc, ObjectId object) {
+  return best_recovery(code, rtt_ms, dc, object).second;
+}
+
+SchemeEval evaluate_code(const erasure::Code& code,
+                         const std::vector<std::vector<double>>& rtt_ms,
+                         std::string name) {
+  const std::size_t n = code.num_servers();
+  const std::size_t k = code.num_objects();
+  CEC_CHECK(rtt_ms.size() == n);
+  SchemeEval eval;
+  eval.name = std::move(name);
+  double total_latency = 0;
+  double total_bytes = 0;
+  for (NodeId dc = 0; dc < n; ++dc) {
+    for (ObjectId x = 0; x < k; ++x) {
+      const auto [latency, bytes] = best_recovery(code, rtt_ms, dc, x);
+      eval.worst_read_latency_ms = std::max(eval.worst_read_latency_ms,
+                                            latency);
+      total_latency += latency;
+      total_bytes += bytes;
+    }
+  }
+  eval.avg_read_latency_ms = total_latency / static_cast<double>(n * k);
+  eval.read_comm_B = total_bytes / static_cast<double>(n * k);
+  return eval;
+}
+
+PartialReplicationSearch brute_force_partial_replication(
+    const std::vector<std::vector<double>>& rtt_ms, std::size_t num_groups) {
+  const std::size_t n = rtt_ms.size();
+  CEC_CHECK(num_groups >= 1 && num_groups <= n);
+  CEC_CHECK_MSG(n <= 12, "brute force limited to small DC counts");
+
+  PartialReplicationSearch best;
+  best.worst_read_latency_ms = std::numeric_limits<double>::infinity();
+  best.avg_read_latency_ms = std::numeric_limits<double>::infinity();
+
+  std::vector<ObjectId> assignment(n, 0);
+  // Enumerate num_groups^n assignments (each DC hosts exactly one group).
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= num_groups;
+  for (std::uint64_t idx = 0; idx < total; ++idx) {
+    std::uint64_t rest = idx;
+    std::vector<bool> covered(num_groups, false);
+    for (std::size_t d = 0; d < n; ++d) {
+      assignment[d] = static_cast<ObjectId>(rest % num_groups);
+      covered[assignment[d]] = true;
+      rest /= num_groups;
+    }
+    bool all = true;
+    for (bool c : covered) all = all && c;
+    if (!all) continue;
+
+    double worst = 0;
+    double sum = 0;
+    for (NodeId dc = 0; dc < n; ++dc) {
+      for (ObjectId g = 0; g < num_groups; ++g) {
+        double lat = std::numeric_limits<double>::infinity();
+        for (NodeId host = 0; host < n; ++host) {
+          if (assignment[host] == g) {
+            lat = std::min(lat, dc == host ? 0.0 : rtt_ms[dc][host]);
+          }
+        }
+        worst = std::max(worst, lat);
+        sum += lat;
+      }
+    }
+    const double avg = sum / static_cast<double>(n * num_groups);
+    if (worst < best.worst_read_latency_ms ||
+        (worst == best.worst_read_latency_ms &&
+         avg < best.avg_read_latency_ms)) {
+      best.worst_read_latency_ms = worst;
+      best.avg_read_latency_ms = avg;
+      best.placement = assignment;
+    }
+  }
+  CEC_CHECK(!best.placement.empty());
+  return best;
+}
+
+IntraObjectEval evaluate_intra_object_rs(
+    const std::vector<std::vector<double>>& rtt_ms, std::size_t k) {
+  const std::size_t n = rtt_ms.size();
+  CEC_CHECK(k >= 1 && k <= n);
+  IntraObjectEval eval;
+  double sum = 0;
+  for (NodeId dc = 0; dc < n; ++dc) {
+    std::vector<double> others;
+    for (NodeId o = 0; o < n; ++o) {
+      if (o != dc) others.push_back(rtt_ms[dc][o]);
+    }
+    std::sort(others.begin(), others.end());
+    // One fragment is local; the (k-1) nearest remote DCs ship the rest in
+    // parallel -> latency = (k-1)-th smallest remote RTT.
+    const double latency = k == 1 ? 0.0 : others[k - 2];
+    eval.worst_read_latency_ms = std::max(eval.worst_read_latency_ms,
+                                          latency);
+    sum += latency;
+  }
+  eval.avg_read_latency_ms = sum / static_cast<double>(n);
+  return eval;
+}
+
+}  // namespace causalec::placement

@@ -1,0 +1,75 @@
+// Analytic latency / communication-cost evaluation of storage schemes over
+// an RTT matrix, as in Sec. 1.1 and Fig. 2: partial replication (brute-force
+// optimal placement), intra-object Reed-Solomon, and arbitrary (cross-object)
+// erasure codes evaluated through their recovery sets.
+//
+// Model (the paper's): reads to each object arrive uniformly across DCs;
+// read latency from DC d is 0 if d can serve locally, else the smallest,
+// over recovery sets T, of the largest RTT from d to a member of T
+// (parallel fetch, one round trip). Communication is measured in units of
+// B (one object value).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "erasure/code.h"
+
+namespace causalec::placement {
+
+struct SchemeEval {
+  std::string name;
+  double worst_read_latency_ms = 0;
+  double avg_read_latency_ms = 0;
+  /// Average bytes fetched per read, in units of B.
+  double read_comm_B = 0;
+  /// Average bytes sent per write, in units of B (value traffic only).
+  double write_comm_B = 0;
+};
+
+/// Read latency for one (dc, object) under an arbitrary code: 0 when some
+/// recovery set is {dc}; otherwise min over recovery sets T of
+/// max_{i in T, i != dc} rtt[dc][i].
+double read_latency_ms(const erasure::Code& code,
+                       const std::vector<std::vector<double>>& rtt_ms,
+                       NodeId dc, ObjectId object);
+
+/// Bytes (units of B) fetched by the latency-optimal read above: |T'| where
+/// T' = T \ {dc} for the chosen recovery set (each remote member ships one
+/// codeword symbol of size B).
+double read_bytes_B(const erasure::Code& code,
+                    const std::vector<std::vector<double>>& rtt_ms,
+                    NodeId dc, ObjectId object);
+
+/// Aggregate worst/average over uniform (dc, object) pairs.
+SchemeEval evaluate_code(const erasure::Code& code,
+                         const std::vector<std::vector<double>>& rtt_ms,
+                         std::string name);
+
+struct PartialReplicationSearch {
+  /// group_of_dc[d] = which object group DC d hosts.
+  std::vector<ObjectId> placement;
+  double worst_read_latency_ms = 0;
+  double avg_read_latency_ms = 0;
+};
+
+/// Brute-force search over all assignments of `num_groups` object groups to
+/// DCs (each DC hosts exactly one group -- the Sec. 1.1 capacity model),
+/// minimizing worst-case read latency, tie-broken by average latency.
+PartialReplicationSearch brute_force_partial_replication(
+    const std::vector<std::vector<double>>& rtt_ms, std::size_t num_groups);
+
+struct IntraObjectEval {
+  double worst_read_latency_ms = 0;
+  double avg_read_latency_ms = 0;
+};
+
+/// Intra-object MDS coding with dimension k over all N DCs: every read
+/// needs k fragments, one local and k-1 from the nearest other DCs, so the
+/// latency from DC d is the (k-1)-th smallest RTT out of d.
+IntraObjectEval evaluate_intra_object_rs(
+    const std::vector<std::vector<double>>& rtt_ms, std::size_t k);
+
+}  // namespace causalec::placement

@@ -1,0 +1,27 @@
+// The Fig. 1 deployment data: six AWS regions and their inter-DC round-trip
+// times in milliseconds (measured via cloudping, Oct 2021, as published).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace causalec::placement {
+
+inline constexpr std::size_t kNumDcs = 6;
+
+enum Dc : std::size_t {
+  kSeoul = 0,
+  kMumbai = 1,
+  kIreland = 2,
+  kLondon = 3,
+  kNCalifornia = 4,
+  kOregon = 5,
+};
+
+const std::array<std::string, kNumDcs>& dc_names();
+
+/// The Fig. 1 RTT matrix (milliseconds), symmetric with zero diagonal.
+const std::vector<std::vector<double>>& six_dc_rtt_ms();
+
+}  // namespace causalec::placement

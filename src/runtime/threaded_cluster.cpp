@@ -1,0 +1,265 @@
+#include "runtime/threaded_cluster.h"
+
+#include <atomic>
+#include <deque>
+#include <future>
+
+#include "causalec/codec.h"
+#include "common/expect.h"
+
+namespace causalec::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+SimTime to_ns(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// One server node: an OS thread draining a FIFO mailbox of tasks, firing
+/// wall-clock timers, and running periodic garbage collection.
+class ThreadedCluster::Node {
+ public:
+  Node(NodeId id, erasure::CodePtr code, const ThreadedClusterConfig& config,
+       ThreadedCluster* cluster)
+      : id_(id),
+        config_(&config),
+        cluster_(cluster),
+        transport_(this),
+        server_(id, std::move(code), config.server, &transport_) {}
+
+  void start() { thread_ = std::thread([this] { run(); }); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Enqueue a task for the node thread (any thread may call).
+  void post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_all();
+  }
+
+  /// Run `fn` on the node thread and wait for its result.
+  template <typename Fn>
+  auto call(Fn&& fn) -> decltype(fn()) {
+    using Result = decltype(fn());
+    std::promise<Result> promise;
+    auto future = promise.get_future();
+    post([&promise, fn = std::forward<Fn>(fn)]() mutable {
+      promise.set_value(fn());
+    });
+    return future.get();
+  }
+
+  Server& server() { return server_; }
+
+  /// Called by peers' transports: deliver a message from `from`.
+  void deliver(NodeId from, std::vector<std::uint8_t> bytes) {
+    post([this, from, bytes = std::move(bytes)] {
+      server_.on_message(from, deserialize_message(bytes));
+    });
+  }
+
+  void deliver_direct(NodeId from, std::shared_ptr<sim::MessagePtr> holder) {
+    post([this, from, holder] {
+      server_.on_message(from, std::move(*holder));
+    });
+  }
+
+ private:
+  class NodeTransport final : public Transport {
+   public:
+    explicit NodeTransport(Node* node) : node_(node) {}
+
+    void send(NodeId to, sim::MessagePtr message) override {
+      node_->cluster_->route(node_->id_, to, std::move(message));
+    }
+
+    void schedule_after(SimTime delta_ns,
+                        std::function<void()> fn) override {
+      // Only ever called from the node's own thread (all server execution
+      // is marshalled there), so the timer list needs no locking.
+      node_->timers_.push_back(
+          {Clock::now() + std::chrono::nanoseconds(delta_ns),
+           std::move(fn)});
+    }
+
+    SimTime now() const override { return to_ns(Clock::now()); }
+
+   private:
+    Node* node_;
+  };
+
+  void run() {
+    auto next_gc = Clock::now() + config_->gc_period;
+    while (true) {
+      std::deque<std::function<void()>> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        auto deadline = next_gc;
+        for (const auto& timer : timers_) {
+          deadline = std::min(deadline, timer.at);
+        }
+        cv_.wait_until(lock, deadline,
+                       [this] { return stop_ || !tasks_.empty(); });
+        if (stop_) return;
+        batch.swap(tasks_);
+      }
+      for (auto& task : batch) task();
+      // Due timers (fan-out timeouts etc.).
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < timers_.size();) {
+        if (timers_[i].at <= now) {
+          auto fn = std::move(timers_[i].fn);
+          timers_.erase(timers_.begin() + static_cast<std::ptrdiff_t>(i));
+          fn();
+        } else {
+          ++i;
+        }
+      }
+      if (now >= next_gc) {
+        server_.run_garbage_collection();
+        next_gc = now + config_->gc_period;
+      }
+    }
+  }
+
+  struct Timer {
+    Clock::time_point at;
+    std::function<void()> fn;
+  };
+
+  NodeId id_;
+  const ThreadedClusterConfig* config_;
+  ThreadedCluster* cluster_;
+  NodeTransport transport_;
+  Server server_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<Timer> timers_;  // node-thread only
+
+  friend class ThreadedCluster;
+};
+
+ThreadedCluster::ThreadedCluster(erasure::CodePtr code,
+                                 ThreadedClusterConfig config)
+    : code_(std::move(code)), config_(std::move(config)) {
+  const std::size_t n = code_->num_servers();
+  nodes_.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    nodes_.push_back(std::make_unique<Node>(s, code_, config_, this));
+  }
+  for (auto& node : nodes_) node->start();
+}
+
+ThreadedCluster::~ThreadedCluster() {
+  for (auto& node : nodes_) node->stop();
+}
+
+std::size_t ThreadedCluster::num_servers() const { return nodes_.size(); }
+
+void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
+  CEC_CHECK(to < nodes_.size());
+  if (config_.serialize_messages) {
+    nodes_[to]->deliver(from, serialize_message(*message));
+  } else {
+    nodes_[to]->deliver_direct(
+        from, std::make_shared<sim::MessagePtr>(std::move(message)));
+  }
+}
+
+Tag ThreadedCluster::write(NodeId at, ClientId client, ObjectId object,
+                           erasure::Value value) {
+  CEC_CHECK(at < nodes_.size());
+  const OpId opid = next_opid_.fetch_add(1);
+  return nodes_[at]->call([&, opid] {
+    return nodes_[at]->server().client_write(client, opid, object,
+                                             std::move(value));
+  });
+}
+
+std::pair<erasure::Value, Tag> ThreadedCluster::read(NodeId at,
+                                                     ClientId client,
+                                                     ObjectId object) {
+  std::promise<std::pair<erasure::Value, Tag>> promise;
+  auto future = promise.get_future();
+  read_async(at, client, object,
+             [&promise](erasure::Value value, Tag tag) {
+               promise.set_value({std::move(value), std::move(tag)});
+             });
+  return future.get();
+}
+
+void ThreadedCluster::read_async(
+    NodeId at, ClientId client, ObjectId object,
+    std::function<void(erasure::Value, Tag)> done) {
+  CEC_CHECK(at < nodes_.size());
+  const OpId opid = next_opid_.fetch_add(1);
+  Node* node = nodes_[at].get();
+  node->post([node, client, opid, object, done = std::move(done)] {
+    node->server().client_read(
+        client, opid, object,
+        [done](const erasure::Value& value, const Tag& tag,
+               const VectorClock&) { done(value, tag); });
+  });
+}
+
+StorageStats ThreadedCluster::storage(NodeId at) {
+  CEC_CHECK(at < nodes_.size());
+  return nodes_[at]->call([&] { return nodes_[at]->server().storage(); });
+}
+
+std::uint64_t ThreadedCluster::total_error_events() {
+  std::uint64_t total = 0;
+  for (auto& node : nodes_) {
+    total += node->call([&node_ref = *node] {
+      const auto& c = node_ref.server().counters();
+      return c.error1_events + c.error2_events;
+    });
+  }
+  return total;
+}
+
+bool ThreadedCluster::await_convergence(std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  int stable_polls = 0;
+  while (Clock::now() < deadline) {
+    bool converged = true;
+    for (NodeId s = 0; s < nodes_.size(); ++s) {
+      const StorageStats stats = storage(s);
+      if (stats.history_entries != 0 || stats.inqueue_entries != 0 ||
+          stats.readl_entries != 0) {
+        converged = false;
+        break;
+      }
+    }
+    if (converged) {
+      if (++stable_polls >= 2) return true;
+    } else {
+      stable_polls = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+}  // namespace causalec::runtime

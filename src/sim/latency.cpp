@@ -1,0 +1,46 @@
+#include "sim/latency.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace causalec::sim {
+
+UniformJitterLatency::UniformJitterLatency(SimTime base_ns, SimTime jitter_ns,
+                                           std::uint64_t seed)
+    : base_ns_(base_ns), jitter_ns_(jitter_ns), rng_(seed) {
+  CEC_CHECK(base_ns >= jitter_ns);
+}
+
+SimTime UniformJitterLatency::delay(NodeId, NodeId) {
+  return base_ns_ + rng_.next_in(-jitter_ns_, jitter_ns_);
+}
+
+std::unique_ptr<MatrixLatency> MatrixLatency::from_rtt_ms(
+    const std::vector<std::vector<double>>& rtt_ms) {
+  std::vector<std::vector<SimTime>> one_way;
+  one_way.reserve(rtt_ms.size());
+  for (const auto& row : rtt_ms) {
+    CEC_CHECK(row.size() == rtt_ms.size());
+    std::vector<SimTime> out;
+    out.reserve(row.size());
+    for (double rtt : row) {
+      out.push_back(static_cast<SimTime>(
+          std::llround(rtt / 2.0 * static_cast<double>(kMillisecond))));
+    }
+    one_way.push_back(std::move(out));
+  }
+  return std::make_unique<MatrixLatency>(std::move(one_way));
+}
+
+MatrixLatency::MatrixLatency(std::vector<std::vector<SimTime>> one_way_ns)
+    : one_way_ns_(std::move(one_way_ns)) {
+  for (const auto& row : one_way_ns_) CEC_CHECK(row.size() == one_way_ns_.size());
+}
+
+SimTime MatrixLatency::delay(NodeId from, NodeId to) {
+  CEC_CHECK(from < one_way_ns_.size() && to < one_way_ns_.size());
+  return one_way_ns_[from][to];
+}
+
+}  // namespace causalec::sim

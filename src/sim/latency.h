@@ -1,0 +1,99 @@
+// Network latency models for the discrete-event simulator.
+//
+// The paper's deployment setting (Sec. 2.1) is an asynchronous network where
+// the only sources of asynchrony are processing and communication delays;
+// Fig. 1 treats inter-DC latency as predictable. We provide:
+//   * ConstantLatency            -- fixed one-way delay
+//   * UniformJitterLatency       -- base +/- jitter, seeded
+//   * MatrixLatency              -- per-pair one-way delays (RTT matrix / 2)
+// plus per-pair extra-delay injection for adversarial schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace causalec::sim {
+
+/// One-way message delay oracle. Implementations must be deterministic
+/// given their seed.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way delay in nanoseconds for a message from `from` to `to`.
+  virtual SimTime delay(NodeId from, NodeId to) = 0;
+  /// Size-aware delay; the default ignores the message size (pure
+  /// propagation). BandwidthLatency adds a serialization term.
+  virtual SimTime delay_for_bytes(NodeId from, NodeId to,
+                                  std::size_t bytes) {
+    (void)bytes;
+    return delay(from, to);
+  }
+};
+
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime one_way_ns) : one_way_ns_(one_way_ns) {}
+  SimTime delay(NodeId, NodeId) override { return one_way_ns_; }
+
+ private:
+  SimTime one_way_ns_;
+};
+
+class UniformJitterLatency final : public LatencyModel {
+ public:
+  UniformJitterLatency(SimTime base_ns, SimTime jitter_ns,
+                       std::uint64_t seed);
+  SimTime delay(NodeId from, NodeId to) override;
+
+ private:
+  SimTime base_ns_;
+  SimTime jitter_ns_;
+  Rng rng_;
+};
+
+/// Bandwidth-aware model: base propagation delay plus a per-byte
+/// serialization term (delay = base + bytes / bandwidth). The simulator
+/// passes the message size to size-aware models.
+class BandwidthLatency final : public LatencyModel {
+ public:
+  /// bytes_per_second > 0; base_ns is the propagation component.
+  BandwidthLatency(SimTime base_ns, double bytes_per_second)
+      : base_ns_(base_ns), bytes_per_second_(bytes_per_second) {}
+
+  SimTime delay(NodeId, NodeId) override { return base_ns_; }
+
+  SimTime delay_for_bytes(NodeId, NodeId, std::size_t bytes) override {
+    return base_ns_ +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                bytes_per_second_ * 1e9);
+  }
+
+ private:
+  SimTime base_ns_;
+  double bytes_per_second_;
+};
+
+/// Per-pair one-way delays. Construct from an RTT matrix in milliseconds
+/// (delay = rtt/2) or from explicit one-way nanoseconds.
+class MatrixLatency final : public LatencyModel {
+ public:
+  static std::unique_ptr<MatrixLatency> from_rtt_ms(
+      const std::vector<std::vector<double>>& rtt_ms);
+
+  explicit MatrixLatency(std::vector<std::vector<SimTime>> one_way_ns);
+
+  SimTime delay(NodeId from, NodeId to) override;
+
+ private:
+  std::vector<std::vector<SimTime>> one_way_ns_;
+};
+
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+}  // namespace causalec::sim

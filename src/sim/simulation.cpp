@@ -1,0 +1,156 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "common/expect.h"
+#include "common/logging.h"
+
+namespace causalec::sim {
+
+Simulation::Simulation(std::unique_ptr<LatencyModel> latency,
+                       std::uint64_t seed)
+    : latency_(std::move(latency)), rng_(seed) {
+  CEC_CHECK(latency_ != nullptr);
+}
+
+NodeId Simulation::add_node(Actor* actor) {
+  CEC_CHECK(actor != nullptr);
+  actors_.push_back(actor);
+  halted_.push_back(false);
+  return static_cast<NodeId>(actors_.size() - 1);
+}
+
+void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
+  CEC_CHECK(from < actors_.size() && to < actors_.size());
+  CEC_CHECK(message != nullptr);
+  if (halted_[from]) return;  // a halted node takes no steps
+
+  stats_.total_messages += 1;
+  const std::size_t bytes = message->wire_bytes();
+  stats_.total_bytes += bytes;
+  auto& per_type = stats_.by_type[message->type_name()];
+  per_type.count += 1;
+  per_type.bytes += bytes;
+
+  SimTime delay =
+      from == to ? 0 : latency_->delay_for_bytes(from, to, bytes);
+  const auto key = std::make_pair(from, to);
+  if (auto it = channel_extra_delay_.find(key);
+      it != channel_extra_delay_.end()) {
+    delay += it->second;
+  }
+  SimTime deliver_at = now_ + delay;
+  // FIFO: never schedule a delivery earlier than the previous one on the
+  // same channel.
+  auto [it, inserted] = channel_last_delivery_.try_emplace(key, deliver_at);
+  if (!inserted) {
+    deliver_at = std::max(deliver_at, it->second);
+    it->second = deliver_at;
+  }
+
+  // Move the message into the closure (std::function requires copyable
+  // captures, so park the unique_ptr in a shared holder; the closure fires
+  // exactly once). Delivery is skipped if the target halted in the meantime.
+  auto holder = std::make_shared<MessagePtr>(std::move(message));
+  push_event(deliver_at, [this, from, to, holder] {
+    if (halted_[to]) return;
+    actors_[to]->on_message(from, std::move(*holder));
+  });
+}
+
+void Simulation::schedule_at(SimTime time, std::function<void()> fn) {
+  CEC_CHECK(time >= now_);
+  push_event(time, std::move(fn));
+}
+
+void Simulation::schedule_after(SimTime delta, std::function<void()> fn) {
+  CEC_CHECK(delta >= 0);
+  push_event(now_ + delta, std::move(fn));
+}
+
+std::uint64_t Simulation::schedule_periodic(SimTime start, SimTime period,
+                                            std::function<void()> fn,
+                                            SimTime end_time) {
+  CEC_CHECK(period > 0);
+  const std::uint64_t id = next_timer_id_++;
+  periodic_.emplace(id, PeriodicTimer{period, end_time, std::move(fn)});
+  if (start <= end_time) {
+    push_event(start, [this, id, start] { fire_periodic(id, start); });
+  }
+  return id;
+}
+
+void Simulation::cancel_timer(std::uint64_t timer_id) {
+  auto it = periodic_.find(timer_id);
+  if (it != periodic_.end()) it->second.cancelled = true;
+}
+
+void Simulation::fire_periodic(std::uint64_t timer_id, SimTime scheduled) {
+  auto it = periodic_.find(timer_id);
+  if (it == periodic_.end() || it->second.cancelled) {
+    periodic_.erase(timer_id);
+    return;
+  }
+  it->second.fn();
+  // Re-lookup: the callback may have cancelled the timer.
+  it = periodic_.find(timer_id);
+  if (it == periodic_.end() || it->second.cancelled) {
+    periodic_.erase(timer_id);
+    return;
+  }
+  const SimTime next = scheduled + it->second.period;
+  if (next > it->second.end_time) {
+    periodic_.erase(it);
+    return;
+  }
+  push_event(next, [this, timer_id, next] { fire_periodic(timer_id, next); });
+}
+
+void Simulation::halt(NodeId node) {
+  CEC_CHECK(node < actors_.size());
+  halted_[node] = true;
+}
+
+bool Simulation::halted(NodeId node) const {
+  CEC_CHECK(node < actors_.size());
+  return halted_[node];
+}
+
+void Simulation::add_channel_delay(NodeId from, NodeId to, SimTime extra) {
+  CEC_CHECK(extra >= 0);
+  channel_extra_delay_[{from, to}] += extra;
+}
+
+void Simulation::push_event(SimTime time, std::function<void()> fn) {
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the closure must be moved out, so
+  // copy the POD parts and const_cast the function (safe: popped right after).
+  const Event& top = queue_.top();
+  CEC_CHECK(top.time >= now_);
+  now_ = top.time;
+  auto fn = std::move(const_cast<Event&>(top).fn);
+  queue_.pop();
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = std::max(now_, t);
+}
+
+void Simulation::run_until_idle(std::uint64_t max_events) {
+  const std::uint64_t start = events_processed_;
+  while (step()) {
+    CEC_CHECK_MSG(events_processed_ - start <= max_events,
+                  "simulation did not quiesce within " << max_events
+                                                       << " events");
+  }
+}
+
+}  // namespace causalec::sim

@@ -1,0 +1,155 @@
+// Deterministic discrete-event simulation of an asynchronous message-passing
+// system (the deployment setting of Sec. 2.1): a fixed set of nodes connected
+// by reliable, FIFO, point-to-point channels with arbitrary (model-driven)
+// delays. Nodes may halt (crash); a halted node takes no further steps and
+// messages addressed to it are discarded on delivery.
+//
+// Determinism: all ties are broken by a monotonically increasing sequence
+// number, and all randomness flows through the seeded latency model / Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/latency.h"
+
+namespace causalec::sim {
+
+/// Base class for protocol messages moved through the network.
+class Message {
+ public:
+  virtual ~Message() = default;
+  /// Serialized size in bytes (for communication-cost accounting).
+  virtual std::size_t wire_bytes() const = 0;
+  /// Stable name for per-type accounting ("app", "val_inq", ...).
+  virtual const char* type_name() const = 0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/// A node in the simulation. Implementations receive messages; internal
+/// actions are driven by timers the owner registers on the simulation.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_message(NodeId from, MessagePtr message) = 0;
+};
+
+/// Aggregate network accounting.
+struct NetworkStats {
+  struct PerType {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::map<std::string, PerType> by_type;
+
+  void reset() { *this = NetworkStats{}; }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::unique_ptr<LatencyModel> latency,
+                      std::uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Registers an actor; returns its NodeId (assigned densely from 0).
+  /// The actor must outlive the simulation. Count must match the latency
+  /// model's dimension when a MatrixLatency is used.
+  NodeId add_node(Actor* actor);
+
+  std::size_t num_nodes() const { return actors_.size(); }
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Reliable FIFO send; self-sends are allowed (delivered with zero model
+  /// delay but still asynchronously). No-op if `from` has halted.
+  void send(NodeId from, NodeId to, MessagePtr message);
+
+  /// One-shot events.
+  void schedule_at(SimTime time, std::function<void()> fn);
+  void schedule_after(SimTime delta, std::function<void()> fn);
+
+  /// Periodic timer firing first at `start`, then every `period`, until
+  /// `end_time` (inclusive). Returns an id usable with cancel_timer.
+  std::uint64_t schedule_periodic(SimTime start, SimTime period,
+                                  std::function<void()> fn,
+                                  SimTime end_time = kForever);
+  void cancel_timer(std::uint64_t timer_id);
+
+  /// Crash a node: it takes no further steps and receives nothing.
+  void halt(NodeId node);
+  bool halted(NodeId node) const;
+
+  /// Hold back all messages on the (from, to) channel by an extra delay
+  /// applied to future sends (adversarial schedules in tests).
+  void add_channel_delay(NodeId from, NodeId to, SimTime extra);
+
+  /// Process the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Process all events with time <= t (leaves now() == t).
+  void run_until(SimTime t);
+
+  /// Process events until the queue is completely empty (periodic timers
+  /// must have finite end_time, or this will not terminate).
+  /// max_events guards against protocol livelock in tests.
+  void run_until_idle(std::uint64_t max_events = 100'000'000);
+
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Number of events processed so far.
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  static constexpr SimTime kForever = INT64_MAX / 2;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct PeriodicTimer {
+    SimTime period;
+    SimTime end_time;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+
+  void push_event(SimTime time, std::function<void()> fn);
+  void fire_periodic(std::uint64_t timer_id, SimTime scheduled);
+
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::vector<Actor*> actors_;
+  std::vector<bool> halted_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
+  std::uint64_t events_processed_ = 0;
+  // FIFO enforcement: per-channel last scheduled delivery time.
+  std::map<std::pair<NodeId, NodeId>, SimTime> channel_last_delivery_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> channel_extra_delay_;
+  std::map<std::uint64_t, PeriodicTimer> periodic_;
+  std::uint64_t next_timer_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace causalec::sim

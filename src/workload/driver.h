@@ -1,0 +1,148 @@
+// Closed-loop workload driver: a set of sessions, each issuing one
+// operation at a time (well-formedness), with exponential think times, an
+// operation mix, and a key-popularity distribution. Store-agnostic: the
+// caller supplies issue-functions, so the same driver exercises CausalEC
+// and every baseline.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+#include "workload/zipf.h"
+
+namespace causalec::workload {
+
+struct OpMix {
+  double write_fraction = 0.5;  // YCSB workload A
+};
+
+/// Key popularity: zipfian (theta > 0) or uniform (theta == 0).
+class KeyPicker {
+ public:
+  KeyPicker(std::uint64_t num_keys, double zipf_theta, std::uint64_t seed)
+      : uniform_n_(num_keys), rng_(seed) {
+    if (zipf_theta > 0) {
+      zipf_ = std::make_unique<ZipfGenerator>(num_keys, zipf_theta,
+                                              seed ^ 0x5EED);
+    }
+  }
+
+  ObjectId next() {
+    if (zipf_) return static_cast<ObjectId>(zipf_->next());
+    return static_cast<ObjectId>(rng_.next_below(uniform_n_));
+  }
+
+ private:
+  std::uint64_t uniform_n_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
+
+struct DriverStats {
+  std::vector<SimTime> read_latencies;
+  std::vector<SimTime> write_latencies;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  static double mean_ms(const std::vector<SimTime>& v) {
+    if (v.empty()) return 0;
+    double sum = 0;
+    for (SimTime t : v) sum += static_cast<double>(t);
+    return sum / static_cast<double>(v.size()) / 1e6;
+  }
+  static SimTime max(const std::vector<SimTime>& v) {
+    SimTime m = 0;
+    for (SimTime t : v) m = std::max(m, t);
+    return m;
+  }
+  static SimTime percentile(std::vector<SimTime> v, double p);
+};
+
+class ClosedLoopDriver {
+ public:
+  /// One session = one logical client. done-callbacks must fire exactly
+  /// once per issued operation.
+  struct Session {
+    std::function<void(ObjectId, std::function<void()> done)> issue_write;
+    std::function<void(ObjectId, std::function<void()> done)> issue_read;
+    /// Restrict this session to a subset of keys (empty = all, via picker).
+    std::function<ObjectId()> pick_key;  // optional override
+  };
+
+  ClosedLoopDriver(sim::Simulation* sim, OpMix mix,
+                   std::shared_ptr<KeyPicker> picker, double think_rate_hz,
+                   std::uint64_t seed)
+      : sim_(sim),
+        mix_(mix),
+        picker_(std::move(picker)),
+        think_rate_hz_(think_rate_hz),
+        rng_(seed) {
+    CEC_CHECK(sim_ != nullptr);
+  }
+
+  void add_session(Session session) {
+    sessions_.push_back(std::move(session));
+  }
+
+  /// Start all sessions; they stop issuing once now() >= until.
+  void start(SimTime until) {
+    stop_at_ = until;
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      schedule_next(i);
+    }
+  }
+
+  DriverStats& stats() { return stats_; }
+  const DriverStats& stats() const { return stats_; }
+
+ private:
+  void schedule_next(std::size_t session_idx) {
+    const double think_s = rng_.next_exponential(think_rate_hz_);
+    const auto delta = static_cast<SimTime>(think_s * 1e9);
+    sim_->schedule_after(delta, [this, session_idx] { issue(session_idx); });
+  }
+
+  void issue(std::size_t session_idx) {
+    if (sim_->now() >= stop_at_) return;
+    Session& session = sessions_[session_idx];
+    const ObjectId key =
+        session.pick_key ? session.pick_key() : picker_->next();
+    const SimTime started = sim_->now();
+    if (rng_.next_bool(mix_.write_fraction)) {
+      ++stats_.writes;
+      session.issue_write(key, [this, session_idx, started] {
+        stats_.write_latencies.push_back(sim_->now() - started);
+        schedule_next(session_idx);
+      });
+    } else {
+      ++stats_.reads;
+      session.issue_read(key, [this, session_idx, started] {
+        stats_.read_latencies.push_back(sim_->now() - started);
+        schedule_next(session_idx);
+      });
+    }
+  }
+
+  sim::Simulation* sim_;
+  OpMix mix_;
+  std::shared_ptr<KeyPicker> picker_;
+  double think_rate_hz_;
+  Rng rng_;
+  std::vector<Session> sessions_;
+  SimTime stop_at_ = 0;
+  DriverStats stats_;
+};
+
+inline SimTime DriverStats::percentile(std::vector<SimTime> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace causalec::workload

@@ -1,0 +1,109 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace causalec::workload {
+
+namespace {
+
+// Exact partial sum for the head, Euler-Maclaurin tail for the rest.
+constexpr std::uint64_t kExactHead = 100000;
+
+double harmonic_exact(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += std::pow(static_cast<double>(i), -theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+double zipf_harmonic(double n, double theta) {
+  CEC_CHECK(n >= 1 && theta > 0 && theta != 1.0);
+  if (n <= static_cast<double>(kExactHead)) {
+    return harmonic_exact(static_cast<std::uint64_t>(n), theta);
+  }
+  const double head = harmonic_exact(kExactHead, theta);
+  // Integral of x^-theta from kExactHead to n plus midpoint correction.
+  const double a = static_cast<double>(kExactHead);
+  const double tail = (std::pow(n, 1 - theta) - std::pow(a, 1 - theta)) /
+                      (1 - theta);
+  // Euler-Maclaurin first-order boundary terms.
+  const double correction =
+      0.5 * (std::pow(n, -theta) - std::pow(a, -theta));
+  return head + tail + correction;
+}
+
+double zipf_pmf(double i, double n, double theta) {
+  CEC_CHECK(i >= 1 && i <= n);
+  return std::pow(i, -theta) / zipf_harmonic(n, theta);
+}
+
+double zipf_rank_for_mass(double mass, double n, double theta) {
+  CEC_CHECK(mass > 0 && mass < 1);
+  const double total = zipf_harmonic(n, theta);
+  // Binary search on the (monotone) partial harmonic.
+  double lo = 1, hi = n;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double cum = zipf_harmonic(mid, theta) / total;
+    if (cum < mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double zipf_rate_of_rank(double rank, double total_rate, double n,
+                         double theta) {
+  return total_rate * zipf_pmf(rank, n, theta);
+}
+
+double zipf_fraction_below_rate(double rate_threshold, double total_rate,
+                                double n, double theta) {
+  // Rates decrease with rank; find the smallest rank whose rate is below
+  // the threshold: rate(r) < thr  <=>  r > (total / (thr * H))^(1/theta).
+  const double h = zipf_harmonic(n, theta);
+  const double boundary =
+      std::pow(total_rate / (rate_threshold * h), 1.0 / theta);
+  if (boundary <= 1) return 1.0;             // every object is cold
+  if (boundary >= n) return 0.0;             // every object is hot
+  return (n - boundary) / n;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta,
+                             std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  CEC_CHECK(n >= 1);
+  zetan_ = zipf_harmonic(static_cast<double>(n), theta);
+  zeta2_ = zipf_harmonic(2.0, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next() {
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::uint64_t ZipfGenerator::next_scrambled() {
+  // FNV-style scramble of the rank over the key space (YCSB's approach).
+  std::uint64_t h = next() ^ 0xCBF29CE484222325ull;
+  h *= 0x100000001B3ull;
+  h ^= h >> 33;
+  return h % n_;
+}
+
+}  // namespace causalec::workload

@@ -1,0 +1,61 @@
+// Zipfian key sampling and analytic rate models (YCSB [17] parameters).
+//
+// YCSB's default request distribution is Zipfian with theta = 0.99 over the
+// key space: P(rank i) = (1/i^theta) / H_{n,theta}, i in [1, n]. The Sec. 4.2
+// storage analysis needs both a sampler (for simulated workloads) and the
+// analytic per-object rates at paper scale (120M objects), where sampling
+// is impractical but the harmonic sums are cheap to approximate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace causalec::workload {
+
+/// Generalized harmonic number H_{n,theta} = sum_{i=1..n} i^-theta,
+/// computed exactly for small n and via integral approximation for large n
+/// (relative error < 1e-6 for the YCSB range).
+double zipf_harmonic(double n, double theta);
+
+/// Probability that a request hits rank `i` (1-based) under Zipf(theta, n).
+double zipf_pmf(double i, double n, double theta);
+
+/// The largest rank r such that P(rank <= r) >= fraction -- i.e. how many
+/// "hot" objects absorb `fraction` of the traffic.
+double zipf_rank_for_mass(double mass, double n, double theta);
+
+/// Fraction of objects (ranks) whose per-object request rate is below
+/// `rate_threshold`, given total request rate `total_rate` over `n` objects.
+double zipf_fraction_below_rate(double rate_threshold, double total_rate,
+                                double n, double theta);
+
+/// Per-rank request rate (1-based rank).
+double zipf_rate_of_rank(double rank, double total_rate, double n,
+                         double theta);
+
+/// Gray et al. / YCSB-style O(1) Zipfian sampler (rejection-free).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  /// Returns a 0-based item index (identity ranking: item 0 is hottest).
+  std::uint64_t next();
+
+  /// YCSB "scrambled zipfian": hot items spread over the key space.
+  std::uint64_t next_scrambled();
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace causalec::workload

@@ -1,0 +1,221 @@
+// Tests for the baseline stores: full replication, partial replication
+// (forwarded reads), and the intra-object erasure-coded store.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "baselines/intra_object_store.h"
+#include "baselines/replicated_store.h"
+#include "placement/rtt_matrix.h"
+#include "sim/latency.h"
+#include "sim/simulation.h"
+
+namespace causalec::baselines {
+namespace {
+
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct ReadProbe {
+  std::optional<Value> value;
+  std::optional<Tag> tag;
+  ReadDone cb() {
+    return [this](const Value& v, const Tag& t) {
+      value = v;
+      tag = t;
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Full replication.
+// ---------------------------------------------------------------------------
+
+TEST(FullReplicationTest, WritesLocalReadsLocalEverywhere) {
+  sim::Simulation sim(std::make_unique<sim::ConstantLatency>(10 * kMillisecond));
+  ReplicatedStore store(&sim, ReplicatedStore::full_replication(4, 3, 16));
+  const Tag t = store.write(0, 1, Value(16, 7));
+  EXPECT_EQ(sim.now(), 0);  // synchronous ack
+  sim.run_until_idle();
+  for (NodeId s = 0; s < 4; ++s) {
+    ReadProbe probe;
+    store.read(s, 1, probe.cb());
+    ASSERT_TRUE(probe.value.has_value()) << "server " << s;  // inline
+    EXPECT_EQ(*probe.value, Value(16, 7));
+    EXPECT_EQ(*probe.tag, t);
+  }
+}
+
+TEST(FullReplicationTest, CausalApplyOrder) {
+  sim::Simulation sim(std::make_unique<sim::ConstantLatency>(5 * kMillisecond));
+  ReplicatedStore store(&sim, ReplicatedStore::full_replication(3, 2, 8));
+  sim.add_channel_delay(0, 2, 100 * kMillisecond);  // X's app held back
+  store.write(0, 0, Value(8, 1));                   // X at server 0
+  sim.run_until(10 * kMillisecond);                 // reaches server 1
+  store.write(1, 1, Value(8, 2));                   // Y causally after X
+  sim.run_until(40 * kMillisecond);
+  // Server 2 got Y's app but must not expose it before X.
+  ReadProbe early;
+  store.read(2, 1, early.cb());
+  ASSERT_TRUE(early.value.has_value());
+  EXPECT_TRUE(early.tag->is_zero());
+  sim.run_until_idle();
+  ReadProbe late;
+  store.read(2, 1, late.cb());
+  EXPECT_EQ(*late.value, Value(8, 2));
+}
+
+TEST(FullReplicationTest, LwwConvergence) {
+  sim::Simulation sim(std::make_unique<sim::ConstantLatency>(7 * kMillisecond));
+  ReplicatedStore store(&sim, ReplicatedStore::full_replication(3, 1, 8));
+  const Tag t0 = store.write(0, 0, Value(8, 10));
+  const Tag t1 = store.write(1, 0, Value(8, 20));
+  const Tag t2 = store.write(2, 0, Value(8, 30));
+  sim.run_until_idle();
+  const Tag winner = std::max(t0, std::max(t1, t2));
+  for (NodeId s = 0; s < 3; ++s) {
+    ReadProbe probe;
+    store.read(s, 0, probe.cb());
+    EXPECT_EQ(*probe.tag, winner) << "server " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partial replication.
+// ---------------------------------------------------------------------------
+
+ReplicatedStoreConfig paper_partial_placement(std::size_t value_bytes) {
+  // Sec. 1.1 optimum: G0 at {Seoul, Ireland}, G1 at {Mumbai, London},
+  // G2 at N.California, G3 at Oregon.
+  ReplicatedStoreConfig config;
+  config.num_objects = 4;
+  config.value_bytes = value_bytes;
+  config.placement = {{0}, {1}, {0}, {1}, {2}, {3}};
+  config.rtt_ms = placement::six_dc_rtt_ms();
+  return config;
+}
+
+TEST(PartialReplicationTest, LocalReadsAtReplicas) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  ReplicatedStore store(&sim, paper_partial_placement(16));
+  store.write(0, 0, Value(16, 5));  // G0 written at Seoul
+  sim.run_until_idle();
+  ReadProbe at_ireland;
+  store.read(2, 0, at_ireland.cb());
+  ASSERT_TRUE(at_ireland.value.has_value());  // replica: inline
+  EXPECT_EQ(*at_ireland.value, Value(16, 5));
+}
+
+TEST(PartialReplicationTest, ForwardedReadTakesOneRttToNearestReplica) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  ReplicatedStore store(&sim, paper_partial_placement(16));
+  store.write(0, 0, Value(16, 5));
+  sim.run_until_idle();
+  // Mumbai (1) reads G0; the nearest replica is Seoul (120 ms RTT,
+  // edging out Ireland's 121 ms).
+  const SimTime start = sim.now();
+  SimTime done_at = -1;
+  store.read(1, 0, [&](const Value& v, const Tag&) {
+    EXPECT_EQ(v, Value(16, 5));
+    done_at = sim.now();
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(done_at - start, 120 * kMillisecond);
+}
+
+TEST(PartialReplicationTest, NonReplicaStoresNothing) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  ReplicatedStore store(&sim, paper_partial_placement(16));
+  store.write(4, 0, Value(16, 9));  // G0 written at a non-replica
+  sim.run_until_idle();
+  EXPECT_EQ(store.stored_bytes(4), 0u);   // N.California holds only G2
+  EXPECT_EQ(store.stored_bytes(0), 16u);  // Seoul replica stores it
+  EXPECT_EQ(store.stored_bytes(2), 16u);  // Ireland replica stores it
+}
+
+// ---------------------------------------------------------------------------
+// Intra-object erasure coding.
+// ---------------------------------------------------------------------------
+
+IntraObjectStoreConfig intra_config(std::size_t value_bytes = 16) {
+  IntraObjectStoreConfig config;
+  config.num_servers = 6;
+  config.num_objects = 4;
+  config.value_bytes = value_bytes;
+  config.k = 4;
+  config.rtt_ms = placement::six_dc_rtt_ms();
+  return config;
+}
+
+TEST(IntraObjectTest, ReadReassemblesValue) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  IntraObjectStore store(&sim, intra_config());
+  Value value(16);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  }
+  const Tag t = store.write(0, 2, value);
+  sim.run_until_idle();
+  ReadProbe probe;
+  store.read(3, 2, probe.cb());
+  sim.run_until_idle();
+  ASSERT_TRUE(probe.value.has_value());
+  EXPECT_EQ(*probe.value, value);
+  EXPECT_EQ(*probe.tag, t);
+}
+
+TEST(IntraObjectTest, ReadsAreNeverLocal) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  IntraObjectStore store(&sim, intra_config());
+  store.write(1, 0, Value(16, 3));
+  sim.run_until_idle();
+  // Even at the writing server, a read needs k-1 remote fragments: latency
+  // equals the (k-1)-th nearest RTT from Mumbai = 121 ms.
+  SimTime done_at = -1;
+  const SimTime start = sim.now();
+  store.read(1, 0, [&](const Value&, const Tag&) { done_at = sim.now(); });
+  sim.run_until_idle();
+  EXPECT_EQ(done_at - start, 121 * kMillisecond);
+}
+
+TEST(IntraObjectTest, FragmentStorageIsValueOverK) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  IntraObjectStore store(&sim, intra_config(32));
+  store.write(0, 0, Value(32, 1));
+  store.write(0, 1, Value(32, 2));
+  sim.run_until_idle();
+  for (NodeId s = 0; s < 6; ++s) {
+    EXPECT_EQ(store.stored_bytes(s), 2u * 32u / 4u) << "server " << s;
+  }
+}
+
+TEST(IntraObjectTest, VersionSkewResolvedByRetry) {
+  auto latency = sim::MatrixLatency::from_rtt_ms(placement::six_dc_rtt_ms());
+  sim::Simulation sim(std::move(latency));
+  IntraObjectStore store(&sim, intra_config());
+  store.write(0, 0, Value(16, 1));
+  sim.run_until_idle();
+  // Second write propagates slowly to London (3).
+  sim.add_channel_delay(0, 3, 300 * kMillisecond);
+  const Tag t2 = store.write(0, 0, Value(16, 2));
+  sim.run_until(50 * kMillisecond);
+  // Ireland (2) reads: its fragment set spans London, whose fragment is
+  // stale; the retry loop must converge once London catches up.
+  ReadProbe probe;
+  store.read(2, 0, probe.cb());
+  sim.run_until_idle();
+  ASSERT_TRUE(probe.value.has_value());
+  EXPECT_EQ(*probe.tag, t2);
+  EXPECT_EQ(*probe.value, Value(16, 2));
+}
+
+}  // namespace
+}  // namespace causalec::baselines

@@ -1,0 +1,130 @@
+// Cluster-level integration tests: configuration equivalence (the DESIGN.md
+// note 6/7 knobs must not change outcomes), and the closed-loop workload
+// driver running against a live CausalEC cluster.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "common/random.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+#include "workload/driver.h"
+
+namespace causalec {
+namespace {
+
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+/// Runs a fixed seeded workload and returns the final per-object winning
+/// tags observed by every server.
+std::map<std::pair<NodeId, ObjectId>, Tag> run_workload(
+    const ServerConfig& server_config) {
+  ClusterConfig config;
+  config.server = server_config;
+  config.gc_period = 25 * kMillisecond;
+  config.seed = 7;
+  auto cluster = std::make_unique<Cluster>(
+      erasure::make_systematic_rs(5, 3, 16),
+      std::make_unique<sim::ConstantLatency>(9 * kMillisecond), config);
+  Rng rng(1234);
+  std::vector<Client*> writers;
+  for (NodeId s = 0; s < 5; ++s) writers.push_back(&cluster->make_client(s));
+  for (int op = 0; op < 60; ++op) {
+    writers[rng.next_below(5)]->write(
+        static_cast<ObjectId>(rng.next_below(3)),
+        Value(16, static_cast<std::uint8_t>(rng.next_u64())));
+    cluster->run_for(rng.next_below(15) * kMillisecond);
+  }
+  cluster->settle();
+  EXPECT_TRUE(cluster->storage_converged());
+
+  std::map<std::pair<NodeId, ObjectId>, Tag> result;
+  for (NodeId s = 0; s < 5; ++s) {
+    for (ObjectId x = 0; x < 3; ++x) {
+      cluster->make_client(s).read(
+          x, [&result, s, x](const Value&, const Tag& tag,
+                             const VectorClock&) {
+            result[{s, x}] = tag;
+          });
+      cluster->run_for(kSecond);
+    }
+  }
+  EXPECT_EQ(result.size(), 15u);
+  return result;
+}
+
+TEST(ClusterIntegrationTest, KnobsDoNotChangeOutcomes) {
+  // dedupe / compaction / metadata accounting are cost knobs: the same
+  // seeded workload must converge to identical winners under all of them.
+  ServerConfig base;
+  const auto reference = run_workload(base);
+
+  ServerConfig no_dedupe = base;
+  no_dedupe.dedupe_del_broadcasts = false;
+  EXPECT_EQ(run_workload(no_dedupe), reference);
+
+  ServerConfig no_compaction = base;
+  no_compaction.compact_del_lists = false;
+  EXPECT_EQ(run_workload(no_compaction), reference);
+
+  ServerConfig lamport = base;
+  lamport.metadata = MetadataMode::kLamport;
+  EXPECT_EQ(run_workload(lamport), reference);
+
+  ServerConfig no_local_decode = base;
+  no_local_decode.opportunistic_local_decode = false;
+  EXPECT_EQ(run_workload(no_local_decode), reference);
+}
+
+TEST(ClusterIntegrationTest, ClosedLoopDriverDrivesTheCluster) {
+  ClusterConfig config;
+  config.gc_period = 40 * kMillisecond;
+  auto cluster = std::make_unique<Cluster>(
+      erasure::make_systematic_rs(6, 4, 64),
+      std::make_unique<sim::ConstantLatency>(12 * kMillisecond), config);
+
+  auto picker = std::make_shared<workload::KeyPicker>(4, 0.99, 5);
+  workload::ClosedLoopDriver driver(&cluster->sim(), workload::OpMix{0.3},
+                                    picker, /*think_rate_hz=*/50, 11);
+  Rng value_rng(3);
+  for (NodeId s = 0; s < 6; ++s) {
+    Client* client = &cluster->make_client(s);
+    workload::ClosedLoopDriver::Session session;
+    session.issue_write = [client, &value_rng](ObjectId x,
+                                               std::function<void()> done) {
+      client->write(x, Value(64, static_cast<std::uint8_t>(
+                                     value_rng.next_u64())));
+      done();
+    };
+    session.issue_read = [client](ObjectId x, std::function<void()> done) {
+      client->read(x, [done](const Value&, const Tag&,
+                             const VectorClock&) { done(); });
+    };
+    driver.add_session(std::move(session));
+  }
+  driver.start(10 * kSecond);
+  cluster->run_for(12 * kSecond);
+  cluster->settle();
+
+  const auto& stats = driver.stats();
+  EXPECT_GT(stats.reads + stats.writes, 1000u);
+  EXPECT_EQ(stats.read_latencies.size(), stats.reads);
+  EXPECT_EQ(stats.write_latencies.size(), stats.writes);
+  // Writes are local: zero latency, always.
+  EXPECT_EQ(workload::DriverStats::max(stats.write_latencies), 0);
+  // Reads: bounded by one round trip plus queueing (no crash here).
+  EXPECT_LE(workload::DriverStats::max(stats.read_latencies),
+            24 * kMillisecond);
+  EXPECT_TRUE(cluster->storage_converged());
+  for (NodeId s = 0; s < 6; ++s) {
+    EXPECT_EQ(cluster->server(s).counters().error1_events, 0u);
+    EXPECT_EQ(cluster->server(s).counters().error2_events, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace causalec

@@ -1,0 +1,201 @@
+// Round-trip tests for the binary message codec.
+#include <gtest/gtest.h>
+
+#include "causalec/codec.h"
+#include "common/random.h"
+
+namespace causalec {
+namespace {
+
+using erasure::Value;
+
+VectorClock random_clock(Rng& rng, std::size_t n) {
+  VectorClock vc(n);
+  for (std::size_t i = 0; i < n; ++i) vc.set(i, rng.next_below(1000));
+  return vc;
+}
+
+Tag random_tag(Rng& rng, std::size_t n) {
+  return Tag(random_clock(rng, n), rng.next_u64());
+}
+
+TagVector random_tagvec(Rng& rng, std::size_t k, std::size_t n) {
+  TagVector tv;
+  for (std::size_t i = 0; i < k; ++i) tv.push_back(random_tag(rng, n));
+  return tv;
+}
+
+Value random_value(Rng& rng, std::size_t bytes) {
+  Value v(bytes);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+  return v;
+}
+
+WireModel model() {
+  ServerConfig config;
+  return WireModel::make(config, 5, 3);
+}
+
+TEST(CodecTest, AppRoundTrip) {
+  Rng rng(1);
+  AppMessage original(2, random_value(rng, 64), random_tag(rng, 5), model());
+  const auto bytes = serialize_message(original);
+  const auto restored = deserialize_message(bytes);
+  const auto* app = dynamic_cast<const AppMessage*>(restored.get());
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->object, original.object);
+  EXPECT_EQ(app->value, original.value);
+  EXPECT_EQ(app->tag, original.tag);
+  EXPECT_EQ(app->wire_bytes(), original.wire_bytes());
+}
+
+TEST(CodecTest, DelRoundTrip) {
+  Rng rng(2);
+  DelMessage original(1, random_tag(rng, 5), 3, true, model());
+  const auto restored = deserialize_message(serialize_message(original));
+  const auto* del = dynamic_cast<const DelMessage*>(restored.get());
+  ASSERT_NE(del, nullptr);
+  EXPECT_EQ(del->object, 1u);
+  EXPECT_EQ(del->origin, 3u);
+  EXPECT_TRUE(del->forward);
+  EXPECT_EQ(del->tag, original.tag);
+  EXPECT_EQ(del->wire_bytes(), original.wire_bytes());
+}
+
+TEST(CodecTest, ValInqRoundTrip) {
+  Rng rng(3);
+  ValInqMessage original(kLocalhost, 9001, 2, random_tagvec(rng, 3, 5),
+                         model());
+  const auto restored = deserialize_message(serialize_message(original));
+  const auto* inq = dynamic_cast<const ValInqMessage*>(restored.get());
+  ASSERT_NE(inq, nullptr);
+  EXPECT_EQ(inq->client, kLocalhost);
+  EXPECT_EQ(inq->opid, 9001u);
+  EXPECT_EQ(inq->object, 2u);
+  EXPECT_EQ(inq->wanted, original.wanted);
+}
+
+TEST(CodecTest, ValRespRoundTrip) {
+  Rng rng(4);
+  ValRespMessage original(7, 42, 0, random_value(rng, 128),
+                          random_tagvec(rng, 3, 5), model());
+  const auto restored = deserialize_message(serialize_message(original));
+  const auto* resp = dynamic_cast<const ValRespMessage*>(restored.get());
+  ASSERT_NE(resp, nullptr);
+  EXPECT_EQ(resp->value, original.value);
+  EXPECT_EQ(resp->requested, original.requested);
+}
+
+TEST(CodecTest, ValRespEncodedRoundTrip) {
+  Rng rng(5);
+  ValRespEncodedMessage original(7, 42, 1, random_value(rng, 256),
+                                 random_tagvec(rng, 3, 5),
+                                 random_tagvec(rng, 3, 5), model());
+  const auto restored = deserialize_message(serialize_message(original));
+  const auto* enc =
+      dynamic_cast<const ValRespEncodedMessage*>(restored.get());
+  ASSERT_NE(enc, nullptr);
+  EXPECT_EQ(enc->symbol, original.symbol);
+  EXPECT_EQ(enc->symbol_tags, original.symbol_tags);
+  EXPECT_EQ(enc->requested, original.requested);
+  EXPECT_EQ(enc->wire_bytes(), original.wire_bytes());
+}
+
+TEST(CodecTest, EmptyValueAndZeroTags) {
+  AppMessage original(0, Value{}, Tag::zero(4), model());
+  const auto restored = deserialize_message(serialize_message(original));
+  const auto* app = dynamic_cast<const AppMessage*>(restored.get());
+  ASSERT_NE(app, nullptr);
+  EXPECT_TRUE(app->value.empty());
+  EXPECT_TRUE(app->tag.is_zero());
+}
+
+TEST(CodecTest, RandomizedRoundTripSweep) {
+  Rng rng(6);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 2 + rng.next_below(10);
+    const std::size_t k = 1 + rng.next_below(8);
+    switch (rng.next_below(5)) {
+      case 0: {
+        AppMessage m(static_cast<ObjectId>(rng.next_below(k)),
+                     random_value(rng, rng.next_below(512)),
+                     random_tag(rng, n), model());
+        const auto r = deserialize_message(serialize_message(m));
+        const auto* app = dynamic_cast<const AppMessage*>(r.get());
+        ASSERT_NE(app, nullptr);
+        EXPECT_EQ(app->value, m.value);
+        EXPECT_EQ(app->tag, m.tag);
+        break;
+      }
+      case 1: {
+        DelMessage m(static_cast<ObjectId>(rng.next_below(k)),
+                     random_tag(rng, n),
+                     static_cast<NodeId>(rng.next_below(n)),
+                     rng.next_bool(0.5), model());
+        const auto r = deserialize_message(serialize_message(m));
+        const auto* del = dynamic_cast<const DelMessage*>(r.get());
+        ASSERT_NE(del, nullptr);
+        EXPECT_EQ(del->tag, m.tag);
+        EXPECT_EQ(del->origin, m.origin);
+        EXPECT_EQ(del->forward, m.forward);
+        break;
+      }
+      case 2: {
+        ValInqMessage m(rng.next_u64(), rng.next_u64(),
+                        static_cast<ObjectId>(rng.next_below(k)),
+                        random_tagvec(rng, k, n), model());
+        const auto r = deserialize_message(serialize_message(m));
+        const auto* inq = dynamic_cast<const ValInqMessage*>(r.get());
+        ASSERT_NE(inq, nullptr);
+        EXPECT_EQ(inq->wanted, m.wanted);
+        break;
+      }
+      case 3: {
+        ValRespMessage m(rng.next_u64(), rng.next_u64(),
+                         static_cast<ObjectId>(rng.next_below(k)),
+                         random_value(rng, rng.next_below(512)),
+                         random_tagvec(rng, k, n), model());
+        const auto r = deserialize_message(serialize_message(m));
+        const auto* resp = dynamic_cast<const ValRespMessage*>(r.get());
+        ASSERT_NE(resp, nullptr);
+        EXPECT_EQ(resp->value, m.value);
+        EXPECT_EQ(resp->requested, m.requested);
+        break;
+      }
+      case 4: {
+        ValRespEncodedMessage m(rng.next_u64(), rng.next_u64(),
+                                static_cast<ObjectId>(rng.next_below(k)),
+                                random_value(rng, rng.next_below(512)),
+                                random_tagvec(rng, k, n),
+                                random_tagvec(rng, k, n), model());
+        const auto r = deserialize_message(serialize_message(m));
+        const auto* enc =
+            dynamic_cast<const ValRespEncodedMessage*>(r.get());
+        ASSERT_NE(enc, nullptr);
+        EXPECT_EQ(enc->symbol, m.symbol);
+        EXPECT_EQ(enc->symbol_tags, m.symbol_tags);
+        EXPECT_EQ(enc->requested, m.requested);
+        break;
+      }
+    }
+  }
+}
+
+TEST(CodecDeathTest, TruncatedBufferAborts) {
+  Rng rng(7);
+  AppMessage m(0, random_value(rng, 32), random_tag(rng, 3), model());
+  auto bytes = serialize_message(m);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_DEATH(deserialize_message(bytes), "truncated");
+}
+
+TEST(CodecDeathTest, TrailingBytesAbort) {
+  Rng rng(8);
+  AppMessage m(0, random_value(rng, 8), random_tag(rng, 3), model());
+  auto bytes = serialize_message(m);
+  bytes.push_back(0xFF);
+  EXPECT_DEATH(deserialize_message(bytes), "trailing");
+}
+
+}  // namespace
+}  // namespace causalec

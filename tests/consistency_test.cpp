@@ -1,0 +1,270 @@
+// Tests for the consistency checker: synthetic histories (good and bad),
+// then full CausalEC executions checked end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "causalec/cluster.h"
+#include "common/random.h"
+#include "consistency/causal_checker.h"
+#include "consistency/recorder.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+
+namespace causalec::consistency {
+namespace {
+
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+VectorClock vc(std::initializer_list<std::uint64_t> vals) {
+  VectorClock clock(vals.size());
+  std::size_t i = 0;
+  for (auto v : vals) clock.set(i++, v);
+  return clock;
+}
+
+OpRecord write_op(ClientId c, std::uint64_t seq, ObjectId x,
+                  std::initializer_list<std::uint64_t> ts,
+                  std::uint64_t hash = 1) {
+  OpRecord op;
+  op.client = c;
+  op.session_seq = seq;
+  op.is_write = true;
+  op.object = x;
+  op.timestamp = vc(ts);
+  op.tag = Tag(op.timestamp, c);
+  op.value_hash = hash;
+  return op;
+}
+
+OpRecord read_op(ClientId c, std::uint64_t seq, ObjectId x,
+                 std::initializer_list<std::uint64_t> ts, Tag tag,
+                 std::uint64_t hash = 1) {
+  OpRecord op;
+  op.client = c;
+  op.session_seq = seq;
+  op.is_write = false;
+  op.object = x;
+  op.timestamp = vc(ts);
+  op.tag = std::move(tag);
+  op.value_hash = hash;
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic histories.
+// ---------------------------------------------------------------------------
+
+TEST(CausalCheckerTest, AcceptsSimpleCausalHistory) {
+  History h;
+  const auto w = write_op(1, 0, 0, {1, 0});
+  h.record(w);
+  h.record(read_op(2, 0, 0, {1, 0}, w.tag));
+  const auto result = check_causal_consistency(h);
+  EXPECT_TRUE(result.ok) << result.violations.front();
+}
+
+TEST(CausalCheckerTest, AcceptsInitialValueRead) {
+  History h;
+  h.record(read_op(2, 0, 0, {0, 0}, Tag::zero(2), 0));
+  EXPECT_TRUE(check_causal_consistency(h).ok);
+}
+
+TEST(CausalCheckerTest, RejectsStaleRead) {
+  History h;
+  const auto w1 = write_op(1, 0, 0, {1, 0});
+  const auto w2 = write_op(1, 1, 0, {2, 0});
+  h.record(w1);
+  h.record(w2);
+  // Read whose timestamp dominates both writes but returns the older one.
+  h.record(read_op(2, 0, 0, {2, 1}, w1.tag));
+  const auto result = check_causal_consistency(h);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations.front().find("last-writer-wins"),
+            std::string::npos);
+}
+
+TEST(CausalCheckerTest, RejectsReadOfUnknownTag) {
+  History h;
+  h.record(read_op(2, 0, 0, {1, 0}, Tag(vc({1, 0}), 99)));
+  const auto result = check_causal_consistency(h);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations.front().find("no write produced"),
+            std::string::npos);
+}
+
+TEST(CausalCheckerTest, RejectsSessionOrderViolation) {
+  History h;
+  // Client 2's second op has a timestamp that lost a component.
+  const auto w = write_op(1, 0, 0, {3, 0});
+  h.record(w);
+  h.record(read_op(2, 0, 0, {3, 0}, w.tag));
+  h.record(read_op(2, 1, 0, {1, 0}, Tag::zero(2), 0));
+  const auto result = check_causal_consistency(h);
+  ASSERT_FALSE(result.ok);
+}
+
+TEST(CausalCheckerTest, RejectsValueCorruption) {
+  History h;
+  const auto w = write_op(1, 0, 0, {1, 0}, /*hash=*/111);
+  h.record(w);
+  h.record(read_op(2, 0, 0, {1, 0}, w.tag, /*hash=*/222));
+  const auto result = check_causal_consistency(h);
+  ASSERT_FALSE(result.ok);
+}
+
+TEST(CausalCheckerTest, RejectsDuplicateWriteTags) {
+  History h;
+  h.record(write_op(1, 0, 0, {1, 0}));
+  auto dup = write_op(1, 1, 1, {1, 0});
+  dup.timestamp = vc({1, 0});
+  dup.tag = Tag(vc({1, 0}), 1);
+  h.record(dup);
+  EXPECT_FALSE(check_causal_consistency(h).ok);
+}
+
+TEST(CausalCheckerTest, RejectsArbitrationInversion) {
+  // Definition 5(b): among writes, the arbitration (tag) order must extend
+  // visibility (timestamp order). Forge a history where it does not.
+  History h;
+  auto w1 = write_op(1, 0, 0, {1, 0});
+  auto w2 = write_op(2, 0, 0, {2, 0});  // causally after w1
+  // Corrupt w2's tag so it arbitrates *before* w1 despite ts(w1) < ts(w2).
+  w2.tag = Tag(vc({0, 1}), 2);
+  h.record(w1);
+  h.record(w2);
+  const auto result = check_causal_consistency(h);
+  ASSERT_FALSE(result.ok);
+  bool found = false;
+  for (const auto& v : result.violations) {
+    if (v.find("arbitration") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SessionGuaranteesTest, DetectsNonMonotonicReads) {
+  History h;
+  const auto w1 = write_op(1, 0, 0, {1, 0});
+  const auto w2 = write_op(1, 1, 0, {2, 0});
+  h.record(w1);
+  h.record(w2);
+  h.record(read_op(2, 0, 0, {2, 0}, w2.tag));
+  h.record(read_op(2, 1, 0, {2, 0}, w1.tag));  // goes backwards
+  const auto result = check_session_guarantees(h);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations.front().find("monotonic reads"),
+            std::string::npos);
+}
+
+TEST(SessionGuaranteesTest, DetectsReadYourWritesViolation) {
+  History h;
+  const auto w = write_op(1, 0, 0, {1, 0});
+  h.record(w);
+  h.record(read_op(1, 1, 0, {1, 0}, Tag::zero(2), 0));  // misses own write
+  const auto result = check_session_guarantees(h);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations.front().find("read-your-writes"),
+            std::string::npos);
+}
+
+TEST(ConvergenceTest, DetectsDivergentFinalRead) {
+  History h;
+  const auto w1 = write_op(1, 0, 0, {1, 0});
+  const auto w2 = write_op(2, 0, 0, {0, 1});
+  h.record(w1);
+  h.record(w2);
+  const Tag winner = std::max(w1.tag, w2.tag);
+  const Tag loser = std::min(w1.tag, w2.tag);
+  std::vector<OpRecord> finals = {read_op(3, 0, 0, {1, 1}, winner)};
+  EXPECT_TRUE(check_convergence(h, finals).ok);
+  finals = {read_op(3, 0, 0, {1, 1}, loser)};
+  EXPECT_FALSE(check_convergence(h, finals).ok);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: CausalEC executions must pass every check.
+// ---------------------------------------------------------------------------
+
+struct E2eParams {
+  std::uint64_t seed;
+  std::size_t n, k;
+  bool use_rs;
+};
+
+class CausalEcCheckedTest : public ::testing::TestWithParam<E2eParams> {};
+
+TEST_P(CausalEcCheckedTest, RandomExecutionPassesAllCheckers) {
+  const auto& p = GetParam();
+  erasure::CodePtr code =
+      p.use_rs ? erasure::make_systematic_rs(p.n, p.k, 8)
+               : erasure::make_random_code(p.seed, p.n, p.k, 8, 0.6);
+  ClusterConfig config;
+  config.gc_period = 25 * kMillisecond;
+  config.seed = p.seed;
+  Cluster cluster(code,
+                  std::make_unique<sim::UniformJitterLatency>(
+                      10 * kMillisecond, 9 * kMillisecond, p.seed + 5),
+                  config);
+  History history;
+  auto now = [&cluster]() { return cluster.sim().now(); };
+
+  Rng rng(p.seed * 31 + 7);
+  std::vector<std::unique_ptr<SessionRecorder>> sessions;
+  for (NodeId s = 0; s < p.n; ++s) {
+    for (int c = 0; c < 2; ++c) {
+      sessions.push_back(std::make_unique<SessionRecorder>(
+          &cluster.make_client(s), &history, now));
+    }
+  }
+
+  for (int op = 0; op < 300; ++op) {
+    auto& session = *sessions[rng.next_below(sessions.size())];
+    if (session.busy()) continue;
+    const ObjectId x = static_cast<ObjectId>(rng.next_below(p.k));
+    if (rng.next_bool(0.4)) {
+      Value v(8);
+      for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+      session.write(x, std::move(v));
+    } else {
+      session.read(x);
+    }
+    cluster.run_for(rng.next_below(10) * kMillisecond);
+  }
+  cluster.settle();
+
+  // Final reads from one client per server for the convergence check.
+  std::vector<OpRecord> final_reads;
+  History final_history;
+  for (NodeId s = 0; s < p.n; ++s) {
+    SessionRecorder finals(&cluster.make_client(s), &final_history, now);
+    for (ObjectId x = 0; x < p.k; ++x) {
+      finals.read(x);
+      cluster.run_for(kSecond);
+    }
+  }
+  for (const auto& op : final_history.ops()) final_reads.push_back(op);
+
+  const auto causal = check_causal_consistency(history);
+  EXPECT_TRUE(causal.ok) << causal.violations.front();
+  const auto session_result = check_session_guarantees(history);
+  EXPECT_TRUE(session_result.ok) << session_result.violations.front();
+  const auto convergence = check_convergence(history, final_reads);
+  EXPECT_TRUE(convergence.ok) << convergence.violations.front();
+  EXPECT_TRUE(cluster.storage_converged());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Executions, CausalEcCheckedTest,
+    ::testing::Values(E2eParams{11, 5, 3, false}, E2eParams{12, 5, 3, true},
+                      E2eParams{13, 6, 4, true}, E2eParams{14, 6, 3, false},
+                      E2eParams{15, 7, 4, false}, E2eParams{16, 4, 2, true},
+                      E2eParams{17, 8, 4, true}, E2eParams{18, 9, 5, false}),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.use_rs ? "_rs" : "_rand");
+    });
+
+}  // namespace
+}  // namespace causalec::consistency

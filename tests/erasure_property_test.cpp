@@ -1,0 +1,199 @@
+// Property-style parameterized sweeps over the erasure-code machinery,
+// across all supported fields and code shapes:
+//   * Gamma identities (Definition 4) hold for random codes and values;
+//   * recovery sets are superset-closed and decode correctly;
+//   * cross-field consistency (GF(2^8), GF(2^16), F_257, F_65537);
+//   * sequences of re-encodes commute with direct encoding.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "erasure/codes.h"
+#include "erasure/linear_code.h"
+#include "gf/gf2_16.h"
+#include "gf/gf256.h"
+#include "gf/prime_field.h"
+
+namespace causalec::erasure {
+namespace {
+
+template <gf::Field F>
+Value random_value(Rng& rng, std::size_t elems) {
+  Value v(elems * F::kElemBytes, 0);
+  for (std::size_t i = 0; i < elems; ++i) {
+    const auto e = static_cast<std::uint64_t>(F::from_int(rng.next_u64()));
+    for (std::size_t b = 0; b < F::kElemBytes; ++b) {
+      v[i * F::kElemBytes + b] = static_cast<std::uint8_t>(e >> (8 * b));
+    }
+  }
+  return v;
+}
+
+template <gf::Field F>
+std::shared_ptr<LinearCodeT<F>> random_code(Rng& rng, std::size_t n,
+                                            std::size_t k,
+                                            std::size_t value_bytes) {
+  using M = linalg::Matrix<F>;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    M stacked(n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (rng.next_bool(0.6)) {
+          stacked(i, j) = F::from_int(1 + rng.next_below(F::kOrder - 1));
+        }
+      }
+      bool any = false;
+      for (std::size_t j = 0; j < k; ++j) any = any || stacked(i, j) != F::zero;
+      if (!any) stacked(i, 0) = F::one;
+    }
+    if (linalg::rank<F>(stacked) != k) continue;
+    return LinearCodeT<F>::one_row_per_server(stacked, value_bytes, "prop");
+  }
+  ADD_FAILURE() << "no recoverable code generated";
+  return nullptr;
+}
+
+template <gf::Field F>
+void run_sweep(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 4 + rng.next_below(4);
+  const std::size_t k = 2 + rng.next_below(std::min<std::size_t>(n - 1, 3));
+  const std::size_t elems = 1 + rng.next_below(16);
+  auto code = random_code<F>(rng, n, k, elems * F::kElemBytes);
+  ASSERT_NE(code, nullptr);
+
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < k; ++i) {
+    values.push_back(random_value<F>(rng, elems));
+  }
+  std::vector<Symbol> symbols;
+  for (NodeId s = 0; s < n; ++s) symbols.push_back(code->encode(s, values));
+
+  // Every minimal recovery set decodes every object; supersets too.
+  std::vector<NodeId> all;
+  for (NodeId s = 0; s < n; ++s) all.push_back(s);
+  for (ObjectId obj = 0; obj < k; ++obj) {
+    for (const auto& rs : code->recovery_sets(obj)) {
+      std::vector<Symbol> subset;
+      for (NodeId s : rs) subset.push_back(symbols[s]);
+      EXPECT_EQ(code->decode(obj, rs, subset), values[obj]);
+      EXPECT_TRUE(code->is_recovery_set(obj, rs));
+    }
+    EXPECT_TRUE(code->is_recovery_set(obj, all));
+    EXPECT_EQ(code->decode(obj, all, symbols), values[obj]);
+  }
+
+  // Gamma chain: a random sequence of object updates applied via reencode
+  // equals direct encoding of the final values.
+  auto current = values;
+  std::vector<Symbol> evolving = symbols;
+  for (int step = 0; step < 10; ++step) {
+    const ObjectId x = static_cast<ObjectId>(rng.next_below(k));
+    Value next = random_value<F>(rng, elems);
+    for (NodeId s = 0; s < n; ++s) {
+      code->reencode(s, evolving[s], x, current[x], next);
+    }
+    current[x] = next;
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    EXPECT_EQ(evolving[s], code->encode(s, current)) << "server " << s;
+  }
+
+  // Cancel-then-apply equals direct reencode.
+  const ObjectId x = static_cast<ObjectId>(rng.next_below(k));
+  Value replacement = random_value<F>(rng, elems);
+  Symbol direct = evolving[0];
+  code->reencode(0, direct, x, current[x], replacement);
+  Symbol two_step = evolving[0];
+  code->reencode(0, two_step, x, current[x], {});
+  code->reencode(0, two_step, x, {}, replacement);
+  EXPECT_EQ(direct, two_step);
+}
+
+class ErasurePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ErasurePropertyTest, Gf256Sweep) { run_sweep<gf::GF256>(GetParam()); }
+TEST_P(ErasurePropertyTest, Gf2_16Sweep) {
+  run_sweep<gf::GF2_16>(GetParam() + 1000);
+}
+TEST_P(ErasurePropertyTest, F257Sweep) {
+  run_sweep<gf::F257>(GetParam() + 2000);
+}
+TEST_P(ErasurePropertyTest, F65537Sweep) {
+  run_sweep<gf::F65537>(GetParam() + 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErasurePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Superset-closure of recovery sets (footnote 9 of the paper).
+// ---------------------------------------------------------------------------
+
+TEST(RecoverySetClosureTest, SupersetsOfRecoverySetsRecover) {
+  Rng rng(555);
+  const auto code = make_random_code(99, 6, 3, 8, 0.5);
+  for (ObjectId obj = 0; obj < 3; ++obj) {
+    for (const auto& rs : code->recovery_sets(obj)) {
+      // Add one extra server not in the set.
+      for (NodeId extra = 0; extra < 6; ++extra) {
+        if (std::find(rs.begin(), rs.end(), extra) != rs.end()) continue;
+        auto super = rs;
+        super.push_back(extra);
+        std::sort(super.begin(), super.end());
+        EXPECT_TRUE(code->is_recovery_set(obj, super));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MDS threshold: RS codes decode from exactly k, never from k-1.
+// ---------------------------------------------------------------------------
+
+class RsThresholdTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(RsThresholdTest, DecodesFromKNotFromKMinus1) {
+  const auto [n, k] = GetParam();
+  const auto code = make_systematic_rs(n, k, 8);
+  // Any k consecutive servers recover everything; any k-1 parity-only
+  // subset recovers nothing (parity servers have full support).
+  std::vector<NodeId> window;
+  for (std::size_t start = 0; start + k <= n; ++start) {
+    window.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      window.push_back(static_cast<NodeId>(start + i));
+    }
+    for (ObjectId obj = 0; obj < k; ++obj) {
+      EXPECT_TRUE(code->is_recovery_set(obj, window));
+    }
+  }
+  if (k >= 2 && n > k) {
+    // k-1 parity servers cannot decode object 0 (they are all "mixed").
+    std::vector<NodeId> small;
+    for (std::size_t i = 0; i < k - 1 && k + i < n; ++i) {
+      small.push_back(static_cast<NodeId>(k + i));
+    }
+    if (!small.empty()) {
+      EXPECT_FALSE(code->is_recovery_set(0, small));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RsThresholdTest,
+                         ::testing::Values(std::pair<std::size_t,
+                                                     std::size_t>{4, 2},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{5, 3},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{6, 4},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{8, 4},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{10, 6}));
+
+}  // namespace
+}  // namespace causalec::erasure

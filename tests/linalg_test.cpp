@@ -1,0 +1,160 @@
+// Unit tests for field-generic dense linear algebra.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gf/gf256.h"
+#include "gf/prime_field.h"
+#include "linalg/gaussian.h"
+#include "linalg/matrix.h"
+
+namespace causalec::linalg {
+namespace {
+
+using GF = gf::GF256;
+using MGF = Matrix<GF>;
+using F13 = gf::F13;
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  const auto m = MGF::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(2, 1), 6);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Rng rng(3);
+  MGF m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) m(i, j) = GF::from_int(rng.next_u64());
+  }
+  EXPECT_EQ(m.mul(MGF::identity(4)), m);
+  EXPECT_EQ(MGF::identity(4).mul(m), m);
+}
+
+TEST(MatrixTest, SelectRowsAndTranspose) {
+  const auto m = MGF::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const std::size_t ids[] = {2, 0};
+  const auto sub = m.select_rows(ids);
+  EXPECT_EQ(sub, MGF::from_rows({{5, 6}, {1, 2}}));
+  EXPECT_EQ(m.transpose(), MGF::from_rows({{1, 3, 5}, {2, 4, 6}}));
+}
+
+TEST(GaussianTest, RankOfIdentityAndSingular) {
+  EXPECT_EQ(rank<GF>(MGF::identity(5)), 5u);
+  // Duplicate rows.
+  const auto m = MGF::from_rows({{1, 2, 3}, {1, 2, 3}, {0, 0, 1}});
+  EXPECT_EQ(rank<GF>(m), 2u);
+  EXPECT_EQ(rank<GF>(MGF(3, 3)), 0u);
+}
+
+TEST(GaussianTest, RrefPivots) {
+  auto m = MGF::from_rows({{0, 1, 2}, {1, 0, 3}});
+  const auto pivots = rref_in_place(m);
+  ASSERT_EQ(pivots.size(), 2u);
+  EXPECT_EQ(pivots[0], 0u);
+  EXPECT_EQ(pivots[1], 1u);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(1, 1), 1);
+  EXPECT_EQ(m(0, 1), 0);
+  EXPECT_EQ(m(1, 0), 0);
+}
+
+TEST(GaussianTest, ExpressInRowSpaceFindsCombination) {
+  // Rows of the paper's (5,3) code restricted to servers {4,5} (1-indexed):
+  // [1,1,1] and [1,2,1] over F_257; e_2 = 2*[1,1,1] - 1*[1,2,1]... solve it.
+  using F = gf::F257;
+  using M = Matrix<F>;
+  const auto a = M::from_rows({{1, 1, 1}, {1, 2, 1}});
+  const std::vector<std::uint32_t> e2 = {0, 1, 0};
+  const auto lambda = express_in_row_space<F>(
+      a, std::span<const std::uint32_t>(e2));
+  ASSERT_TRUE(lambda.has_value());
+  // Verify lambda * A == e2.
+  std::vector<std::uint32_t> out(3, 0);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      out[c] = F::add(out[c], F::mul((*lambda)[r], a(r, c)));
+    }
+  }
+  EXPECT_EQ(out, e2);
+}
+
+TEST(GaussianTest, ExpressInRowSpaceRejectsOutside) {
+  const auto a = MGF::from_rows({{1, 0, 0}, {0, 1, 0}});
+  const std::vector<std::uint8_t> e3 = {0, 0, 1};
+  EXPECT_FALSE(
+      express_in_row_space<GF>(a, std::span<const std::uint8_t>(e3))
+          .has_value());
+  EXPECT_FALSE(in_row_space<GF>(a, std::span<const std::uint8_t>(e3)));
+}
+
+TEST(GaussianTest, RandomSolveRoundTrip) {
+  // Property: for random A and random lambda, express_in_row_space(A,
+  // lambda*A) returns a combination that reproduces the target.
+  Rng rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t rows = 1 + rng.next_below(5);
+    const std::size_t cols = 1 + rng.next_below(5);
+    MGF a(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        a(i, j) = GF::from_int(rng.next_u64());
+      }
+    }
+    std::vector<std::uint8_t> lambda(rows);
+    for (auto& x : lambda) x = GF::from_int(rng.next_u64());
+    std::vector<std::uint8_t> target(cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        target[c] = GF::add(target[c], GF::mul(lambda[r], a(r, c)));
+      }
+    }
+    const auto solved = express_in_row_space<GF>(
+        a, std::span<const std::uint8_t>(target));
+    ASSERT_TRUE(solved.has_value());
+    std::vector<std::uint8_t> out(cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c] = GF::add(out[c], GF::mul((*solved)[r], a(r, c)));
+      }
+    }
+    EXPECT_EQ(out, target);
+  }
+}
+
+TEST(GaussianTest, InverseRoundTrip) {
+  Rng rng(19);
+  int invertible_seen = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    MGF m(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        m(i, j) = GF::from_int(rng.next_u64());
+      }
+    }
+    const auto inv = inverse<GF>(m);
+    if (!inv) continue;
+    ++invertible_seen;
+    EXPECT_EQ(m.mul(*inv), MGF::identity(4));
+    EXPECT_EQ(inv->mul(m), MGF::identity(4));
+  }
+  EXPECT_GT(invertible_seen, 50);  // random GF(256) matrices usually invert
+}
+
+TEST(GaussianTest, InverseOfSingularIsNullopt) {
+  const auto m = MGF::from_rows({{1, 2}, {2, 4}});  // 2*row0 == row1? not in
+  // GF(2^8): 2*[1,2] = [2,4]; indeed dependent.
+  EXPECT_FALSE(inverse<GF>(m).has_value());
+}
+
+TEST(GaussianTest, WorksOverPrimeField) {
+  using M = Matrix<F13>;
+  const auto m = M::from_rows({{2, 3}, {1, 4}});
+  const auto inv = inverse<F13>(m);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(m.mul(*inv), M::identity(2));
+}
+
+}  // namespace
+}  // namespace causalec::linalg

@@ -1,0 +1,120 @@
+// Tests for the placement / latency analytics module -- these pin the
+// Sec. 1.1 numbers that Fig. 2 is built from.
+#include <gtest/gtest.h>
+
+#include "erasure/codes.h"
+#include "placement/latency_eval.h"
+#include "placement/rtt_matrix.h"
+
+namespace causalec::placement {
+namespace {
+
+TEST(RttMatrixTest, MatchesFig1) {
+  const auto& rtt = six_dc_rtt_ms();
+  ASSERT_EQ(rtt.size(), 6u);
+  EXPECT_EQ(rtt[kSeoul][kMumbai], 120);
+  EXPECT_EQ(rtt[kIreland][kLondon], 13);
+  EXPECT_EQ(rtt[kNCalifornia][kOregon], 22);
+  EXPECT_EQ(rtt[kSeoul][kLondon], 240);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(rtt[i][i], 0);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(rtt[i][j], rtt[j][i]);
+  }
+}
+
+TEST(PartialReplicationSearchTest, ReproducesPaperOptimum) {
+  // Sec. 1.1: the best partial replication scheme (4 groups over 6 DCs,
+  // one group per DC) has worst-case latency 228 ms; the paper's example
+  // placement averages 88.25 ms. Our search ties the worst case and finds
+  // a slightly better average (87.08 ms) -- see EXPERIMENTS.md.
+  const auto result =
+      brute_force_partial_replication(six_dc_rtt_ms(), 4);
+  EXPECT_EQ(result.worst_read_latency_ms, 228);
+  EXPECT_LE(result.avg_read_latency_ms, 88.25 + 0.01);
+  EXPECT_NEAR(result.avg_read_latency_ms, 87.08, 0.5);
+}
+
+TEST(IntraObjectTest, ReproducesPaperNumbers) {
+  // Sec. 1.1: RS(6,4) intra-object coding has worst-case 138 ms; the paper
+  // reports an average of 132.5 ms (our exact evaluation gives 131).
+  const auto result = evaluate_intra_object_rs(six_dc_rtt_ms(), 4);
+  EXPECT_EQ(result.worst_read_latency_ms, 138);
+  EXPECT_NEAR(result.avg_read_latency_ms, 132.5, 2.0);
+  // Every read pays at least the nearest-neighbor floor (cf. "a minimum
+  // latency of 121 ms is incurred" for Mumbai).
+  EXPECT_GE(result.avg_read_latency_ms, 100);
+}
+
+TEST(CrossObjectTest, ReproducesPaperNumbers) {
+  // Sec. 1.1 claims worst-case 138 ms / average 87.5 ms for the
+  // cross-object scheme. Evaluating the paper's placement over the
+  // *published* Fig. 1 matrix yields worst 146 ms / average 87.92 ms: the
+  // binding cell is N. California reading group 2, whose best recovery set
+  // is {London} at the published RTT of 146 ms. Substituting 136 ms for
+  // that single RTT reproduces the paper's 138 / 87.5 exactly, so the
+  // paper evidently computed Fig. 2 from a slightly different measurement
+  // of the N.California-London link than Fig. 1 prints (EXPERIMENTS.md).
+  const auto code = erasure::make_six_dc_cross_object(64);
+  const auto eval = evaluate_code(*code, six_dc_rtt_ms(), "cross-object");
+  EXPECT_EQ(eval.worst_read_latency_ms, 146);
+  EXPECT_NEAR(eval.avg_read_latency_ms, 87.92, 0.01);
+
+  // With the corrected link the published numbers come out exactly.
+  auto rtt = six_dc_rtt_ms();
+  rtt[kNCalifornia][kLondon] = rtt[kLondon][kNCalifornia] = 136;
+  const auto fixed = evaluate_code(*code, rtt, "cross-object-136");
+  EXPECT_EQ(fixed.worst_read_latency_ms, 138);
+  EXPECT_NEAR(fixed.avg_read_latency_ms, 87.5, 0.01);
+}
+
+TEST(CrossObjectTest, BeatsIntraObjectOnAverageAtSameWorstCase) {
+  const auto code = erasure::make_six_dc_cross_object(64);
+  const auto cross = evaluate_code(*code, six_dc_rtt_ms(), "cross");
+  const auto intra = evaluate_intra_object_rs(six_dc_rtt_ms(), 4);
+  const auto partial = brute_force_partial_replication(six_dc_rtt_ms(), 4);
+  // The Fig. 2 ordering: cross-object is near intra-object's worst case
+  // (146 vs 138 -- see ReproducesPaperNumbers for the 8 ms discrepancy
+  // with the published table)...
+  EXPECT_LE(cross.worst_read_latency_ms, intra.worst_read_latency_ms + 8);
+  // ...while matching partial replication's average...
+  EXPECT_LE(cross.avg_read_latency_ms, partial.avg_read_latency_ms + 1.0);
+  // ...and both erasure schemes beat partial replication's worst case by
+  // a wide margin.
+  EXPECT_LT(cross.worst_read_latency_ms, partial.worst_read_latency_ms - 80);
+  EXPECT_LT(intra.worst_read_latency_ms, partial.worst_read_latency_ms - 80);
+  // Intra-object pays for it with a far worse average (the 121 ms floor).
+  EXPECT_GT(intra.avg_read_latency_ms, cross.avg_read_latency_ms + 40);
+}
+
+TEST(EvaluateCodeTest, ReplicationIsAllLocal) {
+  const auto code = erasure::make_replication(6, 4, 8);
+  const auto eval = evaluate_code(*code, six_dc_rtt_ms(), "replication");
+  EXPECT_EQ(eval.worst_read_latency_ms, 0);
+  EXPECT_EQ(eval.avg_read_latency_ms, 0);
+  EXPECT_EQ(eval.read_comm_B, 0);
+}
+
+TEST(EvaluateCodeTest, ReadBytesCountRemoteSymbols) {
+  const auto code = erasure::make_six_dc_cross_object(64);
+  const auto& rtt = six_dc_rtt_ms();
+  // Ireland reads G1 locally: zero bytes.
+  EXPECT_EQ(read_bytes_B(*code, rtt, kIreland, 0), 0);
+  EXPECT_EQ(read_latency_ms(*code, rtt, kIreland, 0), 0);
+  // Seoul reads G1 via {Seoul, Oregon}: one remote symbol.
+  EXPECT_EQ(read_bytes_B(*code, rtt, kSeoul, 0), 1);
+  EXPECT_EQ(read_latency_ms(*code, rtt, kSeoul, 0), 126);
+  // Mumbai reads G1 from Ireland's uncoded copy: one remote symbol.
+  EXPECT_EQ(read_bytes_B(*code, rtt, kMumbai, 0), 1);
+  EXPECT_EQ(read_latency_ms(*code, rtt, kMumbai, 0), 121);
+}
+
+TEST(PartialReplicationSearchTest, TwoGroupsDegenerate) {
+  // Sanity on a small instance: 2 groups over 6 DCs; every DC hosts one
+  // group, so at least 3 DCs per group -> small latencies.
+  const auto result = brute_force_partial_replication(six_dc_rtt_ms(), 2);
+  EXPECT_LE(result.worst_read_latency_ms, 138);
+  ASSERT_EQ(result.placement.size(), 6u);
+}
+
+}  // namespace
+}  // namespace causalec::placement

@@ -1,0 +1,155 @@
+// Tests for the threaded runtime: the same server automaton on real OS
+// threads with real serialized bytes crossing node boundaries.
+//
+// These tests use wall-clock time; horizons are kept small and generous so
+// they are robust on loaded machines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "erasure/codes.h"
+#include "runtime/threaded_cluster.h"
+
+namespace causalec::runtime {
+namespace {
+
+using erasure::Value;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kValueBytes = 64;
+
+Value val(std::uint8_t fill) { return Value(kValueBytes, fill); }
+
+TEST(ThreadedRuntimeTest, WriteThenReadEverywhere) {
+  ThreadedClusterConfig config;
+  config.gc_period = 10ms;
+  ThreadedCluster cluster(erasure::make_systematic_rs(5, 3, kValueBytes),
+                          config);
+  const Tag t = cluster.write(0, /*client=*/1, /*object=*/2, val(42));
+  EXPECT_EQ(t.ts[0], 1u);
+  ASSERT_TRUE(cluster.await_convergence(5000ms));
+  for (NodeId s = 0; s < 5; ++s) {
+    const auto [value, tag] = cluster.read(s, /*client=*/10 + s, 2);
+    EXPECT_EQ(value, val(42)) << "server " << s;
+    EXPECT_EQ(tag, t) << "server " << s;
+  }
+  EXPECT_EQ(cluster.total_error_events(), 0u);
+}
+
+TEST(ThreadedRuntimeTest, StorageConvergesToCodePrescription) {
+  ThreadedClusterConfig config;
+  config.gc_period = 5ms;
+  ThreadedCluster cluster(erasure::make_paper_5_3(kValueBytes), config);
+  for (int i = 0; i < 10; ++i) {
+    // F257 values: even bytes only.
+    Value v(kValueBytes, 0);
+    for (std::size_t b = 0; b < v.size(); b += 2) {
+      v[b] = static_cast<std::uint8_t>(i + 1);
+    }
+    cluster.write(static_cast<NodeId>(i % 5), 1 + i % 3,
+                  static_cast<ObjectId>(i % 3), std::move(v));
+  }
+  ASSERT_TRUE(cluster.await_convergence(5000ms));
+  for (NodeId s = 0; s < 5; ++s) {
+    const auto stats = cluster.storage(s);
+    EXPECT_EQ(stats.history_entries, 0u) << "server " << s;
+    EXPECT_EQ(stats.codeword_bytes, kValueBytes);
+  }
+  EXPECT_EQ(cluster.total_error_events(), 0u);
+}
+
+TEST(ThreadedRuntimeTest, ConcurrentWritersConvergeToOneWinner) {
+  ThreadedClusterConfig config;
+  config.gc_period = 5ms;
+  ThreadedCluster cluster(erasure::make_systematic_rs(6, 4, kValueBytes),
+                          config);
+  // Four external threads hammer different servers concurrently.
+  std::vector<std::thread> writers;
+  std::atomic<int> sequence{0};
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&cluster, &sequence, w] {
+      for (int i = 0; i < 25; ++i) {
+        const int n = sequence.fetch_add(1);
+        cluster.write(static_cast<NodeId>(w), /*client=*/100 + w,
+                      /*object=*/1,
+                      Value(kValueBytes, static_cast<std::uint8_t>(n)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  ASSERT_TRUE(cluster.await_convergence(10000ms));
+
+  // Every server returns the same (LWW) winner.
+  const auto [value0, tag0] = cluster.read(0, 200, 1);
+  for (NodeId s = 1; s < 6; ++s) {
+    const auto [value, tag] = cluster.read(s, 200 + s, 1);
+    EXPECT_EQ(tag, tag0) << "server " << s;
+    EXPECT_EQ(value, value0) << "server " << s;
+  }
+  EXPECT_EQ(cluster.total_error_events(), 0u);
+}
+
+TEST(ThreadedRuntimeTest, ConcurrentReadersDuringWrites) {
+  ThreadedClusterConfig config;
+  config.gc_period = 5ms;
+  ThreadedCluster cluster(erasure::make_systematic_rs(5, 3, kValueBytes),
+                          config);
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads_done{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load()) {
+        const auto [value, tag] =
+            cluster.read(static_cast<NodeId>(r + 2), 300 + r,
+                         static_cast<ObjectId>(r % 3));
+        (void)value;
+        (void)tag;
+        reads_done.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 30; ++i) {
+    cluster.write(static_cast<NodeId>(i % 5), 50, static_cast<ObjectId>(i % 3),
+                  Value(kValueBytes, static_cast<std::uint8_t>(i)));
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reads_done.load(), 10);
+  ASSERT_TRUE(cluster.await_convergence(10000ms));
+  EXPECT_EQ(cluster.total_error_events(), 0u);
+}
+
+TEST(ThreadedRuntimeTest, DirectMessagePassingModeWorksToo) {
+  ThreadedClusterConfig config;
+  config.gc_period = 5ms;
+  config.serialize_messages = false;  // skip the codec
+  ThreadedCluster cluster(erasure::make_systematic_rs(4, 2, kValueBytes),
+                          config);
+  const Tag t = cluster.write(0, 1, 0, val(7));
+  ASSERT_TRUE(cluster.await_convergence(5000ms));
+  const auto [value, tag] = cluster.read(3, 2, 0);
+  EXPECT_EQ(value, val(7));
+  EXPECT_EQ(tag, t);
+}
+
+TEST(ThreadedRuntimeTest, ReadYourWritesAcrossOperations) {
+  ThreadedClusterConfig config;
+  ThreadedCluster cluster(erasure::make_systematic_rs(5, 3, kValueBytes),
+                          config);
+  for (int i = 1; i <= 5; ++i) {
+    const Tag wt = cluster.write(2, 7, 1,
+                                 Value(kValueBytes,
+                                       static_cast<std::uint8_t>(i)));
+    const auto [value, tag] = cluster.read(2, 7, 1);
+    EXPECT_GE(tag, wt) << "iteration " << i;  // read-your-writes
+    EXPECT_EQ(value[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace causalec::runtime

@@ -1,0 +1,142 @@
+// Unit tests for the workload module: zipfian math, the sampler, and the
+// closed-loop driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/latency.h"
+#include "sim/simulation.h"
+#include "workload/driver.h"
+#include "workload/zipf.h"
+
+namespace causalec::workload {
+namespace {
+
+TEST(ZipfMathTest, HarmonicMatchesExactForSmallN) {
+  double exact = 0;
+  for (int i = 1; i <= 1000; ++i) exact += std::pow(i, -0.99);
+  EXPECT_NEAR(zipf_harmonic(1000, 0.99), exact, 1e-9);
+}
+
+TEST(ZipfMathTest, HarmonicLargeNIsConsistent) {
+  // H_{2a} - H_a ~ integral of x^-theta over [a, 2a].
+  const double theta = 0.99;
+  const double a = 1e7;
+  const double diff = zipf_harmonic(2 * a, theta) - zipf_harmonic(a, theta);
+  const double integral =
+      (std::pow(2 * a, 1 - theta) - std::pow(a, 1 - theta)) / (1 - theta);
+  EXPECT_NEAR(diff / integral, 1.0, 1e-4);
+}
+
+TEST(ZipfMathTest, PmfSumsToOne) {
+  double sum = 0;
+  for (int i = 1; i <= 500; ++i) sum += zipf_pmf(i, 500, 0.99);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfMathTest, RankForMassIsMonotone) {
+  const double n = 1e6, theta = 0.99;
+  const double r50 = zipf_rank_for_mass(0.5, n, theta);
+  const double r90 = zipf_rank_for_mass(0.9, n, theta);
+  EXPECT_LT(r50, r90);
+  EXPECT_GT(r50, 1);
+  EXPECT_LT(r90, n);
+}
+
+TEST(ZipfMathTest, FractionBelowRateEdges) {
+  const double n = 1e6, theta = 0.99, total = 1e5;
+  // A threshold above the hottest object's rate -> everything is "cold".
+  const double hottest = zipf_rate_of_rank(1, total, n, theta);
+  EXPECT_DOUBLE_EQ(zipf_fraction_below_rate(hottest * 2, total, n, theta),
+                   1.0);
+  // A threshold below the coldest object's rate -> nothing is cold.
+  const double coldest = zipf_rate_of_rank(n, total, n, theta);
+  EXPECT_DOUBLE_EQ(zipf_fraction_below_rate(coldest / 2, total, n, theta),
+                   0.0);
+  // Monotone in the threshold.
+  const double f1 = zipf_fraction_below_rate(1e-3, total, n, theta);
+  const double f2 = zipf_fraction_below_rate(1e-2, total, n, theta);
+  EXPECT_LE(f1, f2);
+}
+
+TEST(ZipfMathTest, PaperScaleYcsbClaim) {
+  // Sec. 4.2: 120M objects, Zipf 0.99, 200k req/s, 50% writes ->
+  // "rho_w < 1/1000 per second for more than 95% of the objects".
+  const double n = 120e6;
+  const double write_rate = 200'000 * 0.5;
+  const double fraction =
+      zipf_fraction_below_rate(1.0 / 1000, write_rate, n, 0.99);
+  EXPECT_GT(fraction, 0.95);
+}
+
+TEST(ZipfGeneratorTest, RanksFollowZipfShape) {
+  ZipfGenerator gen(1000, 0.99, 42);
+  std::map<std::uint64_t, int> counts;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) counts[gen.next()]++;
+  // Rank 0 should get roughly pmf(1) of the mass.
+  const double expected0 = zipf_pmf(1, 1000, 0.99);
+  EXPECT_NEAR(counts[0] / static_cast<double>(samples), expected0,
+              expected0 * 0.1);
+  // Counts decrease (statistically) with rank: compare head to mid.
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[5], counts[500]);
+  // All samples within range.
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfGeneratorTest, ScrambledCoversSpace) {
+  ZipfGenerator gen(10000, 0.99, 7);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.next_scrambled()]++;
+  // Scrambling spreads the hot keys: the hottest scrambled key must hold
+  // the zipf head mass, but its identity should not be 0.
+  std::uint64_t hottest = 0;
+  int best = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > best) {
+      best = count;
+      hottest = key;
+    }
+  }
+  EXPECT_NE(hottest, 0u);
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(DriverTest, ClosedLoopIssuesAndMeasures) {
+  sim::Simulation sim(std::make_unique<sim::ConstantLatency>(0), 1);
+  auto picker = std::make_shared<KeyPicker>(16, 0.0, 3);
+  ClosedLoopDriver driver(&sim, OpMix{0.5}, picker, /*think_rate_hz=*/100,
+                          7);
+  int writes = 0, reads = 0;
+  ClosedLoopDriver::Session session;
+  session.issue_write = [&](ObjectId, std::function<void()> done) {
+    ++writes;
+    done();  // instantaneous write
+  };
+  session.issue_read = [&](ObjectId x, std::function<void()> done) {
+    ++reads;
+    EXPECT_LT(x, 16u);
+    // Simulated 5ms read.
+    sim.schedule_after(5 * sim::kMillisecond, std::move(done));
+  };
+  driver.add_session(session);
+  driver.add_session(session);
+  driver.start(2 * sim::kSecond);
+  sim.run_until_idle();
+
+  const auto& stats = driver.stats();
+  EXPECT_EQ(stats.writes, static_cast<std::uint64_t>(writes));
+  EXPECT_EQ(stats.reads, static_cast<std::uint64_t>(reads));
+  EXPECT_GT(stats.writes + stats.reads, 100u);
+  // Write latency 0, read latency 5ms.
+  EXPECT_DOUBLE_EQ(DriverStats::mean_ms(stats.write_latencies), 0.0);
+  EXPECT_DOUBLE_EQ(DriverStats::mean_ms(stats.read_latencies), 5.0);
+  EXPECT_EQ(DriverStats::max(stats.read_latencies), 5 * sim::kMillisecond);
+  EXPECT_EQ(DriverStats::percentile(stats.read_latencies, 0.5),
+            5 * sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace causalec::workload

@@ -1,0 +1,238 @@
+// causalec_cli -- run a CausalEC experiment from the command line.
+//
+//   causalec_cli [options]
+//     --code rs|paper53|sixdc|random   code family          (default rs)
+//     --servers N                      server count          (default 6)
+//     --objects K                      object count          (default 4)
+//     --value-bytes B                  object size           (default 1024)
+//     --latency-ms L                   one-way link latency  (default 10)
+//     --gc-ms T                        GC period             (default 50)
+//     --ops COUNT                      operations to issue   (default 500)
+//     --write-frac F                   write fraction        (default 0.5)
+//     --zipf THETA                     key skew, 0 = uniform (default 0)
+//     --clients-per-server C           sessions per server   (default 2)
+//     --seed S                         RNG seed              (default 1)
+//     --lamport                        Lamport metadata accounting
+//     --nearest-fanout                 footnote-14 read fan-out
+//     --check                          run the causal-consistency checker
+//
+// Prints workload stats, per-message-type traffic, storage convergence,
+// and (with --check) the checker verdict.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "causalec/cluster.h"
+#include "common/random.h"
+#include "consistency/causal_checker.h"
+#include "consistency/recorder.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+#include "workload/driver.h"
+
+using namespace causalec;
+using erasure::Value;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct Options {
+  std::string code = "rs";
+  std::size_t servers = 6;
+  std::size_t objects = 4;
+  std::size_t value_bytes = 1024;
+  double latency_ms = 10;
+  double gc_ms = 50;
+  int ops = 500;
+  double write_frac = 0.5;
+  double zipf = 0;
+  int clients_per_server = 2;
+  std::uint64_t seed = 1;
+  bool lamport = false;
+  bool nearest_fanout = false;
+  bool check = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--code rs|paper53|sixdc|random] [--servers N] "
+               "[--objects K]\n  [--value-bytes B] [--latency-ms L] "
+               "[--gc-ms T] [--ops N] [--write-frac F]\n  [--zipf THETA] "
+               "[--clients-per-server C] [--seed S] [--lamport]\n"
+               "  [--nearest-fanout] [--check]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--code") {
+      opt.code = next();
+    } else if (arg == "--servers") {
+      opt.servers = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--objects") {
+      opt.objects = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--value-bytes") {
+      opt.value_bytes = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--latency-ms") {
+      opt.latency_ms = std::strtod(next(), nullptr);
+    } else if (arg == "--gc-ms") {
+      opt.gc_ms = std::strtod(next(), nullptr);
+    } else if (arg == "--ops") {
+      opt.ops = std::atoi(next());
+    } else if (arg == "--write-frac") {
+      opt.write_frac = std::strtod(next(), nullptr);
+    } else if (arg == "--zipf") {
+      opt.zipf = std::strtod(next(), nullptr);
+    } else if (arg == "--clients-per-server") {
+      opt.clients_per_server = std::atoi(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--lamport") {
+      opt.lamport = true;
+    } else if (arg == "--nearest-fanout") {
+      opt.nearest_fanout = true;
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+erasure::CodePtr make_code(const Options& opt) {
+  if (opt.code == "rs") {
+    return erasure::make_systematic_rs(opt.servers, opt.objects,
+                                       opt.value_bytes);
+  }
+  if (opt.code == "paper53") {
+    return erasure::make_paper_5_3_gf256(opt.value_bytes);
+  }
+  if (opt.code == "sixdc") {
+    return erasure::make_six_dc_cross_object(opt.value_bytes);
+  }
+  if (opt.code == "random") {
+    return erasure::make_random_code(opt.seed, opt.servers, opt.objects,
+                                     opt.value_bytes, 0.5);
+  }
+  std::fprintf(stderr, "unknown code family '%s'\n", opt.code.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  auto code = make_code(opt);
+  const std::size_t n = code->num_servers();
+  const std::size_t k = code->num_objects();
+
+  ClusterConfig config;
+  config.gc_period = static_cast<SimTime>(opt.gc_ms * 1e6);
+  config.seed = opt.seed;
+  config.server.metadata =
+      opt.lamport ? MetadataMode::kLamport : MetadataMode::kVectorClock;
+  config.server.fanout = opt.nearest_fanout
+                             ? ReadFanout::kNearestRecoverySet
+                             : ReadFanout::kBroadcast;
+  Cluster cluster(code,
+                  std::make_unique<sim::ConstantLatency>(
+                      static_cast<SimTime>(opt.latency_ms * 1e6)),
+                  config);
+  std::printf("cluster: %s, %.1f ms links, GC every %.0f ms\n",
+              code->describe().c_str(), opt.latency_ms, opt.gc_ms);
+
+  consistency::History history;
+  auto now = [&cluster] { return cluster.sim().now(); };
+  std::vector<std::unique_ptr<consistency::SessionRecorder>> sessions;
+  for (NodeId s = 0; s < n; ++s) {
+    for (int c = 0; c < opt.clients_per_server; ++c) {
+      sessions.push_back(std::make_unique<consistency::SessionRecorder>(
+          &cluster.make_client(s), &history, now));
+    }
+  }
+
+  // Closed-ish loop: round-robin sessions, skipping busy ones.
+  Rng rng(opt.seed * 17 + 3);
+  workload::KeyPicker picker(k, opt.zipf, opt.seed);
+  int issued = 0;
+  std::vector<SimTime> read_latencies;
+  while (issued < opt.ops) {
+    auto& session = *sessions[rng.next_below(sessions.size())];
+    if (session.busy()) {
+      cluster.run_for(kMillisecond);
+      continue;
+    }
+    const ObjectId x = picker.next();
+    if (rng.next_bool(opt.write_frac)) {
+      Value v(opt.value_bytes);
+      for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+      session.write(x, std::move(v));
+    } else {
+      const SimTime start = cluster.sim().now();
+      session.read(x, [&read_latencies, start, &cluster](const Value&,
+                                                         const Tag&) {
+        read_latencies.push_back(cluster.sim().now() - start);
+      });
+    }
+    ++issued;
+    cluster.run_for(rng.next_below(6) * kMillisecond);
+  }
+  cluster.settle();
+
+  std::printf("\nworkload: %d ops (%.0f%% writes), %zu sessions, zipf "
+              "theta %.2f\n",
+              opt.ops, opt.write_frac * 100, sessions.size(), opt.zipf);
+  std::printf("read latency: mean %.1f ms, p99 %.1f ms, max %.1f ms "
+              "(%zu reads)\n",
+              workload::DriverStats::mean_ms(read_latencies),
+              static_cast<double>(
+                  workload::DriverStats::percentile(read_latencies, 0.99)) /
+                  1e6,
+              static_cast<double>(
+                  workload::DriverStats::max(read_latencies)) /
+                  1e6,
+              read_latencies.size());
+
+  const auto& stats = cluster.sim().stats();
+  std::printf("\ntraffic: %llu messages, %llu bytes total\n",
+              static_cast<unsigned long long>(stats.total_messages),
+              static_cast<unsigned long long>(stats.total_bytes));
+  for (const auto& [type, per] : stats.by_type) {
+    std::printf("  %-18s %8llu msgs %12llu bytes\n", type.c_str(),
+                static_cast<unsigned long long>(per.count),
+                static_cast<unsigned long long>(per.bytes));
+  }
+
+  std::printf("\nstorage converged: %s\n",
+              cluster.storage_converged() ? "yes" : "NO");
+  std::uint64_t errors = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    errors += cluster.server(s).counters().error1_events +
+              cluster.server(s).counters().error2_events;
+  }
+  std::printf("Error1/Error2 events: %llu\n",
+              static_cast<unsigned long long>(errors));
+
+  if (opt.check) {
+    const auto causal = consistency::check_causal_consistency(history);
+    const auto guarantees = consistency::check_session_guarantees(history);
+    std::printf("\ncausal consistency: %s\n",
+                causal.ok ? "PASS" : causal.violations.front().c_str());
+    std::printf("session guarantees: %s\n",
+                guarantees.ok ? "PASS"
+                              : guarantees.violations.front().c_str());
+    if (!causal.ok || !guarantees.ok) return 1;
+  }
+  return 0;
+}
