@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_designer.dir/bench_designer.cpp.o"
+  "CMakeFiles/bench_designer.dir/bench_designer.cpp.o.d"
+  "bench_designer"
+  "bench_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

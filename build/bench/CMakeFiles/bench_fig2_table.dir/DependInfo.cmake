@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_table.cpp" "bench/CMakeFiles/bench_fig2_table.dir/bench_fig2_table.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_table.dir/bench_fig2_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/causalec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/causalec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/causalec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/causalec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

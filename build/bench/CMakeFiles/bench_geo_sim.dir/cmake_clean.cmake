@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geo_sim.dir/bench_geo_sim.cpp.o"
+  "CMakeFiles/bench_geo_sim.dir/bench_geo_sim.cpp.o.d"
+  "bench_geo_sim"
+  "bench_geo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

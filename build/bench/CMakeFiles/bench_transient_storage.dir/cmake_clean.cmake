@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transient_storage.dir/bench_transient_storage.cpp.o"
+  "CMakeFiles/bench_transient_storage.dir/bench_transient_storage.cpp.o.d"
+  "bench_transient_storage"
+  "bench_transient_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transient_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

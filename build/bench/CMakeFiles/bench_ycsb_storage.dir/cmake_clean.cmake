@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_storage.dir/bench_ycsb_storage.cpp.o"
+  "CMakeFiles/bench_ycsb_storage.dir/bench_ycsb_storage.cpp.o.d"
+  "bench_ycsb_storage"
+  "bench_ycsb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_and_deploy.dir/design_and_deploy.cpp.o"
+  "CMakeFiles/design_and_deploy.dir/design_and_deploy.cpp.o.d"
+  "design_and_deploy"
+  "design_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

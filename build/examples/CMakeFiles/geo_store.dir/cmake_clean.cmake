@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_store.dir/geo_store.cpp.o"
+  "CMakeFiles/geo_store.dir/geo_store.cpp.o.d"
+  "geo_store"
+  "geo_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_scenario.dir/paper_scenario.cpp.o"
+  "CMakeFiles/paper_scenario.dir/paper_scenario.cpp.o.d"
+  "paper_scenario"
+  "paper_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/threaded_store.cpp" "examples/CMakeFiles/threaded_store.dir/threaded_store.cpp.o" "gcc" "examples/CMakeFiles/threaded_store.dir/threaded_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/causalec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/causalec/CMakeFiles/causalec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/causalec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/causalec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/causalec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/causalec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_store.dir/threaded_store.cpp.o"
+  "CMakeFiles/threaded_store.dir/threaded_store.cpp.o.d"
+  "threaded_store"
+  "threaded_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

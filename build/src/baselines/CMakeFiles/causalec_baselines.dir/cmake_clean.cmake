@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_baselines.dir/intra_object_store.cpp.o"
+  "CMakeFiles/causalec_baselines.dir/intra_object_store.cpp.o.d"
+  "CMakeFiles/causalec_baselines.dir/replicated_store.cpp.o"
+  "CMakeFiles/causalec_baselines.dir/replicated_store.cpp.o.d"
+  "libcausalec_baselines.a"
+  "libcausalec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

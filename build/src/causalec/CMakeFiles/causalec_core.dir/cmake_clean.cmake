@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_core.dir/cluster.cpp.o"
+  "CMakeFiles/causalec_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/causalec_core.dir/codec.cpp.o"
+  "CMakeFiles/causalec_core.dir/codec.cpp.o.d"
+  "CMakeFiles/causalec_core.dir/grouped_store.cpp.o"
+  "CMakeFiles/causalec_core.dir/grouped_store.cpp.o.d"
+  "CMakeFiles/causalec_core.dir/server.cpp.o"
+  "CMakeFiles/causalec_core.dir/server.cpp.o.d"
+  "libcausalec_core.a"
+  "libcausalec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_common.dir/logging.cpp.o"
+  "CMakeFiles/causalec_common.dir/logging.cpp.o.d"
+  "libcausalec_common.a"
+  "libcausalec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_consistency.dir/causal_checker.cpp.o"
+  "CMakeFiles/causalec_consistency.dir/causal_checker.cpp.o.d"
+  "libcausalec_consistency.a"
+  "libcausalec_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcausalec_consistency.a"
+)

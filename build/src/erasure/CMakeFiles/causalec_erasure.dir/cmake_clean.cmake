@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_erasure.dir/codes.cpp.o"
+  "CMakeFiles/causalec_erasure.dir/codes.cpp.o.d"
+  "libcausalec_erasure.a"
+  "libcausalec_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcausalec_erasure.a"
+)

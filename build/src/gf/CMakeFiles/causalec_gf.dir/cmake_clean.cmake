@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_gf.dir/gf256.cpp.o"
+  "CMakeFiles/causalec_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/causalec_gf.dir/gf2_16.cpp.o"
+  "CMakeFiles/causalec_gf.dir/gf2_16.cpp.o.d"
+  "libcausalec_gf.a"
+  "libcausalec_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_placement.dir/designer.cpp.o"
+  "CMakeFiles/causalec_placement.dir/designer.cpp.o.d"
+  "CMakeFiles/causalec_placement.dir/latency_eval.cpp.o"
+  "CMakeFiles/causalec_placement.dir/latency_eval.cpp.o.d"
+  "CMakeFiles/causalec_placement.dir/rtt_matrix.cpp.o"
+  "CMakeFiles/causalec_placement.dir/rtt_matrix.cpp.o.d"
+  "libcausalec_placement.a"
+  "libcausalec_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_runtime.dir/threaded_cluster.cpp.o"
+  "CMakeFiles/causalec_runtime.dir/threaded_cluster.cpp.o.d"
+  "libcausalec_runtime.a"
+  "libcausalec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcausalec_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_sim.dir/latency.cpp.o"
+  "CMakeFiles/causalec_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/causalec_sim.dir/simulation.cpp.o"
+  "CMakeFiles/causalec_sim.dir/simulation.cpp.o.d"
+  "libcausalec_sim.a"
+  "libcausalec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

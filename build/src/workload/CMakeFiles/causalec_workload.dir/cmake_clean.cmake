@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_workload.dir/zipf.cpp.o"
+  "CMakeFiles/causalec_workload.dir/zipf.cpp.o.d"
+  "libcausalec_workload.a"
+  "libcausalec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

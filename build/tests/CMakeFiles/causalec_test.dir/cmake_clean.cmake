@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_test.dir/causalec_test.cpp.o"
+  "CMakeFiles/causalec_test.dir/causalec_test.cpp.o.d"
+  "causalec_test"
+  "causalec_test.pdb"
+  "causalec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

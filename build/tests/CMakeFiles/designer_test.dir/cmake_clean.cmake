@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designer_test.dir/designer_test.cpp.o"
+  "CMakeFiles/designer_test.dir/designer_test.cpp.o.d"
+  "designer_test"
+  "designer_test.pdb"
+  "designer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

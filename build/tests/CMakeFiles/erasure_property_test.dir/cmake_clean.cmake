@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_property_test.dir/erasure_property_test.cpp.o"
+  "CMakeFiles/erasure_property_test.dir/erasure_property_test.cpp.o.d"
+  "erasure_property_test"
+  "erasure_property_test.pdb"
+  "erasure_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

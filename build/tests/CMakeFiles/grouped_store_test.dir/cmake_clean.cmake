@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_store_test.dir/grouped_store_test.cpp.o"
+  "CMakeFiles/grouped_store_test.dir/grouped_store_test.cpp.o.d"
+  "grouped_store_test"
+  "grouped_store_test.pdb"
+  "grouped_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inqueue_liveness_test.dir/inqueue_liveness_test.cpp.o"
+  "CMakeFiles/inqueue_liveness_test.dir/inqueue_liveness_test.cpp.o.d"
+  "inqueue_liveness_test"
+  "inqueue_liveness_test.pdb"
+  "inqueue_liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inqueue_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

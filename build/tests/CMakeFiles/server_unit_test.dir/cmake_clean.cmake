@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_unit_test.dir/server_unit_test.cpp.o"
+  "CMakeFiles/server_unit_test.dir/server_unit_test.cpp.o.d"
+  "server_unit_test"
+  "server_unit_test.pdb"
+  "server_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

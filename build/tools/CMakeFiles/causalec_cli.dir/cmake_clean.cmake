@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causalec_cli.dir/causalec_cli.cpp.o"
+  "CMakeFiles/causalec_cli.dir/causalec_cli.cpp.o.d"
+  "causalec_cli"
+  "causalec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causalec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

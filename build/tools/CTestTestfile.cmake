@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "/root/repo/build/tools/causalec_cli" "--code" "paper53" "--ops" "120" "--zipf" "0.9" "--check")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_rs "/root/repo/build/tools/causalec_cli" "--code" "rs" "--servers" "7" "--objects" "4" "--ops" "100" "--nearest-fanout" "--lamport" "--check")
+set_tests_properties(cli_smoke_rs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
