@@ -11,6 +11,7 @@
 #include "causalec/cluster.h"
 #include "common/random.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "sim/latency.h"
 
 using namespace causalec;
@@ -85,6 +86,21 @@ int main() {
               "compact", "Tgc ms", "del msgs", "del bytes", "peak DelL",
               "avg hist B", "converged");
 
+  obs::BenchReport report("ablation");
+  report.set_config("code", "RS(6,3)");
+  report.set_config("value_bytes", kValueBytes);
+  report.set_config("writes", 200);
+  auto add_row = [&report](const char* name, const Result& r) {
+    report.add_row(name)
+        .metric("del_msgs", static_cast<double>(r.del_msgs))
+        .metric("del_bytes", static_cast<double>(r.del_bytes))
+        .metric("total_bytes", static_cast<double>(r.total_bytes))
+        .metric("peak_dell_entries",
+                static_cast<double>(r.peak_dell_entries))
+        .metric("avg_history_B", r.avg_history_B)
+        .metric("converged", r.converged ? 1 : 0);
+  };
+
   for (bool dedupe : {true, false}) {
     for (bool compact : {true, false}) {
       const Result r = run(dedupe, compact, 100 * kMillisecond);
@@ -94,6 +110,10 @@ int main() {
                   static_cast<unsigned long long>(r.del_bytes),
                   r.peak_dell_entries, r.avg_history_B,
                   r.converged ? "yes" : "NO");
+      char name[64];
+      std::snprintf(name, sizeof(name), "dedupe=%s,compact=%s,tgc_ms=100",
+                    dedupe ? "on" : "off", compact ? "on" : "off");
+      add_row(name, r);
     }
   }
 
@@ -109,6 +129,10 @@ int main() {
                 r.avg_history_B,
                 static_cast<unsigned long long>(r.total_bytes),
                 r.converged ? "yes" : "NO");
+    char name[32];
+    std::snprintf(name, sizeof(name), "tgc_ms=%lld",
+                  static_cast<long long>(gc / kMillisecond));
+    add_row(name, r);
   }
   std::printf("\ndel routing (Appendix G variant (ii)), dedupe + compaction "
               "on, Tgc = 100 ms:\n");
@@ -121,7 +145,12 @@ int main() {
                 static_cast<unsigned long long>(r.del_msgs),
                 static_cast<unsigned long long>(r.del_bytes),
                 r.converged ? "yes" : "NO");
+    char name[32];
+    std::snprintf(name, sizeof(name), "del_routing=%s",
+                  routing == DelRouting::kDirect ? "direct" : "via_leader");
+    add_row(name, r);
   }
+  report.write_default();
 
   std::printf("\nexpected: dedupe cuts del traffic sharply with no effect "
               "on convergence;\ncompaction bounds DelL metadata; larger "

@@ -13,6 +13,7 @@
 
 #include "causalec/cluster.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "sim/latency.h"
 
 using namespace causalec;
@@ -90,6 +91,10 @@ int main() {
               "B", "metadata", "read bytes", "read/B", "~(k-1)B",
               "write bytes", "write/B", "~(N-1)B");
 
+  obs::BenchReport report("comm_cost");
+  report.set_config("reads", 40);
+  report.set_config("writes", 40);
+
   const std::size_t kValueB = 1024;
   for (auto [n, k] : {std::pair<std::size_t, std::size_t>{5, 2},
                       {5, 3},
@@ -105,6 +110,16 @@ int main() {
                   n, k, kValueB, mode_name(mode), r.read_bytes,
                   r.read_bytes / kValueB, k - 1, r.write_bytes,
                   r.write_bytes / kValueB, n - 1);
+      char name[64];
+      std::snprintf(name, sizeof(name), "N=%zu,k=%zu,%s", n, k,
+                    mode_name(mode));
+      report.add_row(name)
+          .metric("value_bytes", static_cast<double>(kValueB))
+          .metric("read_bytes", r.read_bytes)
+          .metric("write_bytes", r.write_bytes)
+          .metric("read_per_B", r.read_bytes / static_cast<double>(kValueB))
+          .metric("write_per_B", r.write_bytes / static_cast<double>(kValueB))
+          .note("metadata", mode_name(mode));
     }
   }
 
@@ -117,7 +132,16 @@ int main() {
     std::printf("%8zu %12.0f %8.2fB %12.0f %8.2fB\n", b, r.read_bytes,
                 r.read_bytes / static_cast<double>(b), r.write_bytes,
                 r.write_bytes / static_cast<double>(b));
+    char name[64];
+    std::snprintf(name, sizeof(name), "N=6,k=4,vector,B=%zu", b);
+    report.add_row(name)
+        .metric("value_bytes", static_cast<double>(b))
+        .metric("read_bytes", r.read_bytes)
+        .metric("write_bytes", r.write_bytes)
+        .metric("read_per_B", r.read_bytes / static_cast<double>(b))
+        .metric("write_per_B", r.write_bytes / static_cast<double>(b));
   }
+  report.write_default();
   std::printf("\npaper: read O(k)B + O(k^2 logL); write O(N)B + O(k^2 logL) "
               "+ O(N logL)\n(read value traffic is (k-1)B here because the "
               "reader's own symbol is local)\n");

@@ -14,6 +14,7 @@
 #include "baselines/replicated_store.h"
 #include "causalec/cluster.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "placement/designer.h"
 #include "placement/latency_eval.h"
 #include "placement/rtt_matrix.h"
@@ -206,11 +207,21 @@ int main() {
 
   const Row rows[] = {run_partial_replication(), run_intra_object(),
                       run_causalec(), run_causalec_designed()};
+  obs::BenchReport report("geo_sim");
+  report.set_config("value_bytes", kValueBytes);
+  report.set_config("groups", kGroups);
+  report.set_config("dcs", kDcs);
   for (const Row& row : rows) {
     std::printf("%-24s %10.0f %10.2f %11.2fB %11.2fB\n", row.name,
                 row.worst_read_ms, row.avg_read_ms, row.read_bytes_B,
                 row.write_bytes_B);
+    report.add_row(row.name)
+        .metric("worst_read_ms", row.worst_read_ms)
+        .metric("avg_read_ms", row.avg_read_ms)
+        .metric("read_bytes_per_B", row.read_bytes_B)
+        .metric("write_bytes_per_B", row.write_bytes_B);
   }
+  report.write_default();
   std::printf("\npaper (Fig. 2):          partial 228/88 3B/4 6B | intra "
               "138/132.5 3B/4 6B/4 | cross 138/87.5 3B/4 12B\n");
   std::printf("(measured columns include metadata bytes. CausalEC's "

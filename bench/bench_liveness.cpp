@@ -10,6 +10,7 @@
 
 #include "causalec/cluster.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "sim/latency.h"
 
 using namespace causalec;
@@ -85,12 +86,26 @@ int main() {
               static_cast<long long>(kOneWay / kMillisecond));
   std::printf("%8s %12s %14s %14s %12s\n", "crashed", "reads ok",
               "avg read ms", "writes local", "converged");
+  obs::BenchReport report("liveness");
+  report.set_config("code", "RS(6,4)");
+  report.set_config("value_bytes", kValueBytes);
+  report.set_config("one_way_ms",
+                    static_cast<double>(kOneWay) / kMillisecond);
   for (std::size_t crashed : {0u, 1u, 2u, 3u}) {
     const CrashRow row = run_with_crashes(crashed);
     std::printf("%8zu %7d/%-4d %14.1f %14s %12s\n", row.crashed,
                 row.reads_ok, row.reads_total, row.avg_ms,
                 row.writes_local ? "yes" : "NO",
                 row.storage_converged ? "yes" : "NO");
+    char name[32];
+    std::snprintf(name, sizeof(name), "crashed=%zu", row.crashed);
+    report.add_row(name)
+        .metric("crashed", static_cast<double>(row.crashed))
+        .metric("reads_ok", row.reads_ok)
+        .metric("reads_total", row.reads_total)
+        .metric("avg_read_ms", row.avg_ms)
+        .metric("writes_local", row.writes_local ? 1 : 0)
+        .metric("storage_converged", row.storage_converged ? 1 : 0);
   }
   std::printf("\nexpected: all reads complete through 2 crashes (N-K=2); "
               "with 3 crashes reads\nstill complete whenever the value is "
@@ -118,5 +133,10 @@ int main() {
               "server 5 completed in %.0f ms = %s one round trip\n",
               static_cast<double>(done - start) / 1e6,
               done - start == 2 * kOneWay ? "exactly" : "NOT");
+  report.add_row("property_ii_spot_check")
+      .metric("read_ms", static_cast<double>(done - start) / 1e6)
+      .metric("one_round_trip", done - start == 2 * kOneWay ? 1 : 0)
+      .note("code", "paper (5,3)");
+  report.write_default();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "baselines/replicated_store.h"
 #include "causalec/cluster.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "placement/rtt_matrix.h"
 #include "sim/latency.h"
 #include "workload/driver.h"
@@ -151,6 +152,22 @@ int main() {
   std::printf("%-24s %12.1f %12.2f %13.0f%%\n", "cross-object CausalEC",
               cross.ops_per_s, cross.avg_read_ms,
               100.0 * cross.ops_per_s / partial.ops_per_s);
+
+  obs::BenchReport report("throughput");
+  report.set_config("value_bytes", kValueBytes);
+  report.set_config("sessions_per_dc", kSessionsPerDc);
+  report.set_config("run_for_s", static_cast<double>(kRunFor) / 1e9);
+  const auto add = [&report, &partial](const char* name,
+                                       const Throughput& t) {
+    report.add_row(name)
+        .metric("ops_per_s", t.ops_per_s)
+        .metric("avg_read_ms", t.avg_read_ms)
+        .metric("vs_partial", t.ops_per_s / partial.ops_per_s);
+  };
+  add("partial replication", partial);
+  add("intra-object RS(6,4)", intra);
+  add("cross-object CausalEC", cross);
+  report.write_default();
   std::printf("\npaper: intra-object throughput ~66%% of replication "
               "(88.25/132.5); cross-object ~parity.\n");
   return 0;

@@ -13,11 +13,14 @@
 // We drive one object with Poisson writes, sample per-server history bytes,
 // and print measured overhead (units of B) against the residency model.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "causalec/cluster.h"
 #include "common/random.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "sim/latency.h"
 
 using namespace causalec;
@@ -32,7 +35,8 @@ struct Sampled {
   double peak_history_B = 0;
 };
 
-Sampled run(double rho_w_hz, SimTime gc_period, std::uint64_t seed) {
+Sampled run(double rho_w_hz, SimTime gc_period, std::uint64_t seed,
+            SimTime horizon, SimTime warmup) {
   constexpr std::size_t kValueBytes = 1024;
   ClusterConfig config;
   config.gc_period = gc_period;
@@ -45,7 +49,6 @@ Sampled run(double rho_w_hz, SimTime gc_period, std::uint64_t seed) {
   Rng rng(seed);
   auto& sim = cluster->sim();
   Client& writer = cluster->make_client(0);
-  const SimTime horizon = 60 * kSecond;
   std::function<void()> write_loop = [&] {
     if (sim.now() >= horizon) return;
     writer.write(0, Value(kValueBytes, static_cast<std::uint8_t>(
@@ -61,7 +64,6 @@ Sampled run(double rho_w_hz, SimTime gc_period, std::uint64_t seed) {
   Sampled sampled;
   std::uint64_t samples = 0;
   double sum = 0, peak = 0;
-  const SimTime warmup = 10 * kSecond;
   sim.schedule_periodic(warmup, 50 * kMillisecond, [&] {
     for (NodeId s = 0; s < cluster->num_servers(); ++s) {
       const double b = static_cast<double>(
@@ -81,23 +83,51 @@ Sampled run(double rho_w_hz, SimTime gc_period, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: one tiny configuration on a short horizon, for the
+  // bench_json_smoke CTest entry.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const SimTime horizon = smoke ? 8 * kSecond : 60 * kSecond;
+  const SimTime warmup = smoke ? 2 * kSecond : 10 * kSecond;
+  const std::vector<double> rhos =
+      smoke ? std::vector<double>{4.0} : std::vector<double>{1.0, 4.0, 16.0};
+  const std::vector<SimTime> gcs =
+      smoke ? std::vector<SimTime>{200 * kMillisecond}
+            : std::vector<SimTime>{100 * kMillisecond, 500 * kMillisecond,
+                                   2 * kSecond};
+
   std::printf("E4: Sec. 4.2 transient storage overhead of history lists\n");
-  std::printf("RS(5,3), B = 1 KiB, Poisson writes to one object, 60 s "
-              "simulated\n\n");
+  std::printf("RS(5,3), B = 1 KiB, Poisson writes to one object, %lld s "
+              "simulated\n\n", static_cast<long long>(horizon / kSecond));
   std::printf("%10s %10s | %14s %14s | %16s\n", "rho_w /s", "T_gc s",
               "avg hist (B)", "peak hist (B)", "model 3*rho*Tgc");
 
+  obs::BenchReport report("transient_storage");
+  report.set_config("code", "RS(5,3)");
+  report.set_config("value_bytes", std::size_t{1024});
+  report.set_config("horizon_s", static_cast<double>(horizon) / 1e9);
+  report.set_config("smoke", smoke);
+
   std::uint64_t seed = 1000;
-  for (double rho : {1.0, 4.0, 16.0}) {
-    for (SimTime gc : {100 * kMillisecond, 500 * kMillisecond, 2 * kSecond}) {
-      const Sampled s = run(rho, gc, seed++);
+  for (double rho : rhos) {
+    for (SimTime gc : gcs) {
+      const Sampled s = run(rho, gc, seed++, horizon, warmup);
       const double model = 3.0 * rho * static_cast<double>(gc) / 1e9;
       std::printf("%10.1f %10.1f | %14.2f %14.2f | %16.2f\n", rho,
                   static_cast<double>(gc) / 1e9, s.avg_history_B,
                   s.peak_history_B, model);
+      char name[64];
+      std::snprintf(name, sizeof(name), "rho=%.1f,tgc_ms=%lld", rho,
+                    static_cast<long long>(gc / kMillisecond));
+      report.add_row(name)
+          .metric("rho_w_hz", rho)
+          .metric("tgc_s", static_cast<double>(gc) / 1e9)
+          .metric("avg_history_B", s.avg_history_B)
+          .metric("peak_history_B", s.peak_history_B)
+          .metric("model_3_rho_tgc", model);
     }
   }
+  report.write_default();
   std::printf("\nExpected shape: measured overhead grows ~linearly in both "
               "rho_w and T_gc and\nsits at or below the 3*rho_w*T_gc "
               "residency model (versions can clear in fewer\nthan 3 GC "

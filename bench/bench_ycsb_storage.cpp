@@ -18,6 +18,7 @@
 #include "causalec/grouped_store.h"
 #include "common/random.h"
 #include "erasure/codes.h"
+#include "obs/bench_report.h"
 #include "sim/latency.h"
 #include "workload/zipf.h"
 
@@ -28,7 +29,7 @@ using sim::kSecond;
 
 namespace {
 
-void part1_analytic() {
+void part1_analytic(obs::BenchReport& report) {
   const double n = 120e6;
   const double theta = 0.99;
   const double total_write_rate = 200'000 * 0.5;
@@ -64,9 +65,14 @@ void part1_analytic() {
   std::printf("  avg storage per coded object: (1/k + %.3f) B = %.3f B at "
               "k=%.0f   (paper: (1/k + 0.05) B)\n",
               avg_overhead_B, 1.0 / k + avg_overhead_B, k);
+  report.add_row("part1_analytic")
+      .metric("frac_cold", frac_cold)
+      .metric("avg_overhead_B", avg_overhead_B)
+      .metric("avg_storage_B", 1.0 / k + avg_overhead_B)
+      .note("paper", "frac_cold > 0.95, storage (1/k + 0.05) B");
 }
 
-void part2_simulated() {
+void part2_simulated(obs::BenchReport& report) {
   // Scaled instance inside the rho_w * T_gc << 1 regime the analysis
   // assumes ("mild assumptions" / Appendix H): 48 objects in 16 RS(5,3)
   // groups sharing 5 simulated nodes.
@@ -143,13 +149,21 @@ void part2_simulated() {
               per_object, 1.0 / kPerGroup);
   std::printf("  residency model 3*rho_w*T_gc:  %.3f B per object per "
               "server\n", model);
+  report.add_row("part2_simulated")
+      .metric("measured_overhead_B", per_object)
+      .metric("model_overhead_B", model)
+      .metric("codeword_share_B", 1.0 / kPerGroup);
 }
 
 }  // namespace
 
 int main() {
   std::printf("E5: Sec. 4.2 YCSB storage estimate\n\n");
-  part1_analytic();
-  part2_simulated();
+  obs::BenchReport report("ycsb_storage");
+  report.set_config("part1_objects", 120e6);
+  report.set_config("zipf_theta", 0.99);
+  part1_analytic(report);
+  part2_simulated(report);
+  report.write_default();
   return 0;
 }

@@ -29,12 +29,15 @@ Cluster::Cluster(erasure::CodePtr code,
                  ClusterConfig config)
     : code_(std::move(code)), config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulation>(std::move(latency), config_.seed);
+  if (config_.obs.any()) sim_->set_obs(config_.obs);
   const std::size_t n = code_->num_servers();
   transports_.reserve(n);
   servers_.reserve(n);
   for (NodeId s = 0; s < n; ++s) {
     transports_.push_back(std::make_unique<SimTransport>(sim_.get(), s));
     ServerConfig server_config = config_.server;
+    if (config_.obs.tracer != nullptr) server_config.obs.tracer = config_.obs.tracer;
+    if (config_.obs.metrics != nullptr) server_config.obs.metrics = config_.obs.metrics;
     if (!config_.proximity_matrix.empty()) {
       CEC_CHECK(config_.proximity_matrix.size() == n);
       server_config.proximity = config_.proximity_matrix[s];
@@ -45,6 +48,7 @@ Cluster::Cluster(erasure::CodePtr code,
     CEC_CHECK(sim_id == s);
   }
   arm_gc_timers();
+  arm_storage_sampler();
 }
 
 Cluster::~Cluster() = default;
@@ -77,6 +81,7 @@ void Cluster::run_for(SimTime duration) {
 
 void Cluster::settle(std::size_t gc_rounds) {
   disarm_gc_timers();
+  disarm_storage_sampler();
   sim_->run_until_idle();
   for (std::size_t round = 0; round < gc_rounds; ++round) {
     for (NodeId s = 0; s < servers_.size(); ++s) {
@@ -85,6 +90,7 @@ void Cluster::settle(std::size_t gc_rounds) {
     sim_->run_until_idle();
   }
   arm_gc_timers();
+  arm_storage_sampler();
 }
 
 bool Cluster::storage_converged() const {
@@ -115,6 +121,42 @@ void Cluster::arm_gc_timers() {
 void Cluster::disarm_gc_timers() {
   for (auto id : gc_timer_ids_) sim_->cancel_timer(id);
   gc_timer_ids_.clear();
+}
+
+std::vector<std::string> Cluster::storage_series_columns() {
+  return {"codeword_bytes", "history_bytes",  "history_entries",
+          "inqueue_bytes",  "inqueue_entries", "readl_entries",
+          "dell_entries"};
+}
+
+void Cluster::arm_storage_sampler() {
+  if (config_.storage_series == nullptr) return;
+  CEC_CHECK(config_.storage_sample_period > 0);
+  CEC_CHECK(config_.storage_series->columns() == storage_series_columns());
+  storage_sampler_id_ = sim_->schedule_periodic(
+      sim_->now() + config_.storage_sample_period,
+      config_.storage_sample_period, [this] { sample_storage(); });
+}
+
+void Cluster::disarm_storage_sampler() {
+  if (storage_sampler_id_ != 0) sim_->cancel_timer(storage_sampler_id_);
+  storage_sampler_id_ = 0;
+}
+
+void Cluster::sample_storage() {
+  for (NodeId s = 0; s < servers_.size(); ++s) {
+    if (sim_->halted(s)) continue;
+    const StorageStats st = servers_[s]->storage();
+    config_.storage_series->record(
+        sim_->now(), s,
+        {static_cast<double>(st.codeword_bytes),
+         static_cast<double>(st.history_bytes),
+         static_cast<double>(st.history_entries),
+         static_cast<double>(st.inqueue_bytes),
+         static_cast<double>(st.inqueue_entries),
+         static_cast<double>(st.readl_entries),
+         static_cast<double>(st.dell_entries)});
+  }
 }
 
 }  // namespace causalec

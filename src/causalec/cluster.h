@@ -19,6 +19,7 @@
 #include "causalec/config.h"
 #include "causalec/server.h"
 #include "erasure/code.h"
+#include "obs/sampler.h"
 #include "sim/latency.h"
 #include "sim/simulation.h"
 
@@ -34,6 +35,18 @@ struct ClusterConfig {
   /// ReadFanout::kNearestRecoverySet (e.g. the RTT matrix).
   std::vector<std::vector<double>> proximity_matrix;
   std::uint64_t seed = 1;
+
+  /// Observability sinks, shared by the simulator (message events, net.*
+  /// counters) and every server (spans, server.* metrics). Copied into
+  /// each ServerConfig; a value set in `server.obs` directly is overridden
+  /// when these are non-null.
+  obs::ObsHooks obs;
+
+  /// When set, every server's StorageStats is sampled into this series
+  /// every storage_sample_period of simulated time (the Sec. 4.2 transient
+  /// storage curve). Use storage_series_columns() for the column layout.
+  obs::TimeSeries* storage_series = nullptr;
+  SimTime storage_sample_period = 50 * sim::kMillisecond;
 };
 
 class Cluster {
@@ -69,11 +82,17 @@ class Cluster {
   /// Total payload+metadata entries across servers (Theorem 4.5 checks).
   bool storage_converged() const;
 
+  /// Column names of the rows recorded into ClusterConfig::storage_series.
+  static std::vector<std::string> storage_series_columns();
+
  private:
   class SimTransport;
 
   void arm_gc_timers();
   void disarm_gc_timers();
+  void arm_storage_sampler();
+  void disarm_storage_sampler();
+  void sample_storage();
 
   erasure::CodePtr code_;
   ClusterConfig config_;
@@ -82,6 +101,7 @@ class Cluster {
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::uint64_t> gc_timer_ids_;
+  std::uint64_t storage_sampler_id_ = 0;
   ClientId next_client_id_ = 1;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/obs.h"
 
 namespace causalec {
 
@@ -63,6 +64,10 @@ struct ServerConfig {
 
   /// Fixed per-message envelope bytes (type, src, dst, object id, opid...).
   std::size_t header_bytes = 16;
+
+  /// Observability sinks (see obs/obs.h). Null members disable the
+  /// corresponding instrumentation at the cost of one branch per site.
+  obs::ObsHooks obs;
 };
 
 }  // namespace causalec

@@ -33,6 +33,11 @@ struct PendingRead {
   /// escalation after a nearest-recovery-set timeout).
   bool broadcast = true;
 
+  // -- Observability bookkeeping (0 when obs is off). A retry inherits both
+  // fields so the span and the latency sample cover the whole operation.
+  SimTime started_at = 0;       // transport now() at registration
+  std::uint64_t trace_id = 0;   // async-span correlation id
+
   bool is_internal() const { return client == kLocalhost; }
 };
 

@@ -32,6 +32,17 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
       last_del_broadcast_all_(zero_tag_vector(k_, n_)) {
   CEC_CHECK(transport_ != nullptr);
   CEC_CHECK(id_ < n_);
+  tracer_ = config_.obs.tracer;
+  obs_enabled_ = config_.obs.any();
+  if (obs::MetricsRegistry* metrics = config_.obs.metrics) {
+    m_writes_ = &metrics->counter("server.writes");
+    m_reads_ = &metrics->counter("server.reads");
+    m_reads_remote_ = &metrics->counter("server.reads_remote");
+    m_reencodes_ = &metrics->counter("server.reencodes");
+    m_gc_collected_ = &metrics->counter("server.gc_collected");
+    m_read_latency_ = &metrics->histogram("server.read_latency_ns");
+    m_write_bytes_ = &metrics->histogram("server.write_bytes");
+  }
   lists_.reserve(k_);
   dels_.reserve(k_);
   containing_.resize(k_);
@@ -47,6 +58,57 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
 }
 
 // ---------------------------------------------------------------------------
+// Cold observability emitters (declared noinline in server.h; see there).
+// ---------------------------------------------------------------------------
+
+void Server::obs_write_done(ObjectId object, ClientId client,
+                            std::size_t bytes, SimTime t0) {
+  if (m_writes_ != nullptr) {
+    m_writes_->inc();
+    m_write_bytes_->observe(bytes);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->complete("write", id_, t0, transport_->now() - t0,
+                      {{"object", std::uint64_t{object}},
+                       {"client", std::uint64_t{client}}});
+  }
+}
+
+void Server::obs_read_done(ObjectId object, SimTime t0, const char* path) {
+  if (tracer_ != nullptr) {
+    tracer_->complete("read", id_, t0, transport_->now() - t0,
+                      {{"object", std::uint64_t{object}}, {"path", path}});
+  }
+  if (m_read_latency_ != nullptr) {
+    m_read_latency_->observe(
+        static_cast<std::uint64_t>(transport_->now() - t0));
+  }
+}
+
+std::uint64_t Server::obs_read_remote_begin(ObjectId object, OpId opid,
+                                            SimTime t0) {
+  if (m_reads_remote_ != nullptr) m_reads_remote_->inc();
+  if (tracer_ == nullptr) return 0;
+  return tracer_->begin_async(
+      "read.remote", id_, t0,
+      {{"object", std::uint64_t{object}}, {"opid", std::uint64_t{opid}}});
+}
+
+std::uint64_t Server::obs_read_internal_begin(ObjectId object, SimTime t0) {
+  if (tracer_ == nullptr) return 0;
+  return tracer_->begin_async("read.internal", id_, t0,
+                              {{"object", std::uint64_t{object}}});
+}
+
+void Server::obs_reencode(ObjectId object) {
+  if (m_reencodes_ != nullptr) m_reencodes_->inc();
+  if (tracer_ != nullptr) {
+    tracer_->instant("reencode", id_, transport_->now(),
+                     {{"object", std::uint64_t{object}}});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Client operations (Algorithm 1).
 // ---------------------------------------------------------------------------
 
@@ -56,6 +118,7 @@ Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
   CEC_CHECK(object < k_);
   CEC_CHECK(value.size() == code_->value_bytes());
   ++counters_.writes;
+  const SimTime obs_t0 = obs_now();
 
   vc_.increment(id_);
   Tag tag(vc_, client);
@@ -83,6 +146,7 @@ Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
                                                      wire_));
   }
 
+  if (obs_enabled_) obs_write_done(object, client, value.size(), obs_t0);
   run_internal_actions();  // Encoding picks the new version up eagerly
   return tag;
 }
@@ -92,6 +156,8 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
   CEC_CHECK(object < k_);
   CEC_CHECK(callback != nullptr);
   ++counters_.reads;
+  const SimTime obs_t0 = obs_now();
+  if (m_reads_ != nullptr) m_reads_->inc();
 
   // Alg. 1 line 11: serve from the history list when it is at least as new
   // as the encoded version (the zero tag acts as the virtual initial entry).
@@ -100,6 +166,7 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
     ++counters_.reads_served_from_history;
     const auto value = lists_[object].lookup(highest);
     CEC_CHECK(value.has_value());
+    if (obs_enabled_) obs_read_done(object, obs_t0, "history");
     callback(*value, highest, vc_);
     return;
   }
@@ -109,7 +176,9 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
     ++counters_.reads_served_local_decode;
     const NodeId self[] = {id_};
     const erasure::Symbol syms[] = {m_val_};
-    callback(code_->decode(object, self, syms), m_tags_[object], vc_);
+    erasure::Value value = code_->decode(object, self, syms);
+    if (obs_enabled_) obs_read_done(object, obs_t0, "local_decode");
+    callback(value, m_tags_[object], vc_);
     return;
   }
 
@@ -124,6 +193,10 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
   read.symbols[id_] = m_val_;
   read.callback = std::move(callback);
   read.broadcast = config_.fanout == ReadFanout::kBroadcast;
+  read.started_at = obs_t0;
+  if (obs_enabled_) {
+    read.trace_id = obs_read_remote_begin(object, opid, obs_t0);
+  }
   register_read(std::move(read));
 }
 
@@ -170,6 +243,7 @@ void Server::handle_del(NodeId from, const DelMessage& msg) {
 void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
   ++counters_.val_inq_handled;
   const ObjectId object = msg.object;
+  const SimTime obs_t0 = obs_now();
 
   // Alg. 2 line 4: uncoded response when the wanted version is in our list.
   if (const auto value = lists_[object].lookup(msg.wanted[object])) {
@@ -177,6 +251,12 @@ void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
     transport_->send(from, std::make_unique<ValRespMessage>(
                                msg.client, msg.opid, object, *value,
                                msg.wanted, wire_));
+    if (tracer_ != nullptr) {
+      tracer_->complete("val_inq", id_, obs_t0, transport_->now() - obs_t0,
+                        {{"object", std::uint64_t{object}},
+                         {"from", std::uint64_t{from}},
+                         {"resp", "uncoded"}});
+    }
     return;
   }
 
@@ -200,6 +280,12 @@ void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
   transport_->send(from, std::make_unique<ValRespEncodedMessage>(
                              msg.client, msg.opid, object, std::move(resp_val),
                              std::move(resp_tags), msg.wanted, wire_));
+  if (tracer_ != nullptr) {
+    tracer_->complete("val_inq", id_, obs_t0, transport_->now() - obs_t0,
+                      {{"object", std::uint64_t{object}},
+                       {"from", std::uint64_t{from}},
+                       {"resp", "encoded"}});
+  }
 }
 
 void Server::handle_val_resp(NodeId from, const ValRespMessage& msg) {
@@ -311,6 +397,13 @@ bool Server::apply_inqueue_step() {
     }
   }
   for (OpId opid : internal_done) {
+    if (tracer_ != nullptr) {
+      if (PendingRead* read = reads_.find(opid);
+          read != nullptr && read->trace_id != 0) {
+        tracer_->end_async("read.internal", id_, transport_->now(),
+                           read->trace_id, {{"via", "inqueue"}});
+      }
+    }
     reads_.remove(opid);  // the value just landed in L[X]
   }
   return true;
@@ -330,6 +423,7 @@ bool Server::encoding_step() {
       code_->reencode(id_, m_val_, x, *current, *newest);
       m_tags_[x] = highest;
       ++counters_.reencodes;
+      if (obs_enabled_) obs_reencode(x);
       record_del(x, highest);
       send_del_to_containing(x, highest);
       changed = true;
@@ -345,6 +439,10 @@ bool Server::encoding_step() {
       read.symbols.assign(n_, std::nullopt);
       read.symbols[id_] = m_val_;
       read.broadcast = config_.fanout == ReadFanout::kBroadcast;
+      read.started_at = obs_now();
+      if (obs_enabled_) {
+        read.trace_id = obs_read_internal_begin(x, read.started_at);
+      }
       register_read(std::move(read));
       // The internal read may have completed synchronously from our own
       // symbol; if the needed version just landed in L[X], loop again so
@@ -375,6 +473,8 @@ bool Server::encoding_step() {
 
 void Server::run_garbage_collection() {
   ++counters_.gc_runs;
+  const SimTime obs_t0 = obs_now();
+  std::uint64_t total_removed = 0;
   for (ObjectId x = 0; x < k_; ++x) {
     // tmax[X] = max(S) (Alg. 3 lines 36-37); monotone by construction.
     if (const auto floor = dels_[x].floor_all()) {
@@ -410,6 +510,7 @@ void Server::run_garbage_collection() {
           [&](const Tag& t) { return t < tm && not_protected(t); });
     }
     counters_.history_entries_collected += removed;
+    total_removed += removed;
 
     // Lines 45-48: containing servers re-announce max(U) to everyone so
     // non-containing servers can advance their bookkeeping and GC.
@@ -422,6 +523,11 @@ void Server::run_garbage_collection() {
 
     if (config_.compact_del_lists) dels_[x].compact(tmax_[x]);
   }
+  if (m_gc_collected_ != nullptr) m_gc_collected_->inc(total_removed);
+  if (tracer_ != nullptr) {
+    tracer_->complete("gc", id_, obs_t0, transport_->now() - obs_t0,
+                      {{"removed", total_removed}});
+  }
   run_internal_actions();
 }
 
@@ -433,9 +539,23 @@ void Server::complete_pending_read(PendingRead& read,
                                    const erasure::Value& value,
                                    const Tag& value_tag) {
   if (read.is_internal()) {
+    if (tracer_ != nullptr && read.trace_id != 0) {
+      tracer_->end_async("read.internal", id_, transport_->now(),
+                         read.trace_id, {{"via", "decode"}});
+      read.trace_id = 0;
+    }
     lists_[read.object].insert(value_tag, value);
   } else {
     CEC_CHECK(read.callback != nullptr);
+    if (tracer_ != nullptr && read.trace_id != 0) {
+      tracer_->end_async("read.remote", id_, transport_->now(),
+                         read.trace_id);
+      read.trace_id = 0;
+    }
+    if (m_read_latency_ != nullptr) {
+      m_read_latency_->observe(
+          static_cast<std::uint64_t>(transport_->now() - read.started_at));
+    }
     read.callback(value, value_tag, vc_);
   }
 }
@@ -492,7 +612,11 @@ void Server::retry_pending_read(OpId opid) {
   if (pending == nullptr) return;  // served already
   const ClientId client = pending->client;
   const ObjectId object = pending->object;
+  const SimTime started_at = pending->started_at;
+  const std::uint64_t trace_id = pending->trace_id;
   ReadCallback callback = std::move(pending->callback);
+  pending->trace_id = 0;  // span ownership moves to the retry (or the end
+                          // emitted below); the removal must not end it
   reads_.remove(opid);
 
   if (client != kLocalhost) {
@@ -503,6 +627,14 @@ void Server::retry_pending_read(OpId opid) {
     if (highest >= m_tags_[object]) {
       const auto value = lists_[object].lookup(highest);
       CEC_CHECK(value.has_value());
+      if (tracer_ != nullptr && trace_id != 0) {
+        tracer_->end_async("read.remote", id_, transport_->now(), trace_id,
+                           {{"via", "retry_history"}});
+      }
+      if (m_read_latency_ != nullptr) {
+        m_read_latency_->observe(
+            static_cast<std::uint64_t>(transport_->now() - started_at));
+      }
       callback(*value, highest, vc_);
       return;
     }
@@ -515,12 +647,19 @@ void Server::retry_pending_read(OpId opid) {
     retry.symbols[id_] = m_val_;
     retry.callback = std::move(callback);
     retry.broadcast = true;
+    // The retry continues the original operation: same span, same start.
+    retry.started_at = started_at;
+    retry.trace_id = trace_id;
     register_read(std::move(retry));
     return;
   }
 
   // Internal read: recreate with fresh tags (and full broadcast) only if
   // the Encoding action still needs the currently-encoded version.
+  if (tracer_ != nullptr && trace_id != 0) {
+    tracer_->end_async("read.internal", id_, transport_->now(), trace_id,
+                       {{"via", "retry"}});
+  }
   const Tag highest = lists_[object].highest_tag();
   if (highest > m_tags_[object] && !lists_[object].contains(m_tags_[object]) &&
       !reads_.has_internal_for(object, m_tags_[object])) {
@@ -532,6 +671,12 @@ void Server::retry_pending_read(OpId opid) {
     retry.symbols.assign(n_, std::nullopt);
     retry.symbols[id_] = m_val_;
     retry.broadcast = true;
+    retry.started_at = obs_now();
+    if (tracer_ != nullptr) {
+      retry.trace_id = tracer_->begin_async(
+          "read.internal", id_, retry.started_at,
+          {{"object", std::uint64_t{object}}, {"retry", 1}});
+    }
     register_read(std::move(retry));
   }
   run_internal_actions();

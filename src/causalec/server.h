@@ -26,6 +26,8 @@
 #include "causalec/tag.h"
 #include "common/types.h"
 #include "erasure/code.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 
 namespace causalec {
@@ -146,6 +148,27 @@ class Server final : public sim::Actor {
 
   OpId next_internal_opid();
 
+  /// Current time for observability timestamps; 0 when obs is off so the
+  /// hot path never pays the virtual now() call.
+  SimTime obs_now() const {
+    return obs_enabled_ ? transport_->now() : 0;
+  }
+
+  // Cold observability emitters, one per hot-path site. Kept out of line and
+  // never inlined: the trace-argument construction otherwise bloats
+  // client_write/client_read enough to measurably slow them down even when
+  // observability is disabled and the code never runs. Call only under
+  // `if (obs_enabled_)` so the disabled cost is one predictable branch.
+  [[gnu::noinline]] void obs_write_done(ObjectId object, ClientId client,
+                                        std::size_t bytes, SimTime t0);
+  [[gnu::noinline]] void obs_read_done(ObjectId object, SimTime t0,
+                                       const char* path);
+  [[gnu::noinline]] std::uint64_t obs_read_remote_begin(ObjectId object,
+                                                        OpId opid, SimTime t0);
+  [[gnu::noinline]] std::uint64_t obs_read_internal_begin(ObjectId object,
+                                                          SimTime t0);
+  [[gnu::noinline]] void obs_reencode(ObjectId object);
+
   /// R = { i : X in X_i } (the servers whose encoding depends on X).
   const std::vector<NodeId>& containing_servers(ObjectId object) const {
     return containing_[object];
@@ -176,6 +199,18 @@ class Server final : public sim::Actor {
   TagVector last_del_broadcast_all_;
   ServerCounters counters_;
   bool in_internal_actions_ = false;
+
+  // -- Observability (null/false when disabled) ----------------------------
+  obs::Tracer* tracer_ = nullptr;
+  bool obs_enabled_ = false;
+  // Handles resolved once at construction; updates are lock-free.
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_reads_remote_ = nullptr;
+  obs::Counter* m_reencodes_ = nullptr;
+  obs::Counter* m_gc_collected_ = nullptr;
+  obs::Histogram* m_read_latency_ = nullptr;
+  obs::Histogram* m_write_bytes_ = nullptr;
 };
 
 }  // namespace causalec

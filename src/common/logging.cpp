@@ -1,12 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace causalec {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mu;
+thread_local int t_node = -1;
+
+using Clock = std::chrono::steady_clock;
+const Clock::time_point g_start = Clock::now();
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -15,13 +22,13 @@ const char* level_name(LogLevel level) {
     case LogLevel::kDebug:
       return "DEBUG";
     case LogLevel::kInfo:
-      return "INFO";
+      return "INFO ";
     case LogLevel::kWarn:
-      return "WARN";
+      return "WARN ";
     case LogLevel::kError:
       return "ERROR";
     case LogLevel::kOff:
-      return "OFF";
+      return "OFF  ";
   }
   return "?";
 }
@@ -33,9 +40,20 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void set_log_thread_node(int node) { t_node = node; }
+
+int log_thread_node() { return t_node; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - g_start).count();
+  char node_tag[16] = "";
+  if (t_node >= 0) std::snprintf(node_tag, sizeof(node_tag), " n%d", t_node);
+  // One fprintf per line under the mutex: node threads never interleave.
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  std::fprintf(stderr, "[%s +%.3fs%s] %s\n", level_name(level), elapsed_s,
+               node_tag, message.c_str());
 }
 }  // namespace detail
 

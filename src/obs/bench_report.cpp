@@ -1,0 +1,92 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace causalec::obs {
+
+BenchReport::Row& BenchReport::add_row(std::string_view name) {
+  rows_.emplace_back(std::string(name));
+  return rows_.back();
+}
+
+void BenchReport::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value("causalec-bench-v1");
+  w.key("bench");
+  w.value(name_);
+  w.key("config");
+  w.begin_object();
+  for (const auto& [key, value] : config_) {
+    w.key(key);
+    std::visit([&w](const auto& v) { w.value(v); }, value);
+  }
+  w.end_object();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    w.key("name");
+    w.value(row.name_);
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [key, value] : row.metrics_) {
+      w.key(key);
+      w.value(value);
+    }
+    w.end_object();
+    if (!row.notes_.empty()) {
+      w.key("notes");
+      w.begin_object();
+      for (const auto& [key, value] : row.notes_) {
+        w.key(key);
+        w.value(value);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+std::string BenchReport::write_default() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("CAUSALEC_BENCH_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench report: cannot open %s for writing\n",
+                 path.c_str());
+    return "";
+  }
+  write_json(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench report: write to %s failed\n", path.c_str());
+    return "";
+  }
+  std::fprintf(stderr, "bench report: wrote %s\n", path.c_str());
+  return path;
+}
+
+bool is_valid_bench_report(std::string_view json) {
+  if (!is_valid_json(json)) return false;
+  // Our writer emits compact JSON, so the required keys appear verbatim.
+  for (const std::string_view needle :
+       {"\"schema\":\"causalec-bench-v1\"", "\"bench\":", "\"config\":",
+        "\"rows\":"}) {
+    if (json.find(needle) == std::string_view::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace causalec::obs

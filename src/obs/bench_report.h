@@ -1,0 +1,99 @@
+// Uniform machine-readable bench output.
+//
+// Every bench_* binary keeps its human-readable table and additionally
+// emits a BENCH_<name>.json artifact through this API, so the perf
+// trajectory of the repo can be tracked by tooling instead of eyeballs.
+//
+// Schema "causalec-bench-v1" (validated by tools/check_bench_json.py and
+// the is_valid_bench_report() helper):
+//
+//   {
+//     "schema": "causalec-bench-v1",
+//     "bench":  "<name>",
+//     "config": { "<key>": <number|string|bool>, ... },
+//     "rows": [
+//       { "name": "<row name>",
+//         "metrics": { "<metric>": <number>, ... },
+//         "notes":   { "<key>": "<string>", ... } },   // optional
+//       ...
+//     ]
+//   }
+//
+// The output directory defaults to the working directory and can be
+// redirected with the CAUSALEC_BENCH_DIR environment variable (which the
+// CTest smoke test uses to keep artifacts inside the build tree).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace causalec::obs {
+
+class BenchReport {
+ public:
+  using ConfigValue = std::variant<double, std::int64_t, std::string, bool>;
+
+  class Row {
+   public:
+    explicit Row(std::string name) : name_(std::move(name)) {}
+
+    Row& metric(std::string_view key, double value) {
+      metrics_.emplace_back(std::string(key), value);
+      return *this;
+    }
+    Row& note(std::string_view key, std::string_view value) {
+      notes_.emplace_back(std::string(key), std::string(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    std::string name_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> notes_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set_config(std::string_view key, ConfigValue value) {
+    config_[std::string(key)] = std::move(value);
+  }
+  void set_config(std::string_view key, const char* value) {
+    set_config(key, ConfigValue(std::string(value)));
+  }
+  void set_config(std::string_view key, double value) {
+    set_config(key, ConfigValue(value));
+  }
+  void set_config(std::string_view key, std::size_t value) {
+    set_config(key, ConfigValue(static_cast<std::int64_t>(value)));
+  }
+  void set_config(std::string_view key, int value) {
+    set_config(key, ConfigValue(static_cast<std::int64_t>(value)));
+  }
+  void set_config(std::string_view key, bool value) {
+    set_config(key, ConfigValue(value));
+  }
+
+  Row& add_row(std::string_view name);
+
+  void write_json(std::ostream& out) const;
+
+  /// Writes BENCH_<name>.json into $CAUSALEC_BENCH_DIR (default: cwd) and
+  /// prints the path on stderr. Returns the path ("" on I/O failure).
+  std::string write_default() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, ConfigValue> config_;
+  std::vector<Row> rows_;
+};
+
+/// Schema check used by tests: syntax plus the causalec-bench-v1 shape.
+bool is_valid_bench_report(std::string_view json);
+
+}  // namespace causalec::obs

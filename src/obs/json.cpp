@@ -1,0 +1,314 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/expect.h"
+
+namespace causalec::obs {
+
+void json_escape(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\b':
+        out << "\\b";
+        break;
+      case '\f':
+        out << "\\f";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// ---------------------------------------------------------------------------
+// Validator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool parse_value() {
+    if (depth_ > 256) return false;  // bail on pathological nesting
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+        return parse_literal("true");
+      case 'f':
+        return parse_literal("false");
+      case 'n':
+        return parse_literal("null");
+      default:
+        return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"' || !parse_string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array() {
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool is_valid_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the separator for this value
+  }
+  if (!counts_.empty() && counts_.back()++ > 0) out_ << ',';
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ << '{';
+  counts_.push_back(0);
+}
+
+void JsonWriter::end_object() {
+  CEC_CHECK(!counts_.empty() && !pending_key_);
+  counts_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ << '[';
+  counts_.push_back(0);
+}
+
+void JsonWriter::end_array() {
+  CEC_CHECK(!counts_.empty() && !pending_key_);
+  counts_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  CEC_CHECK(!pending_key_ && !counts_.empty());
+  if (counts_.back()++ > 0) out_ << ',';
+  json_escape(out_, name);
+  out_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  json_escape(out_, v);
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_ << "null";
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  CEC_CHECK(ec == std::errc());
+  out_.write(buf, ptr - buf);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value_null() {
+  comma();
+  out_ << "null";
+}
+
+void JsonWriter::value_raw(std::string_view json) {
+  comma();
+  out_ << json;
+}
+
+}  // namespace causalec::obs

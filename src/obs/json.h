@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer plus a strict syntax validator.
+//
+// The observability layer emits three machine-readable artifacts (Chrome
+// traces, metrics dumps, BENCH_*.json reports); all of them funnel through
+// JsonWriter so escaping and number formatting live in exactly one place.
+// The validator exists so tests (and the C++ side of tools/check_bench_json)
+// can assert well-formedness without an external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace causalec::obs {
+
+/// Appends `text` to `out` as a JSON string literal (with quotes).
+void json_escape(std::ostream& out, std::string_view text);
+
+/// Strict recursive-descent syntax check of a complete JSON document.
+/// Returns true iff `text` is a single valid JSON value with only trailing
+/// whitespace. (Syntax only; no schema.)
+bool is_valid_json(std::string_view text);
+
+/// Streaming writer for JSON objects/arrays. Keys and values alternate
+/// naturally: inside an object call key() before each value; inside an
+/// array just emit values. Commas and indentation are handled internally.
+///
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("bench"); w.value("geo_sim");
+///   w.key("rows"); w.begin_array();
+///   ...
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view name);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void value_null();
+
+  /// Emits raw pre-serialized JSON (caller guarantees validity).
+  void value_raw(std::string_view json);
+
+ private:
+  void comma();
+
+  std::ostream& out_;
+  // One entry per open container: number of elements emitted so far.
+  std::vector<std::size_t> counts_;
+  bool pending_key_ = false;
+};
+
+}  // namespace causalec::obs

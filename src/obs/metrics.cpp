@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/json.h"
+
+namespace causalec::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i) {
+  return i <= 1 ? 0 : (std::uint64_t{1} << (i - 1));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i) {
+  if (i == 0) return 1;
+  if (i >= 64) return UINT64_MAX;
+  return std::uint64_t{1} << i;
+}
+
+void Histogram::observe(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // min/max: CAS loops; contention is rare and bounded (monotone targets).
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0 || min == UINT64_MAX) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample (1-based), then walk the cumulative counts.
+  const double rank = p * static_cast<double>(count - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = cumulative + buckets[i];
+    if (rank <= static_cast<double>(next)) {
+      const double lo = static_cast<double>(Histogram::bucket_lower(i));
+      const double hi = static_cast<double>(Histogram::bucket_upper(i));
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      // Clamp to the observed extremes so tiny histograms do not report
+      // values outside [min, max].
+      const double est = lo + within * (hi - lo);
+      return std::clamp(est, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value("causalec-metrics-v1");
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("mean");
+    w.value(h.mean());
+    w.key("p50");
+    w.value(h.percentile(0.50));
+    w.key("p90");
+    w.value(h.percentile(0.90));
+    w.key("p99");
+    w.value(h.percentile(0.99));
+    // Sparse bucket dump: [bucket_lower, count] pairs for non-empty buckets.
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.begin_array();
+      w.value(Histogram::bucket_lower(i));
+      w.value(h.buckets[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace causalec::obs

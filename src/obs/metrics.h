@@ -1,0 +1,141 @@
+// Low-overhead metrics: named monotonic counters, gauges, and log2-bucketed
+// histograms behind a registry.
+//
+// Concurrency model: every cell is a std::atomic with relaxed ordering, so
+// the same Counter/Histogram handle may be hammered from many node threads
+// (ThreadedCluster) without locks; the registry itself takes a mutex only on
+// name lookup, so instrumentation sites resolve their handles once and then
+// update lock-free. Single-threaded users (the simulator) pay one relaxed
+// atomic op per update, which is within noise on the hot paths benchmarked
+// by bench_micro.
+//
+// Snapshots are plain structs that can be merged (e.g. one registry per
+// shard, or per-thread registries folded into a report) and serialized as
+// JSON for machine consumption.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace causalec::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (set/add; may go down).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Mergeable point-in-time histogram state. Bucket i holds values whose
+/// bit width is i: bucket 0 is exactly {0}, bucket i >= 1 covers
+/// [2^(i-1), 2^i). Percentiles interpolate linearly inside a bucket, so
+/// the error is bounded by the bucket width (a factor of 2).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::vector<std::uint64_t> buckets = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // meaningful only when count > 0
+  std::uint64_t max = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// p in [0, 1]; returns 0 when empty.
+  double percentile(double p) const;
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Log2-bucketed histogram of non-negative integer samples (latencies in
+/// ns, sizes in bytes). Thread-safe; all updates are relaxed atomics.
+class Histogram {
+ public:
+  void observe(std::uint64_t value);
+  HistogramSnapshot snapshot() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double percentile(double p) const { return snapshot().percentile(p); }
+
+  /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+  static std::uint64_t bucket_lower(std::size_t i);
+  /// Exclusive upper bound of bucket `i`.
+  static std::uint64_t bucket_upper(std::size_t i);
+  /// The bucket a value lands in (its bit width).
+  static std::size_t bucket_index(std::uint64_t value);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[HistogramSnapshot::kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Everything a registry knew at one instant; mergeable and serializable.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Point-wise merge: counters and histograms add, gauges take `other`'s
+  /// value on collision (last writer wins).
+  void merge(const MetricsSnapshot& other);
+  void write_json(std::ostream& out) const;
+};
+
+/// Owns metrics by name. Handles returned from counter()/gauge()/histogram()
+/// are stable for the registry's lifetime; resolving the same name twice
+/// returns the same cell, so concurrent users naturally share.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  void write_json(std::ostream& out) const { snapshot().write_json(out); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace causalec::obs

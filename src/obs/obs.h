@@ -1,0 +1,23 @@
+// ObsHooks: the bundle of observability sinks a runtime component threads
+// through to its instrumentation sites.
+//
+// Null members mean "off"; every site guards with a pointer test, so a
+// default-constructed ObsHooks adds one branch per site and nothing else.
+// The structs are plain pointers (not owning) because sinks routinely
+// outlive / span several components: one registry shared by every node
+// thread, one tracer shared by servers and the network.
+#pragma once
+
+namespace causalec::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+struct ObsHooks {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool any() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace causalec::obs

@@ -1,0 +1,94 @@
+// Periodic sampling support: a thread-safe, per-node time series with fixed
+// named columns, exportable as JSON or CSV.
+//
+// The obs layer stays ignorant of what is being sampled; the runtime that
+// owns the sampled state (e.g. Cluster, which snapshots each server's
+// StorageStats) schedules the periodic callback and records rows here. This
+// turns the Sec. 4.2 transient-storage curve into a first-class artifact
+// instead of a per-bench accumulation hack.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace causalec::obs {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  struct Row {
+    std::int64_t t_ns = 0;
+    std::uint32_t node = 0;
+    std::vector<double> values;
+  };
+
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  void record(std::int64_t t_ns, std::uint32_t node,
+              std::vector<double> values) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_.push_back(Row{t_ns, node, std::move(values)});
+  }
+
+  std::vector<Row> rows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_.size();
+  }
+
+  void write_json(std::ostream& out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("schema");
+    w.value("causalec-timeseries-v1");
+    w.key("columns");
+    w.begin_array();
+    for (const auto& c : columns_) w.value(c);
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : rows_) {
+      w.begin_array();
+      w.value(row.t_ns);
+      w.value(static_cast<std::uint64_t>(row.node));
+      for (const double v : row.values) w.value(v);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  void write_csv(std::ostream& out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "t_ns,node";
+    for (const auto& c : columns_) out << ',' << c;
+    out << '\n';
+    for (const auto& row : rows_) {
+      out << row.t_ns << ',' << row.node;
+      for (const double v : row.values) out << ',' << v;
+      out << '\n';
+    }
+  }
+
+ private:
+  const std::vector<std::string> columns_;
+  mutable std::mutex mu_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace causalec::obs

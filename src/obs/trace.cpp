@@ -1,0 +1,202 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace causalec::obs {
+
+void Tracer::push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::complete(std::string_view name, std::uint32_t node,
+                      std::int64_t ts_ns, std::int64_t dur_ns,
+                      std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'X';
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.node = node;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
+void Tracer::instant(std::string_view name, std::uint32_t node,
+                     std::int64_t ts_ns,
+                     std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'i';
+  e.ts_ns = ts_ns;
+  e.node = node;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
+std::uint64_t Tracer::begin_async(std::string_view name, std::uint32_t node,
+                                  std::int64_t ts_ns,
+                                  std::initializer_list<TraceArg> args) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'b';
+  e.ts_ns = ts_ns;
+  e.node = node;
+  e.id = id;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+  return id;
+}
+
+void Tracer::end_async(std::string_view name, std::uint32_t node,
+                       std::int64_t ts_ns, std::uint64_t id,
+                       std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'e';
+  e.ts_ns = ts_ns;
+  e.node = node;
+  e.id = id;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::count(std::string_view name, char phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.name == name && (phase == 0 || e.phase == phase)) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void write_args(JsonWriter& w, const std::vector<TraceArg>& args) {
+  w.key("args");
+  w.begin_object();
+  for (const auto& arg : args) {
+    w.key(arg.key);
+    w.value(arg.value);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const auto& e : events_) base = std::min(base, e.ts_ns);
+  if (events_.empty()) base = 0;
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value("causalec");
+    w.key("ph");
+    w.value(std::string_view(&e.phase, 1));
+    w.key("ts");
+    w.value(static_cast<double>(e.ts_ns - base) / 1e3);
+    if (e.phase == 'X') {
+      w.key("dur");
+      w.value(static_cast<double>(e.dur_ns) / 1e3);
+    }
+    if (e.phase == 'b' || e.phase == 'e') {
+      w.key("id");
+      w.value(e.id);
+    }
+    if (e.phase == 'i') {
+      w.key("s");  // instant scope: thread
+      w.value("t");
+    }
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(e.node));
+    w.key("tid");
+    w.value(std::uint64_t{0});
+    if (!e.args.empty()) write_args(w, e.args);
+    w.end_object();
+  }
+  // Name each node's process lane for the viewer.
+  std::vector<std::uint32_t> nodes;
+  for (const auto& e : events_) nodes.push_back(e.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (const std::uint32_t node : nodes) {
+    w.begin_object();
+    w.key("name");
+    w.value("process_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(node));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value("node " + std::to_string(node));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : events_) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("ph");
+    w.value(std::string_view(&e.phase, 1));
+    w.key("ts_ns");
+    w.value(e.ts_ns);
+    if (e.phase == 'X') {
+      w.key("dur_ns");
+      w.value(e.dur_ns);
+    }
+    if (e.id != 0) {
+      w.key("id");
+      w.value(e.id);
+    }
+    w.key("node");
+    w.value(static_cast<std::uint64_t>(e.node));
+    if (!e.args.empty()) write_args(w, e.args);
+    w.end_object();
+    out << '\n';
+  }
+}
+
+}  // namespace causalec::obs

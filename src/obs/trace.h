@@ -1,0 +1,104 @@
+// Operation tracing: an in-memory buffer of timestamped events exportable
+// as Chrome trace_event JSON (chrome://tracing, Perfetto) and as JSONL.
+//
+// Timestamps are supplied by the caller in nanoseconds -- simulated time on
+// the discrete-event runtime, steady-clock wall time on ThreadedCluster --
+// so the same tracer (and the same viewers) serve both runtimes. Each node
+// is exported as its own "process" (pid = node id), which groups a server's
+// spans and message events onto one lane per node in the viewer.
+//
+// Disabled tracing is a null pointer: every instrumentation site guards with
+// `if (tracer)`, so the disabled cost is one predictable branch.
+//
+// Thread-safety: a single mutex around the event buffer. Tracing is an
+// opt-in diagnostic; the goal is correctness under ThreadedCluster, not
+// contention-free throughput.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace causalec::obs {
+
+/// One key=value annotation attached to a trace event.
+struct TraceArg {
+  std::string key;
+  std::string value;
+
+  TraceArg(std::string_view k, std::string_view v) : key(k), value(v) {}
+  TraceArg(std::string_view k, std::uint64_t v)
+      : key(k), value(std::to_string(v)) {}
+  TraceArg(std::string_view k, std::int64_t v)
+      : key(k), value(std::to_string(v)) {}
+  TraceArg(std::string_view k, int v) : key(k), value(std::to_string(v)) {}
+};
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';          // 'X' complete, 'i' instant, 'b'/'e' async
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;   // 'X' only
+  std::uint32_t node = 0;    // exported as pid
+  std::uint64_t id = 0;      // async correlation ('b'/'e')
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  /// Events beyond `capacity` are counted in dropped() but not stored, so a
+  /// runaway workload cannot exhaust memory.
+  explicit Tracer(std::size_t capacity = 4'000'000) : capacity_(capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// A span that began and ended within one activation (ph "X").
+  void complete(std::string_view name, std::uint32_t node, std::int64_t ts_ns,
+                std::int64_t dur_ns,
+                std::initializer_list<TraceArg> args = {});
+
+  /// A point event (ph "i").
+  void instant(std::string_view name, std::uint32_t node, std::int64_t ts_ns,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Async span across activations/messages; returns the correlation id to
+  /// pass to end_async. Ids are unique per tracer.
+  std::uint64_t begin_async(std::string_view name, std::uint32_t node,
+                            std::int64_t ts_ns,
+                            std::initializer_list<TraceArg> args = {});
+  void end_async(std::string_view name, std::uint32_t node,
+                 std::int64_t ts_ns, std::uint64_t id,
+                 std::initializer_list<TraceArg> args = {});
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  std::vector<TraceEvent> events() const;  // copy, for tests
+  /// Number of stored events with the given name (and phase, if not 0).
+  std::size_t count(std::string_view name, char phase = 0) const;
+
+  /// Chrome trace_event "JSON object format": {"traceEvents": [...]}.
+  /// Timestamps are shifted so the earliest event is t=0 and converted to
+  /// microseconds (the trace_event unit).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// One JSON object per line, timestamps kept in raw nanoseconds.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  void push(TraceEvent event);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace causalec::obs

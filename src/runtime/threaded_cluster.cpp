@@ -6,6 +6,9 @@
 
 #include "causalec/codec.h"
 #include "common/expect.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace causalec::runtime {
 
@@ -71,12 +74,15 @@ class ThreadedCluster::Node {
   /// Called by peers' transports: deliver a message from `from`.
   void deliver(NodeId from, std::vector<std::uint8_t> bytes) {
     post([this, from, bytes = std::move(bytes)] {
-      server_.on_message(from, deserialize_message(bytes));
+      auto message = deserialize_message(bytes);
+      trace_deliver(from, *message);
+      server_.on_message(from, std::move(message));
     });
   }
 
   void deliver_direct(NodeId from, std::shared_ptr<sim::MessagePtr> holder) {
     post([this, from, holder] {
+      trace_deliver(from, **holder);
       server_.on_message(from, std::move(*holder));
     });
   }
@@ -105,7 +111,17 @@ class ThreadedCluster::Node {
     Node* node_;
   };
 
+  void trace_deliver(NodeId from, const sim::Message& message) {
+    if (obs::Tracer* tracer = config_->obs.tracer) {
+      tracer->instant("msg.deliver", id_, to_ns(Clock::now()),
+                      {{"from", std::uint64_t{from}},
+                       {"type", message.type_name()},
+                       {"bytes", std::uint64_t{message.wire_bytes()}}});
+    }
+  }
+
   void run() {
+    set_log_thread_node(static_cast<int>(id_));
     auto next_gc = Clock::now() + config_->gc_period;
     while (true) {
       std::deque<std::function<void()>> batch;
@@ -163,6 +179,12 @@ class ThreadedCluster::Node {
 ThreadedCluster::ThreadedCluster(erasure::CodePtr code,
                                  ThreadedClusterConfig config)
     : code_(std::move(code)), config_(std::move(config)) {
+  if (config_.obs.tracer != nullptr) {
+    config_.server.obs.tracer = config_.obs.tracer;
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.server.obs.metrics = config_.obs.metrics;
+  }
   const std::size_t n = code_->num_servers();
   nodes_.reserve(n);
   for (NodeId s = 0; s < n; ++s) {
@@ -179,6 +201,20 @@ std::size_t ThreadedCluster::num_servers() const { return nodes_.size(); }
 
 void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
   CEC_CHECK(to < nodes_.size());
+  const std::size_t bytes = message->wire_bytes();
+  if (obs::MetricsRegistry* metrics = config_.obs.metrics) {
+    const char* type = message->type_name();
+    metrics->counter("net.messages").inc();
+    metrics->counter("net.bytes").inc(bytes);
+    metrics->counter(std::string("net.messages.") + type).inc();
+    metrics->counter(std::string("net.bytes.") + type).inc(bytes);
+  }
+  if (obs::Tracer* tracer = config_.obs.tracer) {
+    tracer->instant("msg.send", from, to_ns(Clock::now()),
+                    {{"to", std::uint64_t{to}},
+                     {"type", message->type_name()},
+                     {"bytes", std::uint64_t{bytes}}});
+  }
   if (config_.serialize_messages) {
     nodes_[to]->deliver(from, serialize_message(*message));
   } else {

@@ -32,6 +32,13 @@ struct ThreadedClusterConfig {
   /// Pass every inter-node message through serialize/deserialize, so the
   /// bytes that cross the boundary are the codec's output.
   bool serialize_messages = true;
+
+  /// Observability sinks shared by every node thread: servers record spans
+  /// and server.* metrics (timestamps are steady-clock wall time), and the
+  /// router records msg.send / msg.deliver events plus net.* counters.
+  /// The registry and tracer are thread-safe, so one instance serves all
+  /// nodes. Also copied into `server.obs`.
+  obs::ObsHooks obs;
 };
 
 class ThreadedCluster {

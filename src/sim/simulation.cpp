@@ -4,6 +4,8 @@
 
 #include "common/expect.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace causalec::sim {
 
@@ -20,6 +22,8 @@ NodeId Simulation::add_node(Actor* actor) {
   return static_cast<NodeId>(actors_.size() - 1);
 }
 
+void Simulation::set_obs(obs::ObsHooks hooks) { obs_ = hooks; }
+
 void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
   CEC_CHECK(from < actors_.size() && to < actors_.size());
   CEC_CHECK(message != nullptr);
@@ -27,10 +31,24 @@ void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
 
   stats_.total_messages += 1;
   const std::size_t bytes = message->wire_bytes();
+  const char* type = message->type_name();
   stats_.total_bytes += bytes;
-  auto& per_type = stats_.by_type[message->type_name()];
+  auto& per_type = stats_.by_type[type];
   per_type.count += 1;
   per_type.bytes += bytes;
+
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("net.messages").inc();
+    obs_.metrics->counter("net.bytes").inc(bytes);
+    obs_.metrics->counter(std::string("net.messages.") + type).inc();
+    obs_.metrics->counter(std::string("net.bytes.") + type).inc(bytes);
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->instant("msg.send", from, now_,
+                         {{"to", std::uint64_t{to}},
+                          {"type", type},
+                          {"bytes", std::uint64_t{bytes}}});
+  }
 
   SimTime delay =
       from == to ? 0 : latency_->delay_for_bytes(from, to, bytes);
@@ -52,8 +70,14 @@ void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
   // captures, so park the unique_ptr in a shared holder; the closure fires
   // exactly once). Delivery is skipped if the target halted in the meantime.
   auto holder = std::make_shared<MessagePtr>(std::move(message));
-  push_event(deliver_at, [this, from, to, holder] {
+  push_event(deliver_at, [this, from, to, type, bytes, holder] {
     if (halted_[to]) return;
+    if (obs_.tracer != nullptr) {
+      obs_.tracer->instant("msg.deliver", to, now_,
+                           {{"from", std::uint64_t{from}},
+                            {"type", type},
+                            {"bytes", std::uint64_t{bytes}}});
+    }
     actors_[to]->on_message(from, std::move(*holder));
   });
 }

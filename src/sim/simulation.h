@@ -18,6 +18,7 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "sim/latency.h"
 
 namespace causalec::sim {
@@ -109,6 +110,14 @@ class Simulation {
   NetworkStats& stats() { return stats_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// Attaches observability sinks. With a tracer, every send/delivery
+  /// becomes an instant event ("msg.send" at the sender, "msg.deliver" at
+  /// the receiver, correlated by type/bytes args); with a metrics registry,
+  /// NetworkStats is mirrored into `net.*` counters so the same numbers are
+  /// available through both surfaces.
+  void set_obs(obs::ObsHooks hooks);
+  const obs::ObsHooks& obs_hooks() const { return obs_; }
+
   /// Number of events processed so far.
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -150,6 +159,7 @@ class Simulation {
   std::map<std::uint64_t, PeriodicTimer> periodic_;
   std::uint64_t next_timer_id_ = 1;
   NetworkStats stats_;
+  obs::ObsHooks obs_;
 };
 
 }  // namespace causalec::sim

@@ -1,0 +1,316 @@
+// Unit tests for the observability layer: JSON writer/validator, histogram
+// bucket and percentile math, registry snapshots and merges, tracer export
+// formats, bench reports, and time series.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace causalec::obs {
+namespace {
+
+// --- JSON ----------------------------------------------------------------
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  std::ostringstream out;
+  json_escape(out, "a\"b\\c\n\t\x01z");
+  EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+}
+
+TEST(JsonTest, ValidatorAcceptsValidDocuments) {
+  EXPECT_TRUE(is_valid_json("{}"));
+  EXPECT_TRUE(is_valid_json("[]"));
+  EXPECT_TRUE(is_valid_json("  {\"a\": [1, 2.5, -3e4, true, false, null], "
+                            "\"b\": \"x\\u00e9\"}  "));
+  EXPECT_TRUE(is_valid_json("-0.5"));
+}
+
+TEST(JsonTest, ValidatorRejectsInvalidDocuments) {
+  EXPECT_FALSE(is_valid_json(""));
+  EXPECT_FALSE(is_valid_json("{"));
+  EXPECT_FALSE(is_valid_json("{\"a\": 1,}"));
+  EXPECT_FALSE(is_valid_json("[1, 2] garbage"));
+  EXPECT_FALSE(is_valid_json("{\"a\" 1}"));
+  EXPECT_FALSE(is_valid_json("'single'"));
+  EXPECT_FALSE(is_valid_json("{\"a\": 01}"));
+  EXPECT_FALSE(is_valid_json("nulll"));
+}
+
+TEST(JsonTest, WriterProducesValidNestedJson) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("s");
+  w.value("he said \"hi\"\n");
+  w.key("n");
+  w.value(-12.75);
+  w.key("big");
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.key("arr");
+  w.begin_array();
+  w.value(1);
+  w.value(true);
+  w.value_null();
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(is_valid_json(out.str())) << out.str();
+}
+
+TEST(JsonTest, WriterEmitsNullForNonFiniteDoubles) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(HUGE_VAL);
+  w.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+// --- Histogram -----------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsPartitionTheRange) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), 64u);
+  // Buckets 0 and 1 both report lower bound 0 ({0} and {1} respectively);
+  // from bucket 2 up, [lower, upper) tiles the range with no gaps.
+  for (std::size_t i = 2; i < HistogramSnapshot::kBuckets; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << i;
+    if (i < 64) {
+      EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i) - 1), i);
+      EXPECT_EQ(Histogram::bucket_lower(i + 1), Histogram::bucket_upper(i));
+    }
+  }
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  for (std::uint64_t v : {7u, 3u, 1000u, 0u, 3u}) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1013u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1013.0 / 5.0);
+}
+
+TEST(HistogramTest, PercentilesAreBucketAccurate) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  // Log2 buckets bound the error by the bucket width: p must land inside
+  // the bucket containing the exact rank.
+  const double p50 = s.percentile(0.50);
+  EXPECT_GE(p50, 256.0);  // exact rank 500 lives in [512, 1024); the
+  EXPECT_LE(p50, 1024.0);  // interpolation may undershoot one bucket edge
+  const double p99 = s.percentile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);  // clamped to observed max
+  const double p0 = s.percentile(0.0);
+  EXPECT_GE(p0, 1.0);  // clamped to observed min
+  EXPECT_LE(p0, 2.0);  // rank 1 interpolates inside bucket [1, 2)
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SnapshotMergeAdds) {
+  Histogram a, b;
+  a.observe(1);
+  a.observe(100);
+  b.observe(50);
+  HistogramSnapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 151u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+}
+
+// --- Registry ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(registry.snapshot().counters.at("x"), 5u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& c = registry.counter("shared");
+      Histogram& h = registry.histogram("lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("shared"), kThreads * kPerThread);
+  EXPECT_EQ(s.histograms.at("lat").count, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeAcrossRegistries) {
+  MetricsRegistry a, b;
+  a.counter("ops").inc(10);
+  b.counter("ops").inc(5);
+  b.counter("only_b").inc(1);
+  a.gauge("depth").set(3);
+  b.gauge("depth").set(7);
+  a.histogram("lat").observe(100);
+  b.histogram("lat").observe(200);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("ops"), 15u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.gauges.at("depth"), 7);  // last writer wins
+  EXPECT_EQ(merged.histograms.at("lat").count, 2u);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsValid) {
+  MetricsRegistry registry;
+  registry.counter("net.messages").inc(42);
+  registry.gauge("queue \"depth\"").set(-7);
+  registry.histogram("lat").observe(12345);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_TRUE(is_valid_json(out.str())) << out.str();
+  EXPECT_NE(out.str().find("causalec-metrics-v1"), std::string::npos);
+}
+
+// --- Tracer --------------------------------------------------------------
+
+TEST(TracerTest, RecordsAndCountsEvents) {
+  Tracer tracer;
+  tracer.complete("write", 0, 1000, 500, {{"object", std::uint64_t{3}}});
+  tracer.instant("msg.send", 1, 1200);
+  const std::uint64_t id = tracer.begin_async("read.remote", 2, 1300);
+  tracer.end_async("read.remote", 2, 2300, id);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.count("write"), 1u);
+  EXPECT_EQ(tracer.count("read.remote"), 2u);
+  EXPECT_EQ(tracer.count("read.remote", 'b'), 1u);
+  EXPECT_EQ(tracer.count("read.remote", 'e'), 1u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, AsyncIdsAreUnique) {
+  Tracer tracer;
+  const std::uint64_t a = tracer.begin_async("op", 0, 0);
+  const std::uint64_t b = tracer.begin_async("op", 0, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(TracerTest, CapacityBoundsMemory) {
+  Tracer tracer(2);
+  for (int i = 0; i < 5; ++i) tracer.instant("e", 0, i);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, ChromeTraceIsValidJson) {
+  Tracer tracer;
+  tracer.complete("write \"x\"", 0, 5000, 1000, {{"k", "v\n"}});
+  tracer.instant("msg.send", 1, 6000, {{"bytes", std::uint64_t{128}}});
+  const std::uint64_t id = tracer.begin_async("read", 2, 7000);
+  tracer.end_async("read", 2, 9000, id);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(TracerTest, JsonlLinesAreEachValid) {
+  Tracer tracer;
+  tracer.instant("a", 0, 10);
+  tracer.complete("b", 1, 20, 5);
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(is_valid_json(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// --- BenchReport ---------------------------------------------------------
+
+TEST(BenchReportTest, EmitsValidSchema) {
+  BenchReport report("unit \"test\"");
+  report.set_config("value_bytes", std::size_t{4096});
+  report.set_config("scheme", "RS(5,3)");
+  report.set_config("smoke", true);
+  report.set_config("rate", 2.5);
+  report.add_row("row one")
+      .metric("latency_ms", 12.5)
+      .metric("ops", 1e6)
+      .note("comment", "steady state");
+  report.add_row("row two").metric("latency_ms", 9.25);
+  std::ostringstream out;
+  report.write_json(out);
+  EXPECT_TRUE(is_valid_json(out.str())) << out.str();
+  EXPECT_TRUE(is_valid_bench_report(out.str())) << out.str();
+}
+
+TEST(BenchReportTest, RejectsOtherSchemas) {
+  EXPECT_FALSE(is_valid_bench_report("{}"));
+  EXPECT_FALSE(is_valid_bench_report(
+      "{\"schema\":\"other-v1\",\"bench\":\"x\",\"config\":{},\"rows\":[]}"));
+  EXPECT_FALSE(is_valid_bench_report("not json"));
+}
+
+// --- TimeSeries ----------------------------------------------------------
+
+TEST(TimeSeriesTest, RecordsRowsAndExports) {
+  TimeSeries series({"a", "b"});
+  series.record(100, 0, {1.0, 2.0});
+  series.record(200, 1, {3.0, 4.0});
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.rows()[1].values[1], 4.0);
+
+  std::ostringstream json;
+  series.write_json(json);
+  EXPECT_TRUE(is_valid_json(json.str())) << json.str();
+  EXPECT_NE(json.str().find("causalec-timeseries-v1"), std::string::npos);
+
+  std::ostringstream csv;
+  series.write_csv(csv);
+  EXPECT_EQ(csv.str(), "t_ns,node,a,b\n100,0,1,2\n200,1,3,4\n");
+}
+
+}  // namespace
+}  // namespace causalec::obs

@@ -15,12 +15,19 @@
 //     --lamport                        Lamport metadata accounting
 //     --nearest-fanout                 footnote-14 read fan-out
 //     --check                          run the causal-consistency checker
+//     --trace-out FILE                 write a Chrome trace_event JSON
+//     --trace-jsonl FILE               write the trace as JSONL
+//     --metrics-out FILE               write the metrics registry as JSON
+//     --storage-out FILE               write per-server storage time series
+//     --sample-ms T                    storage sampling period (default 50)
 //
 // Prints workload stats, per-message-type traffic, storage convergence,
-// and (with --check) the checker verdict.
+// and (with --check) the checker verdict. Trace files load in
+// chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -29,6 +36,9 @@
 #include "consistency/causal_checker.h"
 #include "consistency/recorder.h"
 #include "erasure/codes.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "sim/latency.h"
 #include "workload/driver.h"
 
@@ -54,6 +64,11 @@ struct Options {
   bool lamport = false;
   bool nearest_fanout = false;
   bool check = false;
+  std::string trace_out;
+  std::string trace_jsonl;
+  std::string metrics_out;
+  std::string storage_out;
+  double sample_ms = 50;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,7 +77,9 @@ struct Options {
                "[--objects K]\n  [--value-bytes B] [--latency-ms L] "
                "[--gc-ms T] [--ops N] [--write-frac F]\n  [--zipf THETA] "
                "[--clients-per-server C] [--seed S] [--lamport]\n"
-               "  [--nearest-fanout] [--check]\n",
+               "  [--nearest-fanout] [--check] [--trace-out FILE] "
+               "[--trace-jsonl FILE]\n  [--metrics-out FILE] "
+               "[--storage-out FILE] [--sample-ms T]\n",
                argv0);
   std::exit(2);
 }
@@ -103,6 +120,16 @@ Options parse(int argc, char** argv) {
       opt.nearest_fanout = true;
     } else if (arg == "--check") {
       opt.check = true;
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
+    } else if (arg == "--trace-jsonl") {
+      opt.trace_jsonl = next();
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = next();
+    } else if (arg == "--storage-out") {
+      opt.storage_out = next();
+    } else if (arg == "--sample-ms") {
+      opt.sample_ms = std::strtod(next(), nullptr);
     } else {
       usage(argv[0]);
     }
@@ -145,6 +172,27 @@ int main(int argc, char** argv) {
   config.server.fanout = opt.nearest_fanout
                              ? ReadFanout::kNearestRecoverySet
                              : ReadFanout::kBroadcast;
+
+  // Observability sinks, enabled only when an output flag asks for them.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TimeSeries> storage_series;
+  if (!opt.trace_out.empty() || !opt.trace_jsonl.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    config.obs.tracer = tracer.get();
+  }
+  if (!opt.metrics_out.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    config.obs.metrics = metrics.get();
+  }
+  if (!opt.storage_out.empty()) {
+    storage_series =
+        std::make_unique<obs::TimeSeries>(Cluster::storage_series_columns());
+    config.storage_series = storage_series.get();
+    config.storage_sample_period =
+        static_cast<SimTime>(opt.sample_ms * 1e6);
+  }
+
   Cluster cluster(code,
                   std::make_unique<sim::ConstantLatency>(
                       static_cast<SimTime>(opt.latency_ms * 1e6)),
@@ -223,6 +271,43 @@ int main(int argc, char** argv) {
   }
   std::printf("Error1/Error2 events: %llu\n",
               static_cast<unsigned long long>(errors));
+
+  // Flush observability artifacts.
+  const auto write_file = [](const std::string& path, const auto& emit) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return;
+    }
+    emit(out);
+    std::printf("wrote %s\n", path.c_str());
+  };
+  if (!opt.trace_out.empty()) {
+    write_file(opt.trace_out,
+               [&](std::ostream& o) { tracer->write_chrome_trace(o); });
+  }
+  if (!opt.trace_jsonl.empty()) {
+    write_file(opt.trace_jsonl,
+               [&](std::ostream& o) { tracer->write_jsonl(o); });
+  }
+  if (!opt.metrics_out.empty()) {
+    write_file(opt.metrics_out,
+               [&](std::ostream& o) { metrics->write_json(o); });
+    const auto snap = metrics->snapshot();
+    if (auto it = snap.histograms.find("server.read_latency_ns");
+        it != snap.histograms.end() && it->second.count > 0) {
+      std::printf("metrics: read latency p50 %.1f ms, p90 %.1f ms, p99 "
+                  "%.1f ms (%llu samples)\n",
+                  it->second.percentile(0.50) / 1e6,
+                  it->second.percentile(0.90) / 1e6,
+                  it->second.percentile(0.99) / 1e6,
+                  static_cast<unsigned long long>(it->second.count));
+    }
+  }
+  if (!opt.storage_out.empty()) {
+    write_file(opt.storage_out,
+               [&](std::ostream& o) { storage_series->write_json(o); });
+  }
 
   if (opt.check) {
     const auto causal = consistency::check_causal_consistency(history);

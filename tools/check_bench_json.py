@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts against the causalec-bench-v1 schema.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Schema (emitted by obs::BenchReport, see src/obs/bench_report.h):
+  {
+    "schema": "causalec-bench-v1",
+    "bench":  "<bench name>",            # non-empty string
+    "config": {"key": number|string|bool, ...},
+    "rows": [
+      {"name": "<row label>",
+       "metrics": {"key": number, ...},  # finite numbers only
+       "notes":  {"key": "string", ...}} # optional
+    ]
+  }
+
+Exit code 0 when every file validates, 1 otherwise.
+"""
+import json
+import math
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}")
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != "causalec-bench-v1":
+        return fail(path, f"schema is {doc.get('schema')!r}, "
+                          "expected 'causalec-bench-v1'")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return fail(path, "'bench' must be a non-empty string")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return fail(path, "'config' must be an object")
+    for key, value in config.items():
+        if not isinstance(value, (int, float, str, bool)):
+            return fail(path, f"config[{key!r}] has unsupported type "
+                              f"{type(value).__name__}")
+        if isinstance(value, float) and not math.isfinite(value):
+            return fail(path, f"config[{key!r}] is not finite")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "'rows' must be a non-empty array")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            return fail(path, f"rows[{i}] is not an object")
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(path, f"rows[{i}].name must be a non-empty string")
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            return fail(path, f"rows[{i}].metrics must be an object")
+        for key, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return fail(path, f"rows[{i}].metrics[{key!r}] must be a "
+                                  "number")
+            if not math.isfinite(value):
+                return fail(path, f"rows[{i}].metrics[{key!r}] is not finite")
+        notes = row.get("notes", {})
+        if not isinstance(notes, dict):
+            return fail(path, f"rows[{i}].notes must be an object")
+        for key, value in notes.items():
+            if not isinstance(value, str):
+                return fail(path, f"rows[{i}].notes[{key!r}] must be a "
+                                  "string")
+
+    print(f"{path}: OK ({bench}, {len(rows)} rows)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    ok = all([check_file(path) for path in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
