@@ -75,6 +75,21 @@ void Cluster::halt_server(NodeId id) {
   sim_->halt(id);
 }
 
+void Cluster::partition(const std::vector<NodeId>& side, SimTime heal_at) {
+  std::vector<bool> in_side(servers_.size(), false);
+  for (NodeId id : side) {
+    CEC_CHECK(id < servers_.size());
+    in_side[id] = true;
+  }
+  for (NodeId a = 0; a < servers_.size(); ++a) {
+    for (NodeId b = 0; b < servers_.size(); ++b) {
+      if (a != b && in_side[a] != in_side[b]) {
+        sim_->block_channel(a, b, heal_at);
+      }
+    }
+  }
+}
+
 void Cluster::run_for(SimTime duration) {
   sim_->run_until(sim_->now() + duration);
 }
@@ -112,9 +127,11 @@ void Cluster::arm_gc_timers() {
     auto* simulation = sim_.get();
     gc_timer_ids_.push_back(sim_->schedule_periodic(
         sim_->now() + config_.gc_period + s * config_.gc_stagger,
-        config_.gc_period, [server, simulation, s] {
+        config_.gc_period,
+        [server, simulation, s] {
           if (!simulation->halted(s)) server->run_garbage_collection();
-        }));
+        },
+        sim::Simulation::kForever, config_.gc_jitter));
   }
 }
 

@@ -31,6 +31,10 @@ struct ClusterConfig {
   SimTime gc_period = 50 * sim::kMillisecond;
   /// Stagger GC across servers so they do not fire in lockstep.
   SimTime gc_stagger = sim::kMillisecond;
+  /// Per-firing GC jitter (uniform in [-gc_jitter, +gc_jitter], seeded from
+  /// the simulation Rng). The chaos harness uses this to explore GC /
+  /// re-encode interleavings; 0 keeps firings strictly periodic.
+  SimTime gc_jitter = 0;
   /// When non-empty (N x N), row s becomes server s's proximity vector for
   /// ReadFanout::kNearestRecoverySet (e.g. the RTT matrix).
   std::vector<std::vector<double>> proximity_matrix;
@@ -70,6 +74,13 @@ class Cluster {
 
   /// Crash a server (it halts; Sec. 2.1).
   void halt_server(NodeId id);
+
+  /// Transient network partition: every channel between `side` and its
+  /// complement (both directions) holds messages back until `heal_at`.
+  /// Messages sent during the partition are delivered after it heals
+  /// (channels stay reliable and FIFO -- the paper's asynchronous model
+  /// allows arbitrary finite delays). Call at the partition start time.
+  void partition(const std::vector<NodeId>& side, SimTime heal_at);
 
   /// Advance simulated time; GC timers fire along the way.
   void run_for(SimTime duration);

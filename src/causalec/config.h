@@ -62,6 +62,14 @@ struct ServerConfig {
   /// they stay 0; a violation means an implementation bug).
   bool strict_error_invariants = true;
 
+  /// TEST-ONLY fault seam for the chaos harness's self-test: when true,
+  /// Apply_InQueue ignores the cross-origin half of its causality predicate
+  /// (Alg. 3 line 4's second conjunct), so an app message can be applied
+  /// before the writes it causally depends on. This deliberately breaks
+  /// causal consistency under message reordering; the chaos harness must
+  /// detect it and shrink a reproducer. Never enable outside tests.
+  bool unsafe_skip_apply_order_check = false;
+
   /// Fixed per-message envelope bytes (type, src, dst, object id, opid...).
   std::size_t header_bytes = 16;
 

@@ -1,0 +1,108 @@
+#include "chaos/bundle.h"
+
+#include <functional>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace causalec::chaos {
+
+std::string bundle_to_json(const ReplayBundle& bundle) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("format");
+  w.value("causalec-chaos-bundle-v1");
+  w.key("inject_bug");
+  w.value(bundle.inject_bug);
+  // Emitted as a JSON number; the parser keeps the literal, so the full
+  // u64 range survives the round-trip.
+  w.key("history_hash");
+  w.value(bundle.history_hash);
+  w.key("violations");
+  w.begin_array();
+  for (const std::string& v : bundle.violations) w.value(v);
+  w.end_array();
+  w.key("plan");
+  w.value_raw(bundle.plan.to_json());
+  w.end_object();
+  return out.str();
+}
+
+std::optional<ReplayBundle> bundle_from_json(std::string_view text) {
+  const auto doc = obs::json_parse(text);
+  if (!doc || doc->kind() != obs::JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  const auto* format = doc->find("format");
+  if (!format || format->kind() != obs::JsonValue::Kind::kString ||
+      format->as_string() != "causalec-chaos-bundle-v1") {
+    return std::nullopt;
+  }
+
+  ReplayBundle bundle;
+  const auto* inject = doc->find("inject_bug");
+  if (!inject || inject->kind() != obs::JsonValue::Kind::kBool) {
+    return std::nullopt;
+  }
+  bundle.inject_bug = inject->as_bool();
+
+  const auto* hash = doc->find("history_hash");
+  if (!hash || hash->kind() != obs::JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  bundle.history_hash = hash->as_u64();
+
+  const auto* violations = doc->find("violations");
+  if (!violations || violations->kind() != obs::JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  for (const obs::JsonValue& v : violations->items()) {
+    if (v.kind() != obs::JsonValue::Kind::kString) return std::nullopt;
+    bundle.violations.push_back(v.as_string());
+  }
+
+  const auto* plan = doc->find("plan");
+  if (!plan) return std::nullopt;
+  // Round-trip the plan through its own parser: re-serialize the subtree.
+  // (The plan parser owns the schema; keeping one decoder avoids drift.)
+  std::ostringstream plan_text;
+  obs::JsonWriter w(plan_text);
+  std::function<void(const obs::JsonValue&)> emit =
+      [&](const obs::JsonValue& value) {
+        switch (value.kind()) {
+          case obs::JsonValue::Kind::kNull:
+            w.value_null();
+            break;
+          case obs::JsonValue::Kind::kBool:
+            w.value(value.as_bool());
+            break;
+          case obs::JsonValue::Kind::kNumber:
+            w.value_raw(value.number_literal());
+            break;
+          case obs::JsonValue::Kind::kString:
+            w.value(value.as_string());
+            break;
+          case obs::JsonValue::Kind::kArray:
+            w.begin_array();
+            for (const auto& item : value.items()) emit(item);
+            w.end_array();
+            break;
+          case obs::JsonValue::Kind::kObject:
+            w.begin_object();
+            for (const auto& [key, member] : value.members()) {
+              w.key(key);
+              emit(member);
+            }
+            w.end_object();
+            break;
+        }
+      };
+  emit(*plan);
+  auto parsed = FaultPlan::from_json(plan_text.str());
+  if (!parsed) return std::nullopt;
+  bundle.plan = std::move(*parsed);
+  return bundle;
+}
+
+}  // namespace causalec::chaos

@@ -1,0 +1,32 @@
+// Replay bundles: the self-contained JSON artifact causalec_fuzz writes for
+// every failure it finds, and what `causalec_fuzz --replay <file>` reads
+// back. A bundle carries the (shrunk) FaultPlan, the harness options that
+// matter for determinism (the injected-bug flag), the violations observed,
+// and the run's history hash -- replaying the plan must reproduce the hash
+// byte-for-byte or the replay reports divergence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/runner.h"
+
+namespace causalec::chaos {
+
+struct ReplayBundle {
+  FaultPlan plan;
+  bool inject_bug = false;
+  std::uint64_t history_hash = 0;
+  std::vector<std::string> violations;
+};
+
+std::string bundle_to_json(const ReplayBundle& bundle);
+/// nullopt on malformed input (wrong format tag, missing fields, invalid
+/// plan).
+std::optional<ReplayBundle> bundle_from_json(std::string_view text);
+
+}  // namespace causalec::chaos

@@ -1,0 +1,382 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/expect.h"
+#include "common/random.h"
+#include "obs/json.h"
+
+namespace causalec::chaos {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kDelayBurst:
+      return "delay_burst";
+    case FaultEvent::Kind::kGcNow:
+      return "gc_now";
+  }
+  return "?";
+}
+
+std::optional<FaultEvent::Kind> kind_from_name(std::string_view name) {
+  if (name == "crash") return FaultEvent::Kind::kCrash;
+  if (name == "partition") return FaultEvent::Kind::kPartition;
+  if (name == "delay_burst") return FaultEvent::Kind::kDelayBurst;
+  if (name == "gc_now") return FaultEvent::Kind::kGcNow;
+  return std::nullopt;
+}
+
+/// Deterministic full order so generate() output is independent of the
+/// std::sort implementation.
+bool event_before(const FaultEvent& a, const FaultEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.node != b.node) return a.node < b.node;
+  if (a.from != b.from) return a.from < b.from;
+  if (a.to != b.to) return a.to < b.to;
+  if (a.side_mask != b.side_mask) return a.side_mask < b.side_mask;
+  return a.duration < b.duration;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const GenerateLimits& limits) {
+  // Domain-separated from every Rng used while running the plan.
+  Rng rng(seed ^ 0xFA0157'9A1Bull);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  WorkloadSpec& w = plan.workload;
+  w.num_servers = static_cast<std::uint32_t>(5 + rng.next_below(4));  // 5..8
+  // 2..n-2 data symbols: keeps a crash budget of at least 2.
+  w.num_objects =
+      static_cast<std::uint32_t>(2 + rng.next_below(w.num_servers - 3));
+  w.value_bytes = rng.next_bool(0.5) ? 32 : 64;
+  const std::uint32_t max_sessions = std::max<std::uint32_t>(
+      2, limits.max_sessions);
+  w.sessions = static_cast<std::uint32_t>(
+      2 + rng.next_below(max_sessions - 1));  // 2..max_sessions
+  const std::uint64_t min_ops = std::min<std::uint64_t>(40, limits.max_ops);
+  w.ops = min_ops + rng.next_below(limits.max_ops - min_ops + 1);
+  w.write_fraction = 0.3 + 0.4 * rng.next_double();
+  w.zipf_theta = rng.next_bool(0.5) ? 0.99 : 0.0;
+  w.think_rate_hz = 500.0 + 3500.0 * rng.next_double();
+
+  plan.horizon = 2 * sim::kSecond;
+  plan.gc_period = (10 + static_cast<SimTime>(rng.next_below(30))) *
+                   sim::kMillisecond;
+  plan.gc_jitter = static_cast<SimTime>(
+      rng.next_below(static_cast<std::uint64_t>(plan.gc_period / 2)));
+  plan.latency_base = 200 * sim::kMicrosecond +
+                      static_cast<SimTime>(rng.next_below(
+                          static_cast<std::uint64_t>(1800 * sim::kMicrosecond)));
+  plan.latency_alpha = 1.1 + 1.4 * rng.next_double();
+  plan.latency_cap = 10.0 + 60.0 * rng.next_double();
+  plan.nearest_fanout = rng.next_bool(0.5);
+
+  // Faults land in the first 60% of the horizon so the run has slack to
+  // recover before the convergence checks.
+  const SimTime window = plan.horizon * 3 / 5;
+  auto pick_time = [&] {
+    return static_cast<SimTime>(
+        rng.next_below(static_cast<std::uint64_t>(window)));
+  };
+
+  // Crashes: distinct nodes, never more than the tolerated budget.
+  const std::size_t budget =
+      std::min<std::size_t>(limits.max_crashes, plan.crash_budget());
+  const std::size_t num_crashes = rng.next_below(budget + 1);
+  std::vector<NodeId> nodes(w.num_servers);
+  for (std::uint32_t i = 0; i < w.num_servers; ++i) nodes[i] = i;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {  // Fisher-Yates
+    const std::size_t j = i + rng.next_below(nodes.size() - i);
+    std::swap(nodes[i], nodes[j]);
+  }
+  for (std::size_t i = 0; i < num_crashes; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kCrash;
+    ev.at = pick_time();
+    ev.node = nodes[i];
+    plan.events.push_back(ev);
+  }
+
+  const std::size_t num_partitions = rng.next_below(limits.max_partitions + 1);
+  for (std::size_t i = 0; i < num_partitions; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kPartition;
+    ev.at = pick_time();
+    // Non-trivial proper subset of the servers.
+    const std::uint64_t all = (1ull << w.num_servers) - 1;
+    ev.side_mask = 1 + rng.next_below(all - 1);
+    ev.duration = 5 * sim::kMillisecond +
+                  static_cast<SimTime>(rng.next_below(
+                      static_cast<std::uint64_t>(150 * sim::kMillisecond)));
+    plan.events.push_back(ev);
+  }
+
+  const std::size_t num_bursts = rng.next_below(limits.max_bursts + 1);
+  for (std::size_t i = 0; i < num_bursts; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kDelayBurst;
+    ev.at = pick_time();
+    ev.from = static_cast<NodeId>(rng.next_below(w.num_servers));
+    ev.to = static_cast<NodeId>(rng.next_below(w.num_servers - 1));
+    if (ev.to >= ev.from) ++ev.to;  // distinct endpoints
+    ev.extra = sim::kMillisecond +
+               static_cast<SimTime>(rng.next_below(
+                   static_cast<std::uint64_t>(30 * sim::kMillisecond)));
+    ev.duration = 5 * sim::kMillisecond +
+                  static_cast<SimTime>(rng.next_below(
+                      static_cast<std::uint64_t>(100 * sim::kMillisecond)));
+    plan.events.push_back(ev);
+  }
+
+  const std::size_t num_pokes = rng.next_below(limits.max_gc_pokes + 1);
+  for (std::size_t i = 0; i < num_pokes; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kGcNow;
+    ev.at = pick_time();
+    ev.node = static_cast<NodeId>(rng.next_below(w.num_servers));
+    plan.events.push_back(ev);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(), event_before);
+  CEC_CHECK(plan.valid());
+  return plan;
+}
+
+std::vector<NodeId> FaultPlan::crashed_nodes() const {
+  std::set<NodeId> crashed;
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultEvent::Kind::kCrash) crashed.insert(ev.node);
+  }
+  return {crashed.begin(), crashed.end()};
+}
+
+bool FaultPlan::valid() const {
+  const WorkloadSpec& w = workload;
+  if (w.num_servers < 2 || w.num_servers > 63) return false;
+  if (w.num_objects < 1 || w.num_objects > w.num_servers) return false;
+  if (w.value_bytes == 0 || w.sessions == 0 || w.ops == 0) return false;
+  if (!(w.write_fraction >= 0.0 && w.write_fraction <= 1.0)) return false;
+  if (horizon <= 0 || gc_period <= 0 || gc_jitter < 0) return false;
+  if (latency_base <= 0 || latency_alpha <= 0 || latency_cap < 1.0) {
+    return false;
+  }
+  if (crashed_nodes().size() > crash_budget()) return false;
+  const std::uint64_t all = (1ull << w.num_servers) - 1;
+  for (const FaultEvent& ev : events) {
+    if (ev.at < 0 || ev.at > horizon) return false;
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kGcNow:
+        if (ev.node >= w.num_servers) return false;
+        break;
+      case FaultEvent::Kind::kPartition:
+        if (ev.side_mask == 0 || (ev.side_mask & ~all) != 0 ||
+            ev.side_mask == all || ev.duration <= 0) {
+          return false;
+        }
+        break;
+      case FaultEvent::Kind::kDelayBurst:
+        if (ev.from >= w.num_servers || ev.to >= w.num_servers ||
+            ev.from == ev.to || ev.extra <= 0 || ev.duration <= 0) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("format");
+  w.value("causalec-chaos-plan-v1");
+  w.key("seed");
+  w.value(seed);
+  w.key("workload");
+  w.begin_object();
+  w.key("num_servers");
+  w.value(static_cast<std::uint64_t>(workload.num_servers));
+  w.key("num_objects");
+  w.value(static_cast<std::uint64_t>(workload.num_objects));
+  w.key("value_bytes");
+  w.value(static_cast<std::uint64_t>(workload.value_bytes));
+  w.key("sessions");
+  w.value(static_cast<std::uint64_t>(workload.sessions));
+  w.key("ops");
+  w.value(workload.ops);
+  w.key("write_fraction");
+  w.value(workload.write_fraction);
+  w.key("zipf_theta");
+  w.value(workload.zipf_theta);
+  w.key("think_rate_hz");
+  w.value(workload.think_rate_hz);
+  w.end_object();
+  w.key("horizon_ns");
+  w.value(horizon);
+  w.key("gc_period_ns");
+  w.value(gc_period);
+  w.key("gc_jitter_ns");
+  w.value(gc_jitter);
+  w.key("latency_base_ns");
+  w.value(latency_base);
+  w.key("latency_alpha");
+  w.value(latency_alpha);
+  w.key("latency_cap");
+  w.value(latency_cap);
+  w.key("nearest_fanout");
+  w.value(nearest_fanout);
+  w.key("events");
+  w.begin_array();
+  for (const FaultEvent& ev : events) {
+    w.begin_object();
+    w.key("kind");
+    w.value(kind_name(ev.kind));
+    w.key("at_ns");
+    w.value(ev.at);
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kGcNow:
+        w.key("node");
+        w.value(static_cast<std::uint64_t>(ev.node));
+        break;
+      case FaultEvent::Kind::kPartition:
+        w.key("side_mask");
+        w.value(ev.side_mask);
+        w.key("duration_ns");
+        w.value(ev.duration);
+        break;
+      case FaultEvent::Kind::kDelayBurst:
+        w.key("from");
+        w.value(static_cast<std::uint64_t>(ev.from));
+        w.key("to");
+        w.value(static_cast<std::uint64_t>(ev.to));
+        w.key("extra_ns");
+        w.value(ev.extra);
+        w.key("duration_ns");
+        w.value(ev.duration);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+std::optional<FaultPlan> FaultPlan::from_json(std::string_view text) {
+  const auto doc = obs::json_parse(text);
+  if (!doc || doc->kind() != obs::JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  const auto* format = doc->find("format");
+  if (!format || format->kind() != obs::JsonValue::Kind::kString ||
+      format->as_string() != "causalec-chaos-plan-v1") {
+    return std::nullopt;
+  }
+
+  // Typed field readers; any missing / mistyped field fails the parse.
+  bool bad = false;
+  auto u64 = [&bad](const obs::JsonValue& obj,
+                    std::string_view key) -> std::uint64_t {
+    const auto* v = obj.find(key);
+    if (!v || v->kind() != obs::JsonValue::Kind::kNumber) {
+      bad = true;
+      return 0;
+    }
+    return v->as_u64();
+  };
+  auto i64 = [&bad](const obs::JsonValue& obj,
+                    std::string_view key) -> std::int64_t {
+    const auto* v = obj.find(key);
+    if (!v || v->kind() != obs::JsonValue::Kind::kNumber) {
+      bad = true;
+      return 0;
+    }
+    return v->as_i64();
+  };
+  auto f64 = [&bad](const obs::JsonValue& obj, std::string_view key) -> double {
+    const auto* v = obj.find(key);
+    if (!v || v->kind() != obs::JsonValue::Kind::kNumber) {
+      bad = true;
+      return 0;
+    }
+    return v->as_double();
+  };
+
+  FaultPlan plan;
+  plan.seed = u64(*doc, "seed");
+  const auto* wl = doc->find("workload");
+  if (!wl || wl->kind() != obs::JsonValue::Kind::kObject) return std::nullopt;
+  plan.workload.num_servers = static_cast<std::uint32_t>(u64(*wl, "num_servers"));
+  plan.workload.num_objects = static_cast<std::uint32_t>(u64(*wl, "num_objects"));
+  plan.workload.value_bytes = static_cast<std::uint32_t>(u64(*wl, "value_bytes"));
+  plan.workload.sessions = static_cast<std::uint32_t>(u64(*wl, "sessions"));
+  plan.workload.ops = u64(*wl, "ops");
+  plan.workload.write_fraction = f64(*wl, "write_fraction");
+  plan.workload.zipf_theta = f64(*wl, "zipf_theta");
+  plan.workload.think_rate_hz = f64(*wl, "think_rate_hz");
+  plan.horizon = i64(*doc, "horizon_ns");
+  plan.gc_period = i64(*doc, "gc_period_ns");
+  plan.gc_jitter = i64(*doc, "gc_jitter_ns");
+  plan.latency_base = i64(*doc, "latency_base_ns");
+  plan.latency_alpha = f64(*doc, "latency_alpha");
+  plan.latency_cap = f64(*doc, "latency_cap");
+  const auto* nearest = doc->find("nearest_fanout");
+  if (!nearest || nearest->kind() != obs::JsonValue::Kind::kBool) {
+    return std::nullopt;
+  }
+  plan.nearest_fanout = nearest->as_bool();
+
+  const auto* events = doc->find("events");
+  if (!events || events->kind() != obs::JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  for (const obs::JsonValue& item : events->items()) {
+    if (item.kind() != obs::JsonValue::Kind::kObject) return std::nullopt;
+    const auto* kind_field = item.find("kind");
+    if (!kind_field || kind_field->kind() != obs::JsonValue::Kind::kString) {
+      return std::nullopt;
+    }
+    const auto kind = kind_from_name(kind_field->as_string());
+    if (!kind) return std::nullopt;
+    FaultEvent ev;
+    ev.kind = *kind;
+    ev.at = i64(item, "at_ns");
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kGcNow:
+        ev.node = static_cast<NodeId>(u64(item, "node"));
+        break;
+      case FaultEvent::Kind::kPartition:
+        ev.side_mask = u64(item, "side_mask");
+        ev.duration = i64(item, "duration_ns");
+        break;
+      case FaultEvent::Kind::kDelayBurst:
+        ev.from = static_cast<NodeId>(u64(item, "from"));
+        ev.to = static_cast<NodeId>(u64(item, "to"));
+        ev.extra = i64(item, "extra_ns");
+        ev.duration = i64(item, "duration_ns");
+        break;
+    }
+    plan.events.push_back(ev);
+  }
+
+  if (bad || !plan.valid()) return std::nullopt;
+  return plan;
+}
+
+}  // namespace causalec::chaos

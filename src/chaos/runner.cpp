@@ -1,0 +1,262 @@
+#include "chaos/runner.h"
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "causalec/cluster.h"
+#include "common/random.h"
+#include "consistency/causal_checker.h"
+#include "consistency/recorder.h"
+#include "erasure/codes.h"
+#include "sim/latency.h"
+#include "workload/driver.h"
+
+namespace causalec::chaos {
+
+namespace {
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv_op(std::uint64_t& h, const consistency::OpRecord& op) {
+  fnv_u64(h, op.client);
+  fnv_u64(h, op.session_seq);
+  fnv_u64(h, op.is_write ? 1 : 0);
+  fnv_u64(h, op.object);
+  fnv_u64(h, op.server);
+  fnv_u64(h, op.timestamp.size());
+  for (std::size_t i = 0; i < op.timestamp.size(); ++i) {
+    fnv_u64(h, op.timestamp[i]);
+  }
+  fnv_u64(h, op.tag.id);
+  for (std::size_t i = 0; i < op.tag.ts.size(); ++i) {
+    fnv_u64(h, op.tag.ts[i]);
+  }
+  fnv_u64(h, op.value_hash);
+  fnv_u64(h, static_cast<std::uint64_t>(op.invoked_at));
+  fnv_u64(h, static_cast<std::uint64_t>(op.responded_at));
+}
+
+}  // namespace
+
+std::uint64_t hash_run(const consistency::History& history,
+                       const std::vector<consistency::OpRecord>& final_reads,
+                       const sim::NetworkStats& net) {
+  std::uint64_t h = 14695981039346656037ull;
+  fnv_u64(h, history.size());
+  for (const auto& op : history.ops()) fnv_op(h, op);
+  fnv_u64(h, final_reads.size());
+  for (const auto& op : final_reads) fnv_op(h, op);
+  fnv_u64(h, net.total_messages);
+  fnv_u64(h, net.total_bytes);
+  for (const auto& [type, per] : net.by_type) {
+    for (const char c : type) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    fnv_u64(h, per.count);
+    fnv_u64(h, per.bytes);
+  }
+  return h;
+}
+
+RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
+  CEC_CHECK_MSG(plan.valid(), "structurally invalid fault plan");
+  const WorkloadSpec& w = plan.workload;
+
+  ClusterConfig config;
+  config.seed = plan.seed;
+  config.gc_period = plan.gc_period;
+  config.gc_jitter = plan.gc_jitter;
+  config.server.fanout = plan.nearest_fanout
+                             ? ReadFanout::kNearestRecoverySet
+                             : ReadFanout::kBroadcast;
+  // The harness reports Error1/Error2 as violations instead of aborting --
+  // injected-bug runs must survive to the shrinking stage.
+  config.server.strict_error_invariants = false;
+  config.server.unsafe_skip_apply_order_check = options.inject_bug;
+  config.obs.tracer = options.tracer;
+
+  Cluster cluster(
+      erasure::make_systematic_rs(w.num_servers, w.num_objects, w.value_bytes),
+      std::make_unique<sim::HeavyTailLatency>(
+          plan.latency_base, plan.latency_alpha, plan.latency_cap,
+          plan.seed ^ 0x1A7E9C0ull),
+      config);
+  sim::Simulation& sim = cluster.sim();
+
+  // Clients attach only to servers the schedule never crashes: a client's
+  // calls bypass the simulated network, so a crashed home server would
+  // teleport state out of a halted node.
+  const std::vector<NodeId> crashed = plan.crashed_nodes();
+  const std::set<NodeId> crashed_set(crashed.begin(), crashed.end());
+  std::vector<NodeId> survivors;
+  for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+    if (!crashed_set.count(s)) survivors.push_back(s);
+  }
+  CEC_CHECK(!survivors.empty());
+
+  RunOutcome outcome;
+  consistency::History& history = outcome.history;
+  auto now_fn = [&sim] { return sim.now(); };
+
+  std::vector<std::unique_ptr<consistency::SessionRecorder>> recorders;
+  for (std::uint32_t i = 0; i < w.sessions; ++i) {
+    Client& client = cluster.make_client(survivors[i % survivors.size()]);
+    recorders.push_back(std::make_unique<consistency::SessionRecorder>(
+        &client, &history, now_fn));
+  }
+
+  // Deterministic payloads: every write's bytes come from one seeded
+  // stream, consumed in (deterministic) issue order.
+  auto value_rng = std::make_shared<Rng>(plan.seed ^ 0x7A1DEull);
+  auto make_value = [value_rng, &w] {
+    erasure::Value value(w.value_bytes);
+    for (std::uint32_t i = 0; i < w.value_bytes; ++i) {
+      value[i] = static_cast<std::uint8_t>(value_rng->next_below(256));
+    }
+    return value;
+  };
+
+  workload::OpMix mix;
+  mix.write_fraction = w.write_fraction;
+  workload::ClosedLoopDriver driver(
+      &sim, mix,
+      std::make_shared<workload::KeyPicker>(w.num_objects, w.zipf_theta,
+                                            plan.seed ^ 0x5E55ull),
+      w.think_rate_hz, plan.seed ^ 0xD21Full);
+  driver.set_op_budget(w.ops);
+  for (auto& recorder : recorders) {
+    consistency::SessionRecorder* rec = recorder.get();
+    workload::ClosedLoopDriver::Session session;
+    session.issue_write = [rec, make_value](ObjectId key,
+                                            std::function<void()> done) {
+      rec->write(key, make_value());
+      done();  // writes are synchronous (Property (I))
+    };
+    session.issue_read = [rec](ObjectId key, std::function<void()> done) {
+      rec->read(key, [done = std::move(done)](const erasure::Value&,
+                                              const Tag&) { done(); });
+    };
+    driver.add_session(std::move(session));
+  }
+
+  // Script the fault schedule.
+  for (const FaultEvent& ev : plan.events) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+        sim.schedule_at(ev.at,
+                        [&cluster, ev] { cluster.halt_server(ev.node); });
+        break;
+      case FaultEvent::Kind::kPartition:
+        sim.schedule_at(ev.at, [&cluster, ev, &w] {
+          std::vector<NodeId> side;
+          for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+            if (ev.side_mask & (1ull << s)) side.push_back(s);
+          }
+          cluster.partition(side, ev.at + ev.duration);
+        });
+        break;
+      case FaultEvent::Kind::kDelayBurst:
+        sim.schedule_at(ev.at, [&sim, ev] {
+          sim.add_channel_delay(ev.from, ev.to, ev.extra);
+        });
+        sim.schedule_at(ev.at + ev.duration, [&sim, ev] {
+          sim.add_channel_delay(ev.from, ev.to, -ev.extra);
+        });
+        break;
+      case FaultEvent::Kind::kGcNow:
+        sim.schedule_at(ev.at, [&cluster, &sim, ev] {
+          if (!sim.halted(ev.node)) {
+            cluster.server(ev.node).run_garbage_collection();
+          }
+        });
+        break;
+    }
+  }
+
+  driver.start(plan.horizon);
+  cluster.run_for(plan.horizon);
+
+  // Drain in-flight reads (bounded: reads at live servers with >= k
+  // survivors always terminate; a stuck one is a liveness bug).
+  auto any_busy = [&recorders] {
+    for (const auto& r : recorders) {
+      if (r->busy()) return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < 300 && any_busy(); ++i) {
+    cluster.run_for(10 * sim::kMillisecond);
+  }
+  if (any_busy()) {
+    outcome.violations.push_back(
+        "liveness: operations still pending 3s past the horizon");
+  }
+
+  outcome.ops_issued = driver.ops_issued();
+  outcome.ops_completed = history.size();
+
+  // Quiesce the protocol (drains held-back partition traffic and enough GC
+  // rounds for storage to converge), then read everything back at every
+  // survivor: eventual visibility among the non-halted servers.
+  cluster.settle();
+  for (NodeId s : survivors) {
+    Client& reader = cluster.make_client(s);
+    consistency::History final_history;
+    consistency::SessionRecorder recorder(&reader, &final_history, now_fn);
+    for (std::uint32_t x = 0; x < w.num_objects; ++x) {
+      recorder.read(x);
+      for (int i = 0; i < 300 && recorder.busy(); ++i) {
+        cluster.run_for(10 * sim::kMillisecond);
+      }
+      if (recorder.busy()) {
+        std::ostringstream oss;
+        oss << "liveness: final read of X" << x << " at server " << s
+            << " did not complete";
+        outcome.violations.push_back(oss.str());
+        break;
+      }
+    }
+    for (const auto& op : final_history.ops()) {
+      outcome.final_reads.push_back(op);
+    }
+  }
+
+  // Consistency gates.
+  const consistency::CheckResult results[] = {
+      consistency::check_causal_consistency(history),
+      consistency::check_session_guarantees(history),
+      consistency::check_convergence(history, outcome.final_reads)};
+  for (const auto& result : results) {
+    for (const auto& violation : result.violations) {
+      outcome.violations.push_back(violation);
+    }
+  }
+
+  // Error1/Error2 stay zero in every correct execution (Theorem 4.1's
+  // invariants); any increment is a protocol bug.
+  for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+    const ServerCounters& counters = cluster.server(s).counters();
+    if (counters.error1_events != 0 || counters.error2_events != 0) {
+      std::ostringstream oss;
+      oss << "invariant: server " << s << " raised Error1 x"
+          << counters.error1_events << " / Error2 x"
+          << counters.error2_events;
+      outcome.violations.push_back(oss.str());
+    }
+  }
+
+  outcome.net = sim.stats();
+  outcome.history_hash = hash_run(history, outcome.final_reads, outcome.net);
+  outcome.ok = outcome.violations.empty();
+  return outcome;
+}
+
+}  // namespace causalec::chaos

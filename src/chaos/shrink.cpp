@@ -1,0 +1,136 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace causalec::chaos {
+
+namespace {
+
+/// Lexicographic reduction target: operations dominate (they are what a
+/// human replays by hand), then fault events, then sessions.
+std::uint64_t cost(const FaultPlan& plan) {
+  return plan.workload.ops * 1000 + plan.events.size() * 10 +
+         plan.workload.sessions;
+}
+
+/// All one-step reductions of `plan`, most aggressive first.
+std::vector<FaultPlan> candidates(const FaultPlan& plan) {
+  std::vector<FaultPlan> out;
+  const WorkloadSpec& w = plan.workload;
+
+  // Operation budget: halve, then three-quarters, then decrement (the
+  // binary-search stage usually got here first; these mop up).
+  if (w.ops > 1) {
+    FaultPlan half = plan;
+    half.workload.ops = w.ops / 2;
+    out.push_back(half);
+    if (w.ops >= 8) {
+      FaultPlan three_quarters = plan;
+      three_quarters.workload.ops = w.ops * 3 / 4;
+      out.push_back(three_quarters);
+    }
+    FaultPlan minus_one = plan;
+    minus_one.workload.ops = w.ops - 1;
+    out.push_back(minus_one);
+  }
+
+  // Fault events: drop the first half, the second half, then each single
+  // event (delta-debugging style).
+  if (plan.events.size() > 1) {
+    const std::size_t mid = plan.events.size() / 2;
+    FaultPlan front = plan;
+    front.events.assign(plan.events.begin(), plan.events.begin() + mid);
+    out.push_back(front);
+    FaultPlan back = plan;
+    back.events.assign(plan.events.begin() + mid, plan.events.end());
+    out.push_back(back);
+  }
+  if (plan.events.size() <= 8) {
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      FaultPlan dropped = plan;
+      dropped.events.erase(dropped.events.begin() + i);
+      out.push_back(dropped);
+    }
+  } else if (!plan.events.empty()) {
+    FaultPlan none = plan;
+    none.events.clear();
+    out.push_back(none);
+  }
+
+  if (w.sessions > 1) {
+    FaultPlan fewer = plan;
+    fewer.workload.sessions = w.sessions - 1;
+    out.push_back(fewer);
+  }
+
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const FaultPlan& failing, const ChaosOptions& options,
+                    std::size_t max_runs) {
+  ShrinkResult result;
+  result.plan = failing;
+  result.outcome = run_plan(failing, options);
+  ++result.runs;
+  CEC_CHECK_MSG(!result.outcome.ok,
+                "shrink() called with a plan that does not fail");
+
+  bool progressed = true;
+  while (progressed && result.runs < max_runs) {
+    const std::uint64_t round_start_cost = cost(result.plan);
+
+    // Stage 1: binary-search the op budget. Shrinking the budget replays an
+    // identical prefix of the run (the driver and every rng draw are
+    // deterministic), so "fails iff budget >= index of the violating op" is
+    // monotone to good approximation -- a logarithmic number of probes
+    // lands near the earliest failing prefix.
+    std::uint64_t lo = 1;
+    std::uint64_t hi = result.plan.workload.ops;
+    while (lo < hi && result.runs < max_runs) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      FaultPlan candidate = result.plan;
+      candidate.workload.ops = mid;
+      RunOutcome outcome = run_plan(candidate, options);
+      ++result.runs;
+      if (!outcome.ok) {
+        result.plan = std::move(candidate);
+        result.outcome = std::move(outcome);
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+
+    // Stage 2: greedy reduction over every dimension until a fixpoint.
+    bool improved = true;
+    while (improved && result.runs < max_runs) {
+      improved = false;
+      for (FaultPlan& candidate : candidates(result.plan)) {
+        if (result.runs >= max_runs) break;
+        if (!candidate.valid() || cost(candidate) >= cost(result.plan)) {
+          continue;
+        }
+        RunOutcome outcome = run_plan(candidate, options);
+        ++result.runs;
+        if (!outcome.ok) {
+          result.plan = std::move(candidate);
+          result.outcome = std::move(outcome);
+          improved = true;
+          break;  // restart from the reduced plan
+        }
+      }
+    }
+
+    // Dropping events / sessions reshapes the run; another budget search
+    // may now bite. Stop once a full round stops shrinking.
+    progressed = cost(result.plan) < round_start_cost;
+  }
+  return result;
+}
+
+}  // namespace causalec::chaos

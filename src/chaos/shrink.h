@@ -1,0 +1,33 @@
+// Greedy shrinking of a failing FaultPlan to a minimal reproducer.
+//
+// Candidate reductions (smaller op budget, fewer sessions, dropped fault
+// events -- first/second half bisection, then singles) are re-run through
+// run_plan; any candidate that still fails replaces the current plan. The
+// loop repeats until no candidate improves, so a plan that started with
+// hundreds of operations typically lands on a handful that still trip the
+// checker -- small enough to read the violating history by eye.
+#pragma once
+
+#include <cstddef>
+
+#include "chaos/fault_plan.h"
+#include "chaos/runner.h"
+
+namespace causalec::chaos {
+
+struct ShrinkResult {
+  /// The smallest still-failing plan found.
+  FaultPlan plan;
+  /// run_plan(plan) -- kept so callers can bundle the violations and hash
+  /// without re-running.
+  RunOutcome outcome;
+  /// Total executions spent shrinking.
+  std::size_t runs = 0;
+};
+
+/// `failing` must fail under `options` (CHECK-enforced by re-running it).
+/// `max_runs` caps the executions spent searching.
+ShrinkResult shrink(const FaultPlan& failing, const ChaosOptions& options,
+                    std::size_t max_runs = 200);
+
+}  // namespace causalec::chaos

@@ -132,6 +132,9 @@ CheckResult check_session_guarantees(const History& history) {
   };
   std::map<ClientId, std::map<ObjectId, PerObjectState>> sessions;
   std::map<ClientId, Tag> last_write_any;
+  // Largest non-zero tag any read of the session returned so far
+  // (writes-follow-reads witness).
+  std::map<ClientId, Tag> max_read_any;
 
   for (const auto& op : history.ops()) {
     auto& state = sessions[op.client][op.object];
@@ -142,6 +145,16 @@ CheckResult check_session_guarantees(const History& history) {
         result.fail("monotonic writes violated: " + describe(op));
       }
       last_write_any[op.client] = op.tag;
+      // Writes-follow-reads: the write must be arbitrated (tag-ordered)
+      // after every write this session has read. Tags form the global
+      // write order, so one per-session maximum suffices.
+      auto rit = max_read_any.find(op.client);
+      if (rit != max_read_any.end() && !(rit->second < op.tag)) {
+        std::ostringstream oss;
+        oss << "writes-follow-reads violated: " << describe(op)
+            << " not arbitrated after previously read tag " << rit->second;
+        result.fail(oss.str());
+      }
       state.has_written = true;
       state.last_write_tag = op.tag;
     } else {
@@ -155,6 +168,10 @@ CheckResult check_session_guarantees(const History& history) {
       }
       state.has_read = true;
       state.last_read_tag = op.tag;
+      if (!op.tag.is_zero()) {
+        auto [rit, inserted] = max_read_any.try_emplace(op.client, op.tag);
+        if (!inserted && rit->second < op.tag) rit->second = op.tag;
+      }
     }
   }
   return result;

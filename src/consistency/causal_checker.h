@@ -37,8 +37,10 @@ struct CheckResult {
 CheckResult check_causal_consistency(const History& history);
 
 /// Session guarantees, checked black-box (no cross-client metadata):
-/// monotonic reads, monotonic writes, read-your-writes. (Writes-follow-reads
-/// is implied by the full causal check above.)
+/// monotonic reads, monotonic writes, read-your-writes, and
+/// writes-follow-reads (a session's write must be arbitrated after every
+/// write whose value the session previously read -- tags are the global
+/// arbitration order, so the check spans objects).
 CheckResult check_session_guarantees(const History& history);
 
 /// Eventual visibility (Definition 5, second part): the reads in

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/expect.h"
 
@@ -49,61 +50,93 @@ void json_escape(std::ostream& out, std::string_view text) {
 }
 
 // ---------------------------------------------------------------------------
-// Validator.
+// Parser (also the validator: is_valid_json == "json_parse succeeds").
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// Appends a code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
 
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  bool parse_document() {
+  std::optional<JsonValue> parse_document() {
     skip_ws();
-    if (!parse_value()) return false;
+    auto value = parse_value();
+    if (!value) return std::nullopt;
     skip_ws();
-    return pos_ == text_.size();
+    if (pos_ != text_.size()) return std::nullopt;
+    return value;
   }
 
  private:
-  bool parse_value() {
-    if (depth_ > 256) return false;  // bail on pathological nesting
-    if (pos_ >= text_.size()) return false;
+  std::optional<JsonValue> parse_value() {
+    if (depth_ > 256) return std::nullopt;  // bail on pathological nesting
+    if (pos_ >= text_.size()) return std::nullopt;
     switch (text_[pos_]) {
       case '{':
         return parse_object();
       case '[':
         return parse_array();
-      case '"':
-        return parse_string();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue::make_string(std::move(*s));
+      }
       case 't':
-        return parse_literal("true");
+        if (!parse_literal("true")) return std::nullopt;
+        return JsonValue::make_bool(true);
       case 'f':
-        return parse_literal("false");
+        if (!parse_literal("false")) return std::nullopt;
+        return JsonValue::make_bool(false);
       case 'n':
-        return parse_literal("null");
+        if (!parse_literal("null")) return std::nullopt;
+        return JsonValue::make_null();
       default:
         return parse_number();
     }
   }
 
-  bool parse_object() {
+  std::optional<JsonValue> parse_object() {
     ++depth_;
     ++pos_;  // '{'
     skip_ws();
+    std::vector<std::pair<std::string, JsonValue>> members;
     if (peek() == '}') {
       ++pos_;
       --depth_;
-      return true;
+      return JsonValue::make_object(std::move(members));
     }
     while (true) {
       skip_ws();
-      if (peek() != '"' || !parse_string()) return false;
+      if (peek() != '"') return std::nullopt;
+      auto key = parse_string();
+      if (!key) return std::nullopt;
       skip_ws();
-      if (peek() != ':') return false;
+      if (peek() != ':') return std::nullopt;
       ++pos_;
       skip_ws();
-      if (!parse_value()) return false;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*value));
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -112,24 +145,27 @@ class Parser {
       if (peek() == '}') {
         ++pos_;
         --depth_;
-        return true;
+        return JsonValue::make_object(std::move(members));
       }
-      return false;
+      return std::nullopt;
     }
   }
 
-  bool parse_array() {
+  std::optional<JsonValue> parse_array() {
     ++depth_;
     ++pos_;  // '['
     skip_ws();
+    std::vector<JsonValue> items;
     if (peek() == ']') {
       ++pos_;
       --depth_;
-      return true;
+      return JsonValue::make_array(std::move(items));
     }
     while (true) {
       skip_ws();
-      if (!parse_value()) return false;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      items.push_back(std::move(*value));
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -138,47 +174,110 @@ class Parser {
       if (peek() == ']') {
         ++pos_;
         --depth_;
-        return true;
+        return JsonValue::make_array(std::move(items));
       }
-      return false;
+      return std::nullopt;
     }
   }
 
-  bool parse_string() {
+  std::optional<std::string> parse_string() {
     ++pos_;  // opening quote
+    std::string out;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
       if (c == '"') {
         ++pos_;
-        return true;
+        return out;
       }
       if (c == '\\') {
         ++pos_;
-        if (pos_ >= text_.size()) return false;
+        if (pos_ >= text_.size()) return std::nullopt;
         const char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 1; i <= 4; ++i) {
-            if (pos_ + i >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-              return false;
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            auto unit = parse_hex4();
+            if (!unit) return std::nullopt;
+            std::uint32_t cp = *unit;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: combine with a following \uDC00..\uDFFF when
+              // present, else keep the lone unit (lenient, like most parsers).
+              if (pos_ + 2 < text_.size() && text_[pos_ + 1] == '\\' &&
+                  text_[pos_ + 2] == 'u') {
+                const std::size_t saved = pos_;
+                pos_ += 2;
+                auto low = parse_hex4();
+                if (low && *low >= 0xDC00 && *low <= 0xDFFF) {
+                  cp = 0x10000 + ((cp - 0xD800) << 10) + (*low - 0xDC00);
+                } else {
+                  pos_ = saved;  // not a low surrogate; re-scan normally
+                }
+              }
             }
+            append_utf8(out, cp);
+            break;
           }
-          pos_ += 4;
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
-                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
-          return false;
+          default:
+            return std::nullopt;
         }
+      } else {
+        out.push_back(c);
       }
       ++pos_;
     }
-    return false;  // unterminated
+    return std::nullopt;  // unterminated
   }
 
-  bool parse_number() {
+  /// Reads the 4 hex digits after "\u"; pos_ is left on the last digit.
+  std::optional<std::uint32_t> parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 1; i <= 4; ++i) {
+      if (pos_ + i >= text_.size() ||
+          !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+        return std::nullopt;
+      }
+      const char h = text_[pos_ + i];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        value |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else {
+        value |= static_cast<std::uint32_t>(h - 'A' + 10);
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::optional<JsonValue> parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
     if (peek() == '0') {
       ++pos_;
     } else {
@@ -186,16 +285,16 @@ class Parser {
     }
     if (peek() == '.') {
       ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     if (peek() == 'e' || peek() == 'E') {
       ++pos_;
       if (peek() == '+' || peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
-    return pos_ > start;
+    return JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
   }
 
   bool parse_literal(std::string_view word) {
@@ -222,7 +321,112 @@ class Parser {
 }  // namespace
 
 bool is_valid_json(std::string_view text) {
+  return json_parse(text).has_value();
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors.
+// ---------------------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  CEC_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  CEC_CHECK(kind_ == Kind::kNumber);
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_i64() const {
+  CEC_CHECK(kind_ == Kind::kNumber);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), value);
+  CEC_CHECK_MSG(ec == std::errc() && ptr == scalar_.data() + scalar_.size(),
+                "not an int64 literal: " << scalar_);
+  return value;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  CEC_CHECK(kind_ == Kind::kNumber);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), value);
+  CEC_CHECK_MSG(ec == std::errc() && ptr == scalar_.data() + scalar_.size(),
+                "not a uint64 literal: " << scalar_);
+  return value;
+}
+
+const std::string& JsonValue::as_string() const {
+  CEC_CHECK(kind_ == Kind::kString);
+  return scalar_;
+}
+
+const std::string& JsonValue::number_literal() const {
+  CEC_CHECK(kind_ == Kind::kNumber);
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  CEC_CHECK(kind_ == Kind::kArray);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  CEC_CHECK(kind_ == Kind::kObject);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue{}; }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string literal) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(literal);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
 }
 
 // ---------------------------------------------------------------------------

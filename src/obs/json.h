@@ -1,16 +1,19 @@
-// Minimal streaming JSON writer plus a strict syntax validator.
+// Minimal streaming JSON writer plus a strict parser/validator.
 //
 // The observability layer emits three machine-readable artifacts (Chrome
 // traces, metrics dumps, BENCH_*.json reports); all of them funnel through
 // JsonWriter so escaping and number formatting live in exactly one place.
-// The validator exists so tests (and the C++ side of tools/check_bench_json)
-// can assert well-formedness without an external JSON dependency.
+// The parser exists so the chaos harness can read replay bundles back and
+// so tests (and the C++ side of tools/check_bench_json) can assert
+// well-formedness without an external JSON dependency.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace causalec::obs {
@@ -22,6 +25,53 @@ void json_escape(std::ostream& out, std::string_view text);
 /// Returns true iff `text` is a single valid JSON value with only trailing
 /// whitespace. (Syntax only; no schema.)
 bool is_valid_json(std::string_view text);
+
+/// A parsed JSON document. Numbers keep their source literal so 64-bit
+/// integers survive round-trips that a double would truncate (seeds and
+/// history hashes in chaos replay bundles exercise the full u64 range).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each checks the kind.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_i64() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  /// kNumber only: the verbatim source literal (re-emittable as raw JSON).
+  const std::string& number_literal() const;
+  const std::vector<JsonValue>& items() const;  // arrays
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;  // objects
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(std::string literal);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// kNumber: the source literal; kString: the decoded string.
+  std::string scalar_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document (same grammar the validator accepts).
+/// Returns nullopt on any syntax error.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 /// Streaming writer for JSON objects/arrays. Keys and values alternate
 /// naturally: inside an object call key() before each value; inside an

@@ -1,5 +1,6 @@
 #include "sim/latency.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/expect.h"
@@ -14,6 +15,23 @@ UniformJitterLatency::UniformJitterLatency(SimTime base_ns, SimTime jitter_ns,
 
 SimTime UniformJitterLatency::delay(NodeId, NodeId) {
   return base_ns_ + rng_.next_in(-jitter_ns_, jitter_ns_);
+}
+
+HeavyTailLatency::HeavyTailLatency(SimTime base_ns, double alpha,
+                                   double cap_factor, std::uint64_t seed)
+    : base_ns_(base_ns), alpha_(alpha), cap_factor_(cap_factor), rng_(seed) {
+  CEC_CHECK(base_ns > 0);
+  CEC_CHECK(alpha > 0);
+  CEC_CHECK(cap_factor >= 1.0);
+}
+
+SimTime HeavyTailLatency::delay(NodeId, NodeId) {
+  // Inverse-CDF Pareto sample on [1, inf), capped.
+  double u = rng_.next_double();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double factor =
+      std::min(std::pow(1.0 - u, -1.0 / alpha_), cap_factor_);
+  return static_cast<SimTime>(static_cast<double>(base_ns_) * factor);
 }
 
 std::unique_ptr<MatrixLatency> MatrixLatency::from_rtt_ms(

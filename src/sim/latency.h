@@ -55,6 +55,26 @@ class UniformJitterLatency final : public LatencyModel {
   Rng rng_;
 };
 
+/// Heavy-tailed delays for adversarial schedule exploration (the chaos
+/// harness): delay = base * pareto(alpha) with the tail capped at
+/// base * cap_factor. Small alpha (1.2-2) produces rare but very large
+/// spikes, which maximizes cross-channel reordering while every channel
+/// individually stays FIFO (the simulator enforces that).
+class HeavyTailLatency final : public LatencyModel {
+ public:
+  /// alpha > 0 is the Pareto shape (smaller = heavier tail); cap_factor >= 1
+  /// bounds the worst delay at base_ns * cap_factor.
+  HeavyTailLatency(SimTime base_ns, double alpha, double cap_factor,
+                   std::uint64_t seed);
+  SimTime delay(NodeId from, NodeId to) override;
+
+ private:
+  SimTime base_ns_;
+  double alpha_;
+  double cap_factor_;
+  Rng rng_;
+};
+
 /// Bandwidth-aware model: base propagation delay plus a per-byte
 /// serialization term (delay = base + bytes / bandwidth). The simulator
 /// passes the message size to size-aware models.

@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/expect.h"
@@ -58,6 +59,15 @@ void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
     delay += it->second;
   }
   SimTime deliver_at = now_ + delay;
+  // A blocked (partitioned) channel holds the message until the heal time.
+  if (auto it = channel_blocked_until_.find(key);
+      it != channel_blocked_until_.end()) {
+    if (it->second <= now_) {
+      channel_blocked_until_.erase(it);  // healed; drop the stale entry
+    } else {
+      deliver_at = std::max(deliver_at, it->second);
+    }
+  }
   // FIFO: never schedule a delivery earlier than the previous one on the
   // same channel.
   auto [it, inserted] = channel_last_delivery_.try_emplace(key, deliver_at);
@@ -94,10 +104,11 @@ void Simulation::schedule_after(SimTime delta, std::function<void()> fn) {
 
 std::uint64_t Simulation::schedule_periodic(SimTime start, SimTime period,
                                             std::function<void()> fn,
-                                            SimTime end_time) {
+                                            SimTime end_time, SimTime jitter) {
   CEC_CHECK(period > 0);
+  CEC_CHECK(jitter >= 0);
   const std::uint64_t id = next_timer_id_++;
-  periodic_.emplace(id, PeriodicTimer{period, end_time, std::move(fn)});
+  periodic_.emplace(id, PeriodicTimer{period, end_time, std::move(fn), jitter});
   if (start <= end_time) {
     push_event(start, [this, id, start] { fire_periodic(id, start); });
   }
@@ -122,7 +133,11 @@ void Simulation::fire_periodic(std::uint64_t timer_id, SimTime scheduled) {
     periodic_.erase(timer_id);
     return;
   }
-  const SimTime next = scheduled + it->second.period;
+  SimTime next = scheduled + it->second.period;
+  if (it->second.jitter > 0) {
+    next += rng_.next_in(-it->second.jitter, it->second.jitter);
+    next = std::max(next, now_ + 1);  // always advance
+  }
   if (next > it->second.end_time) {
     periodic_.erase(it);
     return;
@@ -141,8 +156,15 @@ bool Simulation::halted(NodeId node) const {
 }
 
 void Simulation::add_channel_delay(NodeId from, NodeId to, SimTime extra) {
-  CEC_CHECK(extra >= 0);
-  channel_extra_delay_[{from, to}] += extra;
+  SimTime& accumulated = channel_extra_delay_[{from, to}];
+  accumulated += extra;
+  CEC_CHECK(accumulated >= 0);
+}
+
+void Simulation::block_channel(NodeId from, NodeId to, SimTime until) {
+  CEC_CHECK(from < actors_.size() && to < actors_.size());
+  SimTime& blocked = channel_blocked_until_[{from, to}];
+  blocked = std::max(blocked, until);
 }
 
 void Simulation::push_event(SimTime time, std::function<void()> fn) {

@@ -43,17 +43,20 @@ class Actor {
   virtual void on_message(NodeId from, MessagePtr message) = 0;
 };
 
-/// Aggregate network accounting.
+/// Aggregate network accounting. Equality-comparable so determinism tests
+/// can assert two same-seed runs produced byte-identical traffic.
 struct NetworkStats {
   struct PerType {
     std::uint64_t count = 0;
     std::uint64_t bytes = 0;
+    bool operator==(const PerType&) const = default;
   };
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
   std::map<std::string, PerType> by_type;
 
   void reset() { *this = NetworkStats{}; }
+  bool operator==(const NetworkStats&) const = default;
 };
 
 class Simulation {
@@ -83,9 +86,13 @@ class Simulation {
 
   /// Periodic timer firing first at `start`, then every `period`, until
   /// `end_time` (inclusive). Returns an id usable with cancel_timer.
+  /// With `jitter` > 0 every subsequent firing is perturbed by a seeded
+  /// uniform draw in [-jitter, +jitter] (never scheduled in the past), so
+  /// e.g. GC rounds at different servers drift out of lockstep.
   std::uint64_t schedule_periodic(SimTime start, SimTime period,
                                   std::function<void()> fn,
-                                  SimTime end_time = kForever);
+                                  SimTime end_time = kForever,
+                                  SimTime jitter = 0);
   void cancel_timer(std::uint64_t timer_id);
 
   /// Crash a node: it takes no further steps and receives nothing.
@@ -93,8 +100,17 @@ class Simulation {
   bool halted(NodeId node) const;
 
   /// Hold back all messages on the (from, to) channel by an extra delay
-  /// applied to future sends (adversarial schedules in tests).
+  /// applied to future sends (adversarial schedules in tests). Negative
+  /// deltas are allowed (e.g. to end a transient delay burst) as long as
+  /// the accumulated extra delay stays non-negative; FIFO order is
+  /// preserved regardless.
   void add_channel_delay(NodeId from, NodeId to, SimTime extra);
+
+  /// Transient partition primitive: messages sent on the (from, to) channel
+  /// before `until` are held back and delivered no earlier than `until`
+  /// (plus their model delay ordering). The channel heals by itself once
+  /// now() passes `until`; overlapping blocks keep the latest heal time.
+  void block_channel(NodeId from, NodeId to, SimTime until);
 
   /// Process the next event. Returns false when the queue is empty.
   bool step();
@@ -139,6 +155,7 @@ class Simulation {
     SimTime period;
     SimTime end_time;
     std::function<void()> fn;
+    SimTime jitter = 0;
     bool cancelled = false;
   };
 
@@ -156,6 +173,7 @@ class Simulation {
   // FIFO enforcement: per-channel last scheduled delivery time.
   std::map<std::pair<NodeId, NodeId>, SimTime> channel_last_delivery_;
   std::map<std::pair<NodeId, NodeId>, SimTime> channel_extra_delay_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> channel_blocked_until_;
   std::map<std::uint64_t, PeriodicTimer> periodic_;
   std::uint64_t next_timer_id_ = 1;
   NetworkStats stats_;

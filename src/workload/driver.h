@@ -89,6 +89,14 @@ class ClosedLoopDriver {
     sessions_.push_back(std::move(session));
   }
 
+  /// Cap the total number of operations issued across all sessions
+  /// (0 = unlimited, the default). Sessions stop issuing once the budget
+  /// is spent even if now() < until; the chaos harness shrinker relies on
+  /// this to reduce a failing run to a minimal operation count.
+  void set_op_budget(std::uint64_t ops) { op_budget_ = ops; }
+
+  std::uint64_t ops_issued() const { return ops_issued_; }
+
   /// Start all sessions; they stop issuing once now() >= until.
   void start(SimTime until) {
     stop_at_ = until;
@@ -109,6 +117,8 @@ class ClosedLoopDriver {
 
   void issue(std::size_t session_idx) {
     if (sim_->now() >= stop_at_) return;
+    if (op_budget_ != 0 && ops_issued_ >= op_budget_) return;
+    ++ops_issued_;
     Session& session = sessions_[session_idx];
     const ObjectId key =
         session.pick_key ? session.pick_key() : picker_->next();
@@ -135,6 +145,8 @@ class ClosedLoopDriver {
   Rng rng_;
   std::vector<Session> sessions_;
   SimTime stop_at_ = 0;
+  std::uint64_t op_budget_ = 0;
+  std::uint64_t ops_issued_ = 0;
   DriverStats stats_;
 };
 

@@ -169,6 +169,40 @@ TEST(SessionGuaranteesTest, DetectsReadYourWritesViolation) {
             std::string::npos);
 }
 
+TEST(SessionGuaranteesTest, DetectsWritesFollowReadsViolation) {
+  // Client 2 reads client 1's write, then issues a write whose tag is NOT
+  // arbitrated after the tag it read: ([1,1,0] read, then a [0,2,0] write
+  // -- equal component sums, lexicographically smaller). A store applying
+  // client 2's write before client 1's would order them against session
+  // causality.
+  History h;
+  const auto w1 = write_op(1, 0, 0, {1, 1, 0});
+  h.record(w1);
+  h.record(read_op(2, 0, 0, {1, 1, 0}, w1.tag));
+  h.record(write_op(2, 1, 1, {0, 2, 0}));  // tag < the tag just read
+  const auto result = check_session_guarantees(h);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations.front().find("writes-follow-reads"),
+            std::string::npos);
+}
+
+TEST(SessionGuaranteesTest, WritesFollowReadsSpansObjectsAndAcceptsValid) {
+  // Same shape but the later write IS arbitrated after the read tag: no
+  // violation, even across different objects.
+  History h;
+  const auto w1 = write_op(1, 0, 0, {1, 1, 0});
+  h.record(w1);
+  h.record(read_op(2, 0, 0, {1, 1, 0}, w1.tag));
+  h.record(write_op(2, 1, 1, {1, 2, 0}));  // dominates the read tag
+  EXPECT_TRUE(check_session_guarantees(h).ok);
+
+  // Reads of the initial value impose no WFR constraint.
+  History h2;
+  h2.record(read_op(3, 0, 0, {0, 0, 0}, Tag::zero(3), 0));
+  h2.record(write_op(3, 1, 0, {0, 0, 1}));
+  EXPECT_TRUE(check_session_guarantees(h2).ok);
+}
+
 TEST(ConvergenceTest, DetectsDivergentFinalRead) {
   History h;
   const auto w1 = write_op(1, 0, 0, {1, 0});

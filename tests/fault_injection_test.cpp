@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "causalec/cluster.h"
+#include "chaos/fault_plan.h"
+#include "chaos/runner.h"
 #include "common/random.h"
 #include "consistency/causal_checker.h"
 #include "consistency/recorder.h"
@@ -199,6 +201,117 @@ TEST(FaultInjectionTest, CrashDuringGcWindowDoesNotLoseData) {
       });
   cluster.run_for(5 * kSecond);
   EXPECT_TRUE(done);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan-driven crashes: the same scenarios as above, but scripted
+// through the chaos harness's scheduling API and gated by its full checker
+// stack (causal, session guarantees incl. writes-follow-reads, Error1/2,
+// convergence among survivors).
+// ---------------------------------------------------------------------------
+
+struct PlanParams {
+  std::uint64_t seed;
+  std::uint32_t n, k;
+  std::vector<NodeId> crash_nodes;  // |crash_nodes| <= n - k
+  bool nearest_fanout;
+};
+
+class FaultPlanDrivenTest : public ::testing::TestWithParam<PlanParams> {};
+
+TEST_P(FaultPlanDrivenTest, ScriptedCrashesPreserveEveryGuarantee) {
+  const auto& p = GetParam();
+  chaos::FaultPlan plan;
+  plan.seed = p.seed;
+  plan.workload.num_servers = p.n;
+  plan.workload.num_objects = p.k;
+  plan.workload.sessions = 3;
+  plan.workload.ops = 90;
+  plan.nearest_fanout = p.nearest_fanout;
+  SimTime at = 30 * kMillisecond;
+  for (NodeId node : p.crash_nodes) {
+    chaos::FaultEvent ev;
+    ev.kind = chaos::FaultEvent::Kind::kCrash;
+    ev.at = at;
+    ev.node = node;
+    plan.events.push_back(ev);
+    at += 40 * kMillisecond;  // staggered, mid-workload
+  }
+  ASSERT_TRUE(plan.valid());
+  ASSERT_LE(plan.crashed_nodes().size(), plan.crash_budget());
+
+  const chaos::RunOutcome outcome = chaos::run_plan(plan);
+  EXPECT_TRUE(outcome.ok) << outcome.violations.front();
+  EXPECT_EQ(outcome.ops_completed, plan.workload.ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScriptedCrashes, FaultPlanDrivenTest,
+    ::testing::Values(PlanParams{101, 5, 3, {0}, false},
+                      PlanParams{102, 5, 3, {4, 2}, false},
+                      PlanParams{103, 6, 3, {0, 1, 2}, false},
+                      PlanParams{104, 7, 4, {6, 0}, true},
+                      PlanParams{105, 6, 4, {3}, true}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n) + "k" +
+             std::to_string(info.param.k) + "c" +
+             std::to_string(info.param.crash_nodes.size()) +
+             (info.param.nearest_fanout ? "_nearest" : "_broadcast");
+    });
+
+TEST(FaultInjectionTest, CrashedRecoverySetMemberTriggersBroadcastFallback) {
+  // Footnote 14: a read under ReadFanout::kNearestRecoverySet contacts the
+  // closest recovery set first. Crash that set's serving member while the
+  // inquiry is in flight: the read must NOT hang -- after fanout_timeout it
+  // restarts as a broadcast and decodes from the remaining servers.
+  ClusterConfig config;
+  config.gc_period = 10 * kMillisecond;
+  config.server.fanout = ReadFanout::kNearestRecoverySet;
+  // Proximity row of server 5 makes server 1 (which stores X1 uncoded, so
+  // the minimal recovery set {1} wins) the closest helper by a clear
+  // margin; servers 3/4 are "far".
+  config.proximity_matrix.assign(6, std::vector<double>(6, 0.0));
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = 0; j < 6; ++j) {
+      config.proximity_matrix[i][j] = (i == j) ? 0.0 : 1.0 + j;
+    }
+  }
+  config.proximity_matrix[5] = {1.0, 1.1, 1.2, 9.0, 9.5, 0.0};
+  Cluster cluster(erasure::make_systematic_rs(6, 3, 8),
+                  std::make_unique<sim::ConstantLatency>(5 * kMillisecond),
+                  config);
+
+  // Write X1, then settle: GC prunes every history list, so the follow-up
+  // read at the parity server 5 must take the remote-inquiry path.
+  auto& writer = cluster.make_client(1);
+  const Tag written = writer.write(1, Value(8, 77));
+  cluster.settle();
+  ASSERT_TRUE(cluster.storage_converged());
+
+  const SimTime started = cluster.sim().now();
+  bool done = false;
+  SimTime completed_at = 0;
+  cluster.make_client(5).read(
+      1, [&](const Value& v, const Tag& tag, const VectorClock&) {
+        done = true;
+        completed_at = cluster.sim().now();
+        EXPECT_EQ(v, Value(8, 77));
+        EXPECT_EQ(tag, written);
+      });
+  ASSERT_FALSE(done) << "read was served locally; the scenario needs the "
+                        "remote path";
+  // Crash the serving member while its val_inq is in flight.
+  cluster.halt_server(1);
+  cluster.run_for(2 * kSecond);
+
+  EXPECT_TRUE(done) << "read hung after its recovery set crashed";
+  // The completion had to ride the timeout fallback, not the first fanout.
+  EXPECT_GE(completed_at - started,
+            static_cast<SimTime>(config.server.fanout_timeout_ns));
+  EXPECT_GE(cluster.server(5).counters().reads_registered_remote, 1u);
+  EXPECT_EQ(cluster.server(5).counters().error1_events, 0u);
+  EXPECT_EQ(cluster.server(5).counters().error2_events, 0u);
 }
 
 }  // namespace

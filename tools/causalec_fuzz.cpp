@@ -1,0 +1,222 @@
+// causalec_fuzz: seed-driven chaos fuzzer for the CausalEC protocol.
+//
+// Each run derives a FaultPlan from a seed (workload shape, heavy-tailed
+// latencies, crashes within the tolerated budget, transient partitions,
+// delay bursts, GC jitter), executes it on the deterministic simulator, and
+// gates the execution with the full consistency checker stack. On failure
+// the plan is shrunk to a minimal reproducer and written as a replay
+// bundle; `--replay <bundle>` re-executes it and verifies the run
+// reproduces byte-for-byte (history hash comparison).
+//
+// Usage:
+//   causalec_fuzz [--runs N] [--seed S] [--max-ops M] [--out-dir DIR]
+//                 [--soak] [--inject-bug] [--trace FILE]
+//   causalec_fuzz --replay BUNDLE.json [--trace FILE]
+//
+// Exit codes: 0 = clean (or replay reproduced), 1 = violation found,
+// 2 = bad arguments / unreadable bundle / replay divergence.
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chaos/bundle.h"
+#include "chaos/fault_plan.h"
+#include "chaos/runner.h"
+#include "chaos/shrink.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace causalec;
+
+struct Args {
+  std::uint64_t runs = 50;
+  std::uint64_t seed = 1;
+  std::uint64_t max_ops = 300;
+  std::string out_dir = ".";
+  std::string replay;
+  std::string trace;
+  bool soak = false;
+  bool inject_bug = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: causalec_fuzz [--runs N] [--seed S] [--max-ops M]\n"
+         "                     [--out-dir DIR] [--soak] [--inject-bug]\n"
+         "                     [--trace FILE]\n"
+         "       causalec_fuzz --replay BUNDLE.json [--trace FILE]\n";
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+void write_trace_for(const chaos::FaultPlan& plan, bool inject_bug,
+                     const std::string& path) {
+  obs::Tracer tracer;
+  chaos::ChaosOptions options;
+  options.inject_bug = inject_bug;
+  options.tracer = &tracer;
+  chaos::run_plan(plan, options);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "causalec_fuzz: cannot write trace to " << path << "\n";
+    return;
+  }
+  tracer.write_chrome_trace(out);
+  std::cout << "trace written to " << path << "\n";
+}
+
+int replay(const Args& args) {
+  std::ifstream in(args.replay);
+  if (!in) {
+    std::cerr << "causalec_fuzz: cannot open " << args.replay << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto bundle = chaos::bundle_from_json(buffer.str());
+  if (!bundle) {
+    std::cerr << "causalec_fuzz: " << args.replay
+              << " is not a valid replay bundle\n";
+    return 2;
+  }
+
+  chaos::ChaosOptions options;
+  options.inject_bug = bundle->inject_bug;
+  const chaos::RunOutcome outcome = chaos::run_plan(bundle->plan, options);
+  std::cout << "replay: seed=" << bundle->plan.seed
+            << " ops=" << outcome.ops_completed << "/"
+            << bundle->plan.workload.ops << " hash=" << outcome.history_hash
+            << " (recorded " << bundle->history_hash << ")\n";
+  for (const std::string& v : outcome.violations) {
+    std::cout << "  violation: " << v << "\n";
+  }
+  if (!args.trace.empty()) {
+    write_trace_for(bundle->plan, bundle->inject_bug, args.trace);
+  }
+  if (outcome.history_hash != bundle->history_hash) {
+    std::cout << "replay DIVERGED from the recorded run\n";
+    return 2;
+  }
+  std::cout << "replay reproduced the recorded run byte-for-byte\n";
+  return outcome.ok ? 0 : 1;
+}
+
+int fuzz(const Args& args) {
+  chaos::GenerateLimits limits;
+  limits.max_ops = args.max_ops;
+  chaos::ChaosOptions options;
+  options.inject_bug = args.inject_bug;
+
+  chaos::FaultPlan last_plan;
+  std::uint64_t completed = 0;
+  for (std::uint64_t i = 0; args.soak || i < args.runs; ++i) {
+    const std::uint64_t seed = args.seed + i;
+    const chaos::FaultPlan plan = chaos::FaultPlan::generate(seed, limits);
+    last_plan = plan;
+    const chaos::RunOutcome outcome = chaos::run_plan(plan, options);
+    ++completed;
+    if (outcome.ok) {
+      if (completed % 25 == 0) {
+        std::cout << completed << " runs clean (last seed " << seed << ")\n";
+      }
+      continue;
+    }
+
+    std::cout << "seed " << seed << " FAILED with "
+              << outcome.violations.size() << " violation(s); shrinking...\n";
+    std::error_code ec;
+    std::filesystem::create_directories(args.out_dir, ec);
+    const chaos::ShrinkResult shrunk = chaos::shrink(plan, options);
+    chaos::ReplayBundle bundle;
+    bundle.plan = shrunk.plan;
+    bundle.inject_bug = args.inject_bug;
+    bundle.history_hash = shrunk.outcome.history_hash;
+    bundle.violations = shrunk.outcome.violations;
+
+    const std::string base =
+        args.out_dir + "/causalec_repro_seed" + std::to_string(seed);
+    const std::string bundle_path = base + ".json";
+    if (write_file(bundle_path, chaos::bundle_to_json(bundle) + "\n")) {
+      std::cout << "replay bundle written to " << bundle_path << "\n";
+    } else {
+      std::cerr << "causalec_fuzz: cannot write " << bundle_path << "\n";
+    }
+    write_trace_for(shrunk.plan, args.inject_bug,
+                    args.trace.empty() ? base + ".trace.json" : args.trace);
+
+    std::cout << "minimal reproducer: ops=" << shrunk.plan.workload.ops
+              << " sessions=" << shrunk.plan.workload.sessions
+              << " events=" << shrunk.plan.events.size() << " ("
+              << shrunk.runs << " shrink runs)\n";
+    for (const std::string& v : shrunk.outcome.violations) {
+      std::cout << "  violation: " << v << "\n";
+    }
+    std::cout << "replay with: causalec_fuzz --replay " << bundle_path
+              << "\n";
+    return 1;
+  }
+
+  std::cout << "all " << completed << " runs clean (seeds " << args.seed
+            << ".." << (args.seed + completed - 1) << ")\n";
+  if (!args.trace.empty()) {
+    write_trace_for(last_plan, args.inject_bug, args.trace);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--runs") {
+      const char* v = next();
+      if (!v) return usage();
+      args.runs = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-ops") {
+      const char* v = next();
+      if (!v) return usage();
+      args.max_ops = std::strtoull(v, nullptr, 10);
+      if (args.max_ops == 0) return usage();
+    } else if (arg == "--out-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      args.out_dir = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return usage();
+      args.replay = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return usage();
+      args.trace = v;
+    } else if (arg == "--soak") {
+      args.soak = true;
+    } else if (arg == "--inject-bug") {
+      args.inject_bug = true;
+    } else {
+      return usage();
+    }
+  }
+  if (!args.replay.empty()) return replay(args);
+  return fuzz(args);
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under sanitizers.
+#
+#   tools/run_sanitized_tests.sh                 # asan+ubsan, then tsan
+#   tools/run_sanitized_tests.sh address,undefined
+#   tools/run_sanitized_tests.sh thread -R chaos # tsan, ctest filter
+#
+# Each sanitizer config gets its own build tree (build-san-<name>), so the
+# regular build/ directory is never disturbed. Extra arguments after the
+# sanitizer list are forwarded to ctest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+configs=()
+if [[ $# -ge 1 && $1 != -* ]]; then
+  configs=("$1")
+  shift
+else
+  configs=("address,undefined" "thread")
+fi
+
+for san in "${configs[@]}"; do
+  dir="build-san-${san//,/+}"
+  echo "=== ${san}: configuring ${dir} ==="
+  cmake -B "$dir" -S . -DCAUSALEC_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "=== ${san}: building ==="
+  cmake --build "$dir" -j "$(nproc)"
+  echo "=== ${san}: testing ==="
+  # halt_on_error makes a sanitizer report fail the test that produced it.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$dir" -j "$(nproc)" --output-on-failure "$@"
+done
+echo "=== all sanitizer configs passed ==="
