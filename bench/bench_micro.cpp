@@ -3,9 +3,15 @@
 // CausalEC server fast paths.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
 #include <memory>
+#include <string_view>
 
 #include "causalec/cluster.h"
+#include "erasure/linear_code.h"
+#include "gf/kernels.h"
+#include "obs/bench_report.h"
 #include "causalec/history_list.h"
 #include "causalec/tag.h"
 #include "common/random.h"
@@ -215,6 +221,191 @@ void BM_Zipf_Next(benchmark::State& state) {
 }
 BENCHMARK(BM_Zipf_Next);
 
+// ---------------------------------------------------------------------------
+// --kernels: the GF kernel-tier microbench. Measures MB/s of mul_region /
+// axpy_region per (field, block size, dispatch tier), the speedup of each
+// tier over the scalar reference, and the decoder-plan cache effect on
+// RS(6,4) decode; emits BENCH_kernels.json (schema causalec-bench-v1).
+// The committed baseline bench/baselines/BENCH_kernels.baseline.json pins
+// conservative speedup floors, enforced by the kernel_bench_smoke ctest.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock MB/s of `body` (called repeatedly), growing the iteration
+/// count until the measurement window is at least `min_seconds`.
+template <typename Body>
+double measure_mb_per_s(Body&& body, std::size_t bytes_per_iter,
+                        double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm up tables and caches
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) body();
+    const double secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (secs >= min_seconds) {
+      return static_cast<double>(bytes_per_iter) * static_cast<double>(iters) /
+             secs / 1e6;
+    }
+    iters = secs <= 1e-9
+                ? iters * 10
+                : std::max(iters * 2,
+                           static_cast<std::size_t>(
+                               static_cast<double>(iters) * min_seconds /
+                               secs * 1.2));
+  }
+}
+
+int run_kernel_bench(bool smoke) {
+  namespace kn = gf::kernels;
+  const double min_seconds = smoke ? 0.005 : 0.05;
+  const std::size_t sizes[] = {1024, 4096, 65536};
+
+  obs::BenchReport report("kernels");
+  report.set_config("smoke", smoke);
+  report.set_config("active_tier", kn::tier_name(kn::active_tier()));
+  report.set_config("cpu_ssse3", kn::cpu_features().ssse3);
+  report.set_config("cpu_avx2", kn::cpu_features().avx2);
+  report.set_config("gf256_table_threshold", kn::kGf256TableThreshold);
+
+  struct Op {
+    const char* name;
+    void (*run)(std::uint8_t*, const std::uint8_t*, std::size_t);
+  };
+  const Op ops[] = {
+      {"mul",
+       [](std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+         kn::mul_region_gf256(dst, src, 0x1D, n);
+       }},
+      {"axpy",
+       [](std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+         kn::axpy_region_gf256(dst, 0x1D, src, n);
+       }},
+  };
+
+  Rng rng(11);
+  for (const Op& op : ops) {
+    for (const std::size_t n : sizes) {
+      std::vector<std::uint8_t> dst(n), src(n);
+      for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_u64());
+      for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_u64());
+      double scalar_mb_per_s = 0;
+      double best_mb_per_s = 0;
+      kn::Tier best_tier = kn::Tier::kScalar;
+      for (int t = 0; t < kn::kNumTiers; ++t) {
+        const auto tier = static_cast<kn::Tier>(t);
+        if (!kn::tier_available(tier)) continue;
+        kn::ScopedTierForTesting guard(tier);
+        const double mb_per_s = measure_mb_per_s(
+            [&] {
+              op.run(dst.data(), src.data(), n);
+              benchmark::DoNotOptimize(dst.data());
+            },
+            n, min_seconds);
+        if (tier == kn::Tier::kScalar) scalar_mb_per_s = mb_per_s;
+        if (mb_per_s > best_mb_per_s) {
+          best_mb_per_s = mb_per_s;
+          best_tier = tier;
+        }
+        auto& row = report.add_row(std::string(op.name) + "/gf256/" +
+                                   std::to_string(n) + "/" +
+                                   kn::tier_name(tier));
+        row.metric("mb_per_s", mb_per_s);
+        row.metric("speedup_vs_scalar", mb_per_s / scalar_mb_per_s);
+      }
+      auto& best = report.add_row(std::string("best/") + op.name + "/gf256/" +
+                                  std::to_string(n));
+      best.metric("mb_per_s", best_mb_per_s);
+      best.metric("speedup_vs_scalar", best_mb_per_s / scalar_mb_per_s);
+      best.note("tier", kn::tier_name(best_tier));
+    }
+  }
+
+  // F257 axpy for scale: the odd-characteristic path has no SIMD tier, so
+  // one elementwise row per size keeps the field dimension in the artifact.
+  for (const std::size_t n : {1024ul, 65536ul}) {
+    const std::size_t elems = n / sizeof(std::uint32_t);
+    std::vector<std::uint32_t> dst(elems), src(elems);
+    for (auto& x : dst) x = gf::F257::from_int(rng.next_u64());
+    for (auto& x : src) x = gf::F257::from_int(rng.next_u64());
+    const double mb_per_s = measure_mb_per_s(
+        [&] {
+          gf::axpy<gf::F257>(std::span<std::uint32_t>(dst), 29,
+                             std::span<const std::uint32_t>(src));
+          benchmark::DoNotOptimize(dst.data());
+        },
+        n, min_seconds);
+    auto& row =
+        report.add_row("axpy/f257/" + std::to_string(n) + "/elementwise");
+    row.metric("mb_per_s", mb_per_s);
+  }
+
+  // Decoder-plan cache: RS(6,4) decode of one 4 KiB object with all decode
+  // shapes repeating -- the steady state of a store. `cached` reuses plans,
+  // `fresh` runs Gaussian elimination per decode (cache disabled).
+  {
+    using Code256 = erasure::LinearCodeT<gf::GF256>;
+    CodeFixture f;
+    const std::vector<NodeId> servers = {2, 3, 4, 5};
+    std::vector<erasure::Symbol> subset;
+    for (const NodeId s : servers) subset.push_back(f.symbols[s]);
+    const auto concrete =
+        std::dynamic_pointer_cast<const Code256>(f.code);
+    for (const bool cached : {true, false}) {
+      concrete->set_plan_cache_enabled(cached);
+      ObjectId obj = 0;
+      const double mb_per_s = measure_mb_per_s(
+          [&] {
+            auto v = f.code->decode(obj, servers, subset);
+            obj = (obj + 1) % 4;
+            benchmark::DoNotOptimize(v.data());
+          },
+          4096, min_seconds);
+      auto& row = report.add_row(cached ? "decode/rs_6_4/4096/plan_cache"
+                                        : "decode/rs_6_4/4096/fresh_elim");
+      row.metric("mb_per_s", mb_per_s);
+    }
+    concrete->set_plan_cache_enabled(true);
+  }
+
+  // Hit-rate row on a fresh code with a fixed decode count, so the value
+  // is deterministic (the timed loops above run machine-dependent
+  // iteration counts, which would make this a flaky regression gate).
+  {
+    CodeFixture f;
+    const std::vector<NodeId> servers = {2, 3, 4, 5};
+    std::vector<erasure::Symbol> subset;
+    for (const NodeId s : servers) subset.push_back(f.symbols[s]);
+    for (int rep = 0; rep < 50; ++rep) {
+      for (ObjectId obj = 0; obj < 4; ++obj) {
+        auto v = f.code->decode(obj, servers, subset);
+        benchmark::DoNotOptimize(v.data());
+      }
+    }
+    const auto stats = f.code->decode_plan_cache_stats();
+    auto& row = report.add_row("plan_cache/rs_6_4");
+    row.metric("hits", static_cast<double>(stats.hits));
+    row.metric("misses", static_cast<double>(stats.misses));
+    row.metric("entries", static_cast<double>(stats.entries));
+    row.metric("hit_rate", stats.hit_rate());  // 196/200 = 0.98, exact
+  }
+
+  return report.write_default().empty() ? 1 : 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool kernels = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--kernels") kernels = true;
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  if (kernels) return run_kernel_bench(smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

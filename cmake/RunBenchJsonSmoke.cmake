@@ -1,8 +1,12 @@
 # Runs a bench binary with CAUSALEC_BENCH_DIR pointed at a scratch
 # directory, then validates the BENCH_*.json it wrote with
-# tools/check_bench_json.py. Invoked by the bench_json_smoke CTest entry:
+# tools/check_bench_json.py. Invoked by the bench_json_smoke and
+# kernel_bench_smoke CTest entries:
 #   cmake -DBENCH_EXE=... -DBENCH_ARGS=... -DBENCH_JSON=... -DPYTHON=...
 #         -DVALIDATOR=... -DWORK_DIR=... -P RunBenchJsonSmoke.cmake
+# Optional: -DBASELINE=<floors json> [-DMAX_REGRESSION=<frac>] forwards
+# --baseline/--max-regression to the validator, failing the test when a
+# pinned metric drops more than the tolerance below its committed floor.
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
@@ -22,8 +26,16 @@ if(NOT EXISTS "${json_path}")
   message(FATAL_ERROR "bench did not write ${json_path}:\n${bench_err}")
 endif()
 
+set(validator_args "${json_path}")
+if(DEFINED BASELINE)
+  list(PREPEND validator_args --baseline "${BASELINE}")
+  if(DEFINED MAX_REGRESSION)
+    list(PREPEND validator_args --max-regression "${MAX_REGRESSION}")
+  endif()
+endif()
+
 execute_process(
-  COMMAND "${PYTHON}" "${VALIDATOR}" "${json_path}"
+  COMMAND "${PYTHON}" "${VALIDATOR}" ${validator_args}
   RESULT_VARIABLE check_rc
   OUTPUT_VARIABLE check_out
   ERROR_VARIABLE check_err)

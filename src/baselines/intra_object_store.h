@@ -51,6 +51,12 @@ class IntraObjectStore {
 
   std::size_t stored_bytes(NodeId server) const;
 
+  /// Decoder-plan cache counters of the fragment code (reads decode from k
+  /// fragments on every call, so the cache hit rate here approaches 1).
+  erasure::PlanCacheStats decode_plan_cache_stats() const {
+    return code_->decode_plan_cache_stats();
+  }
+
  private:
   class Node;
   IntraObjectStoreConfig config_;

@@ -18,6 +18,10 @@ enum class MsgType : std::uint8_t {
 
 class Writer {
  public:
+  /// Pre-sizes the buffer; callers pass header size + payload bytes so the
+  /// common messages serialize with a single allocation.
+  explicit Writer(std::size_t reserve_hint = 0) { buf_.reserve(reserve_hint); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -103,7 +107,9 @@ class Reader {
 }  // namespace
 
 std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
-  Writer w;
+  // wire_bytes() is the cost model's estimate of the serialized size --
+  // close enough that the common messages need no reallocation.
+  Writer w(16 + message.wire_bytes());
   if (const auto* app = dynamic_cast<const AppMessage*>(&message)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kApp));
     w.u64(app->wire);

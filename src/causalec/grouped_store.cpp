@@ -168,6 +168,14 @@ StorageStats GroupedStore::storage(NodeId server) const {
   return total;
 }
 
+erasure::PlanCacheStats GroupedStore::decode_plan_cache_stats() const {
+  erasure::PlanCacheStats total;
+  for (const erasure::CodePtr& code : config_.group_codes) {
+    total += code->decode_plan_cache_stats();
+  }
+  return total;
+}
+
 Server& GroupedStore::server(NodeId node, std::size_t group) {
   CEC_CHECK(node < nodes_.size());
   return nodes_[node]->server(group);

@@ -64,6 +64,9 @@ class GroupedStore {
   /// Aggregated storage across all groups of one server.
   StorageStats storage(NodeId server) const;
 
+  /// Decoder-plan cache counters summed over every group's code.
+  erasure::PlanCacheStats decode_plan_cache_stats() const;
+
   /// Direct access for tests (group-level server automaton).
   Server& server(NodeId node, std::size_t group);
 

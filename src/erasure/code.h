@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -24,6 +25,27 @@ namespace causalec::erasure {
 /// A recovery set: servers whose codeword symbols suffice to decode one
 /// object. Stored sorted ascending.
 using RecoverySet = std::vector<NodeId>;
+
+/// Counters of the per-(object, server-set) decoder-plan cache (see
+/// erasure/plan_cache.h). Codes without a cache report all-zero stats.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+
+  PlanCacheStats& operator+=(const PlanCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    entries += other.entries;
+    return *this;
+  }
+};
 
 class Code {
  public:
@@ -81,6 +103,9 @@ class Code {
 
   /// Human-readable description for logs and bench tables.
   virtual std::string describe() const = 0;
+
+  /// Decoder-plan cache counters (zero for codes without a cache).
+  virtual PlanCacheStats decode_plan_cache_stats() const { return {}; }
 };
 
 using CodePtr = std::shared_ptr<const Code>;

@@ -7,20 +7,23 @@
 // replication and other multi-symbol layouts; m_i = 0 means the server
 // stores nothing.
 //
-// Recovery sets, decoders and re-encoders are all derived from the matrices
-// by Gaussian elimination at construction time.
+// Minimal recovery sets are enumerated by Gaussian elimination at
+// construction time; the decoding coefficients themselves are computed
+// lazily, once per (object, provided-server mask), and memoized in a
+// DecodePlanCache (erasure/plan_cache.h). Re-encode coefficient rows
+// (Gamma_{i,k}) are flattened per (server, object) at construction.
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <map>
 #include <span>
 #include <sstream>
 #include <vector>
 
 #include "common/expect.h"
 #include "erasure/code.h"
+#include "erasure/plan_cache.h"
 #include "gf/field.h"
 #include "gf/vector_ops.h"
 #include "linalg/gaussian.h"
@@ -65,6 +68,8 @@ class LinearCodeT final : public Code {
  public:
   using Matrix = linalg::Matrix<F>;
   using Elem = typename F::Elem;
+  using Plan = DecodePlan<Elem>;
+  using PlanPtr = std::shared_ptr<const Plan>;
 
   /// One coefficient matrix per server; every matrix must have K columns.
   /// value_bytes must be a multiple of the field element size.
@@ -83,6 +88,7 @@ class LinearCodeT final : public Code {
     for (const auto& m : matrices_) CEC_CHECK(m.cols() == k_);
     build_stacked();
     build_supports();
+    build_reencode_plans();
     build_recovery_sets();
   }
 
@@ -136,11 +142,13 @@ class LinearCodeT final : public Code {
   void reencode(NodeId server, Symbol& symbol, ObjectId object,
                 std::span<const std::uint8_t> old_value,
                 std::span<const std::uint8_t> new_value) const override {
-    const Matrix& c = matrix(server);
+    CEC_CHECK(server < num_servers());
     CEC_CHECK(symbol.size() == symbol_bytes(server));
     CEC_CHECK(object < k_);
     CEC_CHECK(old_value.empty() || old_value.size() == value_bytes_);
     CEC_CHECK(new_value.empty() || new_value.size() == value_bytes_);
+    const auto& steps = reencode_plans_[server][object];
+    if (steps.empty()) return;  // object not in X_i: symbol unchanged
     // delta = new - old over F^d.
     std::vector<Elem> delta(elems_per_value_, F::zero);
     std::vector<Elem> tmp(elems_per_value_);
@@ -153,13 +161,12 @@ class LinearCodeT final : public Code {
     }
     if (gf::is_zero<F>(std::span<const Elem>(delta))) return;
     std::vector<Elem> row(elems_per_value_);
-    for (std::size_t r = 0; r < c.rows(); ++r) {
-      const Elem coeff = c(r, object);
-      if (coeff == F::zero) continue;
+    for (const ReencodeStep& step : steps) {
       auto row_bytes = std::span<std::uint8_t>(symbol).subspan(
-          r * value_bytes_, value_bytes_);
+          step.row * value_bytes_, value_bytes_);
       detail::unpack<F>(row_bytes, std::span<Elem>(row));
-      gf::axpy<F>(std::span<Elem>(row), coeff, std::span<const Elem>(delta));
+      gf::axpy<F>(std::span<Elem>(row), step.coeff,
+                  std::span<const Elem>(delta));
       detail::pack<F>(std::span<const Elem>(row), row_bytes);
     }
   }
@@ -168,18 +175,13 @@ class LinearCodeT final : public Code {
                std::span<const Symbol> symbols) const override {
     CEC_CHECK(object < k_);
     CEC_CHECK(servers.size() == symbols.size());
-    // Build the provided-server mask and find a minimal recovery set inside.
     std::uint32_t mask = 0;
     for (NodeId s : servers) {
       CEC_CHECK(s < num_servers());
       mask |= 1u << s;
     }
-    for (const auto& pre : precomputed_[object]) {
-      if ((mask & pre.mask) != pre.mask) continue;
-      return decode_with(pre, servers, symbols);
-    }
-    CEC_CHECK_MSG(false, "decode: servers do not form a recovery set for X"
-                             << object);
+    const PlanPtr plan = decode_plan(object, mask);
+    return apply_plan(*plan, servers, symbols);
   }
 
   const std::vector<RecoverySet>& recovery_sets(
@@ -206,8 +208,8 @@ class LinearCodeT final : public Code {
       CEC_CHECK(s < num_servers());
       mask |= 1u << s;
     }
-    for (const auto& pre : precomputed_[object]) {
-      if ((mask & pre.mask) == pre.mask) return true;
+    for (std::uint32_t minimal : recovery_masks_[object]) {
+      if ((mask & minimal) == minimal) return true;
     }
     return false;
   }
@@ -224,19 +226,53 @@ class LinearCodeT final : public Code {
     return oss.str();
   }
 
+  PlanCacheStats decode_plan_cache_stats() const override {
+    return plan_cache_.stats();
+  }
+
   /// Direct coefficient access for analytics and tests.
   const Matrix& matrix(NodeId server) const {
     CEC_CHECK(server < matrices_.size());
     return matrices_[server];
   }
 
+  /// The plan decode() would use for (object, provided-server mask):
+  /// cache lookup, lazily computing and inserting on a miss. CHECK-fails
+  /// when the mask contains no recovery set.
+  PlanPtr decode_plan(ObjectId object, std::uint32_t provided_mask) const {
+    CEC_CHECK(object < k_);
+    if (PlanPtr cached = plan_cache_.find(object, provided_mask)) {
+      return cached;
+    }
+    PlanPtr plan = compute_plan_fresh(object, provided_mask);
+    CEC_CHECK_MSG(plan != nullptr,
+                  "decode: servers do not form a recovery set for X"
+                      << object);
+    return plan_cache_.insert(object, provided_mask, std::move(plan));
+  }
+
+  /// Fresh Gaussian elimination, bypassing the cache entirely (the
+  /// differential tests pin cached plans against this). nullptr when the
+  /// mask contains no recovery set.
+  PlanPtr compute_plan_fresh(ObjectId object,
+                             std::uint32_t provided_mask) const {
+    CEC_CHECK(object < k_);
+    for (std::uint32_t minimal : recovery_masks_[object]) {
+      if ((provided_mask & minimal) != minimal) continue;
+      return std::make_shared<const Plan>(build_plan(object, minimal));
+    }
+    return nullptr;
+  }
+
+  /// Test/tooling control of the cache (per code instance).
+  void set_plan_cache_enabled(bool enabled) const {
+    plan_cache_.set_enabled(enabled);
+  }
+
  private:
-  struct PrecomputedDecoder {
-    std::uint32_t mask = 0;            // bitmask of servers in the set
-    RecoverySet servers;               // sorted ascending
-    // lambda[j] multiplies the j-th stacked row of the set's symbols,
-    // enumerated as (server ascending, local row ascending).
-    std::vector<Elem> lambda;
+  struct ReencodeStep {
+    std::uint32_t row;  // row of the server's symbol
+    Elem coeff;         // C_i[row][object], nonzero
   };
 
   void build_stacked() {
@@ -272,6 +308,24 @@ class LinearCodeT final : public Code {
     }
   }
 
+  /// Gamma_{i,k} flattened: the nonzero column-k coefficients of each
+  /// server matrix, bound to their rows, so reencode() touches exactly the
+  /// affected symbol rows without scanning the matrix.
+  void build_reencode_plans() {
+    reencode_plans_.resize(num_servers());
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      const Matrix& m = matrices_[s];
+      reencode_plans_[s].resize(k_);
+      for (ObjectId k = 0; k < k_; ++k) {
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+          if (m(r, k) == F::zero) continue;
+          reencode_plans_[s][k].push_back(
+              {static_cast<std::uint32_t>(r), m(r, k)});
+        }
+      }
+    }
+  }
+
   /// Stack the rows of the servers in `mask` (server ascending order).
   Matrix stack_subset(std::uint32_t mask) const {
     std::size_t rows = 0;
@@ -293,7 +347,7 @@ class LinearCodeT final : public Code {
   void build_recovery_sets() {
     const std::size_t n = num_servers();
     recovery_sets_.resize(k_);
-    precomputed_.resize(k_);
+    recovery_masks_.resize(k_);
     local_.assign(k_, 0);
     // Candidate masks sorted by popcount then value -> minimal sets found
     // in (size, lexicographic-ish) order; supersets of found sets skipped.
@@ -309,10 +363,9 @@ class LinearCodeT final : public Code {
     for (ObjectId obj = 0; obj < k_; ++obj) {
       std::fill(target.begin(), target.end(), F::zero);
       target[obj] = F::one;
-      std::vector<std::uint32_t> found;
       for (std::uint32_t mask : masks) {
         bool superset = false;
-        for (std::uint32_t f : found) {
+        for (std::uint32_t f : recovery_masks_[obj]) {
           if ((mask & f) == f) {
             superset = true;
             break;
@@ -320,19 +373,16 @@ class LinearCodeT final : public Code {
         }
         if (superset) continue;
         const Matrix sub = stack_subset(mask);
-        auto lambda = linalg::express_in_row_space<F>(
-            sub, std::span<const Elem>(target));
-        if (!lambda) continue;
-        found.push_back(mask);
-        PrecomputedDecoder pre;
-        pre.mask = mask;
-        for (NodeId s = 0; s < n; ++s) {
-          if (mask >> s & 1) pre.servers.push_back(s);
+        if (!linalg::in_row_space<F>(sub, std::span<const Elem>(target))) {
+          continue;
         }
-        pre.lambda = std::move(*lambda);
-        if (pre.servers.size() == 1) local_[obj] |= 1ull << pre.servers[0];
-        recovery_sets_[obj].push_back(pre.servers);
-        precomputed_[obj].push_back(std::move(pre));
+        recovery_masks_[obj].push_back(mask);
+        RecoverySet servers;
+        for (NodeId s = 0; s < n; ++s) {
+          if (mask >> s & 1) servers.push_back(s);
+        }
+        if (servers.size() == 1) local_[obj] |= 1ull << servers[0];
+        recovery_sets_[obj].push_back(std::move(servers));
       }
       CEC_CHECK_MSG(!recovery_sets_[obj].empty(),
                     "object X" << obj << " is not recoverable from any "
@@ -340,36 +390,54 @@ class LinearCodeT final : public Code {
     }
   }
 
-  Value decode_with(const PrecomputedDecoder& pre,
-                    std::span<const NodeId> servers,
-                    std::span<const Symbol> symbols) const {
+  /// One Gaussian elimination: lambda * stacked(minimal_mask) = e_object,
+  /// flattened to the nonzero (server, row, coeff) steps.
+  Plan build_plan(ObjectId object, std::uint32_t minimal_mask) const {
+    std::vector<Elem> target(k_, F::zero);
+    target[object] = F::one;
+    const Matrix sub = stack_subset(minimal_mask);
+    const auto lambda = linalg::express_in_row_space<F>(
+        sub, std::span<const Elem>(target));
+    CEC_CHECK_MSG(lambda.has_value(),
+                  "decode plan: enumerated recovery set lost its rank");
+    Plan plan;
+    plan.set_mask = minimal_mask;
+    std::size_t lambda_idx = 0;
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      if (!(minimal_mask >> s & 1)) continue;
+      for (std::size_t r = 0; r < matrices_[s].rows(); ++r, ++lambda_idx) {
+        const Elem coeff = (*lambda)[lambda_idx];
+        if (coeff == F::zero) continue;
+        plan.steps.push_back({s, static_cast<std::uint32_t>(r), coeff});
+      }
+    }
+    CEC_DCHECK(lambda_idx == lambda->size());
+    return plan;
+  }
+
+  Value apply_plan(const Plan& plan, std::span<const NodeId> servers,
+                   std::span<const Symbol> symbols) const {
     std::vector<Elem> acc(elems_per_value_, F::zero);
     std::vector<Elem> row(elems_per_value_);
-    std::size_t lambda_idx = 0;
-    for (NodeId s : pre.servers) {
-      // Locate s in the provided list.
+    for (const auto& step : plan.steps) {
+      // Locate the step's server in the provided list.
       std::size_t pos = servers.size();
       for (std::size_t i = 0; i < servers.size(); ++i) {
-        if (servers[i] == s) {
+        if (servers[i] == step.server) {
           pos = i;
           break;
         }
       }
       CEC_CHECK(pos < servers.size());
       const Symbol& sym = symbols[pos];
-      CEC_CHECK_MSG(sym.size() == symbol_bytes(s),
-                    "decode: bad symbol size from server " << s);
-      const std::size_t rows = matrices_[s].rows();
-      for (std::size_t r = 0; r < rows; ++r, ++lambda_idx) {
-        const Elem coeff = pre.lambda[lambda_idx];
-        if (coeff == F::zero) continue;
-        detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
-                              r * value_bytes_, value_bytes_),
-                          std::span<Elem>(row));
-        gf::axpy<F>(std::span<Elem>(acc), coeff, std::span<const Elem>(row));
-      }
+      CEC_CHECK_MSG(sym.size() == symbol_bytes(step.server),
+                    "decode: bad symbol size from server " << step.server);
+      detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
+                            step.row * value_bytes_, value_bytes_),
+                        std::span<Elem>(row));
+      gf::axpy<F>(std::span<Elem>(acc), step.coeff,
+                  std::span<const Elem>(row));
     }
-    CEC_DCHECK(lambda_idx == pre.lambda.size());
     Value out(value_bytes_);
     detail::pack<F>(std::span<const Elem>(acc), std::span<std::uint8_t>(out));
     return out;
@@ -383,9 +451,11 @@ class LinearCodeT final : public Code {
   Matrix stacked_;
   std::vector<std::vector<ObjectId>> supports_;
   std::vector<std::uint64_t> support_masks_;
+  std::vector<std::vector<std::vector<ReencodeStep>>> reencode_plans_;
   std::vector<std::vector<RecoverySet>> recovery_sets_;
-  std::vector<std::vector<PrecomputedDecoder>> precomputed_;
+  std::vector<std::vector<std::uint32_t>> recovery_masks_;  // minimal, per obj
   std::vector<std::uint64_t> local_;  // per object: bitmask of local servers
+  mutable DecodePlanCache<Elem> plan_cache_;
 };
 
 }  // namespace causalec::erasure

@@ -1,0 +1,331 @@
+// Scalar and 64-bit-sliced kernel tiers, CPU detection, and the dispatcher.
+#include "gf/kernels.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/expect.h"
+#include "gf/gf256.h"
+#include "gf/kernels_impl.h"
+
+namespace causalec::gf::kernels {
+
+namespace {
+
+using detail::KernelTable;
+using detail::NibbleTables;
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the reference. Short vectors multiply through log/exp; long
+// vectors build a full 256-entry product table first (one lookup per byte).
+// ---------------------------------------------------------------------------
+
+std::array<std::uint8_t, 256> build_product_table(std::uint8_t a) {
+  std::array<std::uint8_t, 256> table;
+  for (int x = 0; x < 256; ++x) {
+    table[static_cast<std::size_t>(x)] =
+        GF256::mul(a, static_cast<std::uint8_t>(x));
+  }
+  return table;
+}
+
+void scalar_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void scalar_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t a,
+                std::size_t n) {
+  if (n >= kGf256TableThreshold) {
+    const auto table = build_product_table(a);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = table[src[i]];
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] = GF256::mul(a, src[i]);
+}
+
+void scalar_axpy(std::uint8_t* dst, std::uint8_t a, const std::uint8_t* src,
+                 std::size_t n) {
+  if (n >= kGf256TableThreshold) {
+    const auto table = build_product_table(a);
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= table[src[i]];
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= GF256::mul(a, src[i]);
+}
+
+void scalar_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
+  if (n >= kGf256TableThreshold) {
+    const auto table = build_product_table(a);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = table[dst[i]];
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] = GF256::mul(a, dst[i]);
+}
+
+constexpr KernelTable kScalarTable = {scalar_xor, scalar_mul, scalar_axpy,
+                                      scalar_scale};
+
+// ---------------------------------------------------------------------------
+// Sliced tier: portable SWAR over 64-bit words. Multiplication by repeated
+// doubling -- the packed xtime step shifts every byte left one bit and
+// folds the overflow back with the 0x11D reduction polynomial's low byte
+// (0x1D), eight bytes at a time, no table lookups in the inner loop.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kLow7 = 0x7F7F7F7F7F7F7F7FULL;
+constexpr std::uint64_t kHighBit = 0x8080808080808080ULL;
+
+inline std::uint64_t gf256_mul_word(std::uint64_t x, std::uint8_t a) {
+  std::uint64_t r = 0;
+  while (a != 0) {
+    if (a & 1) r ^= x;
+    a >>= 1;
+    // xtime on eight packed bytes: (hi >> 7) has one bit per overflowing
+    // byte; * 0x1D expands it to the reduction constant in that byte.
+    const std::uint64_t hi = x & kHighBit;
+    x = ((x & kLow7) << 1) ^ ((hi >> 7) * 0x1D);
+  }
+  return r;
+}
+
+inline std::uint64_t load_word(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+inline void store_word(std::uint8_t* p, std::uint64_t w) {
+  std::memcpy(p, &w, sizeof(w));
+}
+
+void sliced_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store_word(dst + i, load_word(dst + i) ^ load_word(src + i));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void sliced_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t a,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store_word(dst + i, gf256_mul_word(load_word(src + i), a));
+  }
+  for (; i < n; ++i) dst[i] = GF256::mul(a, src[i]);
+}
+
+void sliced_axpy(std::uint8_t* dst, std::uint8_t a, const std::uint8_t* src,
+                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store_word(dst + i,
+               load_word(dst + i) ^ gf256_mul_word(load_word(src + i), a));
+  }
+  for (; i < n; ++i) dst[i] ^= GF256::mul(a, src[i]);
+}
+
+void sliced_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store_word(dst + i, gf256_mul_word(load_word(dst + i), a));
+  }
+  for (; i < n; ++i) dst[i] = GF256::mul(a, dst[i]);
+}
+
+constexpr KernelTable kSlicedTable = {sliced_xor, sliced_mul, sliced_axpy,
+                                      sliced_scale};
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+const KernelTable* table_for(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return &kScalarTable;
+    case Tier::kSliced:
+      return &kSlicedTable;
+    case Tier::kSsse3:
+      return detail::ssse3_kernel_table();
+    case Tier::kAvx2:
+      return detail::avx2_kernel_table();
+  }
+  return nullptr;
+}
+
+CpuFeatures detect_cpu() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  f.ssse3 = __builtin_cpu_supports("ssse3");
+  f.avx2 = __builtin_cpu_supports("avx2");
+#endif
+  return f;
+}
+
+/// -1 = not yet resolved; otherwise a Tier value.
+std::atomic<int> g_active_tier{-1};
+
+Tier resolve_initial_tier() {
+  const char* env = std::getenv("CAUSALEC_GF_KERNEL");
+  if (env != nullptr && env[0] != '\0' &&
+      std::string_view(env) != "auto") {
+    const auto requested = parse_tier(env);
+    if (!requested.has_value()) {
+      std::fprintf(stderr,
+                   "causalec: CAUSALEC_GF_KERNEL=%s is not a kernel tier "
+                   "(scalar|sliced|ssse3|avx2|auto); using auto\n",
+                   env);
+    } else if (!tier_available(*requested)) {
+      std::fprintf(stderr,
+                   "causalec: CAUSALEC_GF_KERNEL=%s is unavailable on this "
+                   "CPU/build; using auto\n",
+                   env);
+    } else {
+      return *requested;
+    }
+  }
+  return best_available_tier();
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect_cpu();
+  return features;
+}
+
+bool tier_available(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+    case Tier::kSliced:
+      return true;
+    case Tier::kSsse3:
+      return cpu_features().ssse3 && detail::ssse3_kernel_table() != nullptr;
+    case Tier::kAvx2:
+      return cpu_features().avx2 && detail::avx2_kernel_table() != nullptr;
+  }
+  return false;
+}
+
+Tier best_available_tier() {
+  if (tier_available(Tier::kAvx2)) return Tier::kAvx2;
+  if (tier_available(Tier::kSsse3)) return Tier::kSsse3;
+  return Tier::kSliced;
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSliced:
+      return "sliced";
+    case Tier::kSsse3:
+      return "ssse3";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Tier> parse_tier(std::string_view name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "sliced") return Tier::kSliced;
+  if (name == "ssse3") return Tier::kSsse3;
+  if (name == "avx2") return Tier::kAvx2;
+  return std::nullopt;
+}
+
+Tier active_tier() {
+  int tier = g_active_tier.load(std::memory_order_acquire);
+  if (tier < 0) {
+    // First call (possibly racing): every racer computes the same value,
+    // so the exchange is idempotent.
+    const Tier resolved = resolve_initial_tier();
+    int expected = -1;
+    if (g_active_tier.compare_exchange_strong(expected,
+                                              static_cast<int>(resolved),
+                                              std::memory_order_acq_rel)) {
+      return resolved;
+    }
+    tier = expected;  // another thread (or a set_active_tier) won
+  }
+  return static_cast<Tier>(tier);
+}
+
+void set_active_tier(Tier tier) {
+  CEC_CHECK_MSG(tier_available(tier),
+                "gf kernel tier " << tier_name(tier)
+                                  << " is unavailable on this CPU/build");
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+}
+
+namespace {
+
+/// Overlap guard, always on: the vectorized tiers read/write in blocks, so
+/// partially overlapping regions would be silently corrupted, not just
+/// reordered. Two pointer comparisons -- negligible next to the region work.
+inline void check_no_overlap(const void* dst, const void* src,
+                             std::size_t n) {
+  const auto d = reinterpret_cast<std::uintptr_t>(dst);
+  const auto s = reinterpret_cast<std::uintptr_t>(src);
+  CEC_CHECK_MSG(d + n <= s || s + n <= d,
+                "gf kernel: dst and src overlap (dst=" << dst << ", src="
+                                                       << src << ", n=" << n
+                                                       << ")");
+}
+
+inline const KernelTable& active_table() {
+  const KernelTable* table = table_for(active_tier());
+  CEC_DCHECK(table != nullptr);
+  return *table;
+}
+
+}  // namespace
+
+void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  if (n == 0) return;
+  check_no_overlap(dst, src, n);
+  active_table().xor_region(dst, src, n);
+}
+
+void mul_region_gf256(std::uint8_t* dst, const std::uint8_t* src,
+                      std::uint8_t a, std::size_t n) {
+  if (n == 0) return;
+  check_no_overlap(dst, src, n);
+  if (a == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (a == 1) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  active_table().mul_region(dst, src, a, n);
+}
+
+void axpy_region_gf256(std::uint8_t* dst, std::uint8_t a,
+                       const std::uint8_t* src, std::size_t n) {
+  if (n == 0 || a == 0) return;
+  check_no_overlap(dst, src, n);
+  if (a == 1) {
+    active_table().xor_region(dst, src, n);
+    return;
+  }
+  active_table().axpy_region(dst, a, src, n);
+}
+
+void scale_region_gf256(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
+  if (n == 0 || a == 1) return;
+  if (a == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  active_table().scale_region(dst, a, n);
+}
+
+}  // namespace causalec::gf::kernels

@@ -1,0 +1,111 @@
+// Runtime-dispatched bulk GF(2^8) region kernels.
+//
+// Encode / re-encode (Gamma_{i,k}) / decode (Psi_S) all reduce to
+// axpy/scale over byte vectors; these kernels are the innermost loop of
+// every one of those paths. Four implementation tiers exist:
+//
+//   kScalar  -- the log/exp (short vectors) or product-table (long vectors)
+//               reference; always present, byte-identical ground truth.
+//   kSliced  -- portable 64-bit SWAR: eight bytes per word, multiply by
+//               repeated doubling with a packed xtime step. No intrinsics.
+//   kSsse3   -- split-nibble PSHUFB: per-coefficient 16-entry low/high
+//               product tables, one shuffle pair per 16 bytes.
+//   kAvx2    -- the same split-nibble scheme on 32-byte lanes.
+//
+// The tier is selected once on first use from the CPU's capabilities
+// (gf::kernels::cpu_features()), can be pinned via the CAUSALEC_GF_KERNEL
+// environment variable ("scalar", "sliced", "ssse3", "avx2", or "auto"),
+// and can be switched programmatically (set_active_tier) so tests can run
+// every tier against the scalar reference on one machine.
+//
+// All kernels accept arbitrary (unaligned) pointers and lengths, including
+// zero. `dst` and `src` must not overlap: the vectorized tiers read and
+// write in 16/32-byte blocks, so overlap would not just give the scalar
+// answer shifted -- it silently corrupts data. The entry points CHECK this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace causalec::gf::kernels {
+
+enum class Tier : int {
+  kScalar = 0,
+  kSliced = 1,
+  kSsse3 = 2,
+  kAvx2 = 3,
+};
+
+inline constexpr int kNumTiers = 4;
+
+struct CpuFeatures {
+  bool ssse3 = false;
+  bool avx2 = false;
+};
+
+/// Detected once at first call (the result never changes).
+const CpuFeatures& cpu_features();
+
+/// True iff the tier's code is compiled in AND the CPU can run it.
+/// kScalar and kSliced are always available.
+bool tier_available(Tier tier);
+
+/// Highest-throughput available tier.
+Tier best_available_tier();
+
+/// "scalar" / "sliced" / "ssse3" / "avx2".
+const char* tier_name(Tier tier);
+
+/// Inverse of tier_name; nullopt for unknown names (including "auto").
+std::optional<Tier> parse_tier(std::string_view name);
+
+/// The tier the region kernels dispatch to. Resolved on first call:
+/// CAUSALEC_GF_KERNEL if set (unknown or unavailable values fall back with
+/// a warning), otherwise best_available_tier().
+Tier active_tier();
+
+/// Pin the dispatch tier; CHECK-fails if the tier is unavailable.
+void set_active_tier(Tier tier);
+
+/// RAII tier pin for tests: switches on construction, restores on exit.
+class ScopedTierForTesting {
+ public:
+  explicit ScopedTierForTesting(Tier tier) : saved_(active_tier()) {
+    set_active_tier(tier);
+  }
+  ~ScopedTierForTesting() { set_active_tier(saved_); }
+  ScopedTierForTesting(const ScopedTierForTesting&) = delete;
+  ScopedTierForTesting& operator=(const ScopedTierForTesting&) = delete;
+
+ private:
+  Tier saved_;
+};
+
+/// Scalar-tier boundary: below this length the scalar reference multiplies
+/// through log/exp lookups; at or above it, it builds a 256-entry product
+/// table first. (Both give identical bytes; the threshold only matters for
+/// speed, and the differential tests straddle it.)
+inline constexpr std::size_t kGf256TableThreshold = 1024;
+
+// ---------------------------------------------------------------------------
+// Region kernels. dst and src must not overlap (CHECKed).
+// ---------------------------------------------------------------------------
+
+/// dst[i] ^= src[i]. (Addition == subtraction in characteristic 2; this is
+/// the add/sub kernel for GF(2^8) and, bytewise, GF(2^16).)
+void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+/// dst[i] = a * src[i] over GF(2^8).
+void mul_region_gf256(std::uint8_t* dst, const std::uint8_t* src,
+                      std::uint8_t a, std::size_t n);
+
+/// dst[i] ^= a * src[i] over GF(2^8) ("axpy").
+void axpy_region_gf256(std::uint8_t* dst, std::uint8_t a,
+                       const std::uint8_t* src, std::size_t n);
+
+/// dst[i] = a * dst[i] over GF(2^8) (in place; no aliasing concern).
+void scale_region_gf256(std::uint8_t* dst, std::uint8_t a, std::size_t n);
+
+}  // namespace causalec::gf::kernels

@@ -1,0 +1,109 @@
+// AVX2 kernel tier: the split-nibble scheme of kernels_ssse3.cpp widened
+// to 32-byte lanes (VPSHUFB shuffles within each 128-bit lane, which is
+// exactly what the nibble lookup needs -- the same 16-entry table is
+// broadcast into both lanes).
+//
+// Compiled with -mavx2 (see src/gf/CMakeLists.txt); only installed after
+// __builtin_cpu_supports("avx2") passed.
+#include "gf/kernels_impl.h"
+
+#if defined(CAUSALEC_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace causalec::gf::kernels::detail {
+
+namespace {
+
+inline __m256i broadcast_tables(const std::uint8_t* table16) {
+  const __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(table16));
+  return _mm256_broadcastsi128_si256(t);
+}
+
+inline __m256i mul32(__m256i x, __m256i lo, __m256i hi, __m256i nibble) {
+  const __m256i xl = _mm256_and_si256(x, nibble);
+  const __m256i xh = _mm256_and_si256(_mm256_srli_epi64(x, 4), nibble);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(lo, xl),
+                          _mm256_shuffle_epi8(hi, xh));
+}
+
+void avx2_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void avx2_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t a,
+              std::size_t n) {
+  const NibbleTables t = build_nibble_tables(a);
+  const __m256i lo = broadcast_tables(t.lo);
+  const __m256i hi = broadcast_tables(t.hi);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul32(x, lo, hi, nibble));
+  }
+  for (; i < n; ++i) dst[i] = nibble_mul(t, src[i]);
+}
+
+void avx2_axpy(std::uint8_t* dst, std::uint8_t a, const std::uint8_t* src,
+               std::size_t n) {
+  const NibbleTables t = build_nibble_tables(a);
+  const __m256i lo = broadcast_tables(t.lo);
+  const __m256i hi = broadcast_tables(t.hi);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, mul32(x, lo, hi, nibble)));
+  }
+  for (; i < n; ++i) dst[i] ^= nibble_mul(t, src[i]);
+}
+
+void avx2_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
+  const NibbleTables t = build_nibble_tables(a);
+  const __m256i lo = broadcast_tables(t.lo);
+  const __m256i hi = broadcast_tables(t.hi);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul32(x, lo, hi, nibble));
+  }
+  for (; i < n; ++i) dst[i] = nibble_mul(t, dst[i]);
+}
+
+constexpr KernelTable kAvx2Table = {avx2_xor, avx2_mul, avx2_axpy,
+                                    avx2_scale};
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() { return &kAvx2Table; }
+
+}  // namespace causalec::gf::kernels::detail
+
+#else  // !CAUSALEC_KERNELS_AVX2
+
+namespace causalec::gf::kernels::detail {
+
+const KernelTable* avx2_kernel_table() { return nullptr; }
+
+}  // namespace causalec::gf::kernels::detail
+
+#endif

@@ -1,0 +1,107 @@
+// SSSE3 kernel tier: split-nibble PSHUFB multiply-regions.
+//
+// This translation unit is compiled with -mssse3 (see src/gf/CMakeLists.txt)
+// and must contain nothing that runs on CPUs without SSSE3: the dispatcher
+// only installs this table after __builtin_cpu_supports("ssse3") passed.
+#include "gf/kernels_impl.h"
+
+#if defined(CAUSALEC_KERNELS_SSSE3)
+
+#include <tmmintrin.h>
+
+namespace causalec::gf::kernels::detail {
+
+namespace {
+
+inline __m128i load_tables(const std::uint8_t* table16) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(table16));
+}
+
+/// p = (lo PSHUFB low-nibbles) ^ (hi PSHUFB high-nibbles): 16 products at
+/// once from the 2x16-entry split tables.
+inline __m128i mul16(__m128i x, __m128i lo, __m128i hi, __m128i nibble) {
+  const __m128i xl = _mm_and_si128(x, nibble);
+  const __m128i xh = _mm_and_si128(_mm_srli_epi64(x, 4), nibble);
+  return _mm_xor_si128(_mm_shuffle_epi8(lo, xl), _mm_shuffle_epi8(hi, xh));
+}
+
+void ssse3_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void ssse3_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t a,
+               std::size_t n) {
+  const NibbleTables t = build_nibble_tables(a);
+  const __m128i lo = load_tables(t.lo);
+  const __m128i hi = load_tables(t.hi);
+  const __m128i nibble = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     mul16(x, lo, hi, nibble));
+  }
+  for (; i < n; ++i) dst[i] = nibble_mul(t, src[i]);
+}
+
+void ssse3_axpy(std::uint8_t* dst, std::uint8_t a, const std::uint8_t* src,
+                std::size_t n) {
+  const NibbleTables t = build_nibble_tables(a);
+  const __m128i lo = load_tables(t.lo);
+  const __m128i hi = load_tables(t.hi);
+  const __m128i nibble = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, mul16(x, lo, hi, nibble)));
+  }
+  for (; i < n; ++i) dst[i] ^= nibble_mul(t, src[i]);
+}
+
+void ssse3_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
+  const NibbleTables t = build_nibble_tables(a);
+  const __m128i lo = load_tables(t.lo);
+  const __m128i hi = load_tables(t.hi);
+  const __m128i nibble = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     mul16(x, lo, hi, nibble));
+  }
+  for (; i < n; ++i) dst[i] = nibble_mul(t, dst[i]);
+}
+
+constexpr KernelTable kSsse3Table = {ssse3_xor, ssse3_mul, ssse3_axpy,
+                                     ssse3_scale};
+
+}  // namespace
+
+const KernelTable* ssse3_kernel_table() { return &kSsse3Table; }
+
+}  // namespace causalec::gf::kernels::detail
+
+#else  // !CAUSALEC_KERNELS_SSSE3
+
+namespace causalec::gf::kernels::detail {
+
+const KernelTable* ssse3_kernel_table() { return nullptr; }
+
+}  // namespace causalec::gf::kernels::detail
+
+#endif

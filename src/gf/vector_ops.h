@@ -3,36 +3,49 @@
 // Object values in CausalEC are elements of V = F^d; codeword symbols are
 // linear combinations of such vectors. These kernels are the hot path of
 // encode / re-encode / decode.
+//
+// Characteristic-2 fields route through the runtime-dispatched region
+// kernels in gf/kernels.h (scalar / 64-bit-sliced / SSSE3 / AVX2); odd-
+// characteristic fields use the elementwise loops below. All tiers are
+// byte-identical to the scalar reference (pinned by tests/gf_kernel_test).
+//
+// dst and src must not overlap: the vectorized tiers operate in 16/32-byte
+// blocks, so partial overlap silently corrupts data instead of degrading
+// to the shifted scalar answer. The GF(2^8) region kernels CHECK this on
+// every call; the elementwise paths DCHECK it.
 #pragma once
 
-#include <array>
+#include <cstdint>
 #include <span>
 #include <type_traits>
 
 #include "common/expect.h"
 #include "gf/field.h"
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 
 namespace causalec::gf {
 
 namespace detail_vec {
 
-/// GF(2^8) fast path: one 256-entry product table for the coefficient
-/// (256 multiplications to build), then a single lookup per byte instead of
-/// two log/exp lookups plus an add. Pays off once the vector is longer than
-/// the table-build cost.
-inline constexpr std::size_t kGf256TableThreshold = 1024;
+inline constexpr std::size_t kGf256TableThreshold =
+    kernels::kGf256TableThreshold;
 
-inline void axpy_gf256_table(std::span<std::uint8_t> dst, std::uint8_t a,
-                             std::span<const std::uint8_t> src) {
-  std::array<std::uint8_t, 256> table;
-  for (int x = 0; x < 256; ++x) {
-    table[static_cast<std::size_t>(x)] =
-        GF256::mul(a, static_cast<std::uint8_t>(x));
-  }
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] ^= table[src[i]];
-  }
+inline bool overlaps(const void* a, std::size_t a_bytes, const void* b,
+                     std::size_t b_bytes) {
+  const auto pa = reinterpret_cast<std::uintptr_t>(a);
+  const auto pb = reinterpret_cast<std::uintptr_t>(b);
+  return pa < pb + b_bytes && pb < pa + a_bytes;
+}
+
+template <typename Elem>
+std::uint8_t* as_bytes(std::span<Elem> s) {
+  return reinterpret_cast<std::uint8_t*>(s.data());
+}
+
+template <typename Elem>
+const std::uint8_t* as_bytes(std::span<const Elem> s) {
+  return reinterpret_cast<const std::uint8_t*>(s.data());
 }
 
 }  // namespace detail_vec
@@ -42,8 +55,16 @@ template <Field F>
 void add_into(std::span<typename F::Elem> dst,
               std::span<const typename F::Elem> src) {
   CEC_DCHECK(dst.size() == src.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = F::add(dst[i], src[i]);
+  if constexpr (!F::kOddCharacteristic) {
+    // Addition is XOR on the underlying bytes for any GF(2^m).
+    kernels::xor_region(detail_vec::as_bytes(dst), detail_vec::as_bytes(src),
+                        dst.size_bytes());
+  } else {
+    CEC_DCHECK(!detail_vec::overlaps(dst.data(), dst.size_bytes(), src.data(),
+                                     src.size_bytes()));
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = F::add(dst[i], src[i]);
+    }
   }
 }
 
@@ -52,13 +73,20 @@ template <Field F>
 void sub_into(std::span<typename F::Elem> dst,
               std::span<const typename F::Elem> src) {
   CEC_DCHECK(dst.size() == src.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = F::sub(dst[i], src[i]);
+  if constexpr (!F::kOddCharacteristic) {
+    kernels::xor_region(detail_vec::as_bytes(dst), detail_vec::as_bytes(src),
+                        dst.size_bytes());
+  } else {
+    CEC_DCHECK(!detail_vec::overlaps(dst.data(), dst.size_bytes(), src.data(),
+                                     src.size_bytes()));
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = F::sub(dst[i], src[i]);
+    }
   }
 }
 
 /// dst += a * src ("axpy"). a == 0 is a no-op; a == 1 degrades to add;
-/// long GF(2^8) vectors take the product-table fast path.
+/// GF(2^8) dispatches to the active region-kernel tier.
 template <Field F>
 void axpy(std::span<typename F::Elem> dst, typename F::Elem a,
           std::span<const typename F::Elem> src) {
@@ -69,21 +97,25 @@ void axpy(std::span<typename F::Elem> dst, typename F::Elem a,
     return;
   }
   if constexpr (std::is_same_v<F, GF256>) {
-    if (dst.size() >= detail_vec::kGf256TableThreshold) {
-      detail_vec::axpy_gf256_table(dst, a, src);
-      return;
+    kernels::axpy_region_gf256(dst.data(), a, src.data(), dst.size());
+  } else {
+    CEC_DCHECK(!detail_vec::overlaps(dst.data(), dst.size_bytes(), src.data(),
+                                     src.size_bytes()));
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = F::add(dst[i], F::mul(a, src[i]));
     }
-  }
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = F::add(dst[i], F::mul(a, src[i]));
   }
 }
 
-/// dst *= a.
+/// dst *= a (in place; no aliasing concern).
 template <Field F>
 void scale(std::span<typename F::Elem> dst, typename F::Elem a) {
   if (a == F::one) return;
-  for (auto& x : dst) x = F::mul(a, x);
+  if constexpr (std::is_same_v<F, GF256>) {
+    kernels::scale_region_gf256(dst.data(), a, dst.size());
+  } else {
+    for (auto& x : dst) x = F::mul(a, x);
+  }
 }
 
 /// dst = 0.

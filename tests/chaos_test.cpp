@@ -8,6 +8,7 @@
 #include "chaos/fault_plan.h"
 #include "chaos/runner.h"
 #include "chaos/shrink.h"
+#include "erasure/plan_cache.h"
 #include "sim/latency.h"
 
 namespace causalec::chaos {
@@ -94,6 +95,20 @@ TEST(ChaosRunnerTest, GeneratedPlansRunClean) {
         << "seed " << seed << ": " << outcome.violations.front();
     EXPECT_GT(outcome.ops_completed, 0u) << "seed " << seed;
   }
+}
+
+// Satellite of the decoder-plan-cache change: a chaos smoke seed run with
+// the cache in its default-enabled state. Crashes and partitions force
+// degraded reads through many distinct recovery-set shapes, so a cached
+// plan that differed from fresh elimination would surface as a consistency
+// violation here.
+TEST(ChaosRunnerTest, SmokeSeedRunsCleanWithDecodePlanCache) {
+  ASSERT_TRUE(erasure::DecodePlanCache<std::uint8_t>::default_enabled())
+      << "CAUSALEC_DECODE_PLAN_CACHE=0 leaked into the test environment";
+  const FaultPlan plan = FaultPlan::generate(20260806);
+  const RunOutcome outcome = run_plan(plan);
+  EXPECT_TRUE(outcome.ok) << outcome.violations.front();
+  EXPECT_GT(outcome.ops_completed, 0u);
 }
 
 TEST(ChaosRunnerTest, PartitionHealsAndRunStaysConsistent) {

@@ -79,6 +79,29 @@ TEST(GroupedStoreTest, WriteReadAcrossGroups) {
     ASSERT_TRUE(got.has_value()) << "group " << g;
     EXPECT_EQ(*got, Value(kValueBytes, static_cast<std::uint8_t>(g + 10)));
   }
+  // After GC the values survive only inside codeword symbols, so a read at
+  // a parity node must decode -- through each group's plan cache. The
+  // store-level stats aggregate across all group codes. (The readl/dell
+  // ack cycle needs a few rounds before history entries actually drop.)
+  for (int round = 0; round < 4; ++round) {
+    for (NodeId s = 0; s < 5; ++s) w.store.run_garbage_collection(s);
+    w.sim.run_until_idle();
+  }
+  ASSERT_EQ(w.store.storage(4).history_entries, 0u);
+  for (std::size_t g = 0; g < 4; ++g) {
+    std::optional<Value> got;
+    w.store.read(/*at=*/4, /*client=*/3, g * 3 + 1,
+                 [&](const Value& v, const Tag&, const VectorClock&) {
+                   got = v;
+                 });
+    w.sim.run_until(w.sim.now() + kSecond);
+    ASSERT_TRUE(got.has_value()) << "group " << g;
+    EXPECT_EQ(*got, Value(kValueBytes, static_cast<std::uint8_t>(g + 10)));
+  }
+  const auto stats = w.store.decode_plan_cache_stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_LE(stats.entries, stats.misses);
 }
 
 TEST(GroupedStoreTest, GroupsAreIsolated) {

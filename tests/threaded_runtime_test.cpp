@@ -124,6 +124,47 @@ TEST(ThreadedRuntimeTest, ConcurrentReadersDuringWrites) {
   EXPECT_EQ(cluster.total_error_events(), 0u);
 }
 
+TEST(ThreadedRuntimeTest, ConcurrentReadsShareDecodePlanCache) {
+  // Many reader threads decoding through one shared Code instance: the
+  // decoder-plan cache is hit concurrently from the server threads (TSan
+  // covers the shared_mutex + shared_ptr handoff via the sanitizer suite).
+  // Keeping our own CodePtr lets us inspect cache counters afterwards.
+  const erasure::CodePtr code =
+      erasure::make_six_dc_cross_object(kValueBytes);
+  ThreadedClusterConfig config;
+  config.gc_period = 5ms;
+  ThreadedCluster cluster(code, config);
+  for (ObjectId obj = 0; obj < 4; ++obj) {
+    cluster.write(0, /*client=*/1, obj,
+                  Value(kValueBytes, static_cast<std::uint8_t>(obj + 1)));
+  }
+  ASSERT_TRUE(cluster.await_convergence(10000ms));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      int i = 0;
+      while (!stop.load()) {
+        const auto [value, tag] =
+            cluster.read(static_cast<NodeId>((r + i) % 6), 400 + r,
+                         static_cast<ObjectId>(i % 4));
+        EXPECT_EQ(value.size(), kValueBytes);
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(50ms);
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(cluster.total_error_events(), 0u);
+
+  // Each (object, server-set) shape is eliminated at most once; repeats hit.
+  const auto stats = code->decode_plan_cache_stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_LE(stats.entries, stats.misses);
+}
+
 TEST(ThreadedRuntimeTest, DirectMessagePassingModeWorksToo) {
   ThreadedClusterConfig config;
   config.gc_period = 5ms;

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json artifacts against the causalec-bench-v1 schema.
 
-Usage: check_bench_json.py FILE [FILE...]
+Usage: check_bench_json.py [--baseline FILE [--max-regression FRAC]]
+                           FILE [FILE...]
 
 Schema (emitted by obs::BenchReport, see src/obs/bench_report.h):
   {
@@ -15,8 +16,18 @@ Schema (emitted by obs::BenchReport, see src/obs/bench_report.h):
     ]
   }
 
-Exit code 0 when every file validates, 1 otherwise.
+With --baseline, every (row, metric) present in the baseline file must also
+be present in each candidate file with
+    candidate >= baseline * (1 - FRAC)
+(FRAC defaults to 0.20; all pinned metrics are higher-is-better). The
+baseline is itself a causalec-bench-v1 document, typically containing a
+small hand-picked subset of machine-portable metrics -- see
+bench/baselines/BENCH_kernels.baseline.json.
+
+Exit code 0 when every file validates (and clears the baseline), 1
+otherwise.
 """
+import argparse
 import json
 import math
 import sys
@@ -27,7 +38,33 @@ def fail(path, message):
     return False
 
 
-def check_file(path):
+def check_baseline(path, doc, baseline, max_regression):
+    """Compare a validated candidate doc against the baseline floors."""
+    candidate = {
+        row["name"]: row.get("metrics", {}) for row in doc.get("rows", [])
+    }
+    ok = True
+    for row in baseline.get("rows", []):
+        name = row["name"]
+        for metric, base_value in row.get("metrics", {}).items():
+            if name not in candidate or metric not in candidate[name]:
+                ok = fail(path, f"baseline row {name!r} metric {metric!r} "
+                                "missing from candidate")
+                continue
+            floor = base_value * (1.0 - max_regression)
+            value = candidate[name][metric]
+            if value < floor:
+                ok = fail(path, f"{name}.{metric} regressed: {value:.3f} < "
+                                f"floor {floor:.3f} (baseline "
+                                f"{base_value:.3f}, tolerance "
+                                f"{max_regression:.0%})")
+            else:
+                print(f"{path}: {name}.{metric} = {value:.3f} "
+                      f">= floor {floor:.3f}")
+    return ok
+
+
+def check_file(path, baseline=None, max_regression=0.20):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -80,14 +117,39 @@ def check_file(path):
                                   "string")
 
     print(f"{path}: OK ({bench}, {len(rows)} rows)")
+    if baseline is not None:
+        return check_baseline(path, doc, baseline, max_regression)
     return True
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__.strip())
-        return 2
-    ok = all([check_file(path) for path in argv[1:]])
+    parser = argparse.ArgumentParser(
+        description="Validate BENCH_*.json artifacts "
+                    "(causalec-bench-v1 schema).")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline JSON with metric floors to enforce")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        metavar="FRAC",
+                        help="allowed fractional drop below each baseline "
+                             "metric (default 0.20)")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv[1:])
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{args.baseline}: FAIL: unreadable baseline: {e}")
+            return 1
+        if not isinstance(baseline, dict) or not isinstance(
+                baseline.get("rows"), list):
+            print(f"{args.baseline}: FAIL: baseline has no 'rows' array")
+            return 1
+
+    ok = all([check_file(path, baseline, args.max_regression)
+              for path in args.files])
     return 0 if ok else 1
 
 
