@@ -75,10 +75,11 @@ class IntraObjectStore::Node final : public sim::Actor {
     Tag tag(vc_, id_ + 1);
     // Split into k fragments and encode all N codeword fragments.
     const std::size_t frag_bytes = config_->value_bytes / config_->k;
-    std::vector<erasure::Value> fragments(config_->k);
+    std::vector<erasure::Value> fragments;
+    fragments.reserve(config_->k);
     for (std::size_t f = 0; f < config_->k; ++f) {
-      fragments[f].assign(value.begin() + f * frag_bytes,
-                          value.begin() + (f + 1) * frag_bytes);
+      // Zero-copy: each fragment aliases the written value's buffer.
+      fragments.push_back(value.slice(f * frag_bytes, frag_bytes));
     }
     const std::size_t wire =
         config_->header_bytes + frag_bytes + 8 * n_ + 8;
@@ -201,13 +202,15 @@ class IntraObjectStore::Node final : public sim::Actor {
       for (NodeId s : servers) {
         symbols.push_back(pending.responses[s].second);
       }
-      // Reassemble: decode each data fragment and concatenate.
-      erasure::Value value;
-      value.reserve(config_->value_bytes);
+      // Reassemble: decode each data fragment and concatenate into one
+      // fresh arena.
+      std::vector<std::uint8_t> bytes;
+      bytes.reserve(config_->value_bytes);
       for (ObjectId f = 0; f < config_->k; ++f) {
         const erasure::Value frag = code_->decode(f, servers, symbols);
-        value.insert(value.end(), frag.begin(), frag.end());
+        bytes.insert(bytes.end(), frag.begin(), frag.end());
       }
+      erasure::Value value(std::move(bytes));
       ReadDone done = std::move(pending.done);
       const Tag result_tag = tag;
       pending_.erase(it);

@@ -53,7 +53,10 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+  /// Holds the frame so bytes() can return slices that alias its arena
+  /// instead of copying the payload out.
+  explicit Reader(erasure::Buffer frame)
+      : frame_(std::move(frame)), buf_(frame_.span()) {}
 
   std::uint8_t u8() {
     CEC_CHECK_MSG(pos_ + 1 <= buf_.size(), "codec: truncated buffer");
@@ -71,11 +74,11 @@ class Reader {
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
     return v;
   }
-  std::vector<std::uint8_t> bytes() {
+  /// Zero-copy: a Value aliasing the frame's arena at the current cursor.
+  erasure::Value bytes() {
     const std::uint32_t len = u32();
     CEC_CHECK_MSG(pos_ + len <= buf_.size(), "codec: truncated buffer");
-    std::vector<std::uint8_t> out(buf_.begin() + pos_,
-                                  buf_.begin() + pos_ + len);
+    erasure::Value out(frame_.slice(pos_, len));
     pos_ += len;
     return out;
   }
@@ -100,6 +103,7 @@ class Reader {
   bool done() const { return pos_ == buf_.size(); }
 
  private:
+  erasure::Buffer frame_;
   std::span<const std::uint8_t> buf_;
   std::size_t pos_ = 0;
 };
@@ -157,7 +161,11 @@ std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
 }
 
 sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer) {
-  Reader r(buffer);
+  return deserialize_message(erasure::Buffer::copy_of(buffer));
+}
+
+sim::MessagePtr deserialize_message(erasure::Buffer frame) {
+  Reader r(std::move(frame));
   const auto type = static_cast<MsgType>(r.u8());
   const std::uint64_t wire = r.u64();
   // The WireModel argument is irrelevant: the recorded wire size (the cost

@@ -20,14 +20,22 @@
 #include <vector>
 
 #include "causalec/messages.h"
+#include "erasure/buffer.h"
 
 namespace causalec {
 
 /// Serializes any of the five protocol messages. Aborts on foreign types.
 std::vector<std::uint8_t> serialize_message(const sim::Message& message);
 
-/// Parses a buffer produced by serialize_message; aborts on malformed
+/// Parses a frame produced by serialize_message; aborts on malformed
 /// input (the runtime owns both ends of the channel).
+///
+/// Zero-copy: the value/symbol payloads of the returned message alias the
+/// frame's arena (erasure::Buffer slices), so deserializing performs no
+/// payload copy and the frame stays alive as long as any payload does.
+sim::MessagePtr deserialize_message(erasure::Buffer frame);
+
+/// Copying convenience overload: wraps `buffer` in a fresh arena first.
 sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer);
 
 }  // namespace causalec

@@ -20,7 +20,9 @@ namespace causalec {
 class HistoryList {
  public:
   HistoryList(std::size_t num_servers, std::size_t value_bytes)
-      : num_servers_(num_servers), value_bytes_(value_bytes) {}
+      : num_servers_(num_servers),
+        value_bytes_(value_bytes),
+        zero_value_(value_bytes, 0) {}
 
   /// Insert (tag, value); duplicate tags keep the existing entry (a tag
   /// uniquely identifies a write, Lemma B.3). Zero-tag inserts are dropped
@@ -30,9 +32,10 @@ class HistoryList {
     entries_.try_emplace(tag, std::move(value));
   }
 
-  /// Value for a tag; the zero tag yields the zero value.
+  /// Value for a tag; the zero tag yields the (shared, never reallocated)
+  /// zero value.
   std::optional<erasure::Value> lookup(const Tag& tag) const {
-    if (tag.is_zero()) return erasure::Value(value_bytes_, 0);
+    if (tag.is_zero()) return zero_value_;
     auto it = entries_.find(tag);
     if (it == entries_.end()) return std::nullopt;
     return it->second;
@@ -81,6 +84,7 @@ class HistoryList {
  private:
   std::size_t num_servers_;
   std::size_t value_bytes_;
+  erasure::Value zero_value_;  // shared by every zero-tag lookup
   std::map<Tag, erasure::Value> entries_;
 };
 

@@ -43,6 +43,9 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
     m_read_latency_ = &metrics->histogram("server.read_latency_ns");
     m_write_bytes_ = &metrics->histogram("server.write_bytes");
   }
+  for (NodeId j = 0; j < n_; ++j) {
+    if (j != id_) others_.push_back(j);
+  }
   lists_.reserve(k_);
   dels_.reserve(k_);
   containing_.resize(k_);
@@ -139,12 +142,11 @@ Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
     }
   }
 
-  // Alg. 1 line 6: propagate to every other node.
-  for (NodeId j = 0; j < n_; ++j) {
-    if (j == id_) continue;
-    transport_->send(j, std::make_unique<AppMessage>(object, value, tag,
-                                                     wire_));
-  }
+  // Alg. 1 line 6: propagate to every other node. Every AppMessage shares
+  // the one payload buffer, and serializing runtimes encode it once.
+  transport_->multicast(others_, [&] {
+    return std::make_unique<AppMessage>(object, value, tag, wire_);
+  });
 
   if (obs_enabled_) obs_write_done(object, client, value.size(), obs_t0);
   run_internal_actions();  // Encoding picks the new version up eagerly
@@ -205,6 +207,11 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
 // ---------------------------------------------------------------------------
 
 void Server::on_message(NodeId from, sim::MessagePtr message) {
+  dispatch_message(from, std::move(message));
+  run_internal_actions();
+}
+
+void Server::dispatch_message(NodeId from, sim::MessagePtr message) {
   if (auto* app = dynamic_cast<AppMessage*>(message.get())) {
     handle_app(from, *app);
   } else if (auto* del = dynamic_cast<DelMessage*>(message.get())) {
@@ -218,7 +225,6 @@ void Server::on_message(NodeId from, sim::MessagePtr message) {
   } else {
     CEC_CHECK_MSG(false, "unknown message type " << message->type_name());
   }
-  run_internal_actions();
 }
 
 void Server::handle_app(NodeId from, const AppMessage& msg) {
@@ -231,12 +237,14 @@ void Server::handle_del(NodeId from, const DelMessage& msg) {
   // Appendix G variant (ii): the leader fans forwarded dels out to
   // everyone on the origin's behalf.
   if (msg.forward && id_ == config_.del_leader) {
-    for (NodeId j = 0; j < n_; ++j) {
-      if (j == id_ || j == msg.origin) continue;
-      transport_->send(j, std::make_unique<DelMessage>(
-                              msg.object, msg.tag, msg.origin,
-                              /*forward=*/false, wire_));
+    std::vector<NodeId> targets;
+    for (NodeId j : others_) {
+      if (j != msg.origin) targets.push_back(j);
     }
+    transport_->multicast(targets, [&] {
+      return std::make_unique<DelMessage>(msg.object, msg.tag, msg.origin,
+                                          /*forward=*/false, wire_);
+    });
   }
 }
 
@@ -685,12 +693,13 @@ void Server::retry_pending_read(OpId opid) {
 
 void Server::send_val_inq_to(const std::vector<NodeId>& targets,
                              const PendingRead& read) {
-  for (NodeId j : targets) {
-    CEC_DCHECK(j != id_);
-    transport_->send(j, std::make_unique<ValInqMessage>(
-                            read.client, read.opid, read.object,
-                            read.requested, wire_));
-  }
+  if (targets.empty()) return;
+  for ([[maybe_unused]] NodeId j : targets) CEC_DCHECK(j != id_);
+  transport_->multicast(targets, [&] {
+    return std::make_unique<ValInqMessage>(read.client, read.opid,
+                                           read.object, read.requested,
+                                           wire_);
+  });
 }
 
 std::vector<NodeId> Server::initial_fanout_targets(
@@ -748,12 +757,14 @@ void Server::send_del_to_containing(ObjectId object, const Tag& tag) {
                                                   /*forward=*/true, wire_));
     return;
   }
+  std::vector<NodeId> targets;
   for (NodeId j : containing_servers(object)) {
-    if (j == id_) continue;
-    transport_->send(j, std::make_unique<DelMessage>(object, tag, id_,
-                                                     /*forward=*/false,
-                                                     wire_));
+    if (j != id_) targets.push_back(j);
   }
+  transport_->multicast(targets, [&] {
+    return std::make_unique<DelMessage>(object, tag, id_,
+                                        /*forward=*/false, wire_);
+  });
 }
 
 void Server::broadcast_del(ObjectId object, const Tag& tag, bool dedupe) {
@@ -766,12 +777,10 @@ void Server::broadcast_del(ObjectId object, const Tag& tag, bool dedupe) {
                                                   /*forward=*/true, wire_));
     return;
   }
-  for (NodeId j = 0; j < n_; ++j) {
-    if (j == id_) continue;
-    transport_->send(j, std::make_unique<DelMessage>(object, tag, id_,
-                                                     /*forward=*/false,
-                                                     wire_));
-  }
+  transport_->multicast(others_, [&] {
+    return std::make_unique<DelMessage>(object, tag, id_,
+                                        /*forward=*/false, wire_);
+  });
 }
 
 OpId Server::next_internal_opid() {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "causalec/config.h"
@@ -37,6 +38,17 @@ class Transport {
  public:
   virtual ~Transport() = default;
   virtual void send(NodeId to, sim::MessagePtr message) = 0;
+
+  /// Broadcast hook: deliver one logical message to every target. `make`
+  /// builds a fresh MessagePtr per call (payload buffers are shared, so
+  /// each call is cheap). The default is a per-target send; runtimes that
+  /// serialize can override to encode the frame once and share the bytes
+  /// across destinations (ThreadedCluster does).
+  virtual void multicast(std::span<const NodeId> targets,
+                         const std::function<sim::MessagePtr()>& make) {
+    for (NodeId to : targets) send(to, make());
+  }
+
   virtual void schedule_after(SimTime delta, std::function<void()> fn) = 0;
   virtual SimTime now() const = 0;
 };
@@ -98,6 +110,12 @@ class Server final : public sim::Actor {
   // -- Runtime entry points ------------------------------------------------
 
   void on_message(NodeId from, sim::MessagePtr message) override;
+
+  /// Handler dispatch without the trailing internal-action fixpoint.
+  /// Batch-draining runtimes (runtime/threaded_cluster.cpp) dispatch every
+  /// message of a mailbox batch through this and then run the fixpoint
+  /// once; on_message == dispatch_message + run_internal_actions.
+  void dispatch_message(NodeId from, sim::MessagePtr message);
 
   /// Apply_InQueue + Encoding, run to a fixed point. Invoked automatically
   /// after every message receipt; exposed for tests.
@@ -195,6 +213,7 @@ class Server final : public sim::Actor {
   // -- Implementation bookkeeping ------------------------------------------
   std::uint64_t internal_opid_counter_ = 0;
   std::vector<std::vector<NodeId>> containing_;  // per object
+  std::vector<NodeId> others_;                   // every node but this one
   // Last tag broadcast to *all* nodes per object (del dedupe, DESIGN note 6).
   TagVector last_del_broadcast_all_;
   ServerCounters counters_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "causalec/tag.h"
@@ -33,7 +34,7 @@ struct OpRecord {
 };
 
 /// FNV-1a, for OpRecord::value_hash.
-inline std::uint64_t hash_value_bytes(const std::vector<std::uint8_t>& v) {
+inline std::uint64_t hash_value_bytes(std::span<const std::uint8_t> v) {
   std::uint64_t h = 14695981039346656037ull;
   for (std::uint8_t b : v) {
     h ^= b;

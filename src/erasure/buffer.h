@@ -1,0 +1,120 @@
+// Refcounted immutable payload buffer.
+//
+// A Buffer owns (a slice of) one heap byte arena through a shared_ptr.
+// Copying a Buffer or taking a slice() shares the arena instead of copying
+// bytes, so a payload that fans out to n destinations (the Alg. 1 line 6
+// broadcast, a serialized frame delivered to several mailboxes) costs one
+// allocation total, not one per hop.
+//
+// Ownership rules (see DESIGN.md §5.3):
+//   * the arena is logically immutable once any second reference exists;
+//   * mutable_data() may only be called while the arena is uniquely owned
+//     (use_count() == 1) -- this is what erasure::Value's copy-on-write
+//     relies on;
+//   * slices keep the whole arena alive: a 4-byte slice of a 4 MiB frame
+//     pins the frame. Callers that outlive the frame by design (e.g. the
+//     HistoryList) are fine because protocol values are sliced from frames
+//     sized proportionally to them.
+//
+// Every fresh arena (alloc / copy_of / adopt) bumps a process-wide counter
+// so tests can assert allocation counts on the data path
+// (tests/copy_count_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace causalec::erasure {
+
+class Buffer {
+ public:
+  struct AllocStats {
+    std::uint64_t allocations = 0;  // fresh arenas created
+    std::uint64_t bytes = 0;        // total bytes of those arenas
+  };
+
+  Buffer() = default;
+
+  /// Fresh arena of `n` bytes, all set to `fill`.
+  static Buffer alloc(std::size_t n, std::uint8_t fill = 0) {
+    return adopt(std::vector<std::uint8_t>(n, fill));
+  }
+
+  /// Fresh arena holding a copy of `bytes`.
+  static Buffer copy_of(std::span<const std::uint8_t> bytes) {
+    return adopt(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  }
+
+  /// Takes ownership of an already-built vector (no byte copy, but the
+  /// arena is new to the buffer layer, so it counts as one allocation).
+  static Buffer adopt(std::vector<std::uint8_t>&& bytes) {
+    Buffer b;
+    b.size_ = bytes.size();
+    b.store_ = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+    note_alloc(b.size_);
+    return b;
+  }
+
+  /// Shares the arena; the slice views [offset, offset + length).
+  Buffer slice(std::size_t offset, std::size_t length) const {
+    CEC_CHECK(offset + length <= size_);
+    Buffer b;
+    b.store_ = store_;
+    b.offset_ = offset_ + offset;
+    b.size_ = length;
+    return b;
+  }
+
+  const std::uint8_t* data() const {
+    return store_ ? store_->data() + offset_ : nullptr;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const std::uint8_t> span() const { return {data(), size_}; }
+
+  /// True when this handle is the only reference to the arena (mutation in
+  /// place is then invisible to everyone else).
+  bool unique() const { return store_ != nullptr && store_.use_count() == 1; }
+
+  /// Mutable access; caller must hold the only reference (see unique()).
+  std::uint8_t* mutable_data() {
+    CEC_DCHECK(unique());
+    return store_->data() + offset_;
+  }
+
+  /// How many handles (buffers/values/slices) share the arena; 0 for the
+  /// empty buffer.
+  long use_count() const { return store_ ? store_.use_count() : 0; }
+
+  static AllocStats alloc_stats() {
+    return {allocations_.load(std::memory_order_relaxed),
+            alloc_bytes_.load(std::memory_order_relaxed)};
+  }
+  static void reset_alloc_stats() {
+    allocations_.store(0, std::memory_order_relaxed);
+    alloc_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void note_alloc(std::size_t n) {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    alloc_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  static inline std::atomic<std::uint64_t> allocations_{0};
+  static inline std::atomic<std::uint64_t> alloc_bytes_{0};
+
+  std::shared_ptr<std::vector<std::uint8_t>> store_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace causalec::erasure

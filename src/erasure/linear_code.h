@@ -133,8 +133,8 @@ class LinearCodeT final : public Code {
                     std::span<const Elem>(val));
       }
       detail::pack<F>(std::span<const Elem>(acc),
-                      std::span<std::uint8_t>(out).subspan(
-                          r * value_bytes_, value_bytes_));
+                      out.mutable_span().subspan(r * value_bytes_,
+                                                 value_bytes_));
     }
     return out;
   }
@@ -161,9 +161,10 @@ class LinearCodeT final : public Code {
     }
     if (gf::is_zero<F>(std::span<const Elem>(delta))) return;
     std::vector<Elem> row(elems_per_value_);
+    const std::span<std::uint8_t> symbol_bytes = symbol.mutable_span();
     for (const ReencodeStep& step : steps) {
-      auto row_bytes = std::span<std::uint8_t>(symbol).subspan(
-          step.row * value_bytes_, value_bytes_);
+      auto row_bytes =
+          symbol_bytes.subspan(step.row * value_bytes_, value_bytes_);
       detail::unpack<F>(row_bytes, std::span<Elem>(row));
       gf::axpy<F>(std::span<Elem>(row), step.coeff,
                   std::span<const Elem>(delta));
@@ -439,7 +440,7 @@ class LinearCodeT final : public Code {
                   std::span<const Elem>(row));
     }
     Value out(value_bytes_);
-    detail::pack<F>(std::span<const Elem>(acc), std::span<std::uint8_t>(out));
+    detail::pack<F>(std::span<const Elem>(acc), out.mutable_span());
     return out;
   }
 

@@ -1,18 +1,111 @@
-// Object values and codeword symbols as opaque byte buffers.
+// Object values and codeword symbols as shared, copy-on-write byte buffers.
 //
 // The CausalEC server core is untemplated; all field-specific packing lives
 // behind the erasure::Code interface. A Value is an element of V = F^d
 // packed little-endian; a Symbol is a server's codeword symbol, i.e. an
 // element of W_i (possibly several stacked rows for servers that the code
 // assigns more than one linear combination).
+//
+// A Value is a thin handle over an immutable refcounted Buffer: copying or
+// storing one (HistoryList, InQueue, the n-1 AppMessage broadcast copies)
+// shares the underlying arena instead of duplicating bytes. Mutation goes
+// through the non-const accessors, which copy-on-write: in place when the
+// arena is uniquely owned, one fresh copy otherwise. See DESIGN.md §5.3
+// for the ownership rules.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "erasure/buffer.h"
 
 namespace causalec::erasure {
 
-using Value = std::vector<std::uint8_t>;
-using Symbol = std::vector<std::uint8_t>;
+class Value {
+ public:
+  Value() = default;
+
+  explicit Value(std::size_t n) : buf_(Buffer::alloc(n, 0)) {}
+  Value(std::size_t n, std::uint8_t fill) : buf_(Buffer::alloc(n, fill)) {}
+
+  /// Adopts an already-built byte vector (no byte copy). Implicit on
+  /// purpose: codec readers and codes build bytes in a plain vector and
+  /// hand them over.
+  Value(std::vector<std::uint8_t> bytes) : buf_(Buffer::adopt(std::move(bytes))) {}
+
+  Value(std::initializer_list<std::uint8_t> bytes)
+      : Value(std::vector<std::uint8_t>(bytes)) {}
+
+  /// Views (a slice of) an existing buffer -- the codec's zero-copy
+  /// deserialization path, where values alias the received frame.
+  explicit Value(Buffer buffer) : buf_(std::move(buffer)) {}
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  const std::uint8_t* data() const { return buf_.data(); }
+
+  const std::uint8_t* begin() const { return buf_.data(); }
+  const std::uint8_t* end() const { return buf_.data() + buf_.size(); }
+  const std::uint8_t& operator[](std::size_t i) const { return data()[i]; }
+
+  /// Mutable accessors: copy-on-write (no copy when uniquely owned).
+  std::uint8_t* begin() { return unshare(); }
+  std::uint8_t* end() { return unshare() + buf_.size(); }
+  std::uint8_t& operator[](std::size_t i) { return unshare()[i]; }
+  std::span<std::uint8_t> mutable_span() { return {unshare(), buf_.size()}; }
+
+  /// Resizes to `n` bytes (zero-filled); always a fresh arena unless the
+  /// size already matches.
+  void resize(std::size_t n) {
+    if (n == buf_.size()) return;
+    std::vector<std::uint8_t> grown(n, 0);
+    const std::size_t keep = std::min(n, buf_.size());
+    for (std::size_t i = 0; i < keep; ++i) grown[i] = data()[i];
+    buf_ = Buffer::adopt(std::move(grown));
+  }
+
+  /// Shares the arena; the slice views [offset, offset + length).
+  Value slice(std::size_t offset, std::size_t length) const {
+    return Value(buf_.slice(offset, length));
+  }
+
+  const Buffer& buffer() const { return buf_; }
+
+  std::span<const std::uint8_t> span() const { return buf_.span(); }
+
+  /// Non-const Values don't model contiguous_range (no mutable data()),
+  /// so this conversion is what lets them bind to span<const uint8_t>
+  /// parameters; const Values take std::span's range constructor instead.
+  operator std::span<const std::uint8_t>() const { return buf_.span(); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const Value& a,
+                         const std::vector<std::uint8_t>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<std::uint8_t>& a,
+                         const Value& b) {
+    return b == a;
+  }
+
+ private:
+  std::uint8_t* unshare() {
+    if (buf_.empty()) return nullptr;
+    if (!buf_.unique()) buf_ = Buffer::copy_of(buf_.span());
+    return buf_.mutable_data();
+  }
+
+  Buffer buf_;
+};
+
+/// A server's codeword symbol: same representation, same sharing rules.
+using Symbol = Value;
 
 }  // namespace causalec::erasure

@@ -6,6 +6,7 @@
 
 #include "causalec/codec.h"
 #include "common/expect.h"
+#include "erasure/buffer.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,8 +25,15 @@ SimTime to_ns(Clock::time_point tp) {
 
 }  // namespace
 
-/// One server node: an OS thread draining a FIFO mailbox of tasks, firing
-/// wall-clock timers, and running periodic garbage collection.
+/// One server node: an OS thread draining a FIFO mailbox of tasks and a
+/// separate inbound-message inbox, firing wall-clock timers, and running
+/// periodic garbage collection.
+///
+/// The inbox is a two-lock swap-and-drain MPSC queue: producers append raw
+/// frames under `inbox_mu_` (no closure allocation, no contention with the
+/// consumer's wait mutex), the node thread swaps the whole batch out under
+/// one lock acquisition, dispatches every message, and runs the
+/// Apply/Encoding fixpoint once per batch instead of once per message.
 class ThreadedCluster::Node {
  public:
   Node(NodeId id, erasure::CodePtr code, const ThreadedClusterConfig& config,
@@ -71,29 +79,38 @@ class ThreadedCluster::Node {
 
   Server& server() { return server_; }
 
-  /// Called by peers' transports: deliver a message from `from`.
-  void deliver(NodeId from, std::vector<std::uint8_t> bytes) {
-    post([this, from, bytes = std::move(bytes)] {
-      auto message = deserialize_message(bytes);
-      trace_deliver(from, *message);
-      server_.on_message(from, std::move(message));
-    });
+  /// Called by peers' transports: deliver a serialized frame from `from`.
+  /// A broadcast passes the same Buffer to every destination, sharing the
+  /// arena; deserialization happens on the node thread and its payloads
+  /// alias the frame.
+  void deliver_frame(NodeId from, erasure::Buffer frame) {
+    enqueue(Inbound{from, std::move(frame), nullptr});
   }
 
-  void deliver_direct(NodeId from, std::shared_ptr<sim::MessagePtr> holder) {
-    post([this, from, holder] {
-      trace_deliver(from, **holder);
-      server_.on_message(from, std::move(*holder));
-    });
+  void deliver_direct(NodeId from, sim::MessagePtr message) {
+    enqueue(Inbound{from, {}, std::move(message)});
   }
 
  private:
+  /// One inbound network message, either still-serialized (`frame`) or an
+  /// in-memory object (`message`, when serialize_messages = false).
+  struct Inbound {
+    NodeId from;
+    erasure::Buffer frame;
+    sim::MessagePtr message;
+  };
+
   class NodeTransport final : public Transport {
    public:
     explicit NodeTransport(Node* node) : node_(node) {}
 
     void send(NodeId to, sim::MessagePtr message) override {
       node_->cluster_->route(node_->id_, to, std::move(message));
+    }
+
+    void multicast(std::span<const NodeId> targets,
+                   const std::function<sim::MessagePtr()>& make) override {
+      node_->cluster_->multicast_route(node_->id_, targets, make);
     }
 
     void schedule_after(SimTime delta_ns,
@@ -111,6 +128,21 @@ class ThreadedCluster::Node {
     Node* node_;
   };
 
+  /// Producer side of the inbox. The data lock (`inbox_mu_`) is disjoint
+  /// from the consumer's wait lock (`mu_`); the empty lock_guard on `mu_`
+  /// fences against the lost-wakeup race (the consumer either sees
+  /// `inbox_ready_` in its predicate or is already waiting when we
+  /// notify).
+  void enqueue(Inbound in) {
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      inbox_.push_back(std::move(in));
+      inbox_ready_.store(true, std::memory_order_release);
+    }
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_.notify_all();
+  }
+
   void trace_deliver(NodeId from, const sim::Message& message) {
     if (obs::Tracer* tracer = config_->obs.tracer) {
       tracer->instant("msg.deliver", id_, to_ns(Clock::now()),
@@ -125,18 +157,38 @@ class ThreadedCluster::Node {
     auto next_gc = Clock::now() + config_->gc_period;
     while (true) {
       std::deque<std::function<void()>> batch;
+      std::vector<Inbound> inbound;
       {
         std::unique_lock<std::mutex> lock(mu_);
         auto deadline = next_gc;
         for (const auto& timer : timers_) {
           deadline = std::min(deadline, timer.at);
         }
-        cv_.wait_until(lock, deadline,
-                       [this] { return stop_ || !tasks_.empty(); });
+        cv_.wait_until(lock, deadline, [this] {
+          return stop_ || !tasks_.empty() ||
+                 inbox_ready_.load(std::memory_order_acquire);
+        });
         if (stop_) return;
         batch.swap(tasks_);
       }
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        inbound.swap(inbox_);
+        inbox_ready_.store(false, std::memory_order_release);
+      }
       for (auto& task : batch) task();
+      if (!inbound.empty()) {
+        for (Inbound& in : inbound) {
+          sim::MessagePtr message =
+              in.message != nullptr
+                  ? std::move(in.message)
+                  : deserialize_message(std::move(in.frame));
+          trace_deliver(in.from, *message);
+          server_.dispatch_message(in.from, std::move(message));
+        }
+        // One Apply/Encoding fixpoint for the whole batch.
+        server_.run_internal_actions();
+      }
       // Due timers (fan-out timeouts etc.).
       const auto now = Clock::now();
       for (std::size_t i = 0; i < timers_.size();) {
@@ -173,6 +225,11 @@ class ThreadedCluster::Node {
   bool stop_ = false;
   std::vector<Timer> timers_;  // node-thread only
 
+  // Inbound-message inbox (see class comment).
+  std::mutex inbox_mu_;
+  std::vector<Inbound> inbox_;
+  std::atomic<bool> inbox_ready_{false};
+
   friend class ThreadedCluster;
 };
 
@@ -199,11 +256,11 @@ ThreadedCluster::~ThreadedCluster() {
 
 std::size_t ThreadedCluster::num_servers() const { return nodes_.size(); }
 
-void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
-  CEC_CHECK(to < nodes_.size());
-  const std::size_t bytes = message->wire_bytes();
+void ThreadedCluster::note_send(NodeId from, NodeId to,
+                                const sim::Message& message) {
+  const std::size_t bytes = message.wire_bytes();
   if (obs::MetricsRegistry* metrics = config_.obs.metrics) {
-    const char* type = message->type_name();
+    const char* type = message.type_name();
     metrics->counter("net.messages").inc();
     metrics->counter("net.bytes").inc(bytes);
     metrics->counter(std::string("net.messages.") + type).inc();
@@ -212,14 +269,38 @@ void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
   if (obs::Tracer* tracer = config_.obs.tracer) {
     tracer->instant("msg.send", from, to_ns(Clock::now()),
                     {{"to", std::uint64_t{to}},
-                     {"type", message->type_name()},
+                     {"type", message.type_name()},
                      {"bytes", std::uint64_t{bytes}}});
   }
+}
+
+void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
+  CEC_CHECK(to < nodes_.size());
+  note_send(from, to, *message);
   if (config_.serialize_messages) {
-    nodes_[to]->deliver(from, serialize_message(*message));
+    nodes_[to]->deliver_frame(
+        from, erasure::Buffer::adopt(serialize_message(*message)));
   } else {
-    nodes_[to]->deliver_direct(
-        from, std::make_shared<sim::MessagePtr>(std::move(message)));
+    nodes_[to]->deliver_direct(from, std::move(message));
+  }
+}
+
+void ThreadedCluster::multicast_route(
+    NodeId from, std::span<const NodeId> targets,
+    const std::function<sim::MessagePtr()>& make) {
+  if (targets.empty()) return;
+  if (!config_.serialize_messages) {
+    for (NodeId to : targets) route(from, to, make());
+    return;
+  }
+  // Serialize once; every destination mailbox shares the frame's arena.
+  const sim::MessagePtr message = make();
+  const erasure::Buffer frame =
+      erasure::Buffer::adopt(serialize_message(*message));
+  for (NodeId to : targets) {
+    CEC_CHECK(to < nodes_.size());
+    note_send(from, to, *message);
+    nodes_[to]->deliver_frame(from, frame);
   }
 }
 

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -80,6 +81,14 @@ class ThreadedCluster {
 
   /// Channel between nodes: optionally passes through the codec.
   void route(NodeId from, NodeId to, sim::MessagePtr message);
+
+  /// Broadcast channel: when serializing, encodes the frame once and shares
+  /// the bytes across every destination mailbox.
+  void multicast_route(NodeId from, std::span<const NodeId> targets,
+                       const std::function<sim::MessagePtr()>& make);
+
+  /// Per-hop observability (net.* counters, msg.send trace event).
+  void note_send(NodeId from, NodeId to, const sim::Message& message);
 
   erasure::CodePtr code_;
   ThreadedClusterConfig config_;

@@ -3,6 +3,7 @@
 
 #include "causalec/codec.h"
 #include "common/random.h"
+#include "erasure/buffer.h"
 
 namespace causalec {
 namespace {
@@ -179,6 +180,112 @@ TEST(CodecTest, RandomizedRoundTripSweep) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy deserialization: deserialize_message(erasure::Buffer) aliases
+// value payloads into the frame arena instead of copying them out, and the
+// refcount keeps that arena alive for as long as any decoded value needs it.
+// ---------------------------------------------------------------------------
+
+erasure::Buffer frame_of(const sim::Message& m) {
+  return erasure::Buffer::adopt(serialize_message(m));
+}
+
+/// True when `v`'s bytes live inside `frame`'s arena (no copy was made).
+bool aliases(const erasure::Buffer& frame, const Value& v) {
+  return !v.empty() && v.data() >= frame.data() &&
+         v.data() + v.size() <= frame.data() + frame.size();
+}
+
+TEST(CodecZeroCopy, ValuesAliasTheFrameWithoutAllocating) {
+  Rng rng(9);
+  AppMessage app(2, random_value(rng, 64), random_tag(rng, 5), model());
+  ValRespMessage resp(7, 42, 0, random_value(rng, 128),
+                      random_tagvec(rng, 3, 5), model());
+  ValRespEncodedMessage enc(7, 43, 1, random_value(rng, 256),
+                            random_tagvec(rng, 3, 5),
+                            random_tagvec(rng, 3, 5), model());
+
+  const erasure::Buffer frames[] = {frame_of(app), frame_of(resp),
+                                    frame_of(enc)};
+  const std::uint64_t before = erasure::Buffer::alloc_stats().allocations;
+  const auto r0 = deserialize_message(frames[0]);
+  const auto r1 = deserialize_message(frames[1]);
+  const auto r2 = deserialize_message(frames[2]);
+  EXPECT_EQ(erasure::Buffer::alloc_stats().allocations, before)
+      << "zero-copy deserialization allocated a payload arena";
+
+  const auto* rapp = dynamic_cast<const AppMessage*>(r0.get());
+  const auto* rresp = dynamic_cast<const ValRespMessage*>(r1.get());
+  const auto* renc = dynamic_cast<const ValRespEncodedMessage*>(r2.get());
+  ASSERT_NE(rapp, nullptr);
+  ASSERT_NE(rresp, nullptr);
+  ASSERT_NE(renc, nullptr);
+  EXPECT_EQ(rapp->value, app.value);
+  EXPECT_EQ(rresp->value, resp.value);
+  EXPECT_EQ(renc->symbol, enc.symbol);
+  EXPECT_TRUE(aliases(frames[0], rapp->value));
+  EXPECT_TRUE(aliases(frames[1], rresp->value));
+  EXPECT_TRUE(aliases(frames[2], renc->symbol));
+}
+
+TEST(CodecZeroCopy, NonPayloadTypesDecodeFromFrames) {
+  Rng rng(10);
+  DelMessage del(1, random_tag(rng, 5), 3, true, model());
+  ValInqMessage inq(kLocalhost, 9001, 2, random_tagvec(rng, 3, 5), model());
+  const auto rdel = deserialize_message(frame_of(del));
+  const auto rinq = deserialize_message(frame_of(inq));
+  const auto* d = dynamic_cast<const DelMessage*>(rdel.get());
+  const auto* q = dynamic_cast<const ValInqMessage*>(rinq.get());
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(d->tag, del.tag);
+  EXPECT_EQ(q->wanted, inq.wanted);
+}
+
+TEST(CodecZeroCopy, DecodedValueOutlivesTheFrameHandle) {
+  Rng rng(11);
+  const Value payload = random_value(rng, 96);
+  AppMessage app(1, payload, random_tag(rng, 5), model());
+
+  erasure::Buffer frame = frame_of(app);
+  auto restored = deserialize_message(std::move(frame));
+  frame = erasure::Buffer();  // drop the caller's last frame handle
+
+  const auto* rapp = dynamic_cast<const AppMessage*>(restored.get());
+  ASSERT_NE(rapp, nullptr);
+  // The decoded value's shared arena keeps the frame bytes alive.
+  EXPECT_EQ(rapp->value, payload);
+  Value survivor = rapp->value;
+  restored.reset();
+  EXPECT_EQ(survivor, payload);
+}
+
+TEST(CodecZeroCopy, MutatingOneDecodedValueLeavesSiblingsIntact) {
+  Rng rng(12);
+  const Value payload = random_value(rng, 48);
+  AppMessage app(0, payload, random_tag(rng, 4), model());
+  const erasure::Buffer frame = frame_of(app);
+
+  // Two messages decoded from one frame alias the same arena.
+  auto a = deserialize_message(frame);
+  auto b = deserialize_message(frame);
+  auto* mut = dynamic_cast<AppMessage*>(a.get());
+  const auto* other = dynamic_cast<const AppMessage*>(b.get());
+  ASSERT_NE(mut, nullptr);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(mut->value.data(), other->value.data());
+
+  // Copy-on-write: the first mutation detaches, so neither the sibling
+  // message nor the frame bytes change underneath anyone.
+  mut->value[0] = static_cast<std::uint8_t>(payload[0] + 1);
+  EXPECT_EQ(other->value, payload);
+  EXPECT_NE(mut->value, payload);
+  const auto reparsed = deserialize_message(frame);
+  const auto* c = dynamic_cast<const AppMessage*>(reparsed.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, payload);
 }
 
 TEST(CodecDeathTest, TruncatedBufferAborts) {

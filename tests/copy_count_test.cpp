@@ -1,0 +1,186 @@
+// Allocation-count regression tests for the zero-copy payload path.
+//
+// The data-path contract (DESIGN.md "Payload memory model"): one client
+// write performs O(1) payload-arena allocations no matter how many servers
+// the value fans out to, because every hop -- history list, broadcast
+// messages, InQueue, re-encode input -- shares the same refcounted
+// erasure::Buffer. A served read allocates at most once (the decoded
+// output). These tests pin that down with erasure::Buffer's global
+// allocation counters so a reintroduced per-hop copy fails loudly instead
+// of only showing up as a throughput regression.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "causalec/cluster.h"
+#include "erasure/buffer.h"
+#include "erasure/codes.h"
+#include "erasure/value.h"
+#include "sim/latency.h"
+
+namespace causalec {
+namespace {
+
+using erasure::Buffer;
+using erasure::Value;
+
+std::uint64_t allocs_now() { return Buffer::alloc_stats().allocations; }
+
+// ---------------------------------------------------------------------------
+// Counter semantics: arenas are counted, handles and slices are not.
+// ---------------------------------------------------------------------------
+
+TEST(BufferCounters, ArenasCountedHandlesAndSlicesNot) {
+  const std::uint64_t before = allocs_now();
+  Buffer a = Buffer::alloc(64, 0xab);
+  EXPECT_EQ(allocs_now() - before, 1u);
+
+  Buffer copy = a;                  // handle copy: same arena
+  Buffer tail = a.slice(16, 32);    // slice: same arena
+  EXPECT_EQ(allocs_now() - before, 1u);
+  EXPECT_EQ(copy.data(), a.data());
+  EXPECT_EQ(tail.data(), a.data() + 16);
+  EXPECT_EQ(tail.size(), 32u);
+
+  std::vector<std::uint8_t> bytes(8, 7);
+  Buffer adopted = Buffer::adopt(std::move(bytes));
+  Buffer copied = Buffer::copy_of(adopted.span());
+  EXPECT_EQ(allocs_now() - before, 3u);
+  EXPECT_NE(copied.data(), adopted.data());
+}
+
+TEST(ValueCow, CopiesShareUntilFirstMutation) {
+  Value original(64, 0x5a);
+  const std::uint64_t before = allocs_now();
+
+  Value shared = original;  // share, no copy
+  EXPECT_EQ(shared.data(), original.data());
+  EXPECT_EQ(allocs_now() - before, 0u);
+
+  // Const access never copies.
+  const Value& view = shared;
+  EXPECT_EQ(view[3], 0x5a);
+  EXPECT_EQ(allocs_now() - before, 0u);
+
+  // First mutation of a shared handle unshares exactly once; the original
+  // is untouched.
+  shared[0] = 0x01;
+  EXPECT_EQ(allocs_now() - before, 1u);
+  EXPECT_NE(shared.data(), original.data());
+  EXPECT_EQ(original[0], 0x5a);
+  EXPECT_EQ(shared[1], 0x5a);
+
+  // Mutating a now-unique handle is in-place.
+  shared[2] = 0x02;
+  EXPECT_EQ(allocs_now() - before, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level bounds, measured through a full simulated cluster.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kBytes = 64;
+
+std::unique_ptr<Cluster> make_rs_cluster(std::size_t n, std::size_t k) {
+  ClusterConfig config;
+  config.seed = 7;
+  return std::make_unique<Cluster>(
+      erasure::make_systematic_rs(n, k, kBytes),
+      std::make_unique<sim::ConstantLatency>(sim::kMillisecond), config);
+}
+
+/// Payload arenas allocated by one settled write (broadcast to all n
+/// servers, applied and re-encoded everywhere), excluding the client's own
+/// construction of the value.
+std::uint64_t settled_write_allocs(std::size_t n, std::size_t k) {
+  auto cluster = make_rs_cluster(n, k);
+  Client& client = cluster->make_client(0);
+  Value value(kBytes, 0x42);
+  const std::uint64_t before = allocs_now();
+  client.write(0, value);
+  cluster->settle();
+  return allocs_now() - before;
+}
+
+TEST(CopyCount, WriteAllocationsIndependentOfClusterSize) {
+  const std::uint64_t at4 = settled_write_allocs(4, 3);
+  const std::uint64_t at6 = settled_write_allocs(6, 3);
+  const std::uint64_t at8 = settled_write_allocs(8, 3);
+  // O(1): the same constant at every n, and far below one-copy-per-server.
+  EXPECT_EQ(at4, at6);
+  EXPECT_EQ(at6, at8);
+  EXPECT_LE(at6, 2u) << "write path copies the payload per hop again";
+}
+
+TEST(CopyCount, ServedReadAllocatesAtMostOnce) {
+  auto cluster = make_rs_cluster(6, 3);
+  Client& writer = cluster->make_client(0);
+  writer.write(0, Value(kBytes, 0x42));
+  cluster->settle();  // drains + enough GC rounds: history lists emptied
+
+  // Server 5 is a parity server of the systematic RS code, so this read
+  // cannot be served from a local uncoded symbol: it fans out to a
+  // recovery set and decodes. The only payload arena the read may allocate
+  // is the decoded output value.
+  Client& reader = cluster->make_client(5);
+  const std::uint64_t before = allocs_now();
+  std::optional<Value> got;
+  reader.read(0, [&](const Value& v, const Tag&, const VectorClock&) {
+    got = v;  // shares -- no copy
+  });
+  cluster->settle();
+  const std::uint64_t delta = allocs_now() - before;
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Value(kBytes, 0x42));
+  EXPECT_LE(delta, 1u) << "decode-path read copies beyond the output value";
+}
+
+TEST(CopyCount, HistoryServedReadSharesTheStoredArena) {
+  auto cluster = make_rs_cluster(6, 3);
+  Client& writer = cluster->make_client(0);
+  Value value(kBytes, 0x42);
+  writer.write(0, value);
+
+  // Before GC the write is still in the server's history list, so the
+  // read is served from history: the returned value must be the stored
+  // handle itself -- which still aliases the client's original arena --
+  // with zero allocations.
+  const std::uint64_t before = allocs_now();
+  std::optional<Value> got;
+  writer.read(0, [&](const Value& v, const Tag&, const VectorClock&) {
+    got = v;
+  });
+  cluster->settle();
+  const std::uint64_t delta = allocs_now() - before;
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data(), value.data()) << "read copied instead of sharing";
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(CopyCount, LocalDecodeReadAllocatesOnlyTheOutput) {
+  auto cluster = make_rs_cluster(6, 3);
+  Client& writer = cluster->make_client(0);
+  writer.write(0, Value(kBytes, 0x42));
+  cluster->settle();  // GC empties the history list
+
+  // Server 0 holds object 0 uncoded (systematic row), so the read decodes
+  // from the local codeword symbol: exactly one arena for the output.
+  const std::uint64_t before = allocs_now();
+  std::optional<Value> got;
+  writer.read(0, [&](const Value& v, const Tag&, const VectorClock&) {
+    got = v;
+  });
+  cluster->settle();
+  const std::uint64_t delta = allocs_now() - before;
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Value(kBytes, 0x42));
+  EXPECT_EQ(delta, 1u);
+}
+
+}  // namespace
+}  // namespace causalec
