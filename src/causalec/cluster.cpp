@@ -10,6 +10,7 @@ class Cluster::SimTransport final : public Transport {
   SimTransport(sim::Simulation* sim, NodeId self) : sim_(sim), self_(self) {}
 
   void send(NodeId to, sim::MessagePtr message) override {
+    if (muted_) return;
     sim_->send(self_, to, std::move(message));
   }
 
@@ -19,9 +20,14 @@ class Cluster::SimTransport final : public Transport {
 
   SimTime now() const override { return sim_->now(); }
 
+  /// Drop outbound sends during WAL replay: the replayed handlers re-run
+  /// their multicasts, which already reached the network before the crash.
+  void set_muted(bool muted) { muted_ = muted; }
+
  private:
   sim::Simulation* sim_;
   NodeId self_;
+  bool muted_ = false;
 };
 
 Cluster::Cluster(erasure::CodePtr code,
@@ -46,9 +52,17 @@ Cluster::Cluster(erasure::CodePtr code,
         s, code_, server_config, transports_.back().get()));
     const NodeId sim_id = sim_->add_node(servers_.back().get());
     CEC_CHECK(sim_id == s);
+    if (config_.persistence != nullptr) {
+      std::string key = "s";
+      key += std::to_string(s);
+      journals_.push_back(std::make_unique<persist::Journal>(
+          config_.persistence, std::move(key)));
+      servers_.back()->attach_journal(journals_.back().get());
+    }
   }
   arm_gc_timers();
   arm_storage_sampler();
+  arm_snapshot_timers();
 }
 
 Cluster::~Cluster() = default;
@@ -75,6 +89,23 @@ void Cluster::halt_server(NodeId id) {
   sim_->halt(id);
 }
 
+void Cluster::recover_server(NodeId id) {
+  CEC_CHECK(id < servers_.size());
+  CEC_CHECK_MSG(config_.persistence != nullptr,
+                "recover_server requires ClusterConfig::persistence");
+  CEC_CHECK_MSG(sim_->halted(id), "recover_server: server " << id
+                                                            << " is not down");
+  sim_->restart(id);
+  Server& server = *servers_[id];
+  transports_[id]->set_muted(true);
+  server.restore_from_journal(journals_[id]->load());
+  // Checkpoint the replayed state so a second crash before the next
+  // snapshot timer does not replay the whole WAL again.
+  journals_[id]->save_snapshot(server.capture_image());
+  transports_[id]->set_muted(false);
+  server.begin_rejoin();
+}
+
 void Cluster::partition(const std::vector<NodeId>& side, SimTime heal_at) {
   std::vector<bool> in_side(servers_.size(), false);
   for (NodeId id : side) {
@@ -97,6 +128,7 @@ void Cluster::run_for(SimTime duration) {
 void Cluster::settle(std::size_t gc_rounds) {
   disarm_gc_timers();
   disarm_storage_sampler();
+  disarm_snapshot_timers();
   sim_->run_until_idle();
   for (std::size_t round = 0; round < gc_rounds; ++round) {
     for (NodeId s = 0; s < servers_.size(); ++s) {
@@ -106,6 +138,7 @@ void Cluster::settle(std::size_t gc_rounds) {
   }
   arm_gc_timers();
   arm_storage_sampler();
+  arm_snapshot_timers();
 }
 
 bool Cluster::storage_converged() const {
@@ -138,6 +171,29 @@ void Cluster::arm_gc_timers() {
 void Cluster::disarm_gc_timers() {
   for (auto id : gc_timer_ids_) sim_->cancel_timer(id);
   gc_timer_ids_.clear();
+}
+
+void Cluster::arm_snapshot_timers() {
+  if (config_.persistence == nullptr) return;
+  CEC_CHECK(config_.snapshot_period > 0);
+  snapshot_timer_ids_.clear();
+  for (NodeId s = 0; s < servers_.size(); ++s) {
+    Server* server = servers_[s].get();
+    persist::Journal* journal = journals_[s].get();
+    auto* simulation = sim_.get();
+    snapshot_timer_ids_.push_back(sim_->schedule_periodic(
+        sim_->now() + config_.snapshot_period + s * config_.gc_stagger,
+        config_.snapshot_period, [server, journal, simulation, s] {
+          if (!simulation->halted(s)) {
+            journal->save_snapshot(server->capture_image());
+          }
+        }));
+  }
+}
+
+void Cluster::disarm_snapshot_timers() {
+  for (auto id : snapshot_timer_ids_) sim_->cancel_timer(id);
+  snapshot_timer_ids_.clear();
 }
 
 std::vector<std::string> Cluster::storage_series_columns() {

@@ -20,6 +20,8 @@
 #include "causalec/server.h"
 #include "erasure/code.h"
 #include "obs/sampler.h"
+#include "persist/backend.h"
+#include "persist/journal.h"
 #include "sim/latency.h"
 #include "sim/simulation.h"
 
@@ -51,6 +53,13 @@ struct ClusterConfig {
   /// storage curve). Use storage_series_columns() for the column layout.
   obs::TimeSeries* storage_series = nullptr;
   SimTime storage_sample_period = 50 * sim::kMillisecond;
+
+  /// When set (not owned; must outlive the cluster), every server journals
+  /// its state into this backend -- accepted writes and dispatched messages
+  /// as WAL records, full images every snapshot_period -- which is what
+  /// makes recover_server() possible. Null keeps servers crash-stop.
+  persist::Backend* persistence = nullptr;
+  SimTime snapshot_period = 200 * sim::kMillisecond;
 };
 
 class Cluster {
@@ -74,6 +83,12 @@ class Cluster {
 
   /// Crash a server (it halts; Sec. 2.1).
   void halt_server(NodeId id);
+
+  /// Crash-recover a halted server from its durable state (requires
+  /// ClusterConfig::persistence): un-halt the simulated node, reload
+  /// snapshot + WAL with the transport muted, checkpoint the replayed
+  /// state, then start the anti-entropy rejoin round (DESIGN.md §9).
+  void recover_server(NodeId id);
 
   /// Transient network partition: every channel between `side` and its
   /// complement (both directions) holds messages back until `heal_at`.
@@ -104,6 +119,8 @@ class Cluster {
   void arm_storage_sampler();
   void disarm_storage_sampler();
   void sample_storage();
+  void arm_snapshot_timers();
+  void disarm_snapshot_timers();
 
   erasure::CodePtr code_;
   ClusterConfig config_;
@@ -111,7 +128,9 @@ class Cluster {
   std::vector<std::unique_ptr<SimTransport>> transports_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<persist::Journal>> journals_;
   std::vector<std::uint64_t> gc_timer_ids_;
+  std::vector<std::uint64_t> snapshot_timer_ids_;
   std::uint64_t storage_sampler_id_ = 0;
   ClientId next_client_id_ = 1;
 };

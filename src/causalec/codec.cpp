@@ -2,11 +2,14 @@
 
 #include <cstring>
 
+#include "causalec/wire_format.h"
 #include "common/expect.h"
 
 namespace causalec {
 
 namespace {
+
+using wire::Writer;
 
 enum class MsgType : std::uint8_t {
   kApp = 1,
@@ -14,41 +17,10 @@ enum class MsgType : std::uint8_t {
   kValInq = 3,
   kValResp = 4,
   kValRespEncoded = 5,
-};
-
-class Writer {
- public:
-  /// Pre-sizes the buffer; callers pass header size + payload bytes so the
-  /// common messages serialize with a single allocation.
-  explicit Writer(std::size_t reserve_hint = 0) { buf_.reserve(reserve_hint); }
-
-  void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void bytes(std::span<const std::uint8_t> data) {
-    u32(static_cast<std::uint32_t>(data.size()));
-    buf_.insert(buf_.end(), data.begin(), data.end());
-  }
-  void clock(const VectorClock& vc) {
-    u32(static_cast<std::uint32_t>(vc.size()));
-    for (std::size_t i = 0; i < vc.size(); ++i) u64(vc[i]);
-  }
-  void tag(const Tag& t) {
-    clock(t.ts);
-    u64(t.id);
-  }
-  void tagvec(const TagVector& tv) {
-    u32(static_cast<std::uint32_t>(tv.size()));
-    for (const Tag& t : tv) tag(t);
-  }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::uint8_t> buf_;
+  kRecoverDigest = 6,
+  kRecoverDigestReply = 7,
+  kRecoverPull = 8,
+  kRecoverPush = 9,
 };
 
 class Reader {
@@ -153,6 +125,49 @@ std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
     w.bytes(enc->symbol);
     w.tagvec(enc->symbol_tags);
     w.tagvec(enc->requested);
+  } else if (const auto* dig =
+                 dynamic_cast<const RecoverDigestMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kRecoverDigest));
+    w.u64(dig->wire);
+    w.u64(dig->epoch);
+    w.clock(dig->vc);
+  } else if (const auto* reply =
+                 dynamic_cast<const RecoverDigestReplyMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kRecoverDigestReply));
+    w.u64(reply->wire);
+    w.u64(reply->epoch);
+    w.clock(reply->vc);
+  } else if (const auto* pull =
+                 dynamic_cast<const RecoverPullMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kRecoverPull));
+    w.u64(pull->wire);
+    w.u64(pull->epoch);
+    w.clock(pull->vc);
+  } else if (const auto* push =
+                 dynamic_cast<const RecoverPushMessage*>(&message)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kRecoverPush));
+    w.u64(push->wire);
+    w.u64(push->epoch);
+    w.clock(push->vc);
+    w.u32(static_cast<std::uint32_t>(push->history.size()));
+    for (const auto& h : push->history) {
+      w.u32(h.object);
+      w.tag(h.tag);
+      w.bytes(h.value);
+    }
+    w.u32(static_cast<std::uint32_t>(push->inqueue.size()));
+    for (const auto& q : push->inqueue) {
+      w.u32(q.origin);
+      w.u32(q.object);
+      w.tag(q.tag);
+      w.bytes(q.value);
+    }
+    w.u32(static_cast<std::uint32_t>(push->dels.size()));
+    for (const auto& d : push->dels) {
+      w.u32(d.object);
+      w.u32(d.server);
+      w.tag(d.tag);
+    }
   } else {
     CEC_CHECK_MSG(false, "codec: unknown message type "
                              << message.type_name());
@@ -229,6 +244,62 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
       auto msg = std::make_unique<ValRespEncodedMessage>(
           client, opid, object, std::move(symbol), std::move(symbol_tags),
           std::move(requested), dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kRecoverDigest: {
+      const std::uint64_t epoch = r.u64();
+      auto vc = r.clock();
+      auto msg = std::make_unique<RecoverDigestMessage>(epoch, std::move(vc),
+                                                        dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kRecoverDigestReply: {
+      const std::uint64_t epoch = r.u64();
+      auto vc = r.clock();
+      auto msg = std::make_unique<RecoverDigestReplyMessage>(
+          epoch, std::move(vc), dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kRecoverPull: {
+      const std::uint64_t epoch = r.u64();
+      auto vc = r.clock();
+      auto msg = std::make_unique<RecoverPullMessage>(epoch, std::move(vc),
+                                                      dummy);
+      msg->wire = wire;
+      out = std::move(msg);
+      break;
+    }
+    case MsgType::kRecoverPush: {
+      const std::uint64_t epoch = r.u64();
+      auto vc = r.clock();
+      std::vector<RecoverPushMessage::HistoryItem> history(r.u32());
+      for (auto& h : history) {
+        h.object = r.u32();
+        h.tag = r.tag();
+        h.value = r.bytes();
+      }
+      std::vector<RecoverPushMessage::InqueueItem> inqueue(r.u32());
+      for (auto& q : inqueue) {
+        q.origin = r.u32();
+        q.object = r.u32();
+        q.tag = r.tag();
+        q.value = r.bytes();
+      }
+      std::vector<RecoverPushMessage::DelItem> dels(r.u32());
+      for (auto& d : dels) {
+        d.object = r.u32();
+        d.server = r.u32();
+        d.tag = r.tag();
+      }
+      auto msg = std::make_unique<RecoverPushMessage>(
+          epoch, std::move(vc), std::move(history), std::move(inqueue),
+          std::move(dels), dummy);
       msg->wire = wire;
       out = std::move(msg);
       break;

@@ -70,6 +70,18 @@ struct ServerConfig {
   /// detect it and shrink a reproducer. Never enable outside tests.
   bool unsafe_skip_apply_order_check = false;
 
+  /// Crash-recovery rejoin (DESIGN.md §9): a recovering server finishes its
+  /// catch-up round when every peer has pushed, or after this timeout when
+  /// some peers are themselves down (they push on their own rejoin later).
+  std::int64_t rejoin_timeout_ns = 1'000'000'000;  // 1 s
+
+  /// TEST-ONLY fault seam for the chaos harness's self-test: when true,
+  /// begin_rejoin() skips the digest/pull/push catch-up entirely, so a
+  /// recovered server rejoins with stale state (missed writes are never
+  /// fetched, its clock gaps never close). The convergence and liveness
+  /// checkers must detect this. Never enable outside tests.
+  bool unsafe_skip_rejoin_catchup = false;
+
   /// Fixed per-message envelope bytes (type, src, dst, object id, opid...).
   std::size_t header_bytes = 16;
 

@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "causalec/tag.h"
 #include "erasure/value.h"
@@ -67,6 +68,31 @@ class InQueue {
       }
     }
     return std::nullopt;
+  }
+
+  bool contains(const Tag& tag) const {
+    for (const auto& e : entries_) {
+      if (e.tag == tag) return true;
+    }
+    return false;
+  }
+
+  /// Remove and return every entry matching the predicate, preserving queue
+  /// order. Used by the rejoin merge: entries a freshly merged vector clock
+  /// already covers can never satisfy the apply predicate again and must be
+  /// absorbed straight into the history list.
+  template <typename Pred>
+  std::vector<Entry> extract_if(Pred&& pred) {
+    std::vector<Entry> out;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (pred(*it)) {
+        out.push_back(std::move(*it));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
   }
 
   std::size_t payload_bytes() const {

@@ -121,6 +121,115 @@ struct ValRespMessage final : sim::Message {
   const char* type_name() const override { return "val_resp"; }
 };
 
+// ---------------------------------------------------------------------------
+// Rejoin catch-up messages (crash-recovery extension, DESIGN.md §9).
+//
+// A server that restarts from its durable state broadcasts a digest of its
+// vector clock; each live peer replies with its own clock, the recovering
+// server pulls what it missed, and the peer pushes the history/del/inqueue
+// entries the digest does not cover. `epoch` stamps one recovery round so
+// late replies from an earlier round are ignored.
+// ---------------------------------------------------------------------------
+
+/// <recover_digest, epoch, vc>: recovering server -> everyone.
+struct RecoverDigestMessage final : sim::Message {
+  std::uint64_t epoch;
+  VectorClock vc;
+  std::size_t wire;
+
+  RecoverDigestMessage(std::uint64_t epoch_in, VectorClock vc_in,
+                       const WireModel& wm)
+      : epoch(epoch_in),
+        vc(std::move(vc_in)),
+        wire(wm.header_bytes + wm.tag_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "recover_digest"; }
+};
+
+/// <recover_digest_reply, epoch, vc>: peer -> recovering server.
+struct RecoverDigestReplyMessage final : sim::Message {
+  std::uint64_t epoch;
+  VectorClock vc;
+  std::size_t wire;
+
+  RecoverDigestReplyMessage(std::uint64_t epoch_in, VectorClock vc_in,
+                            const WireModel& wm)
+      : epoch(epoch_in),
+        vc(std::move(vc_in)),
+        wire(wm.header_bytes + wm.tag_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "recover_digest_reply"; }
+};
+
+/// <recover_pull, epoch, vc>: recovering server asks a peer for everything
+/// its (post-replay) vector clock does not cover.
+struct RecoverPullMessage final : sim::Message {
+  std::uint64_t epoch;
+  VectorClock vc;
+  std::size_t wire;
+
+  RecoverPullMessage(std::uint64_t epoch_in, VectorClock vc_in,
+                     const WireModel& wm)
+      : epoch(epoch_in),
+        vc(std::move(vc_in)),
+        wire(wm.header_bytes + wm.tag_bytes) {}
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "recover_pull"; }
+};
+
+/// <recover_push, epoch, vc, history, inqueue, dels>: catch-up payload. The
+/// receiver inserts the history versions, merges the del announcements and
+/// the sender's clock, and re-queues (or absorbs) the in-flight writes.
+/// Sent peer -> recovering server in answer to a pull, and recovering
+/// server -> peer when the digest reply shows the *peer* missed writes
+/// (e.g. an app multicast lost to the crash).
+struct RecoverPushMessage final : sim::Message {
+  struct HistoryItem {
+    ObjectId object;
+    Tag tag;
+    erasure::Value value;
+  };
+  struct InqueueItem {
+    NodeId origin;
+    ObjectId object;
+    Tag tag;
+    erasure::Value value;
+  };
+  struct DelItem {
+    ObjectId object;
+    NodeId server;
+    Tag tag;
+  };
+
+  std::uint64_t epoch;
+  VectorClock vc;  // the sender's clock at push time
+  std::vector<HistoryItem> history;
+  std::vector<InqueueItem> inqueue;
+  std::vector<DelItem> dels;
+  std::size_t wire;
+
+  RecoverPushMessage(std::uint64_t epoch_in, VectorClock vc_in,
+                     std::vector<HistoryItem> history_in,
+                     std::vector<InqueueItem> inqueue_in,
+                     std::vector<DelItem> dels_in, const WireModel& wm)
+      : epoch(epoch_in),
+        vc(std::move(vc_in)),
+        history(std::move(history_in)),
+        inqueue(std::move(inqueue_in)),
+        dels(std::move(dels_in)),
+        wire(wm.header_bytes + wm.tag_bytes) {
+    for (const auto& h : history) wire += h.value.size() + wm.tag_bytes;
+    for (const auto& q : inqueue) wire += q.value.size() + wm.tag_bytes;
+    wire += dels.size() * wm.tag_bytes;
+  }
+
+  std::size_t wire_bytes() const override { return wire; }
+  const char* type_name() const override { return "recover_push"; }
+};
+
 /// <val_resp_encoded, M, ...>: re-encoded codeword symbol response
 /// (Alg. 2 end of the val_inq handler).
 struct ValRespEncodedMessage final : sim::Message {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "causalec/codec.h"
 #include "common/logging.h"
 
 namespace causalec {
@@ -12,6 +13,10 @@ namespace {
 /// Internal-read opids live in their own half of the id space so they can
 /// never collide with client-generated opids.
 constexpr OpId kInternalOpidBase = OpId{1} << 63;
+
+/// Opid range skipped per restore so post-restart internal reads can never
+/// collide with pre-crash reads whose responses are still in flight.
+constexpr std::uint64_t kOpidRecoverySkip = std::uint64_t{1} << 20;
 
 }  // namespace
 
@@ -42,6 +47,9 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
     m_gc_collected_ = &metrics->counter("server.gc_collected");
     m_read_latency_ = &metrics->histogram("server.read_latency_ns");
     m_write_bytes_ = &metrics->histogram("server.write_bytes");
+    m_recoveries_ = &metrics->counter("server.recoveries");
+    m_catchup_bytes_ = &metrics->counter("server.catchup_bytes");
+    m_recovery_duration_ = &metrics->histogram("server.recovery_duration_ns");
   }
   for (NodeId j = 0; j < n_; ++j) {
     if (j != id_) others_.push_back(j);
@@ -120,6 +128,11 @@ Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
   (void)opid;  // the synchronous ack needs no correlation
   CEC_CHECK(object < k_);
   CEC_CHECK(value.size() == code_->value_bytes());
+  // Journal the input, not the effects: replaying the same writes in the
+  // same order reproduces the same tags and multicast deterministically.
+  if (journal_ != nullptr && journal_->recording()) {
+    journal_->record_client_write(client, opid, object, value);
+  }
   ++counters_.writes;
   const SimTime obs_t0 = obs_now();
 
@@ -212,6 +225,9 @@ void Server::on_message(NodeId from, sim::MessagePtr message) {
 }
 
 void Server::dispatch_message(NodeId from, sim::MessagePtr message) {
+  if (journal_ != nullptr && journal_->recording()) {
+    journal_->record_message(from, serialize_message(*message));
+  }
   if (auto* app = dynamic_cast<AppMessage*>(message.get())) {
     handle_app(from, *app);
   } else if (auto* del = dynamic_cast<DelMessage*>(message.get())) {
@@ -222,12 +238,36 @@ void Server::dispatch_message(NodeId from, sim::MessagePtr message) {
     handle_val_resp(from, *resp);
   } else if (auto* enc = dynamic_cast<ValRespEncodedMessage*>(message.get())) {
     handle_val_resp_encoded(from, *enc);
+  } else if (auto* dig = dynamic_cast<RecoverDigestMessage*>(message.get())) {
+    handle_recover_digest(from, *dig);
+  } else if (auto* reply =
+                 dynamic_cast<RecoverDigestReplyMessage*>(message.get())) {
+    handle_recover_digest_reply(from, *reply);
+  } else if (auto* pull = dynamic_cast<RecoverPullMessage*>(message.get())) {
+    handle_recover_pull(from, *pull);
+  } else if (auto* push = dynamic_cast<RecoverPushMessage*>(message.get())) {
+    handle_recover_push(from, *push);
   } else {
     CEC_CHECK_MSG(false, "unknown message type " << message->type_name());
   }
 }
 
 void Server::handle_app(NodeId from, const AppMessage& msg) {
+  if (recovery_epoch_ > 0) {
+    // After a restore, a version can arrive twice (once from the WAL replay
+    // and again from a late channel delivery or a rejoin push). A covered
+    // or duplicate tag must not re-queue: the apply predicate can never
+    // fire for it again, so the entry would pin the queue forever.
+    if (msg.tag.ts[from] <= vc_[from]) {
+      ++counters_.stale_app_dropped;
+      lists_[msg.object].insert(msg.tag, msg.value);  // idempotent
+      return;
+    }
+    if (inqueue_.contains(msg.tag)) {
+      ++counters_.stale_app_dropped;
+      return;
+    }
+  }
   inqueue_.insert(InQueue::Entry{from, msg.object, msg.value, msg.tag});
 }
 
@@ -537,6 +577,242 @@ void Server::run_garbage_collection() {
     tracer_->complete("gc", id_, obs_t0, transport_->now() - obs_t0,
                       {{"removed", total_removed}});
   }
+  run_internal_actions();
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+persist::ServerImage Server::capture_image() const {
+  persist::ServerImage image;
+  image.node = id_;
+  image.num_servers = static_cast<std::uint32_t>(n_);
+  image.num_objects = static_cast<std::uint32_t>(k_);
+  image.value_bytes = static_cast<std::uint32_t>(code_->value_bytes());
+  image.vc = vc_;
+  image.m_val = m_val_;
+  image.m_tags = m_tags_;
+  image.tmax = tmax_;
+  image.last_del_broadcast_all = last_del_broadcast_all_;
+  image.internal_opid_counter = internal_opid_counter_;
+  for (ObjectId x = 0; x < k_; ++x) {
+    for (const auto& [tag, value] : lists_[x].entries()) {
+      image.history.push_back({x, tag, value});
+    }
+    for (NodeId s = 0; s < n_; ++s) {
+      for (const Tag& tag : dels_[x].entries_from(s)) {
+        image.dels.push_back({x, s, tag});
+      }
+    }
+  }
+  for (const auto& e : inqueue_.entries()) {
+    image.inqueue.push_back({e.origin, e.object, e.tag, e.value});
+  }
+  return image;
+}
+
+void Server::restore_image(const persist::ServerImage* image) {
+  vc_ = VectorClock(n_);
+  inqueue_ = InQueue{};
+  lists_.clear();
+  dels_.clear();
+  for (std::size_t x = 0; x < k_; ++x) {
+    lists_.emplace_back(n_, code_->value_bytes());
+    dels_.emplace_back(n_);
+  }
+  m_val_ = code_->zero_symbol(id_);
+  m_tags_ = zero_tag_vector(k_, n_);
+  reads_ = ReadList{};
+  tmax_ = zero_tag_vector(k_, n_);
+  last_del_broadcast_all_ = zero_tag_vector(k_, n_);
+  recovering_ = false;
+  if (recovery_epoch_ == 0) recovery_epoch_ = 1;  // arm the stale-app guard
+
+  std::uint64_t counter_base = 0;
+  if (image != nullptr) {
+    CEC_CHECK_MSG(image->node == id_ && image->num_servers == n_ &&
+                      image->num_objects == k_ &&
+                      image->value_bytes == code_->value_bytes(),
+                  "restore_image: snapshot does not describe server " << id_);
+    vc_ = image->vc;
+    m_val_ = image->m_val;
+    m_tags_ = image->m_tags;
+    tmax_ = image->tmax;
+    last_del_broadcast_all_ = image->last_del_broadcast_all;
+    counter_base = image->internal_opid_counter;
+    for (const auto& e : image->history) {
+      lists_[e.object].insert(e.tag, e.value);
+    }
+    for (const auto& e : image->dels) dels_[e.object].add(e.server, e.tag);
+    for (const auto& e : image->inqueue) {
+      inqueue_.insert(InQueue::Entry{e.origin, e.object, e.value, e.tag});
+    }
+  }
+  internal_opid_counter_ = counter_base + kOpidRecoverySkip;
+}
+
+void Server::restore_from_journal(const persist::RecoveredState& recovered) {
+  CEC_CHECK_MSG(recovered.error.empty(),
+                "restore_from_journal: " << recovered.error);
+  restore_image(recovered.image ? &*recovered.image : nullptr);
+  const bool was_recording = journal_ == nullptr || journal_->recording();
+  if (journal_ != nullptr) journal_->set_recording(false);
+  for (const auto& record : recovered.wal) {
+    if (record.kind == persist::WalRecord::Kind::kMessage) {
+      on_message(record.from,
+                 deserialize_message(std::span(record.payload)));
+    } else {
+      client_write(record.client, record.opid, record.object,
+                   erasure::Value(record.payload));
+    }
+  }
+  if (journal_ != nullptr && was_recording) journal_->set_recording(true);
+  end_restore();
+}
+
+void Server::end_restore() { reads_ = ReadList{}; }
+
+void Server::begin_rejoin() {
+  ++counters_.recoveries;
+  if (m_recoveries_ != nullptr) m_recoveries_->inc();
+  ++recovery_epoch_;
+  if (config_.unsafe_skip_rejoin_catchup) return;  // test-only fault seam
+  if (others_.empty()) return;  // single-server cluster: nothing to pull
+  recovering_ = true;
+  rejoin_started_at_ = transport_->now();
+  rejoin_waiting_.assign(n_, false);
+  rejoin_waiting_count_ = 0;
+  for (NodeId j : others_) {
+    rejoin_waiting_[j] = true;
+    ++rejoin_waiting_count_;
+  }
+  const std::uint64_t epoch = recovery_epoch_;
+  transport_->multicast(others_, [&] {
+    return std::make_unique<RecoverDigestMessage>(epoch, vc_, wire_);
+  });
+  // Peers that are themselves down never push; finish with whatever arrived
+  // by the deadline (they push to us when their own rejoin runs).
+  transport_->schedule_after(config_.rejoin_timeout_ns, [this, epoch] {
+    if (recovering_ && recovery_epoch_ == epoch) finish_rejoin();
+  });
+  if (tracer_ != nullptr) {
+    tracer_->instant("rejoin.begin", id_, transport_->now(),
+                     {{"epoch", epoch}});
+  }
+}
+
+void Server::handle_recover_digest(NodeId from,
+                                   const RecoverDigestMessage& msg) {
+  transport_->send(from, std::make_unique<RecoverDigestReplyMessage>(
+                             msg.epoch, vc_, wire_));
+}
+
+void Server::handle_recover_digest_reply(NodeId from,
+                                         const RecoverDigestReplyMessage& msg) {
+  if (!recovering_ || msg.epoch != recovery_epoch_) return;
+  transport_->send(from, std::make_unique<RecoverPullMessage>(
+                             recovery_epoch_, vc_, wire_));
+  // The peer may be missing writes too (an app multicast of ours lost to
+  // the crash window); push it anything its clock does not cover.
+  bool behind = false;
+  for (NodeId j = 0; j < n_; ++j) {
+    if (msg.vc[j] < vc_[j]) {
+      behind = true;
+      break;
+    }
+  }
+  if (behind) send_recover_push(from, msg.epoch, msg.vc);
+}
+
+void Server::handle_recover_pull(NodeId from, const RecoverPullMessage& msg) {
+  send_recover_push(from, msg.epoch, msg.vc);
+}
+
+void Server::send_recover_push(NodeId to, std::uint64_t epoch,
+                               const VectorClock& target_vc) {
+  std::vector<RecoverPushMessage::HistoryItem> history;
+  std::vector<RecoverPushMessage::InqueueItem> inq;
+  std::vector<RecoverPushMessage::DelItem> dels;
+  for (ObjectId x = 0; x < k_; ++x) {
+    for (const auto& [tag, value] : lists_[x].entries()) {
+      if (!tag.ts.leq(target_vc)) history.push_back({x, tag, value});
+    }
+    // All del announcements travel (compaction keeps them small): they let
+    // the receiver's GC and non-containing bookkeeping resume immediately.
+    for (NodeId s = 0; s < n_; ++s) {
+      for (const Tag& tag : dels_[x].entries_from(s)) {
+        dels.push_back({x, s, tag});
+      }
+    }
+  }
+  for (const auto& e : inqueue_.entries()) {
+    if (!e.tag.ts.leq(target_vc)) {
+      inq.push_back({e.origin, e.object, e.tag, e.value});
+    }
+  }
+  ++counters_.rejoin_pushes_sent;
+  transport_->send(to, std::make_unique<RecoverPushMessage>(
+                           epoch, vc_, std::move(history), std::move(inq),
+                           std::move(dels), wire_));
+}
+
+void Server::handle_recover_push(NodeId from, const RecoverPushMessage& msg) {
+  // Merging is safe at any server, recovering or not: pushed history
+  // entries are valid versions, del announcements are monotone facts, and
+  // every write the sender's clock covers is either pushed here, already
+  // applied locally, or globally encoded (its value retrievable through the
+  // ordinary read machinery) -- the superset argument of DESIGN.md §9.
+  for (const auto& h : msg.history) {
+    if (!lists_[h.object].contains(h.tag)) {
+      ++counters_.catchup_history_entries;
+    }
+    lists_[h.object].insert(h.tag, h.value);
+  }
+  for (const auto& d : msg.dels) dels_[d.object].add(d.server, d.tag);
+  for (const auto& q : msg.inqueue) {
+    if (q.tag.ts[q.origin] <= vc_[q.origin]) {
+      lists_[q.object].insert(q.tag, q.value);  // already applied here
+    } else if (!inqueue_.contains(q.tag)) {
+      inqueue_.insert(InQueue::Entry{q.origin, q.object, q.value, q.tag});
+    }
+  }
+  vc_.merge(msg.vc);
+  // Entries the merged clock now covers can never satisfy the apply
+  // predicate again; absorb their values into the history lists instead.
+  for (auto& e : inqueue_.extract_if([&](const InQueue::Entry& entry) {
+         return entry.tag.ts[entry.origin] <= vc_[entry.origin];
+       })) {
+    lists_[e.object].insert(e.tag, e.value);
+  }
+
+  if (recovering_ && msg.epoch == recovery_epoch_) {
+    ++counters_.rejoin_pushes_received;
+    counters_.catchup_bytes += msg.wire_bytes();
+    if (m_catchup_bytes_ != nullptr) m_catchup_bytes_->inc(msg.wire_bytes());
+    if (from < rejoin_waiting_.size() && rejoin_waiting_[from]) {
+      rejoin_waiting_[from] = false;
+      --rejoin_waiting_count_;
+      if (rejoin_waiting_count_ == 0) finish_rejoin();
+    }
+  }
+}
+
+void Server::finish_rejoin() {
+  recovering_ = false;
+  const SimTime duration = transport_->now() - rejoin_started_at_;
+  if (m_recovery_duration_ != nullptr) {
+    m_recovery_duration_->observe(static_cast<std::uint64_t>(duration));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->complete("rejoin", id_, rejoin_started_at_, duration,
+                      {{"pushes", counters_.rejoin_pushes_received},
+                       {"bytes", counters_.catchup_bytes}});
+  }
+  // Catch-up filled L with everything peers still hold; Encoding now
+  // re-encodes toward the newest versions. Internal reads can always fetch
+  // a still-encoded old version: our frozen del announcements blocked its
+  // collection everywhere while we were down.
   run_internal_actions();
 }
 

@@ -29,6 +29,8 @@
 #include "erasure/code.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/image.h"
+#include "persist/journal.h"
 #include "sim/simulation.h"
 
 namespace causalec {
@@ -82,6 +84,13 @@ struct ServerCounters {
   std::uint64_t history_entries_collected = 0;
   std::uint64_t error1_events = 0;  // stays 0 in every correct execution
   std::uint64_t error2_events = 0;  // stays 0 in every correct execution
+  // Crash-recovery accounting (DESIGN.md §9).
+  std::uint64_t recoveries = 0;            // begin_rejoin() calls
+  std::uint64_t rejoin_pushes_sent = 0;
+  std::uint64_t rejoin_pushes_received = 0;
+  std::uint64_t catchup_bytes = 0;         // wire bytes of received pushes
+  std::uint64_t catchup_history_entries = 0;
+  std::uint64_t stale_app_dropped = 0;     // duplicate/covered app messages
 };
 
 class Server final : public sim::Actor {
@@ -124,6 +133,38 @@ class Server final : public sim::Actor {
   /// Garbage_Collection (Alg. 3). Drive from a periodic timer.
   void run_garbage_collection();
 
+  // -- Crash recovery (DESIGN.md §9) ---------------------------------------
+
+  /// Snapshot of the complete durable protocol state (ReadL excluded --
+  /// pending-read callbacks cannot survive a restart).
+  persist::ServerImage capture_image() const;
+
+  /// Reset to initial state, then (when `image` is non-null) load the
+  /// snapshot. Must describe this same (node, n, k, value_bytes). Arms the
+  /// stale-app guard so duplicate deliveries after recovery are dropped.
+  void restore_image(const persist::ServerImage* image);
+
+  /// restore_image + deterministic WAL replay + end_restore. The caller
+  /// must mute the transport around this call: replayed handlers re-run
+  /// their sends, which must not reach the network a second time.
+  void restore_from_journal(const persist::RecoveredState& recovered);
+
+  /// Closes the replay window: drops reads registered during replay (their
+  /// inquiries were muted; the Encoding action re-issues what it needs).
+  void end_restore();
+
+  /// Journal to record accepted writes and dispatched messages into; null
+  /// (the default) disables durability. Not owned.
+  void attach_journal(persist::Journal* journal) { journal_ = journal; }
+
+  /// Start an anti-entropy rejoin round: broadcast a state digest, pull
+  /// missed writes from every live peer, and converge without replaying
+  /// history. Call after restore_from_journal, with the transport live.
+  void begin_rejoin();
+
+  bool recovering() const { return recovering_; }
+  std::uint64_t recovery_epoch() const { return recovery_epoch_; }
+
   // -- Introspection -------------------------------------------------------
 
   const VectorClock& clock() const { return vc_; }
@@ -144,6 +185,17 @@ class Server final : public sim::Actor {
   void handle_val_inq(NodeId from, const ValInqMessage& msg);
   void handle_val_resp(NodeId from, const ValRespMessage& msg);
   void handle_val_resp_encoded(NodeId from, const ValRespEncodedMessage& msg);
+
+  // Rejoin catch-up handlers (DESIGN.md §9).
+  void handle_recover_digest(NodeId from, const RecoverDigestMessage& msg);
+  void handle_recover_digest_reply(NodeId from,
+                                   const RecoverDigestReplyMessage& msg);
+  void handle_recover_pull(NodeId from, const RecoverPullMessage& msg);
+  void handle_recover_push(NodeId from, const RecoverPushMessage& msg);
+  /// Build and send a push of everything `target_vc` does not cover.
+  void send_recover_push(NodeId to, std::uint64_t epoch,
+                         const VectorClock& target_vc);
+  void finish_rejoin();
 
   // Internal actions (Alg. 3).
   bool apply_inqueue_step();   // one Apply_InQueue; true if it applied
@@ -219,6 +271,16 @@ class Server final : public sim::Actor {
   ServerCounters counters_;
   bool in_internal_actions_ = false;
 
+  // -- Crash-recovery state (DESIGN.md §9) ---------------------------------
+  persist::Journal* journal_ = nullptr;  // not owned; null = no durability
+  bool recovering_ = false;
+  /// Counts rejoin rounds; nonzero also arms the stale-app guard (a server
+  /// that has ever restored may see duplicate deliveries).
+  std::uint64_t recovery_epoch_ = 0;
+  std::vector<bool> rejoin_waiting_;  // peers yet to push this round
+  std::size_t rejoin_waiting_count_ = 0;
+  SimTime rejoin_started_at_ = 0;
+
   // -- Observability (null/false when disabled) ----------------------------
   obs::Tracer* tracer_ = nullptr;
   bool obs_enabled_ = false;
@@ -230,6 +292,9 @@ class Server final : public sim::Actor {
   obs::Counter* m_gc_collected_ = nullptr;
   obs::Histogram* m_read_latency_ = nullptr;
   obs::Histogram* m_write_bytes_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_catchup_bytes_ = nullptr;
+  obs::Histogram* m_recovery_duration_ = nullptr;
 };
 
 }  // namespace causalec

@@ -1,0 +1,153 @@
+// Low-level wire primitives shared by the message codec (codec.cpp) and the
+// durable snapshot format (persist/snapshot.cpp).
+//
+// Writer is the little-endian, length-prefixed encoder the codec has always
+// used. SafeReader is its decoding counterpart for *untrusted* input
+// (durable files that may be truncated or corrupted): instead of
+// CHECK-aborting like the codec's internal reader, it latches an error and
+// degrades every subsequent accessor to a zero value, so callers validate
+// once at the end and never touch out-of-bounds memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "causalec/tag.h"
+#include "erasure/buffer.h"
+#include "erasure/value.h"
+
+namespace causalec::wire {
+
+class Writer {
+ public:
+  /// Pre-sizes the buffer; callers pass header size + payload bytes so the
+  /// common messages serialize with a single allocation.
+  explicit Writer(std::size_t reserve_hint = 0) { buf_.reserve(reserve_hint); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void clock(const VectorClock& vc) {
+    u32(static_cast<std::uint32_t>(vc.size()));
+    for (std::size_t i = 0; i < vc.size(); ++i) u64(vc[i]);
+  }
+  void tag(const Tag& t) {
+    clock(t.ts);
+    u64(t.id);
+  }
+  void tagvec(const TagVector& tv) {
+    u32(static_cast<std::uint32_t>(tv.size()));
+    for (const Tag& t : tv) tag(t);
+  }
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Error-latching reader over a zero-copy frame. Collection accessors take
+/// an element cap so a corrupted length field can never drive a huge
+/// allocation before the bounds check catches it.
+class SafeReader {
+ public:
+  explicit SafeReader(erasure::Buffer frame)
+      : frame_(std::move(frame)), buf_(frame_.span()) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  /// Zero-copy: a Value aliasing the frame's arena at the current cursor.
+  erasure::Value bytes(std::size_t max_len) {
+    const std::uint32_t len = u32();
+    if (len > max_len) fail("length field exceeds cap");
+    if (!need(len)) return erasure::Value();
+    erasure::Value out(frame_.slice(pos_, len));
+    pos_ += len;
+    return out;
+  }
+  VectorClock clock(std::size_t max_entries) {
+    const std::uint32_t n = u32();
+    if (n > max_entries) {
+      fail("vector clock size exceeds cap");
+      return VectorClock();
+    }
+    if (!need(8 * static_cast<std::size_t>(n))) return VectorClock();
+    VectorClock vc(n);
+    for (std::uint32_t i = 0; i < n; ++i) vc.set(i, u64());
+    return vc;
+  }
+  Tag tag(std::size_t max_entries) {
+    VectorClock vc = clock(max_entries);
+    const std::uint64_t id = u64();
+    return Tag(std::move(vc), id);
+  }
+  TagVector tagvec(std::size_t max_tags, std::size_t max_entries) {
+    const std::uint32_t k = u32();
+    if (k > max_tags) {
+      fail("tag vector size exceeds cap");
+      return TagVector();
+    }
+    TagVector out;
+    out.reserve(k);
+    for (std::uint32_t i = 0; i < k && ok(); ++i) out.push_back(tag(max_entries));
+    return out;
+  }
+
+  bool ok() const { return error_.empty(); }
+  bool done() const { return ok() && pos_ == buf_.size(); }
+  std::size_t remaining() const { return ok() ? buf_.size() - pos_ : 0; }
+  const std::string& error() const { return error_; }
+
+  void fail(const char* what) {
+    if (error_.empty()) error_ = what;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok()) return false;
+    if (pos_ + n > buf_.size()) {
+      fail("truncated input");
+      return false;
+    }
+    return true;
+  }
+
+  erasure::Buffer frame_;
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace causalec::wire

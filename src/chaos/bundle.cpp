@@ -15,6 +15,8 @@ std::string bundle_to_json(const ReplayBundle& bundle) {
   w.value("causalec-chaos-bundle-v1");
   w.key("inject_bug");
   w.value(bundle.inject_bug);
+  w.key("inject_recovery_bug");
+  w.value(bundle.inject_recovery_bug);
   // Emitted as a JSON number; the parser keeps the literal, so the full
   // u64 range survives the round-trip.
   w.key("history_hash");
@@ -46,6 +48,11 @@ std::optional<ReplayBundle> bundle_from_json(std::string_view text) {
     return std::nullopt;
   }
   bundle.inject_bug = inject->as_bool();
+
+  if (const auto* recovery = doc->find("inject_recovery_bug")) {
+    if (recovery->kind() != obs::JsonValue::Kind::kBool) return std::nullopt;
+    bundle.inject_recovery_bug = recovery->as_bool();
+  }
 
   const auto* hash = doc->find("history_hash");
   if (!hash || hash->kind() != obs::JsonValue::Kind::kNumber) {

@@ -20,6 +20,9 @@ namespace causalec::chaos {
 struct ReplayBundle {
   FaultPlan plan;
   bool inject_bug = false;
+  /// Recovery self-test seam (ChaosOptions::inject_recovery_bug). Optional
+  /// in the JSON (absent = false) so old bundles stay readable.
+  bool inject_recovery_bug = false;
   std::uint64_t history_hash = 0;
   std::vector<std::string> violations;
 };

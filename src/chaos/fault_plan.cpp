@@ -22,6 +22,8 @@ const char* kind_name(FaultEvent::Kind kind) {
       return "delay_burst";
     case FaultEvent::Kind::kGcNow:
       return "gc_now";
+    case FaultEvent::Kind::kCrashRecover:
+      return "crash_recover";
   }
   return "?";
 }
@@ -31,6 +33,7 @@ std::optional<FaultEvent::Kind> kind_from_name(std::string_view name) {
   if (name == "partition") return FaultEvent::Kind::kPartition;
   if (name == "delay_burst") return FaultEvent::Kind::kDelayBurst;
   if (name == "gc_now") return FaultEvent::Kind::kGcNow;
+  if (name == "crash_recover") return FaultEvent::Kind::kCrashRecover;
   return std::nullopt;
 }
 
@@ -149,6 +152,40 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
     plan.events.push_back(ev);
   }
 
+  // Crash-recover cycles (drawn last so earlier fields match plans from
+  // builds without this fault kind). Candidates are the non-crashed nodes
+  // minus one reserved never-down client home; windows are sequential and
+  // non-overlapping, so with the permanent crashes leaving one unit of
+  // headroom (< budget) the simultaneous-down count stays within n - k,
+  // while repeated picks let *cumulative* crashes exceed it.
+  const std::size_t cr_candidates =
+      w.num_servers - num_crashes - 1;  // nodes[num_crashes..n-2]
+  std::size_t num_cr = 0;
+  if (num_crashes < plan.crash_budget() && cr_candidates > 0) {
+    num_cr = rng.next_below(limits.max_crash_recovers + 1);
+  }
+  // Start the downtime cursor early: closed-loop sessions burn most of the
+  // op budget in the first fraction of the horizon, and a crash-recover
+  // window only exercises real catch-up when writes land *while* the node
+  // is down.
+  SimTime cursor = 5 * sim::kMillisecond;
+  for (std::size_t i = 0; i < num_cr; ++i) {
+    const SimTime remaining = window - cursor;
+    if (remaining < 40 * sim::kMillisecond) break;
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kCrashRecover;
+    ev.at = cursor + static_cast<SimTime>(rng.next_below(
+                         static_cast<std::uint64_t>(std::min<SimTime>(
+                             remaining / 8, 30 * sim::kMillisecond))));
+    ev.duration =
+        10 * sim::kMillisecond +
+        static_cast<SimTime>(rng.next_below(static_cast<std::uint64_t>(
+            std::min<SimTime>(remaining / 4, 80 * sim::kMillisecond))));
+    ev.node = nodes[num_crashes + rng.next_below(cr_candidates)];
+    cursor = ev.at + ev.duration + 5 * sim::kMillisecond;
+    plan.events.push_back(ev);
+  }
+
   std::sort(plan.events.begin(), plan.events.end(), event_before);
   CEC_CHECK(plan.valid());
   return plan;
@@ -162,6 +199,42 @@ std::vector<NodeId> FaultPlan::crashed_nodes() const {
   return {crashed.begin(), crashed.end()};
 }
 
+std::vector<NodeId> FaultPlan::ever_down_nodes() const {
+  std::set<NodeId> down;
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultEvent::Kind::kCrash ||
+        ev.kind == FaultEvent::Kind::kCrashRecover) {
+      down.insert(ev.node);
+    }
+  }
+  return {down.begin(), down.end()};
+}
+
+std::size_t FaultPlan::max_simultaneous_down() const {
+  // O(E^2) sweep over event boundaries; schedules are tiny.
+  std::vector<SimTime> points;
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultEvent::Kind::kCrash ||
+        ev.kind == FaultEvent::Kind::kCrashRecover) {
+      points.push_back(ev.at);
+    }
+  }
+  std::size_t peak = 0;
+  for (const SimTime t : points) {
+    std::set<NodeId> down;
+    for (const FaultEvent& ev : events) {
+      if (ev.kind == FaultEvent::Kind::kCrash && ev.at <= t) {
+        down.insert(ev.node);
+      } else if (ev.kind == FaultEvent::Kind::kCrashRecover && ev.at <= t &&
+                 t < ev.at + ev.duration) {
+        down.insert(ev.node);
+      }
+    }
+    peak = std::max(peak, down.size());
+  }
+  return peak;
+}
+
 bool FaultPlan::valid() const {
   const WorkloadSpec& w = workload;
   if (w.num_servers < 2 || w.num_servers > 63) return false;
@@ -173,6 +246,11 @@ bool FaultPlan::valid() const {
     return false;
   }
   if (crashed_nodes().size() > crash_budget()) return false;
+  if (max_simultaneous_down() > crash_budget()) return false;
+  if (ever_down_nodes().size() >= w.num_servers) return false;
+  const std::vector<NodeId> permanently_crashed = crashed_nodes();
+  const std::set<NodeId> crashed_set(permanently_crashed.begin(),
+                                     permanently_crashed.end());
   const std::uint64_t all = (1ull << w.num_servers) - 1;
   for (const FaultEvent& ev : events) {
     if (ev.at < 0 || ev.at > horizon) return false;
@@ -180,6 +258,27 @@ bool FaultPlan::valid() const {
       case FaultEvent::Kind::kCrash:
       case FaultEvent::Kind::kGcNow:
         if (ev.node >= w.num_servers) return false;
+        break;
+      case FaultEvent::Kind::kCrashRecover:
+        // The recovery must fire inside the horizon, the node must not also
+        // be crash-stop (the runner would resurrect a dead node), and two
+        // downtime windows of the same node must not overlap (the second
+        // recovery would fire on a running server).
+        if (ev.node >= w.num_servers || ev.duration <= 0 ||
+            ev.at + ev.duration > horizon || crashed_set.count(ev.node)) {
+          return false;
+        }
+        for (const FaultEvent& other : events) {
+          if (&other == &ev ||
+              other.kind != FaultEvent::Kind::kCrashRecover ||
+              other.node != ev.node) {
+            continue;
+          }
+          if (ev.at < other.at + other.duration &&
+              other.at < ev.at + ev.duration) {
+            return false;
+          }
+        }
         break;
       case FaultEvent::Kind::kPartition:
         if (ev.side_mask == 0 || (ev.side_mask & ~all) != 0 ||
@@ -252,6 +351,12 @@ std::string FaultPlan::to_json() const {
       case FaultEvent::Kind::kGcNow:
         w.key("node");
         w.value(static_cast<std::uint64_t>(ev.node));
+        break;
+      case FaultEvent::Kind::kCrashRecover:
+        w.key("node");
+        w.value(static_cast<std::uint64_t>(ev.node));
+        w.key("duration_ns");
+        w.value(ev.duration);
         break;
       case FaultEvent::Kind::kPartition:
         w.key("side_mask");
@@ -360,6 +465,10 @@ std::optional<FaultPlan> FaultPlan::from_json(std::string_view text) {
       case FaultEvent::Kind::kCrash:
       case FaultEvent::Kind::kGcNow:
         ev.node = static_cast<NodeId>(u64(item, "node"));
+        break;
+      case FaultEvent::Kind::kCrashRecover:
+        ev.node = static_cast<NodeId>(u64(item, "node"));
+        ev.duration = i64(item, "duration_ns");
         break;
       case FaultEvent::Kind::kPartition:
         ev.side_mask = u64(item, "side_mask");

@@ -47,6 +47,8 @@ struct FaultEvent {
     kDelayBurst,  // add `extra` delay on channel (from, to) during
                   // [at, at + duration)
     kGcNow,       // force an immediate Garbage_Collection at `node`
+    kCrashRecover,  // halt `node` at `at`, crash-recover it from its
+                    // journal at `at + duration` (DESIGN.md §9)
   };
 
   Kind kind = Kind::kCrash;
@@ -71,6 +73,10 @@ struct GenerateLimits {
   std::size_t max_gc_pokes = 3;
   /// Crashes are additionally capped by the per-plan budget n - k.
   std::size_t max_crashes = 3;
+  /// Crash-recover cycles (drawn only when the permanent crashes leave
+  /// headroom in the simultaneous-down budget; downtime windows never
+  /// overlap each other, so *cumulative* crashes may exceed n - k).
+  std::size_t max_crash_recovers = 2;
 };
 
 struct FaultPlan {
@@ -103,11 +109,22 @@ struct FaultPlan {
   std::uint32_t crash_budget() const {
     return workload.num_servers - workload.num_objects;
   }
-  /// Distinct nodes crashed by the schedule.
+  /// Distinct nodes crashed *permanently* (kCrash) by the schedule.
   std::vector<NodeId> crashed_nodes() const;
 
-  /// Structural sanity (server indices in range, crashes within budget,
-  /// events inside the horizon). Generate() and from_json() outputs pass.
+  /// Distinct nodes that are ever down: kCrash plus kCrashRecover nodes.
+  /// Clients must not home on these (their calls bypass the network).
+  std::vector<NodeId> ever_down_nodes() const;
+
+  /// Peak number of simultaneously-down servers over the schedule
+  /// (interval sweep: kCrash is down forever, kCrashRecover for its
+  /// duration). The paper's model only requires this to stay <= n - k;
+  /// cumulative crash-recover cycles may exceed it.
+  std::size_t max_simultaneous_down() const;
+
+  /// Structural sanity (server indices in range, simultaneous downtime
+  /// within budget, events inside the horizon). Generate() and from_json()
+  /// outputs pass.
   bool valid() const;
 
   std::string to_json() const;

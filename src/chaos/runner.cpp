@@ -1,5 +1,6 @@
 #include "chaos/runner.h"
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "consistency/causal_checker.h"
 #include "consistency/recorder.h"
 #include "erasure/codes.h"
+#include "persist/backend.h"
 #include "sim/latency.h"
 #include "workload/driver.h"
 
@@ -81,7 +83,17 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
   // injected-bug runs must survive to the shrinking stage.
   config.server.strict_error_invariants = false;
   config.server.unsafe_skip_apply_order_check = options.inject_bug;
+  config.server.unsafe_skip_rejoin_catchup = options.inject_recovery_bug;
   config.obs.tracer = options.tracer;
+
+  // Durable state is only journaled when the schedule actually recovers a
+  // node, so plans without crash_recover events run exactly as before.
+  const bool has_crash_recover = std::any_of(
+      plan.events.begin(), plan.events.end(), [](const FaultEvent& ev) {
+        return ev.kind == FaultEvent::Kind::kCrashRecover;
+      });
+  persist::MemoryBackend persistence;
+  if (has_crash_recover) config.persistence = &persistence;
 
   Cluster cluster(
       erasure::make_systematic_rs(w.num_servers, w.num_objects, w.value_bytes),
@@ -91,16 +103,26 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
       config);
   sim::Simulation& sim = cluster.sim();
 
-  // Clients attach only to servers the schedule never crashes: a client's
-  // calls bypass the simulated network, so a crashed home server would
-  // teleport state out of a halted node.
+  // Clients attach only to servers the schedule never takes down (not even
+  // transiently): a client's calls bypass the simulated network, so a down
+  // home server would teleport state out of a halted node.
+  const std::vector<NodeId> ever_down = plan.ever_down_nodes();
+  const std::set<NodeId> ever_down_set(ever_down.begin(), ever_down.end());
+  std::vector<NodeId> homes;
+  for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+    if (!ever_down_set.count(s)) homes.push_back(s);
+  }
+  CEC_CHECK(!homes.empty());
+
+  // Final convergence reads cover every server that is up at the end:
+  // never-down servers plus crash-recovered ones (a recovered node that
+  // failed to catch up must be caught by the convergence check).
   const std::vector<NodeId> crashed = plan.crashed_nodes();
   const std::set<NodeId> crashed_set(crashed.begin(), crashed.end());
   std::vector<NodeId> survivors;
   for (std::uint32_t s = 0; s < w.num_servers; ++s) {
     if (!crashed_set.count(s)) survivors.push_back(s);
   }
-  CEC_CHECK(!survivors.empty());
 
   RunOutcome outcome;
   consistency::History& history = outcome.history;
@@ -108,7 +130,7 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
 
   std::vector<std::unique_ptr<consistency::SessionRecorder>> recorders;
   for (std::uint32_t i = 0; i < w.sessions; ++i) {
-    Client& client = cluster.make_client(survivors[i % survivors.size()]);
+    Client& client = cluster.make_client(homes[i % homes.size()]);
     recorders.push_back(std::make_unique<consistency::SessionRecorder>(
         &client, &history, now_fn));
   }
@@ -178,6 +200,12 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
           }
         });
         break;
+      case FaultEvent::Kind::kCrashRecover:
+        sim.schedule_at(ev.at,
+                        [&cluster, ev] { cluster.halt_server(ev.node); });
+        sim.schedule_at(ev.at + ev.duration,
+                        [&cluster, ev] { cluster.recover_server(ev.node); });
+        break;
     }
   }
 
@@ -237,6 +265,27 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
   for (const auto& result : results) {
     for (const auto& violation : result.violations) {
       outcome.violations.push_back(violation);
+    }
+  }
+
+  // Rejoin convergence: after settle, every live server has seen every
+  // write that reached any live server (reliable channels deliver them;
+  // the rejoin push covers what a recovered node missed while down), so
+  // their vector clocks must agree. A recovered server that failed to
+  // catch up is exactly a behind clock -- this is the oracle that catches
+  // the inject_recovery_bug seam, which the read path alone masks (reads
+  // fan out and decode from fresh peers even at a stale server).
+  if (!survivors.empty()) {
+    VectorClock max_vc = cluster.server(survivors.front()).clock();
+    for (NodeId s : survivors) max_vc.merge(cluster.server(s).clock());
+    for (NodeId s : survivors) {
+      if (!(cluster.server(s).clock() == max_vc)) {
+        std::ostringstream oss;
+        oss << "recovery: server " << s
+            << "'s clock is behind the live maximum after settle "
+               "(stale rejoin)";
+        outcome.violations.push_back(oss.str());
+      }
     }
   }
 

@@ -25,6 +25,11 @@ struct ChaosOptions {
   /// (ServerConfig::unsafe_skip_apply_order_check). A correct harness must
   /// catch the resulting causal violations.
   bool inject_bug = false;
+  /// Self-test seam for recovery: rejoining servers skip the anti-entropy
+  /// catch-up round (ServerConfig::unsafe_skip_rejoin_catchup). Plans with
+  /// crash_recover events must then fail the convergence / invariant
+  /// checks -- proving the harness would catch a stale rejoin.
+  bool inject_recovery_bug = false;
   /// Optional Chrome-trace sink for the run (replay bundles re-run the
   /// shrunk plan with this set to export a trace).
   obs::Tracer* tracer = nullptr;

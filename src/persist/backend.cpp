@@ -1,0 +1,126 @@
+#include "persist/backend.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/expect.h"
+
+namespace causalec::persist {
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------------
+
+void MemoryBackend::put(const std::string& key,
+                        std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_[key].assign(bytes.begin(), bytes.end());
+}
+
+void MemoryBackend::append(const std::string& key,
+                           std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& blob = data_[key];
+  blob.insert(blob.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> MemoryBackend::get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryBackend::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.erase(key);
+}
+
+std::size_t MemoryBackend::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, blob] : data_) total += blob.size();
+  return total;
+}
+
+std::vector<std::string> MemoryBackend::keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [key, blob] : data_) out.push_back(key);
+  return out;
+}
+
+bool MemoryBackend::corrupt(const std::string& key, std::size_t byte,
+                            std::uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end() || byte >= it->second.size()) return false;
+  it->second[byte] ^= mask;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DirBackend
+// ---------------------------------------------------------------------------
+
+DirBackend::DirBackend(std::string directory) : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string DirBackend::path_for(const std::string& key) const {
+  // Keys are journal-generated ("s3.snap"), never hostile; still refuse
+  // anything that would escape the directory.
+  CEC_CHECK_MSG(key.find('/') == std::string::npos &&
+                    key.find("..") == std::string::npos,
+                "DirBackend: invalid key " << key);
+  return dir_ + "/" + key;
+}
+
+void DirBackend::put(const std::string& key,
+                     std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    CEC_CHECK_MSG(out.good(), "DirBackend: cannot open " << tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    CEC_CHECK_MSG(out.good(), "DirBackend: write failed for " << tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+void DirBackend::append(const std::string& key,
+                        std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_for(key), std::ios::binary | std::ios::app);
+  CEC_CHECK_MSG(out.good(), "DirBackend: cannot open " << path_for(key));
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  CEC_CHECK_MSG(out.good(), "DirBackend: append failed for " << key);
+}
+
+std::optional<std::vector<std::uint8_t>> DirBackend::get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  char chunk[4096];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    out.insert(out.end(), chunk, chunk + in.gcount());
+  }
+  return out;
+}
+
+void DirBackend::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;  // missing file is fine
+  std::filesystem::remove(path_for(key), ec);
+}
+
+}  // namespace causalec::persist

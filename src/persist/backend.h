@@ -1,0 +1,84 @@
+// Storage backends for durable server state: a key/value + append surface
+// small enough that both an in-memory map (tests, chaos runs) and a plain
+// directory of files (ThreadedCluster deployments) implement it.
+//
+// All methods are thread-safe: in the threaded runtime every node journals
+// into the same backend concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace causalec::persist {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Atomic full replace of `key`.
+  virtual void put(const std::string& key,
+                   std::span<const std::uint8_t> bytes) = 0;
+  /// Append to `key` (creating it when absent).
+  virtual void append(const std::string& key,
+                      std::span<const std::uint8_t> bytes) = 0;
+  /// Full contents, or nullopt when the key does not exist.
+  virtual std::optional<std::vector<std::uint8_t>> get(
+      const std::string& key) const = 0;
+  virtual void remove(const std::string& key) = 0;
+};
+
+/// Map-backed backend; "durable" for the lifetime of the process, which is
+/// exactly what simulated crash-recovery needs.
+class MemoryBackend final : public Backend {
+ public:
+  void put(const std::string& key,
+           std::span<const std::uint8_t> bytes) override;
+  void append(const std::string& key,
+              std::span<const std::uint8_t> bytes) override;
+  std::optional<std::vector<std::uint8_t>> get(
+      const std::string& key) const override;
+  void remove(const std::string& key) override;
+
+  /// Test hooks.
+  std::size_t total_bytes() const;
+  std::vector<std::string> keys() const;
+  /// Flip one bit of `key` (corruption-injection tests); false if absent
+  /// or out of range.
+  bool corrupt(const std::string& key, std::size_t byte, std::uint8_t mask);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::uint8_t>> data_;
+};
+
+/// Directory-of-files backend. put() writes a temp file and renames it into
+/// place so a crash mid-write never leaves a half-written snapshot under
+/// the live name; append() is a plain O_APPEND-style write (torn tails are
+/// tolerated by the WAL's per-record checksums).
+class DirBackend final : public Backend {
+ public:
+  explicit DirBackend(std::string directory);
+
+  void put(const std::string& key,
+           std::span<const std::uint8_t> bytes) override;
+  void append(const std::string& key,
+              std::span<const std::uint8_t> bytes) override;
+  std::optional<std::vector<std::uint8_t>> get(
+      const std::string& key) const override;
+  void remove(const std::string& key) override;
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace causalec::persist

@@ -1,0 +1,147 @@
+#include "persist/journal.h"
+
+#include <utility>
+
+#include "causalec/wire_format.h"
+
+namespace causalec::persist {
+
+namespace {
+
+// WAL record framing: kind u8, body_len u32, body, then FNV-1a u64 over
+// the kind + length + body prefix. Anything that fails a bounds or
+// checksum test marks the tail torn and is discarded.
+constexpr std::size_t kRecordHeader = 1 + 4;
+constexpr std::size_t kRecordTrailer = 8;
+constexpr std::size_t kMaxRecordBody = std::size_t{1} << 30;
+
+}  // namespace
+
+Journal::Journal(Backend* backend, std::string node_key)
+    : backend_(backend), key_(std::move(node_key)) {}
+
+void Journal::append_record(WalRecord::Kind kind,
+                            std::span<const std::uint8_t> body) {
+  wire::Writer w(kRecordHeader + body.size() + kRecordTrailer);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  for (const std::uint8_t b : body) w.u8(b);
+  std::vector<std::uint8_t> record = w.take();
+  const std::uint64_t checksum = fnv1a(record);
+  for (int i = 0; i < 8; ++i) {
+    record.push_back(static_cast<std::uint8_t>(checksum >> (8 * i)));
+  }
+  backend_->append(wal_key(), record);
+}
+
+void Journal::record_message(NodeId from,
+                             std::span<const std::uint8_t> frame) {
+  if (!recording_) return;
+  wire::Writer body(4 + frame.size());
+  body.u32(from);
+  for (const std::uint8_t b : frame) body.u8(b);
+  const std::vector<std::uint8_t> bytes = body.take();
+  append_record(WalRecord::Kind::kMessage, bytes);
+}
+
+void Journal::record_client_write(ClientId client, OpId opid, ObjectId object,
+                                  std::span<const std::uint8_t> value) {
+  if (!recording_) return;
+  wire::Writer body(8 + 8 + 4 + value.size());
+  body.u64(client);
+  body.u64(opid);
+  body.u32(object);
+  for (const std::uint8_t b : value) body.u8(b);
+  const std::vector<std::uint8_t> bytes = body.take();
+  append_record(WalRecord::Kind::kClientWrite, bytes);
+}
+
+void Journal::save_snapshot(const ServerImage& image) {
+  backend_->put(snapshot_key(), encode_snapshot(image));
+  backend_->remove(wal_key());
+}
+
+RecoveredState Journal::load() const {
+  RecoveredState out;
+
+  const auto snap = backend_->get(snapshot_key());
+  if (snap.has_value()) {
+    SnapshotDecodeResult decoded = decode_snapshot(std::span(*snap));
+    if (!decoded.ok()) {
+      out.error = decoded.error;
+      return out;
+    }
+    out.image = std::move(decoded.image);
+  }
+
+  const auto wal = backend_->get(wal_key());
+  if (!wal.has_value()) return out;
+  const std::span<const std::uint8_t> bytes(*wal);
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeader + kRecordTrailer) {
+      out.wal_torn = true;
+      break;
+    }
+    const auto kind_byte = bytes[pos];
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      body_len |= static_cast<std::uint32_t>(bytes[pos + 1 + i]) << (8 * i);
+    }
+    if (body_len > kMaxRecordBody ||
+        bytes.size() - pos < kRecordHeader + body_len + kRecordTrailer) {
+      out.wal_torn = true;
+      break;
+    }
+    const std::size_t checked_len = kRecordHeader + body_len;
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+      stored |= static_cast<std::uint64_t>(bytes[pos + checked_len + i])
+                << (8 * i);
+    }
+    if (fnv1a(bytes.subspan(pos, checked_len)) != stored) {
+      out.wal_torn = true;
+      break;
+    }
+
+    const std::span<const std::uint8_t> body =
+        bytes.subspan(pos + kRecordHeader, body_len);
+    WalRecord record;
+    bool record_ok = false;
+    if (kind_byte == static_cast<std::uint8_t>(WalRecord::Kind::kMessage) &&
+        body.size() >= 4) {
+      record.kind = WalRecord::Kind::kMessage;
+      for (int i = 0; i < 4; ++i) {
+        record.from |= static_cast<NodeId>(body[i]) << (8 * i);
+      }
+      record.payload.assign(body.begin() + 4, body.end());
+      record_ok = true;
+    } else if (kind_byte ==
+                   static_cast<std::uint8_t>(WalRecord::Kind::kClientWrite) &&
+               body.size() >= 8 + 8 + 4) {
+      record.kind = WalRecord::Kind::kClientWrite;
+      for (int i = 0; i < 8; ++i) {
+        record.client |= static_cast<ClientId>(body[i]) << (8 * i);
+      }
+      for (int i = 0; i < 8; ++i) {
+        record.opid |= static_cast<OpId>(body[8 + i]) << (8 * i);
+      }
+      for (int i = 0; i < 4; ++i) {
+        record.object |= static_cast<ObjectId>(body[16 + i]) << (8 * i);
+      }
+      record.payload.assign(body.begin() + 20, body.end());
+      record_ok = true;
+    }
+    if (!record_ok) {
+      // Checksum passed but the body shape is wrong: treat like a torn
+      // tail rather than guessing at the stream framing downstream.
+      out.wal_torn = true;
+      break;
+    }
+    out.wal.push_back(std::move(record));
+    pos += checked_len + kRecordTrailer;
+  }
+  return out;
+}
+
+}  // namespace causalec::persist

@@ -47,12 +47,52 @@ class ThreadedCluster::Node {
   void start() { thread_ = std::thread([this] { run(); }); }
 
   void stop() {
+    accepting_.store(false, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
     if (thread_.joinable()) thread_.join();
+  }
+
+  void attach_journal(persist::Journal* journal) {
+    journal_ = journal;
+    server_.attach_journal(journal);
+  }
+
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Recover the node from its journal and restart its thread. Only legal
+  /// while the thread is stopped: the snapshot + WAL replay runs on the
+  /// caller's thread (safe -- the automaton has no other thread), the
+  /// pre-crash mailbox/tasks/timers are discarded, and the rejoin round is
+  /// posted as the restarted thread's first task.
+  void recover_and_restart() {
+    CEC_CHECK(!thread_.joinable());
+    CEC_CHECK(journal_ != nullptr);
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      inbox_.clear();
+      inbox_ready_.store(false, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.clear();
+      stop_ = false;
+    }
+    timers_.clear();
+    muted_ = true;
+    server_.restore_from_journal(journal_->load());
+    // Checkpoint the replayed state so a second crash before the next
+    // snapshot timer does not replay the whole WAL again.
+    journal_->save_snapshot(server_.capture_image());
+    muted_ = false;
+    accepting_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { run(); });
+    post([this] { server_.begin_rejoin(); });
   }
 
   /// Enqueue a task for the node thread (any thread may call).
@@ -105,18 +145,23 @@ class ThreadedCluster::Node {
     explicit NodeTransport(Node* node) : node_(node) {}
 
     void send(NodeId to, sim::MessagePtr message) override {
+      // Muted during WAL replay: the replayed handlers re-run their sends,
+      // which already reached the network before the crash.
+      if (node_->muted_) return;
       node_->cluster_->route(node_->id_, to, std::move(message));
     }
 
     void multicast(std::span<const NodeId> targets,
                    const std::function<sim::MessagePtr()>& make) override {
+      if (node_->muted_) return;
       node_->cluster_->multicast_route(node_->id_, targets, make);
     }
 
     void schedule_after(SimTime delta_ns,
                         std::function<void()> fn) override {
       // Only ever called from the node's own thread (all server execution
-      // is marshalled there), so the timer list needs no locking.
+      // is marshalled there) or from recover_and_restart() while the
+      // thread is down, so the timer list needs no locking.
       node_->timers_.push_back(
           {Clock::now() + std::chrono::nanoseconds(delta_ns),
            std::move(fn)});
@@ -155,12 +200,14 @@ class ThreadedCluster::Node {
   void run() {
     set_log_thread_node(static_cast<int>(id_));
     auto next_gc = Clock::now() + config_->gc_period;
+    auto next_snapshot = Clock::now() + config_->snapshot_period;
     while (true) {
       std::deque<std::function<void()>> batch;
       std::vector<Inbound> inbound;
       {
         std::unique_lock<std::mutex> lock(mu_);
         auto deadline = next_gc;
+        if (journal_ != nullptr) deadline = std::min(deadline, next_snapshot);
         for (const auto& timer : timers_) {
           deadline = std::min(deadline, timer.at);
         }
@@ -204,6 +251,10 @@ class ThreadedCluster::Node {
         server_.run_garbage_collection();
         next_gc = now + config_->gc_period;
       }
+      if (journal_ != nullptr && now >= next_snapshot) {
+        journal_->save_snapshot(server_.capture_image());
+        next_snapshot = now + config_->snapshot_period;
+      }
     }
   }
 
@@ -224,6 +275,13 @@ class ThreadedCluster::Node {
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   std::vector<Timer> timers_;  // node-thread only
+
+  persist::Journal* journal_ = nullptr;
+  /// False between stop() and recover_and_restart(): peers' frames for
+  /// this node are dropped at the router, like a dead NIC.
+  std::atomic<bool> accepting_{true};
+  /// Caller-thread only, and only while the node thread is down.
+  bool muted_ = false;
 
   // Inbound-message inbox (see class comment).
   std::mutex inbox_mu_;
@@ -246,6 +304,16 @@ ThreadedCluster::ThreadedCluster(erasure::CodePtr code,
   nodes_.reserve(n);
   for (NodeId s = 0; s < n; ++s) {
     nodes_.push_back(std::make_unique<Node>(s, code_, config_, this));
+  }
+  if (config_.persistence != nullptr) {
+    journals_.reserve(n);
+    for (NodeId s = 0; s < n; ++s) {
+      std::string key = "s";
+      key += std::to_string(s);
+      journals_.push_back(std::make_unique<persist::Journal>(
+          config_.persistence, std::move(key)));
+      nodes_[s]->attach_journal(journals_[s].get());
+    }
   }
   for (auto& node : nodes_) node->start();
 }
@@ -277,6 +345,7 @@ void ThreadedCluster::note_send(NodeId from, NodeId to,
 void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
   CEC_CHECK(to < nodes_.size());
   note_send(from, to, *message);
+  if (!nodes_[to]->accepting()) return;  // crashed node: frame is lost
   if (config_.serialize_messages) {
     nodes_[to]->deliver_frame(
         from, erasure::Buffer::adopt(serialize_message(*message)));
@@ -300,13 +369,37 @@ void ThreadedCluster::multicast_route(
   for (NodeId to : targets) {
     CEC_CHECK(to < nodes_.size());
     note_send(from, to, *message);
+    if (!nodes_[to]->accepting()) continue;  // crashed node: frame is lost
     nodes_[to]->deliver_frame(from, frame);
   }
+}
+
+void ThreadedCluster::stop_node(NodeId id) {
+  CEC_CHECK(id < nodes_.size());
+  CEC_CHECK_MSG(nodes_[id]->accepting(),
+                "stop_node: node " << id << " is already stopped");
+  nodes_[id]->stop();
+}
+
+void ThreadedCluster::start_node(NodeId id) {
+  CEC_CHECK(id < nodes_.size());
+  CEC_CHECK_MSG(config_.persistence != nullptr,
+                "start_node requires ThreadedClusterConfig::persistence");
+  CEC_CHECK_MSG(!nodes_[id]->accepting(),
+                "start_node: node " << id << " is running");
+  nodes_[id]->recover_and_restart();
+}
+
+bool ThreadedCluster::node_running(NodeId id) const {
+  CEC_CHECK(id < nodes_.size());
+  return nodes_[id]->accepting();
 }
 
 Tag ThreadedCluster::write(NodeId at, ClientId client, ObjectId object,
                            erasure::Value value) {
   CEC_CHECK(at < nodes_.size());
+  CEC_CHECK_MSG(nodes_[at]->accepting(),
+                "write: node " << at << " is stopped");
   const OpId opid = next_opid_.fetch_add(1);
   return nodes_[at]->call([&, opid] {
     return nodes_[at]->server().client_write(client, opid, object,
@@ -330,6 +423,8 @@ void ThreadedCluster::read_async(
     NodeId at, ClientId client, ObjectId object,
     std::function<void(erasure::Value, Tag)> done) {
   CEC_CHECK(at < nodes_.size());
+  CEC_CHECK_MSG(nodes_[at]->accepting(),
+                "read: node " << at << " is stopped");
   const OpId opid = next_opid_.fetch_add(1);
   Node* node = nodes_[at].get();
   node->post([node, client, opid, object, done = std::move(done)] {
@@ -342,12 +437,15 @@ void ThreadedCluster::read_async(
 
 StorageStats ThreadedCluster::storage(NodeId at) {
   CEC_CHECK(at < nodes_.size());
+  CEC_CHECK_MSG(nodes_[at]->accepting(),
+                "storage: node " << at << " is stopped");
   return nodes_[at]->call([&] { return nodes_[at]->server().storage(); });
 }
 
 std::uint64_t ThreadedCluster::total_error_events() {
   std::uint64_t total = 0;
   for (auto& node : nodes_) {
+    if (!node->accepting()) continue;
     total += node->call([&node_ref = *node] {
       const auto& c = node_ref.server().counters();
       return c.error1_events + c.error2_events;
@@ -362,6 +460,7 @@ bool ThreadedCluster::await_convergence(std::chrono::milliseconds timeout) {
   while (Clock::now() < deadline) {
     bool converged = true;
     for (NodeId s = 0; s < nodes_.size(); ++s) {
+      if (!nodes_[s]->accepting()) continue;
       const StorageStats stats = storage(s);
       if (stats.history_entries != 0 || stats.inqueue_entries != 0 ||
           stats.readl_entries != 0) {

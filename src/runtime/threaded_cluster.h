@@ -24,6 +24,8 @@
 #include "causalec/config.h"
 #include "causalec/server.h"
 #include "erasure/code.h"
+#include "persist/backend.h"
+#include "persist/journal.h"
 
 namespace causalec::runtime {
 
@@ -40,6 +42,14 @@ struct ThreadedClusterConfig {
   /// The registry and tracer are thread-safe, so one instance serves all
   /// nodes. Also copied into `server.obs`.
   obs::ObsHooks obs;
+
+  /// When set (not owned; must outlive the cluster), every node journals
+  /// accepted writes and delivered messages into this backend and
+  /// checkpoints a full snapshot every snapshot_period of wall time, which
+  /// is what makes stop_node()/start_node() crash-recovery possible. Null
+  /// keeps nodes crash-stop.
+  persist::Backend* persistence = nullptr;
+  std::chrono::milliseconds snapshot_period{200};
 };
 
 class ThreadedCluster {
@@ -73,8 +83,22 @@ class ThreadedCluster {
   std::uint64_t total_error_events();
 
   /// Polls until every server's transient state (histories, queues,
-  /// pending reads) is empty; false on timeout.
+  /// pending reads) is empty; false on timeout. Stopped nodes are skipped.
   bool await_convergence(std::chrono::milliseconds timeout);
+
+  /// Crash a node: its thread stops and all traffic addressed to it is
+  /// dropped until start_node(). Mailbox contents and pending timers die
+  /// with the crash, as they would on a real machine.
+  void stop_node(NodeId id);
+
+  /// Restart a stopped node from its durable state (requires
+  /// ThreadedClusterConfig::persistence): reload snapshot + WAL with the
+  /// transport muted, checkpoint the replayed state, restart the thread,
+  /// then run the anti-entropy rejoin round on it (DESIGN.md §9).
+  void start_node(NodeId id);
+
+  /// True while the node's thread is accepting traffic.
+  bool node_running(NodeId id) const;
 
  private:
   class Node;
@@ -93,6 +117,7 @@ class ThreadedCluster {
   erasure::CodePtr code_;
   ThreadedClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<persist::Journal>> journals_;
   std::atomic<OpId> next_opid_{1};
 };
 

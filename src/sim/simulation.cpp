@@ -155,6 +155,11 @@ bool Simulation::halted(NodeId node) const {
   return halted_[node];
 }
 
+void Simulation::restart(NodeId node) {
+  CEC_CHECK(node < actors_.size());
+  halted_[node] = false;
+}
+
 void Simulation::add_channel_delay(NodeId from, NodeId to, SimTime extra) {
   SimTime& accumulated = channel_extra_delay_[{from, to}];
   accumulated += extra;

@@ -99,6 +99,11 @@ class Simulation {
   void halt(NodeId node);
   bool halted(NodeId node) const;
 
+  /// Un-halt a node (crash-recover, Sec. 2.1 relaxed): it resumes taking
+  /// steps and receiving *future* deliveries. Messages dropped while halted
+  /// stay dropped -- durable-state recovery is the actor's job.
+  void restart(NodeId node);
+
   /// Hold back all messages on the (from, to) channel by an extra delay
   /// applied to future sends (adversarial schedules in tests). Negative
   /// deltas are allowed (e.g. to end a transient delay burst) as long as

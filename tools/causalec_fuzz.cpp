@@ -10,7 +10,8 @@
 //
 // Usage:
 //   causalec_fuzz [--runs N] [--seed S] [--max-ops M] [--out-dir DIR]
-//                 [--soak] [--inject-bug] [--trace FILE]
+//                 [--soak] [--inject-bug] [--inject-recovery-bug]
+//                 [--trace FILE]
 //   causalec_fuzz --replay BUNDLE.json [--trace FILE]
 //
 // Exit codes: 0 = clean (or replay reproduced), 1 = violation found,
@@ -42,13 +43,14 @@ struct Args {
   std::string trace;
   bool soak = false;
   bool inject_bug = false;
+  bool inject_recovery_bug = false;
 };
 
 int usage() {
   std::cerr
       << "usage: causalec_fuzz [--runs N] [--seed S] [--max-ops M]\n"
          "                     [--out-dir DIR] [--soak] [--inject-bug]\n"
-         "                     [--trace FILE]\n"
+         "                     [--inject-recovery-bug] [--trace FILE]\n"
          "       causalec_fuzz --replay BUNDLE.json [--trace FILE]\n";
   return 2;
 }
@@ -61,10 +63,11 @@ bool write_file(const std::string& path, const std::string& contents) {
 }
 
 void write_trace_for(const chaos::FaultPlan& plan, bool inject_bug,
-                     const std::string& path) {
+                     bool inject_recovery_bug, const std::string& path) {
   obs::Tracer tracer;
   chaos::ChaosOptions options;
   options.inject_bug = inject_bug;
+  options.inject_recovery_bug = inject_recovery_bug;
   options.tracer = &tracer;
   chaos::run_plan(plan, options);
   std::ofstream out(path);
@@ -93,6 +96,7 @@ int replay(const Args& args) {
 
   chaos::ChaosOptions options;
   options.inject_bug = bundle->inject_bug;
+  options.inject_recovery_bug = bundle->inject_recovery_bug;
   const chaos::RunOutcome outcome = chaos::run_plan(bundle->plan, options);
   std::cout << "replay: seed=" << bundle->plan.seed
             << " ops=" << outcome.ops_completed << "/"
@@ -102,7 +106,8 @@ int replay(const Args& args) {
     std::cout << "  violation: " << v << "\n";
   }
   if (!args.trace.empty()) {
-    write_trace_for(bundle->plan, bundle->inject_bug, args.trace);
+    write_trace_for(bundle->plan, bundle->inject_bug,
+                    bundle->inject_recovery_bug, args.trace);
   }
   if (outcome.history_hash != bundle->history_hash) {
     std::cout << "replay DIVERGED from the recorded run\n";
@@ -117,6 +122,7 @@ int fuzz(const Args& args) {
   limits.max_ops = args.max_ops;
   chaos::ChaosOptions options;
   options.inject_bug = args.inject_bug;
+  options.inject_recovery_bug = args.inject_recovery_bug;
 
   chaos::FaultPlan last_plan;
   std::uint64_t completed = 0;
@@ -141,6 +147,7 @@ int fuzz(const Args& args) {
     chaos::ReplayBundle bundle;
     bundle.plan = shrunk.plan;
     bundle.inject_bug = args.inject_bug;
+    bundle.inject_recovery_bug = args.inject_recovery_bug;
     bundle.history_hash = shrunk.outcome.history_hash;
     bundle.violations = shrunk.outcome.violations;
 
@@ -152,7 +159,7 @@ int fuzz(const Args& args) {
     } else {
       std::cerr << "causalec_fuzz: cannot write " << bundle_path << "\n";
     }
-    write_trace_for(shrunk.plan, args.inject_bug,
+    write_trace_for(shrunk.plan, args.inject_bug, args.inject_recovery_bug,
                     args.trace.empty() ? base + ".trace.json" : args.trace);
 
     std::cout << "minimal reproducer: ops=" << shrunk.plan.workload.ops
@@ -170,7 +177,8 @@ int fuzz(const Args& args) {
   std::cout << "all " << completed << " runs clean (seeds " << args.seed
             << ".." << (args.seed + completed - 1) << ")\n";
   if (!args.trace.empty()) {
-    write_trace_for(last_plan, args.inject_bug, args.trace);
+    write_trace_for(last_plan, args.inject_bug, args.inject_recovery_bug,
+                    args.trace);
   }
   return 0;
 }
@@ -213,6 +221,8 @@ int main(int argc, char** argv) {
       args.soak = true;
     } else if (arg == "--inject-bug") {
       args.inject_bug = true;
+    } else if (arg == "--inject-recovery-bug") {
+      args.inject_recovery_bug = true;
     } else {
       return usage();
     }

@@ -4,6 +4,10 @@
 #   tools/run_sanitized_tests.sh                 # asan+ubsan, then tsan
 #   tools/run_sanitized_tests.sh address,undefined
 #   tools/run_sanitized_tests.sh thread -R chaos # tsan, ctest filter
+#   tools/run_sanitized_tests.sh address,undefined -L recovery
+#       # the crash-recovery battery (persist_test's snapshot corruption
+#       # sweep is written to run under asan/ubsan: every bit flip and
+#       # truncation must fail cleanly, never read out of bounds)
 #
 # Each sanitizer config gets its own build tree (build-san-<name>), so the
 # regular build/ directory is never disturbed. Extra arguments after the
