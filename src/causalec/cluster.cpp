@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace causalec {
 
 /// Adapts one server's outbound traffic onto the simulator.
@@ -97,6 +99,9 @@ void Cluster::recover_server(NodeId id) {
                                                             << " is not down");
   sim_->restart(id);
   Server& server = *servers_[id];
+  // Dump the flight-recorder tail before journal replay reuses the ring:
+  // the last protocol events the server saw before its crash.
+  log_flight_tail(id, server.flight_recorder());
   transports_[id]->set_muted(true);
   server.restore_from_journal(journals_[id]->load());
   // Checkpoint the replayed state so a second crash before the next

@@ -73,6 +73,7 @@ class Reader {
     return out;
   }
   bool done() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   erasure::Buffer frame_;
@@ -171,6 +172,13 @@ std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
   } else {
     CEC_CHECK_MSG(false, "codec: unknown message type "
                              << message.type_name());
+  }
+  // Optional 16-byte trace-context trailer. Appended only when the message
+  // is traced, so untraced frames stay byte-identical to the pre-trailer
+  // format (and old frames without the trailer still decode -- see the
+  // matching branch in deserialize_message).
+  if (message.trace.traced()) {
+    w.trace_context(message.trace);
   }
   return w.take();
 }
@@ -306,6 +314,13 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
     }
     default:
       CEC_CHECK_MSG(false, "codec: unknown message type byte");
+  }
+  // Trace-context trailer: present iff exactly 16 bytes follow the body.
+  // Frames from before trace propagation (or untraced sends) end here and
+  // decode to the default "not traced" context.
+  if (r.remaining() == wire::kTraceContextBytes) {
+    out->trace.trace_id = r.u64();
+    out->trace.span_id = r.u64();
   }
   CEC_CHECK_MSG(r.done(), "codec: trailing bytes");
   return out;

@@ -88,6 +88,14 @@ struct ServerConfig {
   /// Observability sinks (see obs/obs.h). Null members disable the
   /// corresponding instrumentation at the cost of one branch per site.
   obs::ObsHooks obs;
+
+  /// Always-on flight recorder (obs/flight_recorder.h): a fixed ring of
+  /// recent protocol events kept even when tracing/metrics are off, dumped
+  /// into chaos replay bundles and by causalec_inspect. Cheap enough to
+  /// leave on (bench_micro --obs gates the overhead at <= 5%); the off
+  /// switch exists for that bench's baseline and for tests.
+  bool flight_recorder = true;
+  std::size_t flight_recorder_capacity = 1024;
 };
 
 }  // namespace causalec

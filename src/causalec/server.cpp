@@ -1,7 +1,10 @@
 #include "causalec/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <set>
+#include <sstream>
 
 #include "causalec/codec.h"
 #include "common/logging.h"
@@ -17,6 +20,37 @@ constexpr OpId kInternalOpidBase = OpId{1} << 63;
 /// Opid range skipped per restore so post-restart internal reads can never
 /// collide with pre-crash reads whose responses are still in flight.
 constexpr std::uint64_t kOpidRecoverySkip = std::uint64_t{1} << 20;
+
+/// Wall-clock nanoseconds for the per-phase latency histograms. Phase
+/// durations are real elapsed time on both runtimes (simulated time never
+/// advances inside an activation, so it cannot decompose one).
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small stable code for the flight recorder's msg_recv events; matches the
+/// codec's MsgType numbering.
+std::uint32_t msg_type_code(const sim::Message& m) {
+  const char* n = m.type_name();
+  if (std::strcmp(n, "app") == 0) return 1;
+  if (std::strcmp(n, "del") == 0) return 2;
+  if (std::strcmp(n, "val_inq") == 0) return 3;
+  if (std::strcmp(n, "val_resp") == 0) return 4;
+  if (std::strcmp(n, "val_resp_encoded") == 0) return 5;
+  if (std::strcmp(n, "recover_digest") == 0) return 6;
+  if (std::strcmp(n, "recover_digest_reply") == 0) return 7;
+  if (std::strcmp(n, "recover_pull") == 0) return 8;
+  if (std::strcmp(n, "recover_push") == 0) return 9;
+  return 0;
+}
+
+std::string tag_string(const Tag& tag) {
+  std::ostringstream out;
+  out << tag;
+  return out.str();
+}
 
 }  // namespace
 
@@ -34,11 +68,13 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
       m_val_(code_->zero_symbol(id)),
       m_tags_(zero_tag_vector(k_, n_)),
       tmax_(zero_tag_vector(k_, n_)),
-      last_del_broadcast_all_(zero_tag_vector(k_, n_)) {
+      last_del_broadcast_all_(zero_tag_vector(k_, n_)),
+      flight_(config_.flight_recorder_capacity) {
   CEC_CHECK(transport_ != nullptr);
   CEC_CHECK(id_ < n_);
   tracer_ = config_.obs.tracer;
   obs_enabled_ = config_.obs.any();
+  flight_on_ = config_.flight_recorder;
   if (obs::MetricsRegistry* metrics = config_.obs.metrics) {
     m_writes_ = &metrics->counter("server.writes");
     m_reads_ = &metrics->counter("server.reads");
@@ -50,6 +86,9 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
     m_recoveries_ = &metrics->counter("server.recoveries");
     m_catchup_bytes_ = &metrics->counter("server.catchup_bytes");
     m_recovery_duration_ = &metrics->histogram("server.recovery_duration_ns");
+    m_phase_apply_ = &metrics->histogram("phase.apply_ns");
+    m_phase_encode_ = &metrics->histogram("phase.encode_ns");
+    m_phase_persist_ = &metrics->histogram("phase.persist_ns");
   }
   for (NodeId j = 0; j < n_; ++j) {
     if (j != id_) others_.push_back(j);
@@ -73,7 +112,8 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
 // ---------------------------------------------------------------------------
 
 void Server::obs_write_done(ObjectId object, ClientId client,
-                            std::size_t bytes, SimTime t0) {
+                            std::size_t bytes, SimTime t0,
+                            std::uint64_t trace_id) {
   if (m_writes_ != nullptr) {
     m_writes_->inc();
     m_write_bytes_->observe(bytes);
@@ -81,14 +121,18 @@ void Server::obs_write_done(ObjectId object, ClientId client,
   if (tracer_ != nullptr) {
     tracer_->complete("write", id_, t0, transport_->now() - t0,
                       {{"object", std::uint64_t{object}},
-                       {"client", std::uint64_t{client}}});
+                       {"client", std::uint64_t{client}},
+                       {"trace", trace_id}});
   }
 }
 
-void Server::obs_read_done(ObjectId object, SimTime t0, const char* path) {
+void Server::obs_read_done(ObjectId object, SimTime t0, const char* path,
+                           const Tag& tag) {
   if (tracer_ != nullptr) {
     tracer_->complete("read", id_, t0, transport_->now() - t0,
-                      {{"object", std::uint64_t{object}}, {"path", path}});
+                      {{"object", std::uint64_t{object}},
+                       {"path", path},
+                       {"dep_tag", tag_string(tag)}});
   }
   if (m_read_latency_ != nullptr) {
     m_read_latency_->observe(
@@ -131,14 +175,18 @@ Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
   // Journal the input, not the effects: replaying the same writes in the
   // same order reproduces the same tags and multicast deterministically.
   if (journal_ != nullptr && journal_->recording()) {
+    const std::int64_t pt0 = m_phase_persist_ != nullptr ? wall_ns() : 0;
     journal_->record_client_write(client, opid, object, value);
+    if (m_phase_persist_ != nullptr) m_phase_persist_->observe(wall_ns() - pt0);
   }
   ++counters_.writes;
   const SimTime obs_t0 = obs_now();
+  active_trace_ = tracer_ != nullptr ? tracer_->new_id() : 0;
 
   vc_.increment(id_);
   Tag tag(vc_, client);
   lists_[object].insert(tag, value);
+  flight(obs::FlightKind::kClientWrite, object, 0, &tag);
 
   // Alg. 1 lines 7-9: answer every pending *external* read on this object
   // with the fresh (causally newest local) value.
@@ -158,10 +206,14 @@ Tag Server::client_write(ClientId client, OpId opid, ObjectId object,
   // Alg. 1 line 6: propagate to every other node. Every AppMessage shares
   // the one payload buffer, and serializing runtimes encode it once.
   transport_->multicast(others_, [&] {
-    return std::make_unique<AppMessage>(object, value, tag, wire_);
+    auto msg = std::make_unique<AppMessage>(object, value, tag, wire_);
+    stamp_trace(*msg, active_trace_);
+    return msg;
   });
 
-  if (obs_enabled_) obs_write_done(object, client, value.size(), obs_t0);
+  if (obs_enabled_) {
+    obs_write_done(object, client, value.size(), obs_t0, active_trace_);
+  }
   run_internal_actions();  // Encoding picks the new version up eagerly
   return tag;
 }
@@ -173,6 +225,8 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
   ++counters_.reads;
   const SimTime obs_t0 = obs_now();
   if (m_reads_ != nullptr) m_reads_->inc();
+  flight(obs::FlightKind::kClientRead, object,
+         static_cast<std::uint32_t>(opid));
 
   // Alg. 1 line 11: serve from the history list when it is at least as new
   // as the encoded version (the zero tag acts as the virtual initial entry).
@@ -181,7 +235,8 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
     ++counters_.reads_served_from_history;
     const auto value = lists_[object].lookup(highest);
     CEC_CHECK(value.has_value());
-    if (obs_enabled_) obs_read_done(object, obs_t0, "history");
+    flight(obs::FlightKind::kReadDone, object, 0, &highest);
+    if (obs_enabled_) obs_read_done(object, obs_t0, "history", highest);
     callback(*value, highest, vc_);
     return;
   }
@@ -192,7 +247,10 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
     const NodeId self[] = {id_};
     const erasure::Symbol syms[] = {m_val_};
     erasure::Value value = code_->decode(object, self, syms);
-    if (obs_enabled_) obs_read_done(object, obs_t0, "local_decode");
+    flight(obs::FlightKind::kReadDone, object, 0, &m_tags_[object]);
+    if (obs_enabled_) {
+      obs_read_done(object, obs_t0, "local_decode", m_tags_[object]);
+    }
     callback(value, m_tags_[object], vc_);
     return;
   }
@@ -212,6 +270,7 @@ void Server::client_read(ClientId client, OpId opid, ObjectId object,
   if (obs_enabled_) {
     read.trace_id = obs_read_remote_begin(object, opid, obs_t0);
   }
+  active_trace_ = read.trace_id;
   register_read(std::move(read));
 }
 
@@ -226,8 +285,14 @@ void Server::on_message(NodeId from, sim::MessagePtr message) {
 
 void Server::dispatch_message(NodeId from, sim::MessagePtr message) {
   if (journal_ != nullptr && journal_->recording()) {
+    const std::int64_t pt0 = m_phase_persist_ != nullptr ? wall_ns() : 0;
     journal_->record_message(from, serialize_message(*message));
+    if (m_phase_persist_ != nullptr) m_phase_persist_->observe(wall_ns() - pt0);
   }
+  // Handlers run in the trace context of the inbound message; outbound
+  // sends they perform inherit it through stamp_trace(active_trace_).
+  active_trace_ = message->trace.trace_id;
+  flight(obs::FlightKind::kMsgRecv, from, msg_type_code(*message));
   if (auto* app = dynamic_cast<AppMessage*>(message.get())) {
     handle_app(from, *app);
   } else if (auto* del = dynamic_cast<DelMessage*>(message.get())) {
@@ -282,8 +347,10 @@ void Server::handle_del(NodeId from, const DelMessage& msg) {
       if (j != msg.origin) targets.push_back(j);
     }
     transport_->multicast(targets, [&] {
-      return std::make_unique<DelMessage>(msg.object, msg.tag, msg.origin,
-                                          /*forward=*/false, wire_);
+      auto fwd = std::make_unique<DelMessage>(msg.object, msg.tag, msg.origin,
+                                              /*forward=*/false, wire_);
+      stamp_trace(*fwd, active_trace_);
+      return fwd;
     });
   }
 }
@@ -296,9 +363,10 @@ void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
   // Alg. 2 line 4: uncoded response when the wanted version is in our list.
   if (const auto value = lists_[object].lookup(msg.wanted[object])) {
     ++counters_.val_resp_sent;
-    transport_->send(from, std::make_unique<ValRespMessage>(
-                               msg.client, msg.opid, object, *value,
-                               msg.wanted, wire_));
+    auto resp = std::make_unique<ValRespMessage>(msg.client, msg.opid, object,
+                                                 *value, msg.wanted, wire_);
+    stamp_trace(*resp, active_trace_);
+    transport_->send(from, std::move(resp));
     if (tracer_ != nullptr) {
       tracer_->complete("val_inq", id_, obs_t0, transport_->now() - obs_t0,
                         {{"object", std::uint64_t{object}},
@@ -325,9 +393,11 @@ void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
     }
   }
   ++counters_.val_resp_encoded_sent;
-  transport_->send(from, std::make_unique<ValRespEncodedMessage>(
-                             msg.client, msg.opid, object, std::move(resp_val),
-                             std::move(resp_tags), msg.wanted, wire_));
+  auto enc = std::make_unique<ValRespEncodedMessage>(
+      msg.client, msg.opid, object, std::move(resp_val), std::move(resp_tags),
+      msg.wanted, wire_);
+  stamp_trace(*enc, active_trace_);
+  transport_->send(from, std::move(enc));
   if (tracer_ != nullptr) {
     tracer_->complete("val_inq", id_, obs_t0, transport_->now() - obs_t0,
                       {{"object", std::uint64_t{object}},
@@ -422,10 +492,12 @@ bool Server::apply_inqueue_step() {
     return true;
   });
   if (!popped) return false;
+  const std::int64_t pt0 = m_phase_apply_ != nullptr ? wall_ns() : 0;
   InQueue::Entry entry = std::move(*popped);
   const NodeId j = entry.origin;
   vc_.set(j, entry.tag.ts[j]);
   lists_[entry.object].insert(entry.tag, entry.value);
+  flight(obs::FlightKind::kApply, entry.object, j, &entry.tag);
 
   // Alg. 3 lines 8-12: clear pending reads this version can serve.
   std::vector<OpId> external_done;
@@ -455,6 +527,7 @@ bool Server::apply_inqueue_step() {
     }
     reads_.remove(opid);  // the value just landed in L[X]
   }
+  if (m_phase_apply_ != nullptr) m_phase_apply_->observe(wall_ns() - pt0);
   return true;
 }
 
@@ -469,9 +542,14 @@ bool Server::encoding_step() {
     if (current) {
       const auto newest = lists_[x].lookup(highest);
       CEC_CHECK(newest.has_value());
+      const std::int64_t pt0 = m_phase_encode_ != nullptr ? wall_ns() : 0;
       code_->reencode(id_, m_val_, x, *current, *newest);
+      if (m_phase_encode_ != nullptr) {
+        m_phase_encode_->observe(wall_ns() - pt0);
+      }
       m_tags_[x] = highest;
       ++counters_.reencodes;
+      flight(obs::FlightKind::kEncode, x, 0, &highest);
       if (obs_enabled_) obs_reencode(x);
       record_del(x, highest);
       send_del_to_containing(x, highest);
@@ -522,6 +600,7 @@ bool Server::encoding_step() {
 
 void Server::run_garbage_collection() {
   ++counters_.gc_runs;
+  active_trace_ = 0;  // timer-driven: no client operation to attribute to
   const SimTime obs_t0 = obs_now();
   std::uint64_t total_removed = 0;
   for (ObjectId x = 0; x < k_; ++x) {
@@ -572,6 +651,7 @@ void Server::run_garbage_collection() {
 
     if (config_.compact_del_lists) dels_[x].compact(tmax_[x]);
   }
+  flight(obs::FlightKind::kGc, static_cast<std::uint32_t>(total_removed));
   if (m_gc_collected_ != nullptr) m_gc_collected_->inc(total_removed);
   if (tracer_ != nullptr) {
     tracer_->complete("gc", id_, obs_t0, transport_->now() - obs_t0,
@@ -688,8 +768,14 @@ void Server::begin_rejoin() {
     ++rejoin_waiting_count_;
   }
   const std::uint64_t epoch = recovery_epoch_;
+  // The whole rejoin round (digest, replies, pulls, pushes) is one flow.
+  active_trace_ = tracer_ != nullptr ? tracer_->new_id() : 0;
+  flight(obs::FlightKind::kRecovery, /*phase=*/0,
+         static_cast<std::uint32_t>(epoch));
   transport_->multicast(others_, [&] {
-    return std::make_unique<RecoverDigestMessage>(epoch, vc_, wire_);
+    auto msg = std::make_unique<RecoverDigestMessage>(epoch, vc_, wire_);
+    stamp_trace(*msg, active_trace_);
+    return msg;
   });
   // Peers that are themselves down never push; finish with whatever arrived
   // by the deadline (they push to us when their own rejoin runs).
@@ -704,15 +790,23 @@ void Server::begin_rejoin() {
 
 void Server::handle_recover_digest(NodeId from,
                                    const RecoverDigestMessage& msg) {
-  transport_->send(from, std::make_unique<RecoverDigestReplyMessage>(
-                             msg.epoch, vc_, wire_));
+  flight(obs::FlightKind::kRecovery, /*phase=*/1,
+         static_cast<std::uint32_t>(msg.epoch));
+  auto reply = std::make_unique<RecoverDigestReplyMessage>(msg.epoch, vc_,
+                                                           wire_);
+  stamp_trace(*reply, active_trace_);
+  transport_->send(from, std::move(reply));
 }
 
 void Server::handle_recover_digest_reply(NodeId from,
                                          const RecoverDigestReplyMessage& msg) {
   if (!recovering_ || msg.epoch != recovery_epoch_) return;
-  transport_->send(from, std::make_unique<RecoverPullMessage>(
-                             recovery_epoch_, vc_, wire_));
+  flight(obs::FlightKind::kRecovery, /*phase=*/2,
+         static_cast<std::uint32_t>(msg.epoch));
+  auto pull = std::make_unique<RecoverPullMessage>(recovery_epoch_, vc_,
+                                                   wire_);
+  stamp_trace(*pull, active_trace_);
+  transport_->send(from, std::move(pull));
   // The peer may be missing writes too (an app multicast of ours lost to
   // the crash window); push it anything its clock does not cover.
   bool behind = false;
@@ -752,9 +846,10 @@ void Server::send_recover_push(NodeId to, std::uint64_t epoch,
     }
   }
   ++counters_.rejoin_pushes_sent;
-  transport_->send(to, std::make_unique<RecoverPushMessage>(
-                           epoch, vc_, std::move(history), std::move(inq),
-                           std::move(dels), wire_));
+  auto push = std::make_unique<RecoverPushMessage>(
+      epoch, vc_, std::move(history), std::move(inq), std::move(dels), wire_);
+  stamp_trace(*push, active_trace_);
+  transport_->send(to, std::move(push));
 }
 
 void Server::handle_recover_push(NodeId from, const RecoverPushMessage& msg) {
@@ -800,6 +895,8 @@ void Server::handle_recover_push(NodeId from, const RecoverPushMessage& msg) {
 
 void Server::finish_rejoin() {
   recovering_ = false;
+  flight(obs::FlightKind::kRecovery, /*phase=*/3,
+         static_cast<std::uint32_t>(recovery_epoch_));
   const SimTime duration = transport_->now() - rejoin_started_at_;
   if (m_recovery_duration_ != nullptr) {
     m_recovery_duration_->observe(static_cast<std::uint64_t>(duration));
@@ -823,18 +920,24 @@ void Server::finish_rejoin() {
 void Server::complete_pending_read(PendingRead& read,
                                    const erasure::Value& value,
                                    const Tag& value_tag) {
+  flight(obs::FlightKind::kReadDone, read.object, 0, &value_tag);
   if (read.is_internal()) {
     if (tracer_ != nullptr && read.trace_id != 0) {
       tracer_->end_async("read.internal", id_, transport_->now(),
-                         read.trace_id, {{"via", "decode"}});
+                         read.trace_id,
+                         {{"via", "decode"}, {"dep_tag", tag_string(value_tag)}});
       read.trace_id = 0;
     }
     lists_[read.object].insert(value_tag, value);
   } else {
     CEC_CHECK(read.callback != nullptr);
     if (tracer_ != nullptr && read.trace_id != 0) {
-      tracer_->end_async("read.remote", id_, transport_->now(),
-                         read.trace_id);
+      // dep_tag: the write this read causally depends on (the returned
+      // version); req_tag: the version the inquiry round requested.
+      tracer_->end_async(
+          "read.remote", id_, transport_->now(), read.trace_id,
+          {{"dep_tag", tag_string(value_tag)},
+           {"req_tag", tag_string(read.requested[read.object])}});
       read.trace_id = 0;
     }
     if (m_read_latency_ != nullptr) {
@@ -972,9 +1075,14 @@ void Server::send_val_inq_to(const std::vector<NodeId>& targets,
   if (targets.empty()) return;
   for ([[maybe_unused]] NodeId j : targets) CEC_DCHECK(j != id_);
   transport_->multicast(targets, [&] {
-    return std::make_unique<ValInqMessage>(read.client, read.opid,
-                                           read.object, read.requested,
-                                           wire_);
+    auto msg = std::make_unique<ValInqMessage>(read.client, read.opid,
+                                               read.object, read.requested,
+                                               wire_);
+    // Inquiries continue the read's own trace (the async span id doubles as
+    // the flow trace id), so write flows and read flows stay distinct even
+    // when an inquiry is sent from inside another message's handler.
+    stamp_trace(*msg, read.trace_id);
+    return msg;
   });
 }
 
@@ -1021,6 +1129,7 @@ std::vector<NodeId> Server::initial_fanout_targets(
 
 void Server::record_del(ObjectId object, const Tag& tag) {
   dels_[object].add(id_, tag);
+  flight(obs::FlightKind::kDelRecord, object, 0, &tag);
 }
 
 void Server::send_del_to_containing(ObjectId object, const Tag& tag) {
@@ -1028,9 +1137,10 @@ void Server::send_del_to_containing(ObjectId object, const Tag& tag) {
       id_ != config_.del_leader) {
     // One hop to the leader, who forwards to everyone -- a superset of the
     // containing servers, which only adds (harmless) DelL entries.
-    transport_->send(config_.del_leader,
-                     std::make_unique<DelMessage>(object, tag, id_,
-                                                  /*forward=*/true, wire_));
+    auto msg = std::make_unique<DelMessage>(object, tag, id_,
+                                            /*forward=*/true, wire_);
+    stamp_trace(*msg, active_trace_);
+    transport_->send(config_.del_leader, std::move(msg));
     return;
   }
   std::vector<NodeId> targets;
@@ -1038,8 +1148,10 @@ void Server::send_del_to_containing(ObjectId object, const Tag& tag) {
     if (j != id_) targets.push_back(j);
   }
   transport_->multicast(targets, [&] {
-    return std::make_unique<DelMessage>(object, tag, id_,
-                                        /*forward=*/false, wire_);
+    auto msg = std::make_unique<DelMessage>(object, tag, id_,
+                                            /*forward=*/false, wire_);
+    stamp_trace(*msg, active_trace_);
+    return msg;
   });
 }
 
@@ -1048,14 +1160,17 @@ void Server::broadcast_del(ObjectId object, const Tag& tag, bool dedupe) {
   last_del_broadcast_all_[object] = tag;
   if (config_.del_routing == DelRouting::kViaLeader &&
       id_ != config_.del_leader) {
-    transport_->send(config_.del_leader,
-                     std::make_unique<DelMessage>(object, tag, id_,
-                                                  /*forward=*/true, wire_));
+    auto msg = std::make_unique<DelMessage>(object, tag, id_,
+                                            /*forward=*/true, wire_);
+    stamp_trace(*msg, active_trace_);
+    transport_->send(config_.del_leader, std::move(msg));
     return;
   }
   transport_->multicast(others_, [&] {
-    return std::make_unique<DelMessage>(object, tag, id_,
-                                        /*forward=*/false, wire_);
+    auto msg = std::make_unique<DelMessage>(object, tag, id_,
+                                            /*forward=*/false, wire_);
+    stamp_trace(*msg, active_trace_);
+    return msg;
   });
 }
 

@@ -27,8 +27,10 @@
 #include "causalec/tag.h"
 #include "common/types.h"
 #include "erasure/code.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "persist/image.h"
 #include "persist/journal.h"
 #include "sim/simulation.h"
@@ -178,6 +180,11 @@ class Server final : public sim::Actor {
   StorageStats storage() const;
   const ServerCounters& counters() const { return counters_; }
 
+  /// Always-on ring of recent protocol events (config.flight_recorder);
+  /// dumped into chaos replay bundles, on recovery restart, and by
+  /// causalec_inspect.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
  private:
   // Message handlers (Alg. 1 line 44, Alg. 2).
   void handle_app(NodeId from, const AppMessage& msg);
@@ -224,15 +231,34 @@ class Server final : public sim::Actor {
     return obs_enabled_ ? transport_->now() : 0;
   }
 
+  /// Attaches trace context to an outbound message: `trace_id` names the
+  /// client operation the message belongs to, the freshly minted span id
+  /// binds the 's'/'f' flow pair the routers emit for this send edge.
+  void stamp_trace(sim::Message& message, std::uint64_t trace_id) {
+    if (tracer_ == nullptr || trace_id == 0) return;
+    message.trace.trace_id = trace_id;
+    message.trace.span_id = tracer_->new_id();
+  }
+
+  /// Flight-recorder entry (no-op when config.flight_recorder is false).
+  void flight(obs::FlightKind kind, std::uint32_t a = 0, std::uint32_t b = 0,
+              const Tag* tag = nullptr) {
+    if (!flight_on_) return;
+    flight_.record(transport_->now(), kind, a, b,
+                   tag != nullptr ? tag->ts.sum() : 0,
+                   tag != nullptr ? static_cast<std::uint32_t>(tag->id) : 0);
+  }
+
   // Cold observability emitters, one per hot-path site. Kept out of line and
   // never inlined: the trace-argument construction otherwise bloats
   // client_write/client_read enough to measurably slow them down even when
   // observability is disabled and the code never runs. Call only under
   // `if (obs_enabled_)` so the disabled cost is one predictable branch.
   [[gnu::noinline]] void obs_write_done(ObjectId object, ClientId client,
-                                        std::size_t bytes, SimTime t0);
+                                        std::size_t bytes, SimTime t0,
+                                        std::uint64_t trace_id);
   [[gnu::noinline]] void obs_read_done(ObjectId object, SimTime t0,
-                                       const char* path);
+                                       const char* path, const Tag& tag);
   [[gnu::noinline]] std::uint64_t obs_read_remote_begin(ObjectId object,
                                                         OpId opid, SimTime t0);
   [[gnu::noinline]] std::uint64_t obs_read_internal_begin(ObjectId object,
@@ -284,6 +310,9 @@ class Server final : public sim::Actor {
   // -- Observability (null/false when disabled) ----------------------------
   obs::Tracer* tracer_ = nullptr;
   bool obs_enabled_ = false;
+  /// Trace id of the client operation (or inbound message) currently being
+  /// processed; 0 when untraced. Outbound sends inherit it via stamp_trace.
+  std::uint64_t active_trace_ = 0;
   // Handles resolved once at construction; updates are lock-free.
   obs::Counter* m_writes_ = nullptr;
   obs::Counter* m_reads_ = nullptr;
@@ -295,6 +324,14 @@ class Server final : public sim::Actor {
   obs::Counter* m_recoveries_ = nullptr;
   obs::Counter* m_catchup_bytes_ = nullptr;
   obs::Histogram* m_recovery_duration_ = nullptr;
+  // Per-phase latency decomposition (steady-clock wall time, both runtimes).
+  obs::Histogram* m_phase_apply_ = nullptr;
+  obs::Histogram* m_phase_encode_ = nullptr;
+  obs::Histogram* m_phase_persist_ = nullptr;
+
+  // -- Flight recorder (always on; see config.flight_recorder) -------------
+  obs::FlightRecorder flight_;
+  bool flight_on_ = true;
 };
 
 }  // namespace causalec

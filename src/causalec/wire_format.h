@@ -17,8 +17,14 @@
 #include "causalec/tag.h"
 #include "erasure/buffer.h"
 #include "erasure/value.h"
+#include "obs/trace_context.h"
 
 namespace causalec::wire {
+
+/// Serialized trace-context trailer size: two u64s (trace id, span id).
+/// The trailer is appended to a frame only when the message is traced, so
+/// untraced frames are byte-identical to the pre-trailer format.
+inline constexpr std::size_t kTraceContextBytes = 16;
 
 class Writer {
  public:
@@ -52,6 +58,10 @@ class Writer {
   void tagvec(const TagVector& tv) {
     u32(static_cast<std::uint32_t>(tv.size()));
     for (const Tag& t : tv) tag(t);
+  }
+  void trace_context(const obs::TraceContext& ctx) {
+    u64(ctx.trace_id);
+    u64(ctx.span_id);
   }
   std::size_t size() const { return buf_.size(); }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
@@ -123,6 +133,18 @@ class SafeReader {
     out.reserve(k);
     for (std::uint32_t i = 0; i < k && ok(); ++i) out.push_back(tag(max_entries));
     return out;
+  }
+
+  /// Decodes the optional trailer: consumes it when exactly
+  /// kTraceContextBytes remain, otherwise returns the default "not traced"
+  /// context (old frames, untraced sends).
+  obs::TraceContext trace_context() {
+    obs::TraceContext ctx;
+    if (remaining() == kTraceContextBytes) {
+      ctx.trace_id = u64();
+      ctx.span_id = u64();
+    }
+    return ctx;
   }
 
   bool ok() const { return error_.empty(); }

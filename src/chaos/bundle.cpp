@@ -3,9 +3,53 @@
 #include <functional>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace causalec::chaos {
+
+namespace {
+
+// Re-serializes a parsed JSON subtree to text, so a sub-schema's own parser
+// (FaultPlan::from_json, flight_events_from_json) can own its decoding.
+std::string reserialize(const obs::JsonValue& root) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  std::function<void(const obs::JsonValue&)> emit =
+      [&](const obs::JsonValue& value) {
+        switch (value.kind()) {
+          case obs::JsonValue::Kind::kNull:
+            w.value_null();
+            break;
+          case obs::JsonValue::Kind::kBool:
+            w.value(value.as_bool());
+            break;
+          case obs::JsonValue::Kind::kNumber:
+            w.value_raw(value.number_literal());
+            break;
+          case obs::JsonValue::Kind::kString:
+            w.value(value.as_string());
+            break;
+          case obs::JsonValue::Kind::kArray:
+            w.begin_array();
+            for (const auto& item : value.items()) emit(item);
+            w.end_array();
+            break;
+          case obs::JsonValue::Kind::kObject:
+            w.begin_object();
+            for (const auto& [key, member] : value.members()) {
+              w.key(key);
+              emit(member);
+            }
+            w.end_object();
+            break;
+        }
+      };
+  emit(root);
+  return out.str();
+}
+
+}  // namespace
 
 std::string bundle_to_json(const ReplayBundle& bundle) {
   std::ostringstream out;
@@ -24,6 +68,12 @@ std::string bundle_to_json(const ReplayBundle& bundle) {
   w.key("violations");
   w.begin_array();
   for (const std::string& v : bundle.violations) w.value(v);
+  w.end_array();
+  w.key("flight");
+  w.begin_array();
+  for (const auto& node_events : bundle.flight) {
+    w.value_raw(obs::flight_events_to_json(node_events));
+  }
   w.end_array();
   w.key("plan");
   w.value_raw(bundle.plan.to_json());
@@ -69,44 +119,24 @@ std::optional<ReplayBundle> bundle_from_json(std::string_view text) {
     bundle.violations.push_back(v.as_string());
   }
 
+  // Optional flight-recorder dumps (bundles written before the flight
+  // recorder existed simply lack the key).
+  if (const auto* flight = doc->find("flight")) {
+    if (flight->kind() != obs::JsonValue::Kind::kArray) return std::nullopt;
+    for (const obs::JsonValue& node_events : flight->items()) {
+      if (node_events.kind() != obs::JsonValue::Kind::kArray) {
+        return std::nullopt;
+      }
+      bundle.flight.push_back(
+          obs::flight_events_from_json(reserialize(node_events)));
+    }
+  }
+
   const auto* plan = doc->find("plan");
   if (!plan) return std::nullopt;
   // Round-trip the plan through its own parser: re-serialize the subtree.
   // (The plan parser owns the schema; keeping one decoder avoids drift.)
-  std::ostringstream plan_text;
-  obs::JsonWriter w(plan_text);
-  std::function<void(const obs::JsonValue&)> emit =
-      [&](const obs::JsonValue& value) {
-        switch (value.kind()) {
-          case obs::JsonValue::Kind::kNull:
-            w.value_null();
-            break;
-          case obs::JsonValue::Kind::kBool:
-            w.value(value.as_bool());
-            break;
-          case obs::JsonValue::Kind::kNumber:
-            w.value_raw(value.number_literal());
-            break;
-          case obs::JsonValue::Kind::kString:
-            w.value(value.as_string());
-            break;
-          case obs::JsonValue::Kind::kArray:
-            w.begin_array();
-            for (const auto& item : value.items()) emit(item);
-            w.end_array();
-            break;
-          case obs::JsonValue::Kind::kObject:
-            w.begin_object();
-            for (const auto& [key, member] : value.members()) {
-              w.key(key);
-              emit(member);
-            }
-            w.end_object();
-            break;
-        }
-      };
-  emit(*plan);
-  auto parsed = FaultPlan::from_json(plan_text.str());
+  auto parsed = FaultPlan::from_json(reserialize(*plan));
   if (!parsed) return std::nullopt;
   bundle.plan = std::move(*parsed);
   return bundle;

@@ -14,6 +14,7 @@
 
 #include "chaos/fault_plan.h"
 #include "chaos/runner.h"
+#include "obs/flight_recorder.h"
 
 namespace causalec::chaos {
 
@@ -25,6 +26,11 @@ struct ReplayBundle {
   bool inject_recovery_bug = false;
   std::uint64_t history_hash = 0;
   std::vector<std::string> violations;
+  /// Per-server flight-recorder tails from the failing run (index = server
+  /// id; RunOutcome::flight). Optional in the JSON (absent = empty) so old
+  /// bundles stay readable. Diagnostic only: replay ignores it beyond
+  /// echoing, and it never affects the history hash.
+  std::vector<std::vector<obs::FlightEvent>> flight;
 };
 
 std::string bundle_to_json(const ReplayBundle& bundle);

@@ -302,6 +302,13 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
     }
   }
 
+  // Capture every node's flight-recorder tail; replay bundles embed these
+  // so a shrunk reproducer shows the last protocol events each server saw.
+  outcome.flight.reserve(w.num_servers);
+  for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+    outcome.flight.push_back(cluster.server(s).flight_recorder().snapshot());
+  }
+
   outcome.net = sim.stats();
   outcome.history_hash = hash_run(history, outcome.final_reads, outcome.net);
   outcome.ok = outcome.violations.empty();

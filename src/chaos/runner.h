@@ -15,6 +15,7 @@
 
 #include "chaos/fault_plan.h"
 #include "consistency/history.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
 
@@ -48,6 +49,10 @@ struct RunOutcome {
   consistency::History history;
   /// The per-survivor final reads used by the convergence check.
   std::vector<consistency::OpRecord> final_reads;
+  /// Each server's flight-recorder tail at the end of the run (index =
+  /// server id). Dumped into replay bundles so a shrunk reproducer carries
+  /// the last protocol events every node saw before the failure.
+  std::vector<std::vector<obs::FlightEvent>> flight;
 };
 
 /// Runs `plan` on a fresh cluster. CHECK-fails on structurally invalid

@@ -1,0 +1,101 @@
+#include "obs/flight_recorder.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace causalec::obs {
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kNone: return "none";
+    case FlightKind::kClientWrite: return "client_write";
+    case FlightKind::kClientRead: return "client_read";
+    case FlightKind::kMsgRecv: return "msg_recv";
+    case FlightKind::kApply: return "apply";
+    case FlightKind::kEncode: return "encode";
+    case FlightKind::kDelRecord: return "del_record";
+    case FlightKind::kGc: return "gc";
+    case FlightKind::kReadDone: return "read_done";
+    case FlightKind::kRecovery: return "recovery";
+    case FlightKind::kTimer: return "timer";
+  }
+  return "unknown";
+}
+
+std::string flight_events_to_json(const std::vector<FlightEvent>& events) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_array();
+  for (const FlightEvent& e : events) {
+    w.begin_object();
+    w.key("ts_ns");
+    w.value(e.ts_ns);
+    w.key("kind");
+    w.value(flight_kind_name(e.kind));
+    w.key("k");
+    w.value(static_cast<std::uint64_t>(e.kind));
+    w.key("a");
+    w.value(static_cast<std::uint64_t>(e.a));
+    w.key("b");
+    w.value(static_cast<std::uint64_t>(e.b));
+    w.key("tag_sum");
+    w.value(e.tag_sum);
+    w.key("tag_client");
+    w.value(static_cast<std::uint64_t>(e.tag_client));
+    w.end_object();
+  }
+  w.end_array();
+  return out.str();
+}
+
+std::vector<FlightEvent> flight_events_from_json(const std::string& json) {
+  std::vector<FlightEvent> out;
+  const auto doc = json_parse(json);
+  if (!doc || doc->kind() != JsonValue::Kind::kArray) return out;
+  for (const JsonValue& item : doc->items()) {
+    if (item.kind() != JsonValue::Kind::kObject) return {};
+    FlightEvent e;
+    if (const auto* v = item.find("ts_ns")) e.ts_ns = v->as_i64();
+    if (const auto* v = item.find("k")) {
+      e.kind = static_cast<FlightKind>(v->as_u64());
+    }
+    if (const auto* v = item.find("a")) {
+      e.a = static_cast<std::uint32_t>(v->as_u64());
+    }
+    if (const auto* v = item.find("b")) {
+      e.b = static_cast<std::uint32_t>(v->as_u64());
+    }
+    if (const auto* v = item.find("tag_sum")) e.tag_sum = v->as_u64();
+    if (const auto* v = item.find("tag_client")) {
+      e.tag_client = static_cast<std::uint32_t>(v->as_u64());
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string flight_event_to_string(const FlightEvent& event) {
+  std::ostringstream out;
+  out << flight_kind_name(event.kind) << " a=" << event.a << " b=" << event.b;
+  if (event.tag_sum != 0 || event.tag_client != 0) {
+    out << " tag=" << event.tag_sum << "@c" << event.tag_client;
+  }
+  out << " @" << event.ts_ns / 1000 << "us";
+  return out.str();
+}
+
+void log_flight_tail(int node, const FlightRecorder& recorder,
+                     std::size_t max_events) {
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  const std::size_t begin =
+      events.size() > max_events ? events.size() - max_events : 0;
+  CEC_LOG(kInfo) << "s" << node << " flight tail (" << recorder.recorded()
+                 << " recorded, showing " << events.size() - begin << ")";
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    CEC_LOG(kInfo) << "s" << node << "   " << flight_event_to_string(events[i]);
+  }
+}
+
+}  // namespace causalec::obs

@@ -69,6 +69,32 @@ void Tracer::end_async(std::string_view name, std::uint32_t node,
   push(std::move(e));
 }
 
+void Tracer::flow_start(std::string_view name, std::uint32_t node,
+                        std::int64_t ts_ns, std::uint64_t id,
+                        std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 's';
+  e.ts_ns = ts_ns;
+  e.node = node;
+  e.id = id;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
+void Tracer::flow_finish(std::string_view name, std::uint32_t node,
+                         std::int64_t ts_ns, std::uint64_t id,
+                         std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'f';
+  e.ts_ns = ts_ns;
+  e.node = node;
+  e.id = id;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
 std::size_t Tracer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -133,9 +159,14 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       w.key("dur");
       w.value(static_cast<double>(e.dur_ns) / 1e3);
     }
-    if (e.phase == 'b' || e.phase == 'e') {
+    if (e.phase == 'b' || e.phase == 'e' || e.phase == 's' ||
+        e.phase == 'f') {
       w.key("id");
       w.value(e.id);
+    }
+    if (e.phase == 'f') {
+      w.key("bp");  // bind the finish to the enclosing slice's end
+      w.value("e");
     }
     if (e.phase == 'i') {
       w.key("s");  // instant scope: thread
@@ -169,6 +200,8 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     w.end_object();
   }
   w.end_array();
+  w.key("causalecDropped");
+  w.value(dropped_);
   w.end_object();
 }
 
@@ -197,6 +230,17 @@ void Tracer::write_jsonl(std::ostream& out) const {
     w.end_object();
     out << '\n';
   }
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("footer");
+  w.begin_object();
+  w.key("events");
+  w.value(static_cast<std::uint64_t>(events_.size()));
+  w.key("dropped");
+  w.value(dropped_);
+  w.end_object();
+  w.end_object();
+  out << '\n';
 }
 
 }  // namespace causalec::obs

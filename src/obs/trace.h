@@ -42,11 +42,12 @@ struct TraceArg {
 
 struct TraceEvent {
   std::string name;
-  char phase = 'i';          // 'X' complete, 'i' instant, 'b'/'e' async
+  char phase = 'i';          // 'X' complete, 'i' instant, 'b'/'e' async,
+                             // 's'/'f' flow start/finish
   std::int64_t ts_ns = 0;
   std::int64_t dur_ns = 0;   // 'X' only
   std::uint32_t node = 0;    // exported as pid
-  std::uint64_t id = 0;      // async correlation ('b'/'e')
+  std::uint64_t id = 0;      // async/flow correlation ('b'/'e'/'s'/'f')
   std::vector<TraceArg> args;
 };
 
@@ -77,6 +78,21 @@ class Tracer {
                  std::int64_t ts_ns, std::uint64_t id,
                  std::initializer_list<TraceArg> args = {});
 
+  /// Chrome flow events linking a send ('s') on one node lane to the
+  /// matching receive ('f') on another. The viewer binds the pair by
+  /// (name, cat, id), so both sides must use the same name and the id from
+  /// the message's TraceContext span. `new_id()` mints flow/span ids from
+  /// the same per-tracer counter as begin_async.
+  std::uint64_t new_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void flow_start(std::string_view name, std::uint32_t node,
+                  std::int64_t ts_ns, std::uint64_t id,
+                  std::initializer_list<TraceArg> args = {});
+  void flow_finish(std::string_view name, std::uint32_t node,
+                   std::int64_t ts_ns, std::uint64_t id,
+                   std::initializer_list<TraceArg> args = {});
+
   std::size_t size() const;
   std::uint64_t dropped() const;
   std::vector<TraceEvent> events() const;  // copy, for tests
@@ -85,10 +101,12 @@ class Tracer {
 
   /// Chrome trace_event "JSON object format": {"traceEvents": [...]}.
   /// Timestamps are shifted so the earliest event is t=0 and converted to
-  /// microseconds (the trace_event unit).
+  /// microseconds (the trace_event unit). A "causalecDropped" top-level key
+  /// records how many events overflowed the capacity cap.
   void write_chrome_trace(std::ostream& out) const;
 
-  /// One JSON object per line, timestamps kept in raw nanoseconds.
+  /// One JSON object per line, timestamps kept in raw nanoseconds. Ends
+  /// with a {"footer": ...} line carrying the dropped-event count.
   void write_jsonl(std::ostream& out) const;
 
  private:

@@ -1,0 +1,27 @@
+// Trace context carried across node boundaries.
+//
+// A TraceContext rides on every sim::Message (and, when the message is
+// serialized, as an optional 16-byte trailer in the wire frame) so that one
+// client operation -- a write fanning out as AppMessages, or a read walking
+// through ValInq/ValResp exchanges -- renders as a single end-to-end flow in
+// the trace viewer. `trace_id` names the client operation; `span_id` names
+// one send edge (unique per tracer) and binds the Chrome flow-event pair
+// ('s' at the sender, 'f' at the receiver).
+//
+// trace_id == 0 means "not traced": the default for every message, the
+// decoded value for frames produced before trace propagation existed, and
+// the reason untraced frames stay byte-identical to the old format.
+#pragma once
+
+#include <cstdint>
+
+namespace causalec::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // client operation this message belongs to
+  std::uint64_t span_id = 0;   // send edge; Chrome flow binding id
+
+  bool traced() const { return trace_id != 0; }
+};
+
+}  // namespace causalec::obs

@@ -8,6 +8,7 @@
 #include "common/expect.h"
 #include "erasure/buffer.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -42,7 +43,14 @@ class ThreadedCluster::Node {
         config_(&config),
         cluster_(cluster),
         transport_(this),
-        server_(id, std::move(code), config.server, &transport_) {}
+        server_(id, std::move(code), config.server, &transport_) {
+    if (obs::MetricsRegistry* metrics = config.obs.metrics) {
+      m_queue_wait_ = &metrics->histogram("phase.queue_wait_ns");
+      m_deserialize_ = &metrics->histogram("phase.deserialize_ns");
+      m_mailbox_depth_ =
+          &metrics->gauge("runtime.mailbox_depth.s" + std::to_string(id));
+    }
+  }
 
   void start() { thread_ = std::thread([this] { run(); }); }
 
@@ -85,6 +93,9 @@ class ThreadedCluster::Node {
     }
     timers_.clear();
     muted_ = true;
+    // Post-mortem: dump the last protocol events the node recorded before
+    // its crash, before journal replay starts reusing the ring.
+    obs::log_flight_tail(static_cast<int>(id_), server_.flight_recorder());
     server_.restore_from_journal(journal_->load());
     // Checkpoint the replayed state so a second crash before the next
     // snapshot timer does not replay the whole WAL again.
@@ -124,11 +135,11 @@ class ThreadedCluster::Node {
   /// arena; deserialization happens on the node thread and its payloads
   /// alias the frame.
   void deliver_frame(NodeId from, erasure::Buffer frame) {
-    enqueue(Inbound{from, std::move(frame), nullptr});
+    enqueue(Inbound{from, std::move(frame), nullptr, Clock::now()});
   }
 
   void deliver_direct(NodeId from, sim::MessagePtr message) {
-    enqueue(Inbound{from, {}, std::move(message)});
+    enqueue(Inbound{from, {}, std::move(message), Clock::now()});
   }
 
  private:
@@ -138,6 +149,7 @@ class ThreadedCluster::Node {
     NodeId from;
     erasure::Buffer frame;
     sim::MessagePtr message;
+    Clock::time_point enqueued_at;  // mailbox queue-wait measurement
   };
 
   class NodeTransport final : public Transport {
@@ -190,10 +202,16 @@ class ThreadedCluster::Node {
 
   void trace_deliver(NodeId from, const sim::Message& message) {
     if (obs::Tracer* tracer = config_->obs.tracer) {
-      tracer->instant("msg.deliver", id_, to_ns(Clock::now()),
+      const SimTime now_ns = to_ns(Clock::now());
+      tracer->instant("msg.deliver", id_, now_ns,
                       {{"from", std::uint64_t{from}},
                        {"type", message.type_name()},
                        {"bytes", std::uint64_t{message.wire_bytes()}}});
+      if (message.trace.traced()) {
+        tracer->flow_finish(std::string("flow.") + message.type_name(), id_,
+                            now_ns, message.trace.span_id,
+                            {{"trace", message.trace.trace_id}});
+      }
     }
   }
 
@@ -225,11 +243,27 @@ class ThreadedCluster::Node {
       }
       for (auto& task : batch) task();
       if (!inbound.empty()) {
+        if (m_mailbox_depth_ != nullptr) {
+          // Depth the drain found waiting: queue buildup shows here before
+          // it becomes tail latency.
+          m_mailbox_depth_->set(static_cast<std::int64_t>(inbound.size()));
+        }
         for (Inbound& in : inbound) {
-          sim::MessagePtr message =
-              in.message != nullptr
-                  ? std::move(in.message)
-                  : deserialize_message(std::move(in.frame));
+          if (m_queue_wait_ != nullptr) {
+            m_queue_wait_->observe(static_cast<std::uint64_t>(
+                to_ns(Clock::now()) - to_ns(in.enqueued_at)));
+          }
+          sim::MessagePtr message;
+          if (in.message != nullptr) {
+            message = std::move(in.message);
+          } else if (m_deserialize_ != nullptr) {
+            const SimTime t0 = to_ns(Clock::now());
+            message = deserialize_message(std::move(in.frame));
+            m_deserialize_->observe(
+                static_cast<std::uint64_t>(to_ns(Clock::now()) - t0));
+          } else {
+            message = deserialize_message(std::move(in.frame));
+          }
           trace_deliver(in.from, *message);
           server_.dispatch_message(in.from, std::move(message));
         }
@@ -276,6 +310,11 @@ class ThreadedCluster::Node {
   bool stop_ = false;
   std::vector<Timer> timers_;  // node-thread only
 
+  // Phase-decomposition handles (null when metrics are off).
+  obs::Histogram* m_queue_wait_ = nullptr;
+  obs::Histogram* m_deserialize_ = nullptr;
+  obs::Gauge* m_mailbox_depth_ = nullptr;
+
   persist::Journal* journal_ = nullptr;
   /// False between stop() and recover_and_restart(): peers' frames for
   /// this node are dropped at the router, like a dead NIC.
@@ -299,6 +338,7 @@ ThreadedCluster::ThreadedCluster(erasure::CodePtr code,
   }
   if (config_.obs.metrics != nullptr) {
     config_.server.obs.metrics = config_.obs.metrics;
+    m_serialize_ = &config_.obs.metrics->histogram("phase.serialize_ns");
   }
   const std::size_t n = code_->num_servers();
   nodes_.reserve(n);
@@ -335,10 +375,17 @@ void ThreadedCluster::note_send(NodeId from, NodeId to,
     metrics->counter(std::string("net.bytes.") + type).inc(bytes);
   }
   if (obs::Tracer* tracer = config_.obs.tracer) {
-    tracer->instant("msg.send", from, to_ns(Clock::now()),
+    const SimTime now_ns = to_ns(Clock::now());
+    tracer->instant("msg.send", from, now_ns,
                     {{"to", std::uint64_t{to}},
                      {"type", message.type_name()},
                      {"bytes", std::uint64_t{bytes}}});
+    if (message.trace.traced()) {
+      // A multicast shares one span id: one start, one finish per receiver.
+      tracer->flow_start(std::string("flow.") + message.type_name(), from,
+                         now_ns, message.trace.span_id,
+                         {{"trace", message.trace.trace_id}});
+    }
   }
 }
 
@@ -347,8 +394,13 @@ void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
   note_send(from, to, *message);
   if (!nodes_[to]->accepting()) return;  // crashed node: frame is lost
   if (config_.serialize_messages) {
-    nodes_[to]->deliver_frame(
-        from, erasure::Buffer::adopt(serialize_message(*message)));
+    const SimTime t0 = m_serialize_ != nullptr ? to_ns(Clock::now()) : 0;
+    auto frame = erasure::Buffer::adopt(serialize_message(*message));
+    if (m_serialize_ != nullptr) {
+      m_serialize_->observe(
+          static_cast<std::uint64_t>(to_ns(Clock::now()) - t0));
+    }
+    nodes_[to]->deliver_frame(from, std::move(frame));
   } else {
     nodes_[to]->deliver_direct(from, std::move(message));
   }
@@ -364,8 +416,13 @@ void ThreadedCluster::multicast_route(
   }
   // Serialize once; every destination mailbox shares the frame's arena.
   const sim::MessagePtr message = make();
+  const SimTime t0 = m_serialize_ != nullptr ? to_ns(Clock::now()) : 0;
   const erasure::Buffer frame =
       erasure::Buffer::adopt(serialize_message(*message));
+  if (m_serialize_ != nullptr) {
+    m_serialize_->observe(
+        static_cast<std::uint64_t>(to_ns(Clock::now()) - t0));
+  }
   for (NodeId to : targets) {
     CEC_CHECK(to < nodes_.size());
     note_send(from, to, *message);

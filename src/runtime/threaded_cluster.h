@@ -119,6 +119,8 @@ class ThreadedCluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<persist::Journal>> journals_;
   std::atomic<OpId> next_opid_{1};
+  /// Broadcast-serialize phase histogram (null when metrics are off).
+  obs::Histogram* m_serialize_ = nullptr;
 };
 
 }  // namespace causalec::runtime

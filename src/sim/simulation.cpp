@@ -49,6 +49,11 @@ void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
                          {{"to", std::uint64_t{to}},
                           {"type", type},
                           {"bytes", std::uint64_t{bytes}}});
+    if (message->trace.traced()) {
+      obs_.tracer->flow_start(std::string("flow.") + type, from, now_,
+                              message->trace.span_id,
+                              {{"trace", message->trace.trace_id}});
+    }
   }
 
   SimTime delay =
@@ -87,6 +92,11 @@ void Simulation::send(NodeId from, NodeId to, MessagePtr message) {
                            {{"from", std::uint64_t{from}},
                             {"type", type},
                             {"bytes", std::uint64_t{bytes}}});
+      const obs::TraceContext& trace = (*holder)->trace;
+      if (trace.traced()) {
+        obs_.tracer->flow_finish(std::string("flow.") + type, to, now_,
+                                 trace.span_id, {{"trace", trace.trace_id}});
+      }
     }
     actors_[to]->on_message(from, std::move(*holder));
   });

@@ -19,6 +19,7 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "obs/obs.h"
+#include "obs/trace_context.h"
 #include "sim/latency.h"
 
 namespace causalec::sim {
@@ -31,6 +32,11 @@ class Message {
   virtual std::size_t wire_bytes() const = 0;
   /// Stable name for per-type accounting ("app", "val_inq", ...).
   virtual const char* type_name() const = 0;
+
+  /// Trace-context propagation (observability only): never consulted by the
+  /// protocol and excluded from wire_bytes(), so traced and untraced runs
+  /// produce identical communication-cost accounting.
+  obs::TraceContext trace;
 };
 
 using MessagePtr = std::unique_ptr<Message>;

@@ -260,11 +260,15 @@ TEST(TracerTest, JsonlLinesAreEachValid) {
   std::istringstream in(out.str());
   std::string line;
   std::size_t lines = 0;
+  std::string last;
   while (std::getline(in, line)) {
     EXPECT_TRUE(is_valid_json(line)) << line;
     ++lines;
+    last = line;
   }
-  EXPECT_EQ(lines, 2u);
+  // Two event lines plus the trailing {"footer":...} accounting line.
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(last.find("\"footer\""), std::string::npos) << last;
 }
 
 // --- BenchReport ---------------------------------------------------------

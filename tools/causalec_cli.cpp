@@ -291,6 +291,12 @@ int main(int argc, char** argv) {
                [&](std::ostream& o) { tracer->write_jsonl(o); });
   }
   if (!opt.metrics_out.empty()) {
+    // Surface the tracer's overflow count next to the metrics it would have
+    // explained: a nonzero trace.dropped means the trace files are partial.
+    if (tracer) {
+      metrics->gauge("trace.dropped")
+          .set(static_cast<std::int64_t>(tracer->dropped()));
+    }
     write_file(opt.metrics_out,
                [&](std::ostream& o) { metrics->write_json(o); });
     const auto snap = metrics->snapshot();

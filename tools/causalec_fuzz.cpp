@@ -150,6 +150,7 @@ int fuzz(const Args& args) {
     bundle.inject_recovery_bug = args.inject_recovery_bug;
     bundle.history_hash = shrunk.outcome.history_hash;
     bundle.violations = shrunk.outcome.violations;
+    bundle.flight = shrunk.outcome.flight;
 
     const std::string base =
         args.out_dir + "/causalec_repro_seed" + std::to_string(seed);

@@ -8,6 +8,11 @@
 #       # the crash-recovery battery (persist_test's snapshot corruption
 #       # sweep is written to run under asan/ubsan: every bit flip and
 #       # truncation must fail cleanly, never read out of bounds)
+#   tools/run_sanitized_tests.sh thread -L obs
+#       # the observability battery; under tsan this exercises the
+#       # flight recorder's lock-free snapshot-vs-writer protocol and the
+#       # shared tracer/metrics sinks across node threads (the wall-clock
+#       # obs_bench_smoke ratio gate is skipped in sanitized builds)
 #
 # Each sanitizer config gets its own build tree (build-san-<name>), so the
 # regular build/ directory is never disturbed. Extra arguments after the
