@@ -482,19 +482,165 @@ int run_obs_bench(bool smoke) {
   return report.write_default().empty() ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------------
+// --repair: repair-plan traffic and degraded-read latency per code shape
+// (DESIGN.md §5.4, EXPERIMENTS.md E13). For each of RS(6,4), Azure-
+// LRC(6,2,2) and wide RS(14,10) the planner's single-data-failure summary
+// is emitted (fetched rows/bytes vs the full-decode baseline -- exact,
+// machine-independent integers), plus wall-clock MB/s of executing the
+// minimal and full-decode symbol repairs and of a degraded object read
+// through the plan's helper set. BENCH_repair.json's committed baseline
+// (bench/baselines/BENCH_repair.baseline.json, MAX_REGRESSION=0.0) pins
+// the traffic ratios: LRC local-group repair must stay at half the rows of
+// its full decode and strictly under RS(6,4)'s full-decode bytes, and the
+// MDS wide stripe must keep degenerating to full decode exactly.
+// ---------------------------------------------------------------------------
+
+int run_repair_bench(bool smoke) {
+  using Code256 = erasure::LinearCodeT<gf::GF256>;
+  const double min_seconds = smoke ? 0.005 : 0.05;
+  constexpr std::size_t kB = 4096;
+
+  obs::BenchReport report("repair");
+  report.set_config("smoke", smoke);
+  report.set_config("value_bytes", static_cast<std::uint64_t>(kB));
+  report.set_config("active_tier",
+                    gf::kernels::tier_name(gf::kernels::active_tier()));
+
+  struct Shape {
+    const char* name;
+    erasure::CodePtr code;
+  };
+  const Shape shapes[] = {
+      {"rs_6_4", erasure::make_systematic_rs(6, 4, kB)},
+      {"azure_lrc_6_2_2", erasure::make_azure_lrc_6_2_2(kB)},
+      {"rs_14_10", erasure::make_wide_rs_14_10(kB)},
+  };
+
+  double lrc_repair_bytes = 0;
+  double rs64_full_decode_bytes = 0;
+  for (const Shape& shape : shapes) {
+    const auto code = std::dynamic_pointer_cast<const Code256>(shape.code);
+    const std::size_t n = code->num_servers();
+    const std::size_t k = code->num_objects();
+    const NodeId failed = 0;  // systematic data server in every shape
+
+    Rng rng(13);
+    std::vector<Value> values;
+    for (std::size_t i = 0; i < k; ++i) {
+      Value v(kB);
+      for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+      values.push_back(std::move(v));
+    }
+    std::vector<erasure::Symbol> symbols;
+    for (NodeId s = 0; s < n; ++s) symbols.push_back(code->encode(s, values));
+
+    // Planner traffic summary: exact integers, the regression gate.
+    const auto summary = code->plan_symbol_repair(failed, 1u << failed);
+    auto& traffic =
+        report.add_row(std::string("repair/") + shape.name +
+                       "/single_data_failure");
+    traffic.metric("repair_rows", static_cast<double>(summary->fetch_rows));
+    traffic.metric("repair_bytes", static_cast<double>(summary->fetch_bytes));
+    traffic.metric("full_decode_rows",
+                   static_cast<double>(summary->full_decode_rows));
+    traffic.metric("full_decode_bytes",
+                   static_cast<double>(summary->full_decode_bytes));
+    traffic.metric("fetch_savings",
+                   static_cast<double>(summary->full_decode_rows) /
+                       static_cast<double>(summary->fetch_rows));
+    if (std::string_view(shape.name) == "azure_lrc_6_2_2") {
+      lrc_repair_bytes = static_cast<double>(summary->fetch_bytes);
+    }
+    if (std::string_view(shape.name) == "rs_6_4") {
+      rs64_full_decode_bytes =
+          static_cast<double>(summary->full_decode_bytes);
+    }
+
+    // Execute the symbol repair through both strategies: wall-clock MB/s
+    // of rebuilding the failed server's symbol from helper symbols.
+    for (const auto strategy : {erasure::RepairStrategy::kMinimalFetch,
+                                erasure::RepairStrategy::kFullDecode}) {
+      const auto plan =
+          code->symbol_repair_plan(failed, 1u << failed, strategy);
+      std::vector<NodeId> helpers;
+      std::vector<erasure::Symbol> helper_symbols;
+      for (NodeId s = 0; s < n; ++s) {
+        if (plan->helper_mask >> s & 1) {
+          helpers.push_back(s);
+          helper_symbols.push_back(symbols[s]);
+        }
+      }
+      const double mb_per_s = measure_mb_per_s(
+          [&] {
+            auto out = code->apply_repair_plan(*plan, failed, helpers,
+                                               helper_symbols);
+            benchmark::DoNotOptimize(out.data());
+          },
+          kB, min_seconds);
+      auto& row = report.add_row(
+          std::string("repair_exec/") + shape.name + "/" +
+          (strategy == erasure::RepairStrategy::kMinimalFetch
+               ? "minimal"
+               : "full_decode"));
+      row.metric("mb_per_s", mb_per_s);
+      row.metric("fetch_rows", static_cast<double>(plan->fetches.size()));
+    }
+
+    // Degraded read: object 0 served at the last server while `failed` is
+    // down -- the plan names the helper fetches, decode() does the math.
+    {
+      const NodeId local = static_cast<NodeId>(n - 1);
+      const auto plan = code->plan_object_repair(0, 1u << failed, local);
+      std::vector<NodeId> helpers;
+      std::vector<erasure::Symbol> helper_symbols;
+      for (NodeId s = 0; s < n; ++s) {
+        if (plan->helper_mask >> s & 1) {
+          helpers.push_back(s);
+          helper_symbols.push_back(symbols[s]);
+        }
+      }
+      const double mb_per_s = measure_mb_per_s(
+          [&] {
+            auto v = code->decode(0, helpers, helper_symbols);
+            benchmark::DoNotOptimize(v.data());
+          },
+          kB, min_seconds);
+      auto& row =
+          report.add_row(std::string("degraded_read/") + shape.name);
+      row.metric("fetch_rows", static_cast<double>(plan->fetch_rows));
+      row.metric("fetch_bytes", static_cast<double>(plan->fetch_bytes));
+      row.metric("mb_per_s", mb_per_s);
+    }
+  }
+
+  // The acceptance ratio: an LRC single-failure repair moves strictly
+  // fewer bytes than an RS(6,4) full decode (4 rows vs 3 at equal B).
+  auto& summary_row = report.add_row("summary/lrc_vs_rs64");
+  summary_row.metric("lrc_repair_bytes", lrc_repair_bytes);
+  summary_row.metric("rs64_full_decode_bytes", rs64_full_decode_bytes);
+  summary_row.metric("rs64_full_over_lrc_repair",
+                     rs64_full_decode_bytes / lrc_repair_bytes);
+
+  return report.write_default().empty() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool kernels = false;
   bool obs_bench = false;
+  bool repair_bench = false;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--kernels") kernels = true;
     if (std::string_view(argv[i]) == "--obs") obs_bench = true;
+    if (std::string_view(argv[i]) == "--repair") repair_bench = true;
     if (std::string_view(argv[i]) == "--smoke") smoke = true;
   }
   if (kernels) return run_kernel_bench(smoke);
   if (obs_bench) return run_obs_bench(smoke);
+  if (repair_bench) return run_repair_bench(smoke);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -102,6 +102,7 @@ class IntraObjectStore::Node final : public sim::Actor {
     pending.object = object;
     pending.done = std::move(done);
     pending.targets = nearest_servers(config_->k - 1);
+    if (down_mask_ != 0) ++degraded_reads_;
     if (latest_[object]) {
       pending.responses[id_] = *latest_[object];
     } else {
@@ -152,6 +153,16 @@ class IntraObjectStore::Node final : public sim::Actor {
     }
     return bytes;
   }
+
+  void set_peer_down(NodeId peer, bool down) {
+    if (down) {
+      down_mask_ |= 1u << peer;
+    } else {
+      down_mask_ &= ~(1u << peer);
+    }
+  }
+
+  std::uint64_t degraded_reads() const { return degraded_reads_; }
 
  private:
   struct Pending {
@@ -250,7 +261,7 @@ class IntraObjectStore::Node final : public sim::Actor {
   std::vector<NodeId> nearest_servers(std::size_t count) const {
     std::vector<NodeId> others;
     for (NodeId o = 0; o < n_; ++o) {
-      if (o != id_) others.push_back(o);
+      if (o != id_ && !(down_mask_ >> o & 1)) others.push_back(o);
     }
     std::sort(others.begin(), others.end(), [&](NodeId a, NodeId b) {
       const double ra = config_->rtt_ms.empty()
@@ -276,6 +287,8 @@ class IntraObjectStore::Node final : public sim::Actor {
   std::vector<std::optional<std::pair<Tag, erasure::Symbol>>> latest_;
   std::map<OpId, Pending> pending_;
   OpId next_opid_ = 1;
+  std::uint32_t down_mask_ = 0;  // fail-stop view fed by set_server_down
+  std::uint64_t degraded_reads_ = 0;
 };
 
 IntraObjectStore::IntraObjectStore(sim::Simulation* sim,
@@ -314,6 +327,19 @@ void IntraObjectStore::read(NodeId at, ObjectId object, ReadDone done) {
 std::size_t IntraObjectStore::stored_bytes(NodeId server) const {
   CEC_CHECK(server < nodes_.size());
   return nodes_[server]->stored_bytes();
+}
+
+void IntraObjectStore::set_server_down(NodeId server, bool down) {
+  CEC_CHECK(server < nodes_.size());
+  for (NodeId s = 0; s < nodes_.size(); ++s) {
+    if (s != server) nodes_[s]->set_peer_down(server, down);
+  }
+}
+
+std::uint64_t IntraObjectStore::degraded_reads() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->degraded_reads();
+  return total;
 }
 
 }  // namespace causalec::baselines

@@ -57,6 +57,14 @@ class IntraObjectStore {
     return code_->decode_plan_cache_stats();
   }
 
+  /// Liveness feed: a down server is skipped when a coordinator picks its
+  /// k-1 nearest fragment holders, so degraded reads complete on the first
+  /// round instead of stalling on a dead responder's retry loop.
+  void set_server_down(NodeId server, bool down);
+
+  /// Reads whose fragment-holder pick had to route around a down server.
+  std::uint64_t degraded_reads() const;
+
  private:
   class Node;
   IntraObjectStoreConfig config_;

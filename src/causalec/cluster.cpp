@@ -89,6 +89,11 @@ Client& Cluster::make_client(NodeId at_server) {
 void Cluster::halt_server(NodeId id) {
   CEC_CHECK(id < servers_.size());
   sim_->halt(id);
+  // Fail-stop liveness feed: survivors route degraded reads around the dead
+  // server through repair plans instead of timing out on it.
+  for (NodeId s = 0; s < servers_.size(); ++s) {
+    if (s != id && !sim_->halted(s)) servers_[s]->set_peer_down(id, true);
+  }
 }
 
 void Cluster::recover_server(NodeId id) {
@@ -108,6 +113,13 @@ void Cluster::recover_server(NodeId id) {
   // snapshot timer does not replay the whole WAL again.
   journals_[id]->save_snapshot(server.capture_image());
   transports_[id]->set_muted(false);
+  // Refresh liveness views: the rejoiner learns who is still down (its
+  // symbol-repair helper set must avoid them); survivors mark it back up.
+  for (NodeId s = 0; s < servers_.size(); ++s) {
+    if (s == id) continue;
+    server.set_peer_down(s, sim_->halted(s));
+    if (!sim_->halted(s)) servers_[s]->set_peer_down(id, false);
+  }
   server.begin_rejoin();
 }
 

@@ -26,6 +26,14 @@ enum class ReadFanout { kBroadcast, kNearestRecoverySet };
 /// price of an extra hop; assumes a non-halting leader).
 enum class DelRouting { kDirect, kViaLeader };
 
+/// Rejoin catch-up sizing (DESIGN.md §9/§5.4): pull missed state from every
+/// live peer (the original behavior), or only from the repair-plan helper
+/// set that suffices to rebuild this server's symbol, falling back to a
+/// full pull when no plan exists. Any single up-to-date peer's push already
+/// converges the rejoin (the §9 superset argument); straggler clocks
+/// reported in digest replies trigger targeted extra pulls.
+enum class RejoinCatchup { kPullAll, kRepairPlan };
+
 struct ServerConfig {
   MetadataMode metadata = MetadataMode::kVectorClock;
   ReadFanout fanout = ReadFanout::kBroadcast;
@@ -74,6 +82,16 @@ struct ServerConfig {
   /// catch-up round when every peer has pushed, or after this timeout when
   /// some peers are themselves down (they push on their own rejoin later).
   std::int64_t rejoin_timeout_ns = 1'000'000'000;  // 1 s
+
+  /// Which peers a rejoin round pulls from (see RejoinCatchup above).
+  RejoinCatchup rejoin_catchup = RejoinCatchup::kRepairPlan;
+
+  /// Degraded reads: when some peers are known down (set_peer_down) and the
+  /// read fan-out is kNearestRecoverySet, ask the code for an object-repair
+  /// plan that avoids the down servers instead of the proximity pick -- the
+  /// read then completes without waiting out fanout_timeout_ns for a dead
+  /// member. Off restores the pre-repair behavior.
+  bool repair_degraded_reads = true;
 
   /// TEST-ONLY fault seam for the chaos harness's self-test: when true,
   /// begin_rejoin() skips the digest/pull/push catch-up entirely, so a

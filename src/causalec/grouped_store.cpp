@@ -176,6 +176,37 @@ erasure::PlanCacheStats GroupedStore::decode_plan_cache_stats() const {
   return total;
 }
 
+erasure::PlanCacheStats GroupedStore::repair_plan_cache_stats() const {
+  erasure::PlanCacheStats total;
+  for (const erasure::CodePtr& code : config_.group_codes) {
+    total += code->repair_plan_cache_stats();
+  }
+  return total;
+}
+
+void GroupedStore::set_peer_down(NodeId peer, bool down) {
+  CEC_CHECK(peer < nodes_.size());
+  for (NodeId s = 0; s < nodes_.size(); ++s) {
+    if (s == peer) continue;
+    for (std::size_t g = 0; g < nodes_[s]->groups(); ++g) {
+      nodes_[s]->server(g).set_peer_down(peer, down);
+    }
+  }
+}
+
+std::array<std::uint64_t, 3> GroupedStore::repair_counters(
+    NodeId node) const {
+  CEC_CHECK(node < nodes_.size());
+  std::array<std::uint64_t, 3> out{0, 0, 0};
+  for (std::size_t g = 0; g < nodes_[node]->groups(); ++g) {
+    const ServerCounters& c = nodes_[node]->server(g).counters();
+    out[0] += c.degraded_reads;
+    out[1] += c.repair_plan_hits;
+    out[2] += c.repair_bytes;
+  }
+  return out;
+}
+
 Server& GroupedStore::server(NodeId node, std::size_t group) {
   CEC_CHECK(node < nodes_.size());
   return nodes_[node]->server(group);

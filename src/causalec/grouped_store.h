@@ -8,6 +8,7 @@
 // the owning group.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -66,6 +67,19 @@ class GroupedStore {
 
   /// Decoder-plan cache counters summed over every group's code.
   erasure::PlanCacheStats decode_plan_cache_stats() const;
+
+  /// Repair-plan cache counters summed over every group's code
+  /// (erasure/repair_plan.h).
+  erasure::PlanCacheStats repair_plan_cache_stats() const;
+
+  /// Liveness feed (mirrors Cluster): marks `peer` down/up on every group
+  /// automaton of every other node, switching eligible read fan-outs onto
+  /// repair plans. Repair counters aggregate via repair_counters().
+  void set_peer_down(NodeId peer, bool down);
+
+  /// (degraded_reads, repair_plan_hits, repair_bytes) summed over every
+  /// group automaton of one node.
+  std::array<std::uint64_t, 3> repair_counters(NodeId node) const;
 
   /// Direct access for tests (group-level server automaton).
   Server& server(NodeId node, std::size_t group);

@@ -85,6 +85,9 @@ Server::Server(NodeId id, erasure::CodePtr code, ServerConfig config,
     m_write_bytes_ = &metrics->histogram("server.write_bytes");
     m_recoveries_ = &metrics->counter("server.recoveries");
     m_catchup_bytes_ = &metrics->counter("server.catchup_bytes");
+    m_repair_bytes_ = &metrics->counter("server.repair_bytes");
+    m_repair_plan_hits_ = &metrics->counter("server.repair_plan_hits");
+    m_degraded_reads_ = &metrics->counter("server.degraded_reads");
     m_recovery_duration_ = &metrics->histogram("server.recovery_duration_ns");
     m_phase_apply_ = &metrics->histogram("phase.apply_ns");
     m_phase_encode_ = &metrics->histogram("phase.encode_ns");
@@ -753,6 +756,35 @@ void Server::restore_from_journal(const persist::RecoveredState& recovered) {
 
 void Server::end_restore() { reads_ = ReadList{}; }
 
+void Server::set_peer_down(NodeId peer, bool down) {
+  CEC_CHECK(peer < n_);
+  if (down) {
+    peer_down_mask_ |= 1u << peer;
+  } else {
+    peer_down_mask_ &= ~(1u << peer);
+  }
+}
+
+std::uint32_t Server::rejoin_pull_targets() {
+  std::uint32_t all = 0;
+  for (NodeId j : others_) all |= 1u << j;
+  if (config_.rejoin_catchup != RejoinCatchup::kRepairPlan) return all;
+  // The helper set sufficient to rebuild our codeword symbol also suffices
+  // for write catch-up: any single live up-to-date member's push converges
+  // the round (the §9 superset argument), and maybe_finish_rejoin chases
+  // clocks only a non-helper advertised.
+  const std::uint32_t erased = peer_down_mask_ | (1u << id_);
+  const auto plan = code_->plan_symbol_repair(id_, erased);
+  if (!plan.has_value() || (plan->helper_mask & all) == 0) return all;
+  ++counters_.repair_plan_hits;
+  counters_.repair_bytes += plan->fetch_bytes;
+  if (m_repair_plan_hits_ != nullptr) {
+    m_repair_plan_hits_->inc();
+    m_repair_bytes_->inc(plan->fetch_bytes);
+  }
+  return plan->helper_mask & all;
+}
+
 void Server::begin_rejoin() {
   ++counters_.recoveries;
   if (m_recoveries_ != nullptr) m_recoveries_->inc();
@@ -761,9 +793,15 @@ void Server::begin_rejoin() {
   if (others_.empty()) return;  // single-server cluster: nothing to pull
   recovering_ = true;
   rejoin_started_at_ = transport_->now();
+  rejoin_pull_mask_ = rejoin_pull_targets();
+  rejoin_pulled_ = 0;
+  rejoin_reply_seen_ = 0;
+  rejoin_reply_vcs_.assign(n_, VectorClock(n_));
+  rejoin_escalated_ = false;
   rejoin_waiting_.assign(n_, false);
   rejoin_waiting_count_ = 0;
   for (NodeId j : others_) {
+    if (!(rejoin_pull_mask_ >> j & 1)) continue;
     rejoin_waiting_[j] = true;
     ++rejoin_waiting_count_;
   }
@@ -772,15 +810,19 @@ void Server::begin_rejoin() {
   active_trace_ = tracer_ != nullptr ? tracer_->new_id() : 0;
   flight(obs::FlightKind::kRecovery, /*phase=*/0,
          static_cast<std::uint32_t>(epoch));
+  // The digest still goes to everyone: every reply reports a peer clock
+  // (input to the straggler chase) and triggers the symmetric push to
+  // behind peers. Only the pulls are narrowed to the helper set.
   transport_->multicast(others_, [&] {
     auto msg = std::make_unique<RecoverDigestMessage>(epoch, vc_, wire_);
     stamp_trace(*msg, active_trace_);
     return msg;
   });
-  // Peers that are themselves down never push; finish with whatever arrived
-  // by the deadline (they push to us when their own rejoin runs).
+  // Peers that are themselves down never push; widen a narrowed round once
+  // at the deadline, then finish with whatever arrived (they push to us
+  // when their own rejoin runs).
   transport_->schedule_after(config_.rejoin_timeout_ns, [this, epoch] {
-    if (recovering_ && recovery_epoch_ == epoch) finish_rejoin();
+    if (recovering_ && recovery_epoch_ == epoch) rejoin_deadline(epoch);
   });
   if (tracer_ != nullptr) {
     tracer_->instant("rejoin.begin", id_, transport_->now(),
@@ -803,10 +845,15 @@ void Server::handle_recover_digest_reply(NodeId from,
   if (!recovering_ || msg.epoch != recovery_epoch_) return;
   flight(obs::FlightKind::kRecovery, /*phase=*/2,
          static_cast<std::uint32_t>(msg.epoch));
-  auto pull = std::make_unique<RecoverPullMessage>(recovery_epoch_, vc_,
-                                                   wire_);
-  stamp_trace(*pull, active_trace_);
-  transport_->send(from, std::move(pull));
+  if (from < n_) {
+    rejoin_reply_seen_ |= 1u << from;
+    rejoin_reply_vcs_[from] = msg.vc;
+  }
+  // Pull only from the helper set; other replies are recorded for the
+  // straggler chase in maybe_finish_rejoin.
+  if ((rejoin_pull_mask_ >> from & 1) && !(rejoin_pulled_ >> from & 1)) {
+    send_recover_pull(from);
+  }
   // The peer may be missing writes too (an app multicast of ours lost to
   // the crash window); push it anything its clock does not cover.
   bool behind = false;
@@ -817,6 +864,21 @@ void Server::handle_recover_digest_reply(NodeId from,
     }
   }
   if (behind) send_recover_push(from, msg.epoch, msg.vc);
+}
+
+void Server::send_recover_pull(NodeId to) {
+  rejoin_pulled_ |= 1u << to;
+  std::uint32_t all = 0;
+  for (NodeId j : others_) all |= 1u << j;
+  if (rejoin_pull_mask_ != all) ++counters_.rejoin_helper_pulls;
+  if (!rejoin_waiting_[to]) {
+    rejoin_waiting_[to] = true;
+    ++rejoin_waiting_count_;
+  }
+  auto pull = std::make_unique<RecoverPullMessage>(recovery_epoch_, vc_,
+                                                   wire_);
+  stamp_trace(*pull, active_trace_);
+  transport_->send(to, std::move(pull));
 }
 
 void Server::handle_recover_pull(NodeId from, const RecoverPullMessage& msg) {
@@ -888,9 +950,55 @@ void Server::handle_recover_push(NodeId from, const RecoverPushMessage& msg) {
     if (from < rejoin_waiting_.size() && rejoin_waiting_[from]) {
       rejoin_waiting_[from] = false;
       --rejoin_waiting_count_;
-      if (rejoin_waiting_count_ == 0) finish_rejoin();
+      if (rejoin_waiting_count_ == 0) maybe_finish_rejoin();
     }
   }
+}
+
+void Server::maybe_finish_rejoin() {
+  if (!recovering_ || rejoin_waiting_count_ != 0) return;
+  // Straggler chase: a peer outside the pull set whose digest reply
+  // advertised a clock component our merged clock still misses uniquely
+  // holds writes no helper pushed (e.g. an app multicast lost to the crash
+  // window). Pull from each such peer once before declaring convergence.
+  bool pulled = false;
+  for (NodeId j : others_) {
+    if (!(rejoin_reply_seen_ >> j & 1) || (rejoin_pulled_ >> j & 1)) continue;
+    const VectorClock& peer = rejoin_reply_vcs_[j];
+    for (NodeId i = 0; i < n_; ++i) {
+      if (peer[i] > vc_[i]) {
+        send_recover_pull(j);
+        pulled = true;
+        break;
+      }
+    }
+  }
+  if (!pulled) finish_rejoin();
+}
+
+void Server::rejoin_deadline(std::uint64_t epoch) {
+  if (!recovering_ || recovery_epoch_ != epoch) return;
+  std::uint32_t all = 0;
+  for (NodeId j : others_) all |= 1u << j;
+  if (!rejoin_escalated_ && rejoin_pull_mask_ != all) {
+    // A narrowed round missed its deadline (a helper was down or slow):
+    // widen once to every peer not yet pulled, exactly the kPullAll shape.
+    rejoin_escalated_ = true;
+    rejoin_pull_mask_ = all;
+    bool pulled = false;
+    for (NodeId j : others_) {
+      if (rejoin_pulled_ >> j & 1) continue;
+      send_recover_pull(j);
+      pulled = true;
+    }
+    if (pulled) {
+      transport_->schedule_after(config_.rejoin_timeout_ns, [this, epoch] {
+        if (recovering_ && recovery_epoch_ == epoch) rejoin_deadline(epoch);
+      });
+      return;
+    }
+  }
+  finish_rejoin();
 }
 
 void Server::finish_rejoin() {
@@ -1086,8 +1194,7 @@ void Server::send_val_inq_to(const std::vector<NodeId>& targets,
   });
 }
 
-std::vector<NodeId> Server::initial_fanout_targets(
-    const PendingRead& read) const {
+std::vector<NodeId> Server::initial_fanout_targets(const PendingRead& read) {
   const ObjectId object = read.object;
   std::vector<NodeId> targets;
   if (read.broadcast) {
@@ -1095,6 +1202,29 @@ std::vector<NodeId> Server::initial_fanout_targets(
       if (j != id_) targets.push_back(j);
     }
     return targets;
+  }
+  // Degraded read: with peers known down, the proximity pick below could
+  // choose a recovery set containing a dead member and eat the full
+  // fanout_timeout_ns before the footnote-14 broadcast. Ask the code for a
+  // repair-minimal surviving set instead; fall back to the proximity pick
+  // when no plan survives the erasure pattern.
+  if (config_.repair_degraded_reads && peer_down_mask_ != 0) {
+    const std::uint32_t erased = peer_down_mask_ & ~(1u << id_);
+    if (const auto plan = code_->plan_object_repair(object, erased, id_)) {
+      ++counters_.degraded_reads;
+      ++counters_.repair_plan_hits;
+      counters_.repair_bytes += plan->fetch_bytes;
+      if (m_degraded_reads_ != nullptr) {
+        m_degraded_reads_->inc();
+        m_repair_plan_hits_->inc();
+        m_repair_bytes_->inc(plan->fetch_bytes);
+      }
+      flight(obs::FlightKind::kDegradedRead, object, plan->helper_mask);
+      for (NodeId j = 0; j < n_; ++j) {
+        if (j != id_ && (plan->helper_mask >> j & 1)) targets.push_back(j);
+      }
+      return targets;
+    }
   }
   // Pick the recovery set with the smallest worst-member proximity
   // (excluding ourselves -- our own symbol is already in hand).

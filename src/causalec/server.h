@@ -93,6 +93,11 @@ struct ServerCounters {
   std::uint64_t catchup_bytes = 0;         // wire bytes of received pushes
   std::uint64_t catchup_history_entries = 0;
   std::uint64_t stale_app_dropped = 0;     // duplicate/covered app messages
+  // Repair-plan consumers (DESIGN.md §5.4).
+  std::uint64_t degraded_reads = 0;     // fan-outs routed by an object plan
+  std::uint64_t repair_plan_hits = 0;   // successful plan lookups (any kind)
+  std::uint64_t repair_bytes = 0;       // bytes the chosen plans move
+  std::uint64_t rejoin_helper_pulls = 0;  // pulls sent to plan helpers only
 };
 
 class Server final : public sim::Actor {
@@ -167,6 +172,13 @@ class Server final : public sim::Actor {
   bool recovering() const { return recovering_; }
   std::uint64_t recovery_epoch() const { return recovery_epoch_; }
 
+  /// Liveness view of a peer, fed by the hosting runtime (Cluster forwards
+  /// halt/recover events). A nonzero down mask switches eligible read
+  /// fan-outs onto object-repair plans and shrinks rejoin helper sets;
+  /// an empty mask leaves every pre-repair code path untouched.
+  void set_peer_down(NodeId peer, bool down);
+  std::uint32_t peer_down_mask() const { return peer_down_mask_; }
+
   // -- Introspection -------------------------------------------------------
 
   const VectorClock& clock() const { return vc_; }
@@ -202,6 +214,17 @@ class Server final : public sim::Actor {
   /// Build and send a push of everything `target_vc` does not cover.
   void send_recover_push(NodeId to, std::uint64_t epoch,
                          const VectorClock& target_vc);
+  /// Pull targets for a rejoin round: the symbol-repair helper set when
+  /// config_.rejoin_catchup is kRepairPlan and a plan exists, else all
+  /// live-looking peers (the kPullAll behavior).
+  std::uint32_t rejoin_pull_targets();
+  void send_recover_pull(NodeId to);
+  /// All expected pushes arrived: chase straggler clocks seen in digest
+  /// replies (a peer uniquely holding writes we miss) or finish.
+  void maybe_finish_rejoin();
+  /// Deadline: escalate a helper-set round to a full pull once, then give
+  /// up and finish with whatever arrived (the pre-repair behavior).
+  void rejoin_deadline(std::uint64_t epoch);
   void finish_rejoin();
 
   // Internal actions (Alg. 3).
@@ -216,7 +239,9 @@ class Server final : public sim::Actor {
   void retry_pending_read(OpId opid);
   void send_val_inq_to(const std::vector<NodeId>& targets,
                        const PendingRead& read);
-  std::vector<NodeId> initial_fanout_targets(const PendingRead& read) const;
+  /// Non-const: a degraded fan-out (down peers + repair plan) bumps the
+  /// repair counters as a side effect.
+  std::vector<NodeId> initial_fanout_targets(const PendingRead& read);
 
   // del bookkeeping.
   void record_del(ObjectId object, const Tag& tag);  // own DelL entry
@@ -306,6 +331,15 @@ class Server final : public sim::Actor {
   std::vector<bool> rejoin_waiting_;  // peers yet to push this round
   std::size_t rejoin_waiting_count_ = 0;
   SimTime rejoin_started_at_ = 0;
+  // Repair-plan rejoin bookkeeping (all reset by begin_rejoin).
+  std::uint32_t rejoin_pull_mask_ = 0;   // peers this round pulls from
+  std::uint32_t rejoin_pulled_ = 0;      // peers already sent a pull
+  std::uint32_t rejoin_reply_seen_ = 0;  // peers whose digest reply arrived
+  std::vector<VectorClock> rejoin_reply_vcs_;  // their reported clocks
+  bool rejoin_escalated_ = false;        // deadline already widened the pull
+
+  /// Runtime liveness view (set_peer_down); bit j set = peer j down.
+  std::uint32_t peer_down_mask_ = 0;
 
   // -- Observability (null/false when disabled) ----------------------------
   obs::Tracer* tracer_ = nullptr;
@@ -323,6 +357,9 @@ class Server final : public sim::Actor {
   obs::Histogram* m_write_bytes_ = nullptr;
   obs::Counter* m_recoveries_ = nullptr;
   obs::Counter* m_catchup_bytes_ = nullptr;
+  obs::Counter* m_repair_bytes_ = nullptr;
+  obs::Counter* m_repair_plan_hits_ = nullptr;
+  obs::Counter* m_degraded_reads_ = nullptr;
   obs::Histogram* m_recovery_duration_ = nullptr;
   // Per-phase latency decomposition (steady-clock wall time, both runtimes).
   obs::Histogram* m_phase_apply_ = nullptr;

@@ -191,6 +191,66 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
   return plan;
 }
 
+FaultPlan FaultPlan::degraded_read_scenario(std::uint64_t seed) {
+  Rng rng(seed ^ 0xDE69AD'4EADull);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  WorkloadSpec& w = plan.workload;
+  w.num_servers = 6;
+  w.num_objects = 4;  // RS(6, 4): crash budget n - k = 2
+  w.value_bytes = 64;
+  w.sessions = 4;
+  w.ops = 120;
+  w.write_fraction = 0.3;
+  w.zipf_theta = 0.0;  // uniform keys touch every object's repair plan
+  w.think_rate_hz = 2000.0;
+
+  plan.horizon = 2 * sim::kSecond;
+  plan.gc_period = 10 * sim::kMillisecond;
+  plan.latency_base = sim::kMillisecond;
+  plan.latency_alpha = 1.3;
+  plan.latency_cap = 30.0;
+  plan.nearest_fanout = true;  // degraded reads only shape targeted fan-out
+
+  // Timing: a read only reaches the degraded fan-out once GC has pruned its
+  // object from the history list, and GC needs del records from *all*
+  // servers to prune -- so cleanup must land while everyone is alive and
+  // the workload is quiescent (a write refills the history it cleaned, and
+  // after a crash the del floor freezes at the dead servers' last records).
+  // The closed-loop sessions drain their op budget within a few hundred
+  // milliseconds; a forced GC sweep at 380 ms mops up whatever the periodic
+  // timers left, then the whole n - k crash budget lands right behind it.
+  // The runner's final convergence reads (every survivor x every object,
+  // all under two dead servers) must then plan around the dead pair.
+  for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+    FaultEvent gc;
+    gc.kind = FaultEvent::Kind::kGcNow;
+    gc.at = 380 * sim::kMillisecond;
+    gc.node = static_cast<NodeId>(s);
+    plan.events.push_back(gc);
+  }
+  std::vector<NodeId> nodes(w.num_servers);
+  for (std::uint32_t i = 0; i < w.num_servers; ++i) nodes[i] = i;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const std::size_t j = i + rng.next_below(nodes.size() - i);
+    std::swap(nodes[i], nodes[j]);
+  }
+  for (std::size_t i = 0; i < plan.crash_budget(); ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kCrash;
+    ev.at = static_cast<SimTime>(
+        (400 + 30 * i) * static_cast<std::uint64_t>(sim::kMillisecond) +
+        rng.next_below(static_cast<std::uint64_t>(10 * sim::kMillisecond)));
+    ev.node = nodes[i];
+    plan.events.push_back(ev);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(), event_before);
+  CEC_CHECK(plan.valid());
+  return plan;
+}
+
 std::vector<NodeId> FaultPlan::crashed_nodes() const {
   std::set<NodeId> crashed;
   for (const FaultEvent& ev : events) {

@@ -105,6 +105,13 @@ struct FaultPlan {
   static FaultPlan generate(std::uint64_t seed,
                             const GenerateLimits& limits = {});
 
+  /// The degraded-read scenario: nearest-recovery-set fanout with the full
+  /// n - k crash budget spent early in the run, so most reads after the
+  /// crashes must route through repair plans (DESIGN.md §5.4) around the
+  /// dead servers. The causal / session / convergence checkers must hold
+  /// exactly as in any other plan.
+  static FaultPlan degraded_read_scenario(std::uint64_t seed);
+
   /// Servers a correct run may lose: n - k.
   std::uint32_t crash_budget() const {
     return workload.num_servers - workload.num_objects;

@@ -302,6 +302,15 @@ RunOutcome run_plan(const FaultPlan& plan, const ChaosOptions& options) {
     }
   }
 
+  // Aggregate repair-plan consumption (alive servers only; a halted node's
+  // counters describe its pre-crash life and still count).
+  for (std::uint32_t s = 0; s < w.num_servers; ++s) {
+    const ServerCounters& counters = cluster.server(s).counters();
+    outcome.degraded_reads += counters.degraded_reads;
+    outcome.repair_plan_hits += counters.repair_plan_hits;
+    outcome.repair_bytes += counters.repair_bytes;
+  }
+
   // Capture every node's flight-recorder tail; replay bundles embed these
   // so a shrunk reproducer shows the last protocol events each server saw.
   outcome.flight.reserve(w.num_servers);

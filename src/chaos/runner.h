@@ -53,6 +53,12 @@ struct RunOutcome {
   /// server id). Dumped into replay bundles so a shrunk reproducer carries
   /// the last protocol events every node saw before the failure.
   std::vector<std::vector<obs::FlightEvent>> flight;
+  /// Repair-plan consumption summed across servers (DESIGN.md §5.4): reads
+  /// served through a degraded fan-out, plan-cache consultations that
+  /// produced a plan, and the symbol bytes those plans moved.
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t repair_plan_hits = 0;
+  std::uint64_t repair_bytes = 0;
 };
 
 /// Runs `plan` on a fresh cluster. CHECK-fails on structurally invalid

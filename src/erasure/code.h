@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,20 @@ namespace causalec::erasure {
 /// A recovery set: servers whose codeword symbols suffice to decode one
 /// object. Stored sorted ascending.
 using RecoverySet = std::vector<NodeId>;
+
+/// Type-erased view of a repair plan (erasure/repair_plan.h): enough for a
+/// consumer holding a CodePtr to pick helpers and account traffic without
+/// knowing the field. `fetch_*` counts only rows that actually cross the
+/// network; `full_decode_*` is what the classical decode-all baseline would
+/// move for the same erasure pattern.
+struct RepairPlanSummary {
+  std::uint32_t helper_mask = 0;   // servers to contact (may include local)
+  std::uint32_t erased_mask = 0;   // the erasure pattern planned for
+  std::size_t fetch_rows = 0;      // symbol rows moved over the network
+  std::size_t fetch_bytes = 0;     // fetch_rows * value_bytes
+  std::size_t full_decode_rows = 0;
+  std::size_t full_decode_bytes = 0;
+};
 
 /// Counters of the per-(object, server-set) decoder-plan cache (see
 /// erasure/plan_cache.h). Codes without a cache report all-zero stats.
@@ -106,6 +121,37 @@ class Code {
 
   /// Decoder-plan cache counters (zero for codes without a cache).
   virtual PlanCacheStats decode_plan_cache_stats() const { return {}; }
+
+  // -- Repair planning (erasure/repair_plan.h) ------------------------------
+
+  /// Degraded read: the cheapest plan to recover `object` at reader `local`
+  /// while the servers in `erased_mask` are unreachable. nullopt when the
+  /// erasure pattern makes the object unrecoverable, or when the code has
+  /// no repair planner.
+  virtual std::optional<RepairPlanSummary> plan_object_repair(
+      ObjectId object, std::uint32_t erased_mask, NodeId local) const {
+    (void)object, (void)erased_mask, (void)local;
+    return std::nullopt;
+  }
+
+  /// Node rebuild: the cheapest plan to reconstruct server `failed`'s whole
+  /// codeword symbol while the servers in `erased_mask` (which must include
+  /// `failed`) are unreachable. nullopt when no surviving helper set spans
+  /// the failed symbol, or when the code has no repair planner.
+  virtual std::optional<RepairPlanSummary> plan_symbol_repair(
+      NodeId failed, std::uint32_t erased_mask) const {
+    (void)failed, (void)erased_mask;
+    return std::nullopt;
+  }
+
+  /// Execute a symbol repair: rebuild `failed`'s symbol from the helpers'
+  /// symbols (parallel spans; must cover a plan_symbol_repair helper set).
+  /// Codes without a repair planner CHECK-fail.
+  virtual Symbol repair_symbol(NodeId failed, std::span<const NodeId> servers,
+                               std::span<const Symbol> symbols) const;
+
+  /// Repair-plan cache counters (zero for codes without a cache).
+  virtual PlanCacheStats repair_plan_cache_stats() const { return {}; }
 };
 
 using CodePtr = std::shared_ptr<const Code>;

@@ -16,6 +16,15 @@ using MatrixGF = linalg::Matrix<GF>;
 
 }  // namespace
 
+// Default for codes without a repair planner. LinearCodeT overrides; any
+// future non-linear Code must either override or never be asked to repair.
+Symbol Code::repair_symbol(NodeId failed, std::span<const NodeId> servers,
+                           std::span<const Symbol> symbols) const {
+  (void)failed, (void)servers, (void)symbols;
+  CEC_CHECK_MSG(false, "repair_symbol: " << describe()
+                                         << " has no repair planner");
+}
+
 CodePtr make_replication(std::size_t num_servers, std::size_t num_objects,
                          std::size_t value_bytes) {
   std::vector<MatrixGF> per_server(num_servers,
@@ -160,6 +169,16 @@ CodePtr make_lrc(std::size_t num_objects, std::size_t local_group_size,
     }
   }
   return LinearCodeT<GF>::one_row_per_server(stacked, value_bytes, "LRC");
+}
+
+CodePtr make_azure_lrc_6_2_2(std::size_t value_bytes) {
+  return make_lrc(/*num_objects=*/6, /*local_group_size=*/3,
+                  /*global_parities=*/2, value_bytes);
+}
+
+CodePtr make_wide_rs_14_10(std::size_t value_bytes) {
+  return make_systematic_rs(/*num_servers=*/14, /*num_objects=*/10,
+                            value_bytes);
 }
 
 bool is_mds(const Code& code) {

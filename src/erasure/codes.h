@@ -60,6 +60,18 @@ CodePtr make_random_code(std::uint64_t seed, std::size_t num_servers,
 CodePtr make_lrc(std::size_t num_objects, std::size_t local_group_size,
                  std::size_t global_parities, std::size_t value_bytes);
 
+/// Azure-LRC(6,2,2): 6 data servers in 2 local groups of 3, one XOR local
+/// parity per group, 2 global parities (n=10). The canonical locally
+/// repairable configuration for the repair-plan bench/test battery: a data
+/// or local-parity failure repairs from its 3-server local group instead of
+/// a 6-symbol full decode.
+CodePtr make_azure_lrc_6_2_2(std::size_t value_bytes);
+
+/// Wide-stripe systematic RS(14,10): the MDS counterpoint in the repair
+/// battery -- every single-failure repair must move k=10 symbols, so the
+/// minimal-fetch planner degenerates to full decode, as theory demands.
+CodePtr make_wide_rs_14_10(std::size_t value_bytes);
+
 /// True iff every K-subset of servers is a recovery set for every object.
 bool is_mds(const Code& code);
 

@@ -24,6 +24,7 @@
 #include "common/expect.h"
 #include "erasure/code.h"
 #include "erasure/plan_cache.h"
+#include "erasure/repair_plan.h"
 #include "gf/field.h"
 #include "gf/vector_ops.h"
 #include "linalg/gaussian.h"
@@ -270,11 +271,328 @@ class LinearCodeT final : public Code {
     plan_cache_.set_enabled(enabled);
   }
 
+  // -- Repair planning (erasure/repair_plan.h) ------------------------------
+
+  using RepairPlanT = RepairPlan<Elem>;
+  using RepairPlanPtr = std::shared_ptr<const RepairPlanT>;
+
+  std::optional<RepairPlanSummary> plan_object_repair(
+      ObjectId object, std::uint32_t erased_mask,
+      NodeId local) const override {
+    const RepairPlanMode mode = repair_mode();
+    if (mode == RepairPlanMode::kOff) return std::nullopt;
+    const RepairStrategy strategy = mode == RepairPlanMode::kFullDecode
+                                        ? RepairStrategy::kFullDecode
+                                        : RepairStrategy::kMinimalFetch;
+    const RepairPlanPtr plan =
+        object_repair_plan(object, erased_mask, local, strategy);
+    if (plan == nullptr) return std::nullopt;
+    const RepairPlanPtr full = object_repair_plan(
+        object, erased_mask, local, RepairStrategy::kFullDecode);
+    return summarize(*plan, full.get(), erased_mask);
+  }
+
+  std::optional<RepairPlanSummary> plan_symbol_repair(
+      NodeId failed, std::uint32_t erased_mask) const override {
+    const RepairPlanMode mode = repair_mode();
+    if (mode == RepairPlanMode::kOff) return std::nullopt;
+    const RepairStrategy strategy = mode == RepairPlanMode::kFullDecode
+                                        ? RepairStrategy::kFullDecode
+                                        : RepairStrategy::kMinimalFetch;
+    const RepairPlanPtr plan = symbol_repair_plan(failed, erased_mask,
+                                                  strategy);
+    if (plan == nullptr) return std::nullopt;
+    const RepairPlanPtr full = symbol_repair_plan(
+        failed, erased_mask, RepairStrategy::kFullDecode);
+    return summarize(*plan, full.get(), erased_mask);
+  }
+
+  Symbol repair_symbol(NodeId failed, std::span<const NodeId> servers,
+                       std::span<const Symbol> symbols) const override {
+    CEC_CHECK(failed < num_servers());
+    CEC_CHECK(servers.size() == symbols.size());
+    std::uint32_t provided = 0;
+    for (NodeId s : servers) {
+      CEC_CHECK(s < num_servers());
+      CEC_CHECK_MSG(s != failed, "repair_symbol: failed server provided");
+      provided |= 1u << s;
+    }
+    const std::uint32_t erased = all_servers_mask() & ~provided;
+    const RepairPlanMode mode = repair_mode();
+    const RepairStrategy strategy = mode == RepairPlanMode::kFullDecode
+                                        ? RepairStrategy::kFullDecode
+                                        : RepairStrategy::kMinimalFetch;
+    const RepairPlanPtr plan = symbol_repair_plan(failed, erased, strategy);
+    CEC_CHECK_MSG(plan != nullptr,
+                  "repair_symbol: survivors cannot rebuild server "
+                      << failed);
+    return apply_repair_plan(*plan, failed, servers, symbols);
+  }
+
+  PlanCacheStats repair_plan_cache_stats() const override {
+    return repair_cache_.stats();
+  }
+
+  /// Cached lookup of the symbol-repair plan for (failed, erased, strategy):
+  /// the DAG rebuilding every row of `failed`'s symbol from a surviving
+  /// helper set. nullptr when no survivors span the failed symbol.
+  RepairPlanPtr symbol_repair_plan(NodeId failed, std::uint32_t erased_mask,
+                                   RepairStrategy strategy) const {
+    CEC_CHECK(failed < num_servers());
+    const std::uint64_t key = RepairPlanCache<Elem>::key(
+        /*symbol_kind=*/true, strategy, failed, failed, erased_mask);
+    if (const auto cached = repair_cache_.find(key)) return *cached;
+    return repair_cache_.insert(
+        key, compute_symbol_repair_fresh(failed, erased_mask, strategy));
+  }
+
+  /// Cached lookup of the object-repair plan for (object, erased, local,
+  /// strategy): a fetch-only plan (row_ops empty -- decode() executes the
+  /// math once the fetched symbols arrive). nullptr when the erasure
+  /// pattern leaves no surviving recovery set.
+  RepairPlanPtr object_repair_plan(ObjectId object, std::uint32_t erased_mask,
+                                   NodeId local,
+                                   RepairStrategy strategy) const {
+    CEC_CHECK(object < k_);
+    CEC_CHECK(local < num_servers());
+    const std::uint64_t key = RepairPlanCache<Elem>::key(
+        /*symbol_kind=*/false, strategy, object, local, erased_mask);
+    if (const auto cached = repair_cache_.find(key)) return *cached;
+    return repair_cache_.insert(
+        key, compute_object_repair_fresh(object, erased_mask, local,
+                                         strategy));
+  }
+
+  /// Fresh symbol-repair planning, bypassing the cache (the differential
+  /// tests pin cached plans against this). Helper candidates are enumerated
+  /// over the survivors in (total rows, popcount, value) order, so the
+  /// first spanning set is fetch-minimal; kMinimalFetch then drops any
+  /// fetched row no output program references, kFullDecode instead takes
+  /// the first full-rank set (decode everything, then re-encode) and keeps
+  /// all of its rows.
+  RepairPlanPtr compute_symbol_repair_fresh(NodeId failed,
+                                            std::uint32_t erased_mask,
+                                            RepairStrategy strategy) const {
+    CEC_CHECK(failed < num_servers());
+    CEC_CHECK((erased_mask & ~all_servers_mask()) == 0);
+    const std::uint32_t available =
+        all_servers_mask() & ~erased_mask & ~(1u << failed);
+    const Matrix& target = matrices_[failed];
+    if (target.rows() == 0) {
+      // The failed server stores nothing: an empty plan rebuilds it.
+      auto plan = std::make_shared<RepairPlanT>();
+      return plan;
+    }
+    const std::size_t min_rows = strategy == RepairStrategy::kFullDecode
+                                     ? k_
+                                     : linalg::rank<F>(target);
+    for (const std::uint32_t mask : candidate_masks(available)) {
+      if (rows_in_mask(mask) < min_rows) continue;
+      const Matrix sub = stack_subset(mask);
+      if (strategy == RepairStrategy::kFullDecode) {
+        if (linalg::rank<F>(sub) != k_) continue;
+      } else {
+        // Spans iff appending the failed rows does not raise the rank.
+        Matrix joint(sub.rows() + target.rows(), k_);
+        for (std::size_t r = 0; r < sub.rows(); ++r) {
+          for (std::size_t c = 0; c < k_; ++c) joint(r, c) = sub(r, c);
+        }
+        for (std::size_t r = 0; r < target.rows(); ++r) {
+          for (std::size_t c = 0; c < k_; ++c) {
+            joint(sub.rows() + r, c) = target(r, c);
+          }
+        }
+        if (linalg::rank<F>(joint) != linalg::rank<F>(sub)) continue;
+      }
+      return build_symbol_repair_plan(failed, mask, strategy);
+    }
+    return nullptr;
+  }
+
+  /// Fresh object-repair planning, bypassing the cache. kMinimalFetch picks
+  /// the surviving recovery set with the fewest rows `local` does not
+  /// already hold; kFullDecode takes the first surviving set in the stored
+  /// (size, lexicographic) order.
+  RepairPlanPtr compute_object_repair_fresh(ObjectId object,
+                                            std::uint32_t erased_mask,
+                                            NodeId local,
+                                            RepairStrategy strategy) const {
+    CEC_CHECK(object < k_);
+    CEC_CHECK((erased_mask & ~all_servers_mask()) == 0);
+    const std::uint32_t chosen = [&]() -> std::uint32_t {
+      std::uint32_t best = 0;
+      std::size_t best_cost = 0;
+      for (const std::uint32_t mask : recovery_masks_[object]) {
+        if ((mask & erased_mask) != 0) continue;
+        if (strategy == RepairStrategy::kFullDecode) return mask;
+        const std::size_t cost = rows_in_mask(mask & ~(1u << local));
+        if (best == 0 || cost < best_cost) {
+          best = mask;
+          best_cost = cost;
+        }
+      }
+      return best;
+    }();
+    if (chosen == 0) return nullptr;
+    auto plan = std::make_shared<RepairPlanT>();
+    plan->helper_mask = chosen;
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      if (!(chosen >> s & 1) || s == local) continue;
+      for (std::size_t r = 0; r < matrices_[s].rows(); ++r) {
+        plan->fetches.push_back({s, static_cast<std::uint32_t>(r)});
+      }
+    }
+    return plan;
+  }
+
+  /// Execute a symbol-repair plan against provided helper symbols.
+  Symbol apply_repair_plan(const RepairPlanT& plan, NodeId failed,
+                           std::span<const NodeId> servers,
+                           std::span<const Symbol> symbols) const {
+    Symbol out(symbol_bytes(failed), 0);
+    std::vector<Elem> acc(elems_per_value_);
+    std::vector<Elem> row(elems_per_value_);
+    for (std::size_t r = 0; r < plan.row_ops.size(); ++r) {
+      gf::set_zero<F>(std::span<Elem>(acc));
+      for (const auto& op : plan.row_ops[r]) {
+        const RepairFetch& fetch = plan.fetches[op.fetch];
+        std::size_t pos = servers.size();
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+          if (servers[i] == fetch.server) {
+            pos = i;
+            break;
+          }
+        }
+        CEC_CHECK_MSG(pos < servers.size(),
+                      "repair: helper " << fetch.server << " not provided");
+        const Symbol& sym = symbols[pos];
+        CEC_CHECK_MSG(sym.size() == symbol_bytes(fetch.server),
+                      "repair: bad symbol size from server " << fetch.server);
+        detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
+                              fetch.row * value_bytes_, value_bytes_),
+                          std::span<Elem>(row));
+        gf::axpy<F>(std::span<Elem>(acc), op.coeff,
+                    std::span<const Elem>(row));
+      }
+      detail::pack<F>(std::span<const Elem>(acc),
+                      out.mutable_span().subspan(r * value_bytes_,
+                                                 value_bytes_));
+    }
+    return out;
+  }
+
+  /// Test/tooling control of the repair cache (per code instance).
+  void set_repair_plan_cache_enabled(bool enabled) const {
+    repair_cache_.set_enabled(enabled);
+  }
+
+  RepairPlanMode repair_mode() const {
+    return repair_mode_.load(std::memory_order_relaxed);
+  }
+
+  /// Test seam: override the CAUSALEC_REPAIR_PLAN env mode per instance.
+  void set_repair_mode_for_testing(RepairPlanMode mode) const {
+    repair_mode_.store(mode, std::memory_order_relaxed);
+  }
+
  private:
   struct ReencodeStep {
     std::uint32_t row;  // row of the server's symbol
     Elem coeff;         // C_i[row][object], nonzero
   };
+
+  std::uint32_t all_servers_mask() const {
+    return (1u << num_servers()) - 1;
+  }
+
+  std::size_t rows_in_mask(std::uint32_t mask) const {
+    std::size_t rows = 0;
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      if (mask >> s & 1) rows += matrices_[s].rows();
+    }
+    return rows;
+  }
+
+  /// All nonzero submasks of `available` ordered by (total rows, popcount,
+  /// value), so the first spanning candidate is fetch-minimal.
+  std::vector<std::uint32_t> candidate_masks(std::uint32_t available) const {
+    std::vector<std::uint32_t> masks;
+    for (std::uint32_t m = available; m != 0; m = (m - 1) & available) {
+      masks.push_back(m);
+    }
+    std::sort(masks.begin(), masks.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                const std::size_t ra = rows_in_mask(a), rb = rows_in_mask(b);
+                if (ra != rb) return ra < rb;
+                const int pa = std::popcount(a), pb = std::popcount(b);
+                return pa != pb ? pa < pb : a < b;
+              });
+    return masks;
+  }
+
+  /// Express every row of the failed symbol in the helper set's row space
+  /// and flatten the coefficients into the fetch/axpy DAG. kMinimalFetch
+  /// drops fetched rows no output program references; kFullDecode keeps
+  /// every row of the set (the decode-all baseline pays for all of them).
+  RepairPlanPtr build_symbol_repair_plan(NodeId failed, std::uint32_t mask,
+                                         RepairStrategy strategy) const {
+    const Matrix sub = stack_subset(mask);
+    const Matrix& target = matrices_[failed];
+    std::vector<RepairFetch> rows;
+    for (NodeId s = 0; s < num_servers(); ++s) {
+      if (!(mask >> s & 1)) continue;
+      for (std::size_t r = 0; r < matrices_[s].rows(); ++r) {
+        rows.push_back({s, static_cast<std::uint32_t>(r)});
+      }
+    }
+    std::vector<bool> used(rows.size(), false);
+    std::vector<std::vector<std::pair<std::uint32_t, Elem>>> programs(
+        target.rows());
+    std::vector<Elem> t(k_);
+    for (std::size_t r = 0; r < target.rows(); ++r) {
+      for (std::size_t c = 0; c < k_; ++c) t[c] = target(r, c);
+      const auto lambda = linalg::express_in_row_space<F>(
+          sub, std::span<const Elem>(t));
+      CEC_CHECK_MSG(lambda.has_value(),
+                    "repair plan: candidate helper set lost its span");
+      for (std::size_t i = 0; i < lambda->size(); ++i) {
+        if ((*lambda)[i] == F::zero) continue;
+        programs[r].push_back({static_cast<std::uint32_t>(i), (*lambda)[i]});
+        used[i] = true;
+      }
+    }
+    auto plan = std::make_shared<RepairPlanT>();
+    const bool trim = strategy == RepairStrategy::kMinimalFetch;
+    std::vector<std::uint32_t> remap(rows.size(), 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (!trim || used[i]) {
+        remap[i] = static_cast<std::uint32_t>(plan->fetches.size());
+        plan->fetches.push_back(rows[i]);
+        plan->helper_mask |= 1u << rows[i].server;
+      }
+    }
+    plan->row_ops.resize(target.rows());
+    for (std::size_t r = 0; r < target.rows(); ++r) {
+      for (const auto& [i, coeff] : programs[r]) {
+        plan->row_ops[r].push_back({remap[i], coeff});
+      }
+    }
+    return plan;
+  }
+
+  RepairPlanSummary summarize(const RepairPlanT& plan,
+                              const RepairPlanT* full,
+                              std::uint32_t erased_mask) const {
+    RepairPlanSummary s;
+    s.helper_mask = plan.helper_mask;
+    s.erased_mask = erased_mask;
+    s.fetch_rows = plan.fetches.size();
+    s.fetch_bytes = s.fetch_rows * value_bytes_;
+    s.full_decode_rows = full != nullptr ? full->fetches.size()
+                                         : s.fetch_rows;
+    s.full_decode_bytes = s.full_decode_rows * value_bytes_;
+    return s;
+  }
 
   void build_stacked() {
     std::size_t total_rows = 0;
@@ -457,6 +775,9 @@ class LinearCodeT final : public Code {
   std::vector<std::vector<std::uint32_t>> recovery_masks_;  // minimal, per obj
   std::vector<std::uint64_t> local_;  // per object: bitmask of local servers
   mutable DecodePlanCache<Elem> plan_cache_;
+  mutable RepairPlanCache<Elem> repair_cache_;
+  mutable std::atomic<RepairPlanMode> repair_mode_{
+      repair_plan_mode_from_env()};
 };
 
 }  // namespace causalec::erasure

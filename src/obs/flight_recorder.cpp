@@ -20,6 +20,7 @@ const char* flight_kind_name(FlightKind kind) {
     case FlightKind::kReadDone: return "read_done";
     case FlightKind::kRecovery: return "recovery";
     case FlightKind::kTimer: return "timer";
+    case FlightKind::kDegradedRead: return "degraded_read";
   }
   return "unknown";
 }

@@ -39,6 +39,7 @@ enum class FlightKind : std::uint8_t {
   kReadDone = 8,      // a=object, tag digest of returned version
   kRecovery = 9,      // a=phase (0 begin, 1 digest, 2 pull, 3 done)
   kTimer = 10,        // a=timer kind
+  kDegradedRead = 11, // a=object, b=repair-plan helper mask
 };
 
 const char* flight_kind_name(FlightKind kind);

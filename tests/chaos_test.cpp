@@ -111,6 +111,43 @@ TEST(ChaosRunnerTest, SmokeSeedRunsCleanWithDecodePlanCache) {
   EXPECT_GT(outcome.ops_completed, 0u);
 }
 
+// Satellite of the repair-plan change (DESIGN.md §5.4): the degraded-read
+// scenario burns the full n - k crash budget early under nearest-fanout,
+// so the surviving coordinators must serve reads through repair plans for
+// the rest of the run. The causal / session / convergence checkers must
+// hold exactly as in a fault-free run, and the aggregated counters must
+// show the plans actually carried traffic.
+TEST(ChaosRunnerTest, DegradedReadScenarioStaysConsistent) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const FaultPlan plan = FaultPlan::degraded_read_scenario(seed);
+    ASSERT_TRUE(plan.nearest_fanout);
+    ASSERT_EQ(plan.crashed_nodes().size(), plan.crash_budget());
+    const RunOutcome outcome = run_plan(plan);
+    EXPECT_TRUE(outcome.ok) << "seed " << seed << ": "
+                            << outcome.violations.front();
+    EXPECT_GT(outcome.ops_completed, 0u) << "seed " << seed;
+    EXPECT_GT(outcome.degraded_reads, 0u) << "seed " << seed;
+    EXPECT_GT(outcome.repair_plan_hits, 0u) << "seed " << seed;
+    EXPECT_GT(outcome.repair_bytes, 0u) << "seed " << seed;
+  }
+}
+
+// Turning repair-aware fan-out off must not cost consistency either -- the
+// scenario then exercises the footnote-14 timeout fallback instead, and no
+// degraded-read counters move.
+TEST(ChaosRunnerTest, DegradedReadScenarioHoldsWithPlansDisabled) {
+  FaultPlan plan = FaultPlan::degraded_read_scenario(11);
+  ChaosOptions options;
+  const RunOutcome baseline = run_plan(plan, options);
+  ASSERT_TRUE(baseline.ok) << baseline.violations.front();
+
+  // Same plan, broadcast fan-out: the degraded path never engages.
+  plan.nearest_fanout = false;
+  const RunOutcome broadcast = run_plan(plan, options);
+  EXPECT_TRUE(broadcast.ok) << broadcast.violations.front();
+  EXPECT_EQ(broadcast.degraded_reads, 0u);
+}
+
 TEST(ChaosRunnerTest, PartitionHealsAndRunStaysConsistent) {
   // Hand-written schedule: no crashes, one long partition that splits the
   // cluster across a recovery-set boundary, plus a delay burst. Everything

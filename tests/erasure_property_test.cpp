@@ -6,11 +6,14 @@
 //   * sequences of re-encodes commute with direct encoding.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <tuple>
 
 #include "common/random.h"
 #include "erasure/codes.h"
 #include "erasure/linear_code.h"
+#include "erasure/repair_plan.h"
 #include "gf/gf2_16.h"
 #include "gf/gf256.h"
 #include "gf/prime_field.h"
@@ -180,6 +183,129 @@ TEST_P(RsThresholdTest, DecodesFromKNotFromKMinus1) {
     if (!small.empty()) {
       EXPECT_FALSE(code->is_recovery_set(0, small));
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair-plan properties over random codes (DESIGN.md Sec. 5.4): a minimal
+// plan never moves more rows than the full-decode baseline, its byte
+// accounting is exact, and executing it rebuilds the failed symbol
+// byte-for-byte.
+// ---------------------------------------------------------------------------
+
+class RepairPlanPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RepairPlanPropertyTest, RepairNeverExceedsFullDecode) {
+  Rng rng(GetParam() + 7000);
+  const std::size_t n = 4 + rng.next_below(4);
+  const std::size_t k = 2 + rng.next_below(std::min<std::size_t>(n - 1, 3));
+  const std::size_t elems = 1 + rng.next_below(12);
+  auto code = random_code<gf::GF256>(rng, n, k, elems);
+  ASSERT_NE(code, nullptr);
+
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < k; ++i) {
+    values.push_back(random_value<gf::GF256>(rng, elems));
+  }
+  std::vector<Symbol> symbols;
+  for (NodeId s = 0; s < n; ++s) symbols.push_back(code->encode(s, values));
+
+  for (NodeId failed = 0; failed < n; ++failed) {
+    const auto minimal = code->plan_symbol_repair(failed, 1u << failed);
+    if (!minimal.has_value()) {
+      // A random code may leave a server's row outside the survivors' span;
+      // "no repair exists" must then be the fresh planner's answer too.
+      EXPECT_EQ(code->compute_symbol_repair_fresh(
+                    failed, 1u << failed, RepairStrategy::kMinimalFetch),
+                nullptr);
+      continue;
+    }
+    EXPECT_LE(minimal->fetch_rows, minimal->full_decode_rows);
+    EXPECT_LE(minimal->fetch_bytes, minimal->full_decode_bytes);
+    EXPECT_EQ(minimal->fetch_bytes, minimal->fetch_rows * elems);
+    EXPECT_EQ(minimal->helper_mask & (1u << failed), 0u)
+        << "plan fetches from the failed server itself";
+
+    // The full-decode strategy is the upper bound the minimal plan beats.
+    const auto full = code->compute_symbol_repair_fresh(
+        failed, 1u << failed, RepairStrategy::kFullDecode);
+    ASSERT_NE(full, nullptr);
+    EXPECT_LE(minimal->fetch_rows, full->fetches.size());
+
+    // Executing the plan from helper symbols rebuilds the exact bytes.
+    std::vector<NodeId> helpers;
+    std::vector<Symbol> helper_symbols;
+    for (NodeId s = 0; s < n; ++s) {
+      if (minimal->helper_mask >> s & 1) {
+        helpers.push_back(s);
+        helper_symbols.push_back(symbols[s]);
+      }
+    }
+    EXPECT_EQ(code->repair_symbol(failed, helpers, helper_symbols),
+              symbols[failed])
+        << "failed " << failed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairPlanPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Repair-plan cache stats stay consistent under concurrent lookups: every
+// find counts exactly one hit or miss, entries never exceed the distinct
+// keys probed, and racing threads all observe the same canonical plan.
+// ---------------------------------------------------------------------------
+
+TEST(RepairPlanCacheConcurrencyTest, StatsConsistentUnderConcurrentLookups) {
+  const auto code = std::dynamic_pointer_cast<const LinearCodeT<gf::GF256>>(
+      make_azure_lrc_6_2_2(8));
+  ASSERT_NE(code, nullptr);
+  const std::size_t n = code->num_servers();
+  const auto base = code->repair_plan_cache_stats();
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(9000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        const NodeId failed = static_cast<NodeId>(rng.next_below(n));
+        const auto plan = code->symbol_repair_plan(
+            failed, 1u << failed, RepairStrategy::kMinimalFetch);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (plan == nullptr || (plan->helper_mask >> failed & 1) != 0) {
+          mismatch.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+
+  const auto stats = code->repair_plan_cache_stats();
+  const std::uint64_t finds =
+      (stats.hits + stats.misses) - (base.hits + base.misses);
+  EXPECT_EQ(finds, lookups.load());
+  // One distinct key per failed server; a racing miss may double-compute but
+  // insert-if-absent keeps the table at one canonical entry per key.
+  EXPECT_LE(stats.entries - base.entries, n);
+  EXPECT_GE(stats.misses - base.misses, n > 0 ? 1u : 0u);
+
+  // Post-race, every cached plan still equals a fresh elimination.
+  for (NodeId failed = 0; failed < n; ++failed) {
+    const auto cached = code->symbol_repair_plan(
+        failed, 1u << failed, RepairStrategy::kMinimalFetch);
+    const auto fresh = code->compute_symbol_repair_fresh(
+        failed, 1u << failed, RepairStrategy::kMinimalFetch);
+    ASSERT_NE(cached, nullptr);
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(cached->helper_mask, fresh->helper_mask);
+    EXPECT_EQ(cached->fetches, fresh->fetches);
   }
 }
 

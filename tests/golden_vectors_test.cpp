@@ -185,5 +185,125 @@ TEST(GoldenVectorsTest, Paper53ReencodeMatchesGolden) {
   EXPECT_EQ(sym, code->encode(4, updated));
 }
 
+// ---------------------------------------------------------------------------
+// Golden repair vectors: Azure-LRC(6,2,2) over GF(2^8), 16-byte values,
+// same input pattern as the RS block. Servers 0..5 are data, 6..7 the XOR
+// local parities, 8..9 the Cauchy global parities. The repair plans are
+// pinned (helper mask + fetched rows) along with the repaired bytes, so a
+// planner regression that silently picks a costlier-but-correct helper set
+// still fails here.
+// ---------------------------------------------------------------------------
+
+std::vector<Value> lrc_golden_values() {
+  std::vector<Value> vals(6);
+  for (std::size_t k = 0; k < 6; ++k) {
+    vals[k].resize(16);
+    for (std::size_t j = 0; j < 16; ++j) {
+      vals[k][j] = static_cast<std::uint8_t>(k * 37 + j * 11 + 1);
+    }
+  }
+  return vals;
+}
+
+const char* const kLrcSymbols[10] = {
+    "010c17222d38434e59646f7a85909ba6",
+    "26313c47525d68737e89949faab5c0cb",
+    "4b56616c77828d98a3aeb9c4cfdae5f0",
+    "707b86919ca7b2bdc8d3dee9f4ff0a15",
+    "95a0abb6c1ccd7e2edf8030e19242f3a",
+    "bac5d0dbe6f1fc07121d28333e49545f",
+    "6c6b4a0908e7a6a584434221e0ffbe9d",
+    "5f1efdfcbb9a99583736f5d4d3927170",
+    "d16c844d704d7778e3cc8575228a3016",
+    "51997a9e" "d6d5c2ca" "6c511f26" "63159b9b",
+};
+
+struct GoldenRepairCase {
+  NodeId failed;
+  std::uint32_t helper_mask;
+  std::size_t fetch_rows;
+};
+
+// Data and local-parity failures repair inside a 3-server local group; a
+// global parity finds a 5-row mixed set (still cheaper than the k=6 full
+// decode, an LRC structural identity the planner must keep discovering).
+const GoldenRepairCase kLrcRepairs[] = {
+    {0, 0x046, 3},  // data, group 0: {1, 2, lp0}
+    {4, 0x0a8, 3},  // data, group 1: {3, 5, lp1}
+    {6, 0x007, 3},  // local parity 0: its own group {0, 1, 2}
+    {8, 0x2cc, 5},  // global parity 0: {2, 3, lp0, lp1, gp1}
+};
+
+TEST(GoldenVectorsTest, LrcEncodeMatchesGoldenOnEveryTier) {
+  const auto code = make_azure_lrc_6_2_2(16);
+  const auto vals = lrc_golden_values();
+  for (const auto tier : available_tiers()) {
+    gf::kernels::ScopedTierForTesting guard(tier);
+    for (NodeId s = 0; s < 10; ++s) {
+      EXPECT_EQ(to_hex(code->encode(s, vals)), kLrcSymbols[s])
+          << "server " << s << " tier " << gf::kernels::tier_name(tier);
+    }
+  }
+}
+
+TEST(GoldenVectorsTest, LrcRepairMatchesGoldenOnEveryTier) {
+  const auto code = make_azure_lrc_6_2_2(16);
+  for (const GoldenRepairCase& c : kLrcRepairs) {
+    const auto summary = code->plan_symbol_repair(c.failed, 1u << c.failed);
+    ASSERT_TRUE(summary.has_value()) << "failed " << c.failed;
+    EXPECT_EQ(summary->helper_mask, c.helper_mask) << "failed " << c.failed;
+    EXPECT_EQ(summary->fetch_rows, c.fetch_rows) << "failed " << c.failed;
+    // Execute the repair from the pinned survivor bytes alone.
+    std::vector<NodeId> helpers;
+    std::vector<Symbol> symbols;
+    for (NodeId s = 0; s < 10; ++s) {
+      if (c.helper_mask >> s & 1) {
+        helpers.push_back(s);
+        symbols.push_back(from_hex(kLrcSymbols[s]));
+      }
+    }
+    for (const auto tier : available_tiers()) {
+      gf::kernels::ScopedTierForTesting guard(tier);
+      EXPECT_EQ(to_hex(code->repair_symbol(c.failed, helpers, symbols)),
+                kLrcSymbols[c.failed])
+          << "failed " << c.failed << " tier " << gf::kernels::tier_name(tier);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden repair vectors for the paper's (5,3) code: the minimal plans land
+// exactly on the Sec. 1.2 identities (X2 = Y5 - Y4, Y4 = Y5 - X2,
+// Y5 = Y4 + X2), each moving 2 symbols instead of the k=3 full decode.
+// ---------------------------------------------------------------------------
+
+const GoldenRepairCase kP53Repairs[] = {
+    {0, 0x0e, 3},  // Y1 = X1: full decode from {Y2, Y3, Y4}
+    {1, 0x18, 2},  // Y2 = X2 = Y5 - Y4
+    {3, 0x12, 2},  // Y4 = Y5 - X2
+    {4, 0x0a, 2},  // Y5 = Y4 + X2
+};
+
+TEST(GoldenVectorsTest, Paper53RepairMatchesGolden) {
+  const auto code = make_paper_5_3(8);
+  for (const GoldenRepairCase& c : kP53Repairs) {
+    const auto summary = code->plan_symbol_repair(c.failed, 1u << c.failed);
+    ASSERT_TRUE(summary.has_value()) << "failed " << c.failed;
+    EXPECT_EQ(summary->helper_mask, c.helper_mask) << "failed " << c.failed;
+    EXPECT_EQ(summary->fetch_rows, c.fetch_rows) << "failed " << c.failed;
+    std::vector<NodeId> helpers;
+    std::vector<Symbol> symbols;
+    for (NodeId s = 0; s < 5; ++s) {
+      if (c.helper_mask >> s & 1) {
+        helpers.push_back(s);
+        symbols.push_back(from_hex(kP53Symbols[s]));
+      }
+    }
+    EXPECT_EQ(to_hex(code->repair_symbol(c.failed, helpers, symbols)),
+              kP53Symbols[c.failed])
+        << "failed " << c.failed;
+  }
+}
+
 }  // namespace
 }  // namespace causalec::erasure

@@ -147,6 +147,72 @@ TEST(RecoveryTest, RecoveredServerCatchesUpOnMissedWrites) {
   EXPECT_EQ(counters.error2_events, 0u);
 }
 
+// Rejoin catch-up through repair plans (DESIGN.md §5.4): under
+// RejoinCatchup::kRepairPlan the recovering node pulls only from the
+// symbol-repair helper set instead of every peer. Runs one scripted
+// crash+recover round and returns the recovered server's counters.
+ServerCounters run_rejoin_catchup_scenario(RejoinCatchup mode) {
+  persist::MemoryBackend backend;
+  ClusterConfig config;
+  config.gc_period = 20 * kMillisecond;
+  config.persistence = &backend;
+  config.snapshot_period = 50 * kMillisecond;
+  config.server.rejoin_catchup = mode;
+  // Azure-LRC(6,2,2): server 0's symbol repairs from its 3-member local
+  // group, so the helper set is 3 of the 9 peers.
+  Cluster cluster(erasure::make_azure_lrc_6_2_2(8),
+                  std::make_unique<sim::ConstantLatency>(5 * kMillisecond),
+                  config);
+  auto& writer = cluster.make_client(1);
+  for (ObjectId x = 0; x < 6; ++x) {
+    writer.write(x, Value(8, static_cast<std::uint8_t>(1 + x)));
+  }
+  cluster.run_for(300 * kMillisecond);  // past a snapshot checkpoint
+
+  cluster.halt_server(0);
+  for (ObjectId x = 0; x < 6; ++x) {  // all missed by server 0
+    writer.write(x, Value(8, static_cast<std::uint8_t>(101 + x)));
+  }
+  cluster.run_for(100 * kMillisecond);
+
+  cluster.recover_server(0);
+  cluster.settle();
+
+  // The recovered server serves the missed writes in either mode.
+  Client& reader = cluster.make_client(0);
+  for (ObjectId x = 0; x < 6; ++x) {
+    EXPECT_EQ(read_blocking(cluster, reader, x),
+              Value(8, static_cast<std::uint8_t>(101 + x)))
+        << "object " << x;
+  }
+  const ServerCounters& counters = cluster.server(0).counters();
+  EXPECT_EQ(counters.recoveries, 1u);
+  EXPECT_FALSE(cluster.server(0).recovering());
+  EXPECT_EQ(counters.error1_events, 0u);
+  EXPECT_EQ(counters.error2_events, 0u);
+  return counters;
+}
+
+TEST(RecoveryTest, RepairPlanRejoinShrinksCatchupTraffic) {
+  const ServerCounters pull_all =
+      run_rejoin_catchup_scenario(RejoinCatchup::kPullAll);
+  const ServerCounters repair_plan =
+      run_rejoin_catchup_scenario(RejoinCatchup::kRepairPlan);
+
+  // Pull-all pulls from every peer and never counts helper pulls.
+  EXPECT_EQ(pull_all.rejoin_helper_pulls, 0u);
+  EXPECT_GE(pull_all.rejoin_pushes_received, 1u);
+
+  // Repair-plan mode pulls from the 3-member helper set only, and the
+  // catch-up traffic shrinks accordingly.
+  EXPECT_EQ(repair_plan.rejoin_helper_pulls, 3u);
+  EXPECT_GE(repair_plan.rejoin_pushes_received, 1u);
+  EXPECT_LT(repair_plan.rejoin_pushes_received,
+            pull_all.rejoin_pushes_received);
+  EXPECT_GT(repair_plan.catchup_bytes, 0u);
+  EXPECT_LT(repair_plan.catchup_bytes, pull_all.catchup_bytes);
+}
+
 // Satellite: mid-operation restart during a read fan-out. The footnote-14
 // scenario from fault_injection_test, extended with recovery: the nearest
 // recovery set's serving member crashes with the val_inq in flight (the

@@ -13,6 +13,11 @@
 #       # flight recorder's lock-free snapshot-vs-writer protocol and the
 #       # shared tracer/metrics sinks across node threads (the wall-clock
 #       # obs_bench_smoke ratio gate is skipped in sanitized builds)
+#   tools/run_sanitized_tests.sh thread -L repair
+#       # the repair-plan battery (differential plans vs fresh Gaussian
+#       # elimination, golden repair vectors, degraded reads); under tsan
+#       # this exercises the shared-mutex repair-plan cache from
+#       # concurrent lookup threads
 #
 # Each sanitizer config gets its own build tree (build-san-<name>), so the
 # regular build/ directory is never disturbed. Extra arguments after the
