@@ -23,63 +23,15 @@ enum class MsgType : std::uint8_t {
   kRecoverPush = 9,
 };
 
-class Reader {
- public:
-  /// Holds the frame so bytes() can return slices that alias its arena
-  /// instead of copying the payload out.
-  explicit Reader(erasure::Buffer frame)
-      : frame_(std::move(frame)), buf_(frame_.span()) {}
-
-  std::uint8_t u8() {
-    CEC_CHECK_MSG(pos_ + 1 <= buf_.size(), "codec: truncated buffer");
-    return buf_[pos_++];
-  }
-  std::uint32_t u32() {
-    CEC_CHECK_MSG(pos_ + 4 <= buf_.size(), "codec: truncated buffer");
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    CEC_CHECK_MSG(pos_ + 8 <= buf_.size(), "codec: truncated buffer");
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
-    return v;
-  }
-  /// Zero-copy: a Value aliasing the frame's arena at the current cursor.
-  erasure::Value bytes() {
-    const std::uint32_t len = u32();
-    CEC_CHECK_MSG(pos_ + len <= buf_.size(), "codec: truncated buffer");
-    erasure::Value out(frame_.slice(pos_, len));
-    pos_ += len;
-    return out;
-  }
-  VectorClock clock() {
-    const std::uint32_t n = u32();
-    VectorClock vc(n);
-    for (std::uint32_t i = 0; i < n; ++i) vc.set(i, u64());
-    return vc;
-  }
-  Tag tag() {
-    VectorClock vc = clock();
-    const std::uint64_t id = u64();
-    return Tag(std::move(vc), id);
-  }
-  TagVector tagvec() {
-    const std::uint32_t k = u32();
-    TagVector out;
-    out.reserve(k);
-    for (std::uint32_t i = 0; i < k; ++i) out.push_back(tag());
-    return out;
-  }
-  bool done() const { return pos_ == buf_.size(); }
-  std::size_t remaining() const { return buf_.size() - pos_; }
-
- private:
-  erasure::Buffer frame_;
-  std::span<const std::uint8_t> buf_;
-  std::size_t pos_ = 0;
-};
+// Minimal serialized footprint of the variable-size primitives; element
+// counts read off the wire are capped at remaining / footprint before they
+// size an allocation, so a hostile length field can never drive a huge
+// reserve (let alone an out-of-bounds read -- SafeReader latches those).
+constexpr std::size_t kClockEntryBytes = 8;            // one u64 component
+constexpr std::size_t kMinTagBytes = 4 + 8;            // empty clock + id
+constexpr std::size_t kMinHistoryItemBytes = 4 + kMinTagBytes + 4;
+constexpr std::size_t kMinInqueueItemBytes = 4 + 4 + kMinTagBytes + 4;
+constexpr std::size_t kMinDelItemBytes = 4 + 4 + kMinTagBytes;
 
 }  // namespace
 
@@ -188,9 +140,24 @@ sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer) {
 }
 
 sim::MessagePtr deserialize_message(erasure::Buffer frame) {
-  Reader r(std::move(frame));
+  std::string error;
+  auto out = try_deserialize_message(std::move(frame), &error);
+  CEC_CHECK_MSG(out != nullptr, "codec: " << error);
+  return out;
+}
+
+sim::MessagePtr try_deserialize_message(erasure::Buffer frame,
+                                        std::string* error) {
+  wire::SafeReader r(std::move(frame));
   const auto type = static_cast<MsgType>(r.u8());
   const std::uint64_t wire = r.u64();
+  // Per-primitive element caps, all derived from the bytes actually in the
+  // frame (see the kMin*Bytes constants): loose upper bounds -- SafeReader
+  // still bounds-checks every read -- but tight enough that no corrupted
+  // count can size an allocation beyond the frame itself.
+  const std::size_t body = r.remaining();
+  const std::size_t clock_cap = body / kClockEntryBytes;
+  const std::size_t tag_cap = body / kMinTagBytes;
   // The WireModel argument is irrelevant: the recorded wire size (the cost
   // model's output at the sender) is restored verbatim below.
   const WireModel dummy;
@@ -198,8 +165,8 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
   switch (type) {
     case MsgType::kApp: {
       const ObjectId object = r.u32();
-      auto value = r.bytes();
-      auto tag = r.tag();
+      auto value = r.bytes(body);
+      auto tag = r.tag(clock_cap);
       auto msg = std::make_unique<AppMessage>(object, std::move(value),
                                               std::move(tag), dummy);
       msg->wire = wire;
@@ -210,7 +177,7 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
       const ObjectId object = r.u32();
       const NodeId origin = r.u32();
       const bool forward = r.u8() != 0;
-      auto tag = r.tag();
+      auto tag = r.tag(clock_cap);
       auto msg = std::make_unique<DelMessage>(object, std::move(tag), origin,
                                               forward, dummy);
       msg->wire = wire;
@@ -221,7 +188,7 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
       const ClientId client = r.u64();
       const OpId opid = r.u64();
       const ObjectId object = r.u32();
-      auto wanted = r.tagvec();
+      auto wanted = r.tagvec(tag_cap, clock_cap);
       auto msg = std::make_unique<ValInqMessage>(client, opid, object,
                                                  std::move(wanted), dummy);
       msg->wire = wire;
@@ -232,8 +199,8 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
       const ClientId client = r.u64();
       const OpId opid = r.u64();
       const ObjectId object = r.u32();
-      auto value = r.bytes();
-      auto requested = r.tagvec();
+      auto value = r.bytes(body);
+      auto requested = r.tagvec(tag_cap, clock_cap);
       auto msg = std::make_unique<ValRespMessage>(client, opid, object,
                                                   std::move(value),
                                                   std::move(requested),
@@ -246,9 +213,9 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
       const ClientId client = r.u64();
       const OpId opid = r.u64();
       const ObjectId object = r.u32();
-      auto symbol = r.bytes();
-      auto symbol_tags = r.tagvec();
-      auto requested = r.tagvec();
+      auto symbol = r.bytes(body);
+      auto symbol_tags = r.tagvec(tag_cap, clock_cap);
+      auto requested = r.tagvec(tag_cap, clock_cap);
       auto msg = std::make_unique<ValRespEncodedMessage>(
           client, opid, object, std::move(symbol), std::move(symbol_tags),
           std::move(requested), dummy);
@@ -258,7 +225,7 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
     }
     case MsgType::kRecoverDigest: {
       const std::uint64_t epoch = r.u64();
-      auto vc = r.clock();
+      auto vc = r.clock(clock_cap);
       auto msg = std::make_unique<RecoverDigestMessage>(epoch, std::move(vc),
                                                         dummy);
       msg->wire = wire;
@@ -267,7 +234,7 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
     }
     case MsgType::kRecoverDigestReply: {
       const std::uint64_t epoch = r.u64();
-      auto vc = r.clock();
+      auto vc = r.clock(clock_cap);
       auto msg = std::make_unique<RecoverDigestReplyMessage>(
           epoch, std::move(vc), dummy);
       msg->wire = wire;
@@ -276,7 +243,7 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
     }
     case MsgType::kRecoverPull: {
       const std::uint64_t epoch = r.u64();
-      auto vc = r.clock();
+      auto vc = r.clock(clock_cap);
       auto msg = std::make_unique<RecoverPullMessage>(epoch, std::move(vc),
                                                       dummy);
       msg->wire = wire;
@@ -285,25 +252,39 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
     }
     case MsgType::kRecoverPush: {
       const std::uint64_t epoch = r.u64();
-      auto vc = r.clock();
-      std::vector<RecoverPushMessage::HistoryItem> history(r.u32());
+      auto vc = r.clock(clock_cap);
+      // Counts are validated against remaining bytes *before* they size the
+      // vectors; on failure the reader is latched and the loops see zeroes.
+      const auto checked_count = [&r](std::size_t min_item_bytes,
+                                      const char* what) -> std::size_t {
+        const std::uint32_t count = r.u32();
+        if (count > r.remaining() / min_item_bytes) {
+          r.fail(what);
+          return 0;
+        }
+        return count;
+      };
+      std::vector<RecoverPushMessage::HistoryItem> history(checked_count(
+          kMinHistoryItemBytes, "history count exceeds frame"));
       for (auto& h : history) {
         h.object = r.u32();
-        h.tag = r.tag();
-        h.value = r.bytes();
+        h.tag = r.tag(clock_cap);
+        h.value = r.bytes(body);
       }
-      std::vector<RecoverPushMessage::InqueueItem> inqueue(r.u32());
+      std::vector<RecoverPushMessage::InqueueItem> inqueue(checked_count(
+          kMinInqueueItemBytes, "inqueue count exceeds frame"));
       for (auto& q : inqueue) {
         q.origin = r.u32();
         q.object = r.u32();
-        q.tag = r.tag();
-        q.value = r.bytes();
+        q.tag = r.tag(clock_cap);
+        q.value = r.bytes(body);
       }
-      std::vector<RecoverPushMessage::DelItem> dels(r.u32());
+      std::vector<RecoverPushMessage::DelItem> dels(checked_count(
+          kMinDelItemBytes, "del count exceeds frame"));
       for (auto& d : dels) {
         d.object = r.u32();
         d.server = r.u32();
-        d.tag = r.tag();
+        d.tag = r.tag(clock_cap);
       }
       auto msg = std::make_unique<RecoverPushMessage>(
           epoch, std::move(vc), std::move(history), std::move(inqueue),
@@ -313,16 +294,20 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame) {
       break;
     }
     default:
-      CEC_CHECK_MSG(false, "codec: unknown message type byte");
+      r.fail("unknown message type byte");
+      break;
   }
   // Trace-context trailer: present iff exactly 16 bytes follow the body.
   // Frames from before trace propagation (or untraced sends) end here and
   // decode to the default "not traced" context.
-  if (r.remaining() == wire::kTraceContextBytes) {
+  if (r.ok() && r.remaining() == wire::kTraceContextBytes) {
     out->trace.trace_id = r.u64();
     out->trace.span_id = r.u64();
   }
-  CEC_CHECK_MSG(r.done(), "codec: trailing bytes");
+  if (!r.done()) {
+    if (error != nullptr) *error = r.ok() ? "trailing bytes" : r.error();
+    return nullptr;
+  }
   return out;
 }
 

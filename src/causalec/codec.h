@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "causalec/messages.h"
@@ -37,5 +38,16 @@ sim::MessagePtr deserialize_message(erasure::Buffer frame);
 
 /// Copying convenience overload: wraps `buffer` in a fresh arena first.
 sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer);
+
+/// Non-aborting decode for *untrusted* frames (bytes that arrived over a
+/// real socket, where the peer may be buggy or hostile). Every length field
+/// is bounds-checked against the bytes actually present before it drives
+/// an allocation or a read, so a malformed frame -- truncated, oversized,
+/// bad type byte, absurd element counts -- yields nullptr (with `error`
+/// set when non-null) instead of corrupting or aborting the process.
+/// Well-formed frames decode byte-identically to deserialize_message,
+/// including the optional trace-context trailer and zero-copy payloads.
+sim::MessagePtr try_deserialize_message(erasure::Buffer frame,
+                                        std::string* error = nullptr);
 
 }  // namespace causalec

@@ -1,0 +1,212 @@
+#include "net/client_proto.h"
+
+#include "causalec/wire_format.h"
+
+namespace causalec::net {
+
+namespace {
+
+using wire::SafeReader;
+using wire::Writer;
+
+/// Per-frame caps derived from the bytes present, mirroring codec.cpp: a
+/// corrupted count can never size an allocation beyond the frame itself.
+std::size_t clock_cap(const SafeReader& r) { return r.remaining() / 8; }
+
+/// Opens a reader and consumes the expected type byte; the reader is
+/// latched failed on mismatch.
+SafeReader open(erasure::Buffer payload, ClientMsgType expected) {
+  SafeReader r(std::move(payload));
+  if (r.u8() != static_cast<std::uint8_t>(expected)) {
+    r.fail("unexpected message type byte");
+  }
+  return r;
+}
+
+}  // namespace
+
+std::optional<std::uint8_t> peek_type(const erasure::Buffer& payload) {
+  if (payload.empty()) return std::nullopt;
+  return payload.data()[0];
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& m) {
+  Writer w(8);
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kHello));
+  w.u8(static_cast<std::uint8_t>(m.role));
+  w.u32(m.node);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_write_req(const WriteReq& m) {
+  Writer w(32 + m.value.size());
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kWriteReq));
+  w.u64(m.opid);
+  w.u64(m.client);
+  w.u32(m.object);
+  w.bytes(m.value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_read_req(const ReadReq& m) {
+  Writer w(24);
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kReadReq));
+  w.u64(m.opid);
+  w.u64(m.client);
+  w.u32(m.object);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ping(const Ping& m) {
+  Writer w(12);
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kPing));
+  w.u64(m.token);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats_req() {
+  Writer w(1);
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kStatsReq));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_write_resp(const WriteResp& m) {
+  Writer w(32 + 8 * (m.vc.size() + m.tag.ts.size()));
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kWriteResp));
+  w.u64(m.opid);
+  w.tag(m.tag);
+  w.clock(m.vc);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_read_resp(const ReadResp& m) {
+  Writer w(40 + 8 * (m.vc.size() + m.tag.ts.size()) + m.value.size());
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kReadResp));
+  w.u64(m.opid);
+  w.tag(m.tag);
+  w.clock(m.vc);
+  w.bytes(m.value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_pong(const Pong& m) {
+  Writer w(12);
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kPong));
+  w.u64(m.token);
+  w.u8(m.ready ? 1 : 0);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats_resp(const StatsResp& m) {
+  Writer w(80 + 8 * (m.vc.size() + m.shard_ops.size()));
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kStatsResp));
+  w.u32(m.node);
+  w.clock(m.vc);
+  w.u64(m.history_entries);
+  w.u64(m.inqueue_entries);
+  w.u64(m.readl_entries);
+  w.u64(m.writes);
+  w.u64(m.reads);
+  w.u64(m.error_events);
+  w.u64(m.recoveries);
+  w.u32(static_cast<std::uint32_t>(m.shard_ops.size()));
+  for (const std::uint64_t v : m.shard_ops) w.u64(v);
+  return w.take();
+}
+
+std::optional<Hello> decode_hello(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kHello);
+  Hello m;
+  const std::uint8_t role = r.u8();
+  if (role > static_cast<std::uint8_t>(PeerRole::kClient)) return std::nullopt;
+  m.role = static_cast<PeerRole>(role);
+  m.node = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<WriteReq> decode_write_req(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kWriteReq);
+  WriteReq m;
+  m.opid = r.u64();
+  m.client = r.u64();
+  m.object = r.u32();
+  m.value = r.bytes(r.remaining());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<ReadReq> decode_read_req(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kReadReq);
+  ReadReq m;
+  m.opid = r.u64();
+  m.client = r.u64();
+  m.object = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<Ping> decode_ping(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kPing);
+  Ping m;
+  m.token = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+bool decode_stats_req(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kStatsReq);
+  return r.done();
+}
+
+std::optional<WriteResp> decode_write_resp(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kWriteResp);
+  WriteResp m;
+  m.opid = r.u64();
+  m.tag = r.tag(clock_cap(r));
+  m.vc = r.clock(clock_cap(r));
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<ReadResp> decode_read_resp(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kReadResp);
+  ReadResp m;
+  m.opid = r.u64();
+  m.tag = r.tag(clock_cap(r));
+  m.vc = r.clock(clock_cap(r));
+  m.value = r.bytes(r.remaining());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<Pong> decode_pong(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kPong);
+  Pong m;
+  m.token = r.u64();
+  m.ready = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<StatsResp> decode_stats_resp(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kStatsResp);
+  StatsResp m;
+  m.node = r.u32();
+  m.vc = r.clock(clock_cap(r));
+  m.history_entries = r.u64();
+  m.inqueue_entries = r.u64();
+  m.readl_entries = r.u64();
+  m.writes = r.u64();
+  m.reads = r.u64();
+  m.error_events = r.u64();
+  m.recoveries = r.u64();
+  const std::uint32_t shards = r.u32();
+  if (shards > r.remaining() / 8) return std::nullopt;
+  m.shard_ops.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) m.shard_ops.push_back(r.u64());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace causalec::net

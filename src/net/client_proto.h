@@ -1,0 +1,132 @@
+// Client/control messages that share a framed connection with the CausalEC
+// protocol frames. Encoded with the same wire primitives (wire::Writer /
+// wire::SafeReader); distinguished from protocol frames by the type byte:
+// protocol messages use 1..9 (causalec/codec.cpp), these use 64+.
+//
+//   hello       := 64 role:u8 node:u32          (first frame on every conn)
+//   write_req   := 65 opid:u64 client:u64 object:u32 value
+//   read_req    := 66 opid:u64 client:u64 object:u32
+//   ping        := 67 token:u64
+//   stats_req   := 68
+//   write_resp  := 69 opid:u64 tag vc
+//   read_resp   := 70 opid:u64 tag vc value
+//   pong        := 71 token:u64 ready:u8
+//   stats_resp  := 72 node:u32 vc history:u64 inqueue:u64 readl:u64
+//                  writes:u64 reads:u64 errors:u64 recoveries:u64
+//                  shards:u32 shard_ops:u64[shards]
+//
+// Responses carry the issuing server's vector clock at the response point,
+// which is exactly the timestamp the consistency checkers (Definition 6)
+// need -- a remote client can therefore record checkable OpRecords.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "causalec/tag.h"
+#include "common/types.h"
+#include "erasure/buffer.h"
+#include "erasure/value.h"
+
+namespace causalec::net {
+
+/// First type byte of the client/control range; payload first bytes below
+/// this are CausalEC protocol frames.
+inline constexpr std::uint8_t kClientProtoBase = 64;
+
+enum class ClientMsgType : std::uint8_t {
+  kHello = 64,
+  kWriteReq = 65,
+  kReadReq = 66,
+  kPing = 67,
+  kStatsReq = 68,
+  kWriteResp = 69,
+  kReadResp = 70,
+  kPong = 71,
+  kStatsResp = 72,
+};
+
+enum class PeerRole : std::uint8_t { kServer = 0, kClient = 1 };
+
+struct Hello {
+  PeerRole role = PeerRole::kClient;
+  NodeId node = 0;  // server id for kServer; informational for kClient
+};
+
+struct WriteReq {
+  OpId opid = 0;  // client correlation id, echoed in the response
+  ClientId client = 0;
+  ObjectId object = 0;
+  erasure::Value value;
+};
+
+struct ReadReq {
+  OpId opid = 0;
+  ClientId client = 0;
+  ObjectId object = 0;
+};
+
+struct Ping {
+  std::uint64_t token = 0;
+};
+
+struct WriteResp {
+  OpId opid = 0;
+  Tag tag;
+  VectorClock vc;
+};
+
+struct ReadResp {
+  OpId opid = 0;
+  Tag tag;
+  VectorClock vc;
+  erasure::Value value;
+};
+
+struct Pong {
+  std::uint64_t token = 0;
+  bool ready = false;
+};
+
+struct StatsResp {
+  NodeId node = 0;
+  VectorClock vc;
+  std::uint64_t history_entries = 0;
+  std::uint64_t inqueue_entries = 0;
+  std::uint64_t readl_entries = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t error_events = 0;  // error1 + error2 (must stay 0)
+  std::uint64_t recoveries = 0;
+  /// Client operations handled per shard since process start.
+  std::vector<std::uint64_t> shard_ops;
+};
+
+/// The type byte of a payload frame, or nullopt when empty.
+std::optional<std::uint8_t> peek_type(const erasure::Buffer& payload);
+
+// Encoders produce the *payload* (no length prefix; see net/frame.h).
+std::vector<std::uint8_t> encode_hello(const Hello& m);
+std::vector<std::uint8_t> encode_write_req(const WriteReq& m);
+std::vector<std::uint8_t> encode_read_req(const ReadReq& m);
+std::vector<std::uint8_t> encode_ping(const Ping& m);
+std::vector<std::uint8_t> encode_stats_req();
+std::vector<std::uint8_t> encode_write_resp(const WriteResp& m);
+std::vector<std::uint8_t> encode_read_resp(const ReadResp& m);
+std::vector<std::uint8_t> encode_pong(const Pong& m);
+std::vector<std::uint8_t> encode_stats_resp(const StatsResp& m);
+
+// Decoders: nullopt on malformed input (wrong type byte, truncation,
+// hostile length fields) -- never abort; remote bytes are untrusted.
+std::optional<Hello> decode_hello(erasure::Buffer payload);
+std::optional<WriteReq> decode_write_req(erasure::Buffer payload);
+std::optional<ReadReq> decode_read_req(erasure::Buffer payload);
+std::optional<Ping> decode_ping(erasure::Buffer payload);
+bool decode_stats_req(erasure::Buffer payload);
+std::optional<WriteResp> decode_write_resp(erasure::Buffer payload);
+std::optional<ReadResp> decode_read_resp(erasure::Buffer payload);
+std::optional<Pong> decode_pong(erasure::Buffer payload);
+std::optional<StatsResp> decode_stats_resp(erasure::Buffer payload);
+
+}  // namespace causalec::net

@@ -1,0 +1,149 @@
+#include "net/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/expect.h"
+
+namespace causalec::net {
+
+Connection::Connection(EventLoop* loop, ScopedFd fd)
+    : loop_(loop), fd_(std::move(fd)) {}
+
+void Connection::open(FrameHandler on_frame, CloseHandler on_close) {
+  CEC_DCHECK(loop_->on_loop_thread());
+  CEC_CHECK(fd_.valid());
+  on_frame_ = std::move(on_frame);
+  on_close_ = std::move(on_close);
+  auto self = shared_from_this();
+  loop_->watch(fd_.get(), /*want_read=*/true, /*want_write=*/false,
+               [self](std::uint32_t events) { self->handle_events(events); });
+}
+
+void Connection::send(erasure::Buffer frame) {
+  if (loop_->on_loop_thread()) {
+    send_on_loop(std::move(frame));
+    return;
+  }
+  auto self = shared_from_this();
+  loop_->post([self, frame = std::move(frame)]() mutable {
+    self->send_on_loop(std::move(frame));
+  });
+}
+
+void Connection::close() {
+  if (loop_->on_loop_thread()) {
+    close_on_loop();
+    return;
+  }
+  auto self = shared_from_this();
+  loop_->post([self] { self->close_on_loop(); });
+}
+
+std::size_t Connection::write_backlog() const {
+  std::size_t total = 0;
+  for (const auto& b : write_queue_) total += b.size();
+  return total - front_written_;
+}
+
+void Connection::send_on_loop(erasure::Buffer frame) {
+  if (closed_ || frame.empty()) return;
+  write_queue_.push_back(std::move(frame));
+  if (!flush_writes()) return;
+  if (!write_queue_.empty() && !want_write_) {
+    want_write_ = true;
+    loop_->update(fd_.get(), /*want_read=*/true, /*want_write=*/true);
+  }
+}
+
+bool Connection::flush_writes() {
+  while (!write_queue_.empty()) {
+    const erasure::Buffer& front = write_queue_.front();
+    const std::size_t remaining = front.size() - front_written_;
+    const ssize_t n = ::send(fd_.get(), front.data() + front_written_,
+                             remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      front_written_ += static_cast<std::size_t>(n);
+      if (front_written_ == front.size()) {
+        write_queue_.pop_front();
+        front_written_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    close_on_loop();
+    return false;
+  }
+  if (want_write_) {
+    want_write_ = false;
+    loop_->update(fd_.get(), /*want_read=*/true, /*want_write=*/false);
+  }
+  return true;
+}
+
+void Connection::handle_events(std::uint32_t events) {
+  if (closed_) return;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_on_loop();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!flush_writes()) return;
+  }
+  if ((events & EPOLLIN) != 0) handle_readable();
+}
+
+void Connection::handle_readable() {
+  // Drain the socket. Each chunk is a fresh arena; frames wholly inside it
+  // are delivered as zero-copy slices by the FrameReader.
+  while (!closed_) {
+    std::vector<std::uint8_t> chunk(kReadChunkBytes);
+    const ssize_t n = ::recv(fd_.get(), chunk.data(), chunk.size(), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_on_loop();
+      return;
+    }
+    if (n == 0) {  // orderly peer shutdown
+      close_on_loop();
+      return;
+    }
+    const bool socket_drained = static_cast<std::size_t>(n) < chunk.size();
+    chunk.resize(static_cast<std::size_t>(n));
+    reader_.feed(erasure::Buffer::adopt(std::move(chunk)));
+    auto self = shared_from_this();  // a frame handler may close us
+    while (auto payload = reader_.next()) {
+      on_frame_(self, std::move(*payload));
+      if (closed_) return;
+    }
+    if (reader_.failed()) {
+      // Framing violation (oversized length prefix): hostile or broken
+      // peer; drop the connection rather than guess at resync.
+      close_on_loop();
+      return;
+    }
+    if (socket_drained) return;
+  }
+}
+
+void Connection::close_on_loop() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->unwatch(fd_.get());
+  fd_.reset();
+  write_queue_.clear();
+  // on_frame_ is deliberately left in place: close() may run from inside
+  // it, and destroying an executing std::function is undefined behavior.
+  // The closed_ flag guarantees it is never invoked again.
+  if (on_close_) {
+    auto self = shared_from_this();
+    CloseHandler handler = std::move(on_close_);
+    on_close_ = nullptr;
+    handler(self);
+  }
+}
+
+}  // namespace causalec::net

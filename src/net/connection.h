@@ -1,0 +1,81 @@
+// One established TCP connection on an event loop: owns the fd, the
+// FrameReader (connection-owned read arenas feeding the zero-copy codec),
+// and the outbound write queue.
+//
+// All state lives on the owning loop's thread. send() may be called from
+// any thread (it posts); everything else is loop-thread-only. Lifetime is
+// shared_ptr-based: the loop's fd handler closure keeps the connection
+// alive until close, and response routing across threads holds weak_ptrs
+// so a dead connection drops its responses instead of dangling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "erasure/buffer.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace causalec::net {
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// Called on the loop thread for every complete payload frame.
+  using FrameHandler =
+      std::function<void(const std::shared_ptr<Connection>&,
+                         erasure::Buffer payload)>;
+  /// Called on the loop thread exactly once when the connection dies
+  /// (peer hangup, read/write error, framing violation, or local close()).
+  using CloseHandler = std::function<void(const std::shared_ptr<Connection>&)>;
+
+  Connection(EventLoop* loop, ScopedFd fd);
+  ~Connection() = default;
+
+  /// Registers with the loop and starts reading. Loop thread only.
+  void open(FrameHandler on_frame, CloseHandler on_close);
+
+  /// Queue a ready-made frame (header + payload, see encode_frame) for
+  /// writing. Any thread; the Buffer's arena is shared, not copied, so a
+  /// multicast frame queued on n connections costs one allocation total.
+  void send(erasure::Buffer frame);
+
+  /// Any thread. Drops the fd and fires the close handler (on the loop
+  /// thread) if the connection is still alive.
+  void close();
+
+  int fd() const { return fd_.get(); }
+  EventLoop* loop() const { return loop_; }
+  bool closed() const { return closed_; }
+
+  /// Bytes queued but not yet written (loop thread only; tests).
+  std::size_t write_backlog() const;
+
+ private:
+  void send_on_loop(erasure::Buffer frame);
+  void handle_events(std::uint32_t events);
+  void handle_readable();
+  bool flush_writes();  // false when the connection died mid-write
+  void close_on_loop();
+
+  EventLoop* loop_;
+  ScopedFd fd_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  FrameReader reader_;
+
+  /// Outbound frames; front_written_ bytes of the front one already went
+  /// out (partial-write bookkeeping).
+  std::deque<erasure::Buffer> write_queue_;
+  std::size_t front_written_ = 0;
+  bool want_write_ = false;  // EPOLLOUT currently subscribed
+  bool closed_ = false;
+
+  /// Socket read chunk size: big enough that the common protocol frame
+  /// (4 KiB value + tags) lands in one chunk and is delivered zero-copy.
+  static constexpr std::size_t kReadChunkBytes = 64 * 1024;
+};
+
+}  // namespace causalec::net

@@ -1,0 +1,393 @@
+#include "net/node_daemon.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "causalec/codec.h"
+#include "common/expect.h"
+#include "common/logging.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace causalec::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+NodeDaemon::NodeDaemon(erasure::CodePtr code, NodeDaemonConfig config)
+    : code_(std::move(code)), config_(std::move(config)) {
+  const std::size_t n = code_->num_servers();
+  CEC_CHECK(config_.node < n);
+  CEC_CHECK(config_.shards >= 1);
+  CEC_CHECK_MSG(config_.peers.size() == n,
+                "peers list has " << config_.peers.size() << " entries for "
+                                  << n << " servers");
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->loop = std::make_unique<EventLoop>();
+    shards_.push_back(std::move(shard));
+  }
+  link_ptrs_.assign(n, nullptr);
+  for (NodeId peer = 0; peer < n; ++peer) {
+    if (peer == config_.node) continue;
+    const auto addr = parse_host_port(config_.peers[peer]);
+    CEC_CHECK_MSG(addr.has_value(),
+                  "bad peer address '" << config_.peers[peer] << "'");
+    EventLoop* loop = shards_[peer % shards_.size()]->loop.get();
+    links_.push_back(std::make_unique<PeerLink>(
+        loop, config_.node, peer, addr->first, addr->second,
+        [this](NodeId who, bool down) {
+          // Loop thread -> automaton thread.
+          post_task([this, who, down] { server_->set_peer_down(who, down); });
+        }));
+    link_ptrs_[peer] = links_.back().get();
+  }
+  transport_ = std::make_unique<NetTransport>(
+      link_ptrs_, [this](SimTime delta_ns, std::function<void()> fn) {
+        post_timer(delta_ns, std::move(fn));
+      });
+  server_ = std::make_unique<causalec::Server>(config_.node, code_,
+                                               config_.server,
+                                               transport_.get());
+  // Seed the opid counter from wall-clock seconds (see header); the mask
+  // keeps bit 63 clear past 2038.
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  opid_counter_ = (static_cast<OpId>(secs) & 0x7FFFFFFFu) << 32;
+}
+
+NodeDaemon::~NodeDaemon() { stop(); }
+
+void NodeDaemon::start() {
+  CEC_CHECK(!started_);
+  started_ = true;
+  // Bind shard 0 first to resolve an ephemeral port, then the remaining
+  // shards onto the same port; all set SO_REUSEPORT before bind so the
+  // kernel spreads accepted connections across the shard listeners.
+  const bool reuseport = shards_.size() > 1;
+  shards_[0]->listener =
+      listen_tcp(config_.listen_host, config_.listen_port, reuseport);
+  CEC_CHECK_MSG(shards_[0]->listener.valid(),
+                "cannot listen on " << config_.listen_host << ":"
+                                    << config_.listen_port);
+  listen_port_ = local_port(shards_[0]->listener.get());
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    shards_[i]->listener =
+        listen_tcp(config_.listen_host, listen_port_, /*reuseport=*/true);
+    CEC_CHECK_MSG(shards_[i]->listener.valid(),
+                  "cannot bind shard " << i << " listener on port "
+                                       << listen_port_);
+  }
+  // Restore durable state before any IO thread exists: the replay runs on
+  // this thread with the transport muted (replayed handlers re-run sends
+  // that already reached the network before the crash).
+  if (!config_.data_dir.empty()) {
+    backend_ = std::make_unique<persist::DirBackend>(config_.data_dir);
+    journal_ = std::make_unique<persist::Journal>(
+        backend_.get(), "s" + std::to_string(config_.node));
+    server_->attach_journal(journal_.get());
+    const persist::RecoveredState recovered = journal_->load();
+    if (recovered.image.has_value() || !recovered.wal.empty()) {
+      recovered_ = true;
+      transport_->set_muted(true);
+      server_->restore_from_journal(recovered);
+      // Checkpoint the replayed state so a second crash before the next
+      // snapshot timer does not replay the whole WAL again.
+      journal_->save_snapshot(server_->capture_image());
+      transport_->set_muted(false);
+      CEC_LOG(kInfo) << "net: node " << config_.node
+                     << " restored durable state from " << config_.data_dir;
+    }
+  }
+  for (auto& shard : shards_) shard->loop->start();
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->loop->post([this, s] {
+      s->loop->watch(s->listener.get(), /*want_read=*/true,
+                     /*want_write=*/false,
+                     [this, s](std::uint32_t) { accept_ready(s); });
+    });
+  }
+  automaton_ = std::thread([this] { run_automaton(); });
+  for (auto& link : links_) link->start();
+  // The rejoin digest goes out as the automaton's first real work; frames
+  // to still-dialing peers queue in the PeerLink start-up grace window.
+  if (recovered_) {
+    post_task([this] { server_->begin_rejoin(); });
+  }
+  ready_.store(true, std::memory_order_release);
+}
+
+void NodeDaemon::stop() {
+  if (!started_) return;
+  ready_.store(false, std::memory_order_release);
+  // IO first: once the loops are joined no new frames or tasks can arrive;
+  // automaton sends to dead loops become no-op posts.
+  for (auto& link : links_) link->shutdown();
+  for (auto& shard : shards_) shard->loop->stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (automaton_.joinable()) automaton_.join();
+  started_ = false;
+}
+
+void NodeDaemon::accept_ready(Shard* shard) {
+  while (true) {
+    ScopedFd fd = accept_nonblocking(shard->listener.get());
+    if (!fd.valid()) return;
+    auto conn = std::make_shared<Connection>(shard->loop.get(),
+                                             std::move(fd));
+    auto state = std::make_shared<InboundConn>();
+    state->shard = shard;
+    conn->open(
+        [this, state](const std::shared_ptr<Connection>& c,
+                      erasure::Buffer payload) {
+          handle_inbound_frame(state, c, std::move(payload));
+        },
+        [](const std::shared_ptr<Connection>&) {});
+  }
+}
+
+void NodeDaemon::handle_inbound_frame(
+    const std::shared_ptr<InboundConn>& state,
+    const std::shared_ptr<Connection>& conn, erasure::Buffer payload) {
+  const std::optional<std::uint8_t> type = peek_type(payload);
+  if (!type.has_value()) {
+    conn->close();
+    return;
+  }
+  if (!state->helloed) {
+    const std::optional<Hello> hello = decode_hello(std::move(payload));
+    if (!hello.has_value()) {
+      CEC_LOG(kWarn) << "net: closing connection with malformed hello";
+      conn->close();
+      return;
+    }
+    if (hello->role == PeerRole::kServer &&
+        (hello->node >= code_->num_servers() ||
+         hello->node == config_.node)) {
+      CEC_LOG(kWarn) << "net: closing peer connection claiming bogus node "
+                     << hello->node;
+      conn->close();
+      return;
+    }
+    state->helloed = true;
+    state->role = hello->role;
+    state->peer_node = hello->node;
+    return;
+  }
+  if (state->role == PeerRole::kServer) {
+    if (*type < kClientProtoBase) {
+      // A CausalEC protocol frame: attribute it to the channel's node and
+      // hand the still-serialized bytes to the automaton (deserialization
+      // happens there, aliasing this frame's arena).
+      enqueue_frame(state->peer_node, std::move(payload));
+      return;
+    }
+    CEC_LOG(kWarn) << "net: peer " << state->peer_node
+                   << " sent a client frame on a protocol link; closing";
+    conn->close();
+    return;
+  }
+  // Client connection. Requests are validated here on the shard thread so
+  // a hostile frame can never reach (and abort) the automaton.
+  switch (static_cast<ClientMsgType>(*type)) {
+    case ClientMsgType::kPing: {
+      // Answered on the shard thread: readiness probing must work even
+      // while the automaton is busy replaying a journal.
+      const std::optional<Ping> ping = decode_ping(std::move(payload));
+      if (!ping.has_value()) break;
+      conn->send(encode_frame(encode_pong(Pong{ping->token, ready()})));
+      return;
+    }
+    case ClientMsgType::kWriteReq: {
+      std::optional<WriteReq> req = decode_write_req(std::move(payload));
+      if (!req.has_value()) break;
+      if (req->object >= code_->num_objects() ||
+          req->value.size() != code_->value_bytes()) {
+        break;
+      }
+      state->shard->client_ops.fetch_add(1, std::memory_order_relaxed);
+      post_task([this, req = std::move(*req), conn]() mutable {
+        handle_write_req(std::move(req), conn);
+      });
+      return;
+    }
+    case ClientMsgType::kReadReq: {
+      const std::optional<ReadReq> req = decode_read_req(std::move(payload));
+      if (!req.has_value()) break;
+      if (req->object >= code_->num_objects()) break;
+      state->shard->client_ops.fetch_add(1, std::memory_order_relaxed);
+      post_task([this, req = *req, conn] { handle_read_req(req, conn); });
+      return;
+    }
+    case ClientMsgType::kStatsReq: {
+      if (!decode_stats_req(std::move(payload))) break;
+      post_task([this, conn] { handle_stats_req(conn); });
+      return;
+    }
+    default:
+      break;
+  }
+  CEC_LOG(kWarn) << "net: closing client connection after malformed frame "
+                    "(type "
+                 << static_cast<int>(*type) << ")";
+  conn->close();
+}
+
+void NodeDaemon::post_task(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void NodeDaemon::enqueue_frame(NodeId from, erasure::Buffer frame) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(Inbound{from, std::move(frame)});
+    inbox_ready_.store(true, std::memory_order_release);
+  }
+  // Empty lock_guard fences against the lost-wakeup race (see
+  // runtime/threaded_cluster.cpp).
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+}
+
+void NodeDaemon::post_timer(SimTime delta_ns, std::function<void()> fn) {
+  // Only ever called from the automaton thread (all server execution is
+  // marshalled there) or from start() while it is not yet running, so the
+  // timer list needs no locking.
+  timers_.push_back(
+      {Clock::now() + std::chrono::nanoseconds(delta_ns), std::move(fn)});
+}
+
+OpId NodeDaemon::next_daemon_opid() { return opid_counter_++; }
+
+void NodeDaemon::handle_write_req(WriteReq req,
+                                  std::shared_ptr<Connection> conn) {
+  const OpId opid = next_daemon_opid();
+  const Tag tag =
+      server_->client_write(req.client, opid, req.object,
+                            std::move(req.value));
+  WriteResp resp;
+  resp.opid = req.opid;
+  resp.tag = tag;
+  resp.vc = server_->clock();
+  conn->send(encode_frame(encode_write_resp(resp)));
+}
+
+void NodeDaemon::handle_read_req(ReadReq req,
+                                 std::shared_ptr<Connection> conn) {
+  const OpId opid = next_daemon_opid();
+  server_->client_read(
+      req.client, opid, req.object,
+      // The callback fires on the automaton thread (possibly inline); a
+      // connection that died meanwhile just drops the response.
+      [conn = std::move(conn), client_opid = req.opid](
+          const erasure::Value& value, const Tag& tag,
+          const VectorClock& vc) {
+        ReadResp resp;
+        resp.opid = client_opid;
+        resp.tag = tag;
+        resp.vc = vc;
+        resp.value = value;
+        conn->send(encode_frame(encode_read_resp(resp)));
+      });
+}
+
+void NodeDaemon::handle_stats_req(std::shared_ptr<Connection> conn) {
+  StatsResp s;
+  s.node = config_.node;
+  s.vc = server_->clock();
+  const StorageStats st = server_->storage();
+  s.history_entries = st.history_entries;
+  s.inqueue_entries = st.inqueue_entries;
+  s.readl_entries = st.readl_entries;
+  const ServerCounters& c = server_->counters();
+  s.writes = c.writes;
+  s.reads = c.reads;
+  s.error_events = c.error1_events + c.error2_events;
+  s.recoveries = c.recoveries;
+  s.shard_ops.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    s.shard_ops.push_back(shard->client_ops.load(std::memory_order_relaxed));
+  }
+  conn->send(encode_frame(encode_stats_resp(s)));
+}
+
+void NodeDaemon::run_automaton() {
+  set_log_thread_node(static_cast<int>(config_.node));
+  auto next_gc = Clock::now() + config_.gc_period;
+  auto next_snapshot = Clock::now() + config_.snapshot_period;
+  while (true) {
+    std::deque<std::function<void()>> batch;
+    std::vector<Inbound> inbound;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto deadline = next_gc;
+      if (journal_ != nullptr) deadline = std::min(deadline, next_snapshot);
+      for (const auto& timer : timers_) {
+        deadline = std::min(deadline, timer.at);
+      }
+      cv_.wait_until(lock, deadline, [this] {
+        return stop_ || !tasks_.empty() ||
+               inbox_ready_.load(std::memory_order_acquire);
+      });
+      if (stop_) return;
+      batch.swap(tasks_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      inbound.swap(inbox_);
+      inbox_ready_.store(false, std::memory_order_release);
+    }
+    for (auto& task : batch) task();
+    if (!inbound.empty()) {
+      for (Inbound& in : inbound) {
+        std::string error;
+        sim::MessagePtr message =
+            try_deserialize_message(std::move(in.frame), &error);
+        if (message == nullptr) {
+          // Remote bytes are untrusted: malformed protocol frames are
+          // dropped, never fatal.
+          CEC_LOG(kWarn) << "net: dropping malformed frame from node "
+                         << in.from << ": " << error;
+          continue;
+        }
+        server_->dispatch_message(in.from, std::move(message));
+      }
+      // One Apply/Encoding fixpoint for the whole batch.
+      server_->run_internal_actions();
+    }
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < timers_.size();) {
+      if (timers_[i].at <= now) {
+        auto fn = std::move(timers_[i].fn);
+        timers_.erase(timers_.begin() + static_cast<std::ptrdiff_t>(i));
+        fn();
+      } else {
+        ++i;
+      }
+    }
+    if (now >= next_gc) {
+      server_->run_garbage_collection();
+      next_gc = now + config_.gc_period;
+    }
+    if (journal_ != nullptr && now >= next_snapshot) {
+      journal_->save_snapshot(server_->capture_image());
+      next_snapshot = now + config_.snapshot_period;
+    }
+  }
+}
+
+}  // namespace causalec::net

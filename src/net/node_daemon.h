@@ -1,0 +1,160 @@
+// NodeDaemon: one CausalEC server automaton deployed on real sockets --
+// the process core of the causalec_server tool, also embeddable in-process
+// for tests (tests/net_loopback_test.cpp runs several under TSan).
+//
+// Thread model (DESIGN.md §11):
+//   * `shards` event-loop threads, each owning a SO_REUSEPORT listener on
+//     the same port (the kernel load-balances accepted connections across
+//     shards) plus the outbound peer links assigned to it. Shard threads
+//     do all socket IO and all frame reassembly/deserialization-adjacent
+//     work that can happen off the automaton;
+//   * one automaton thread hosting the single-threaded Server, fed by the
+//     same two-lock swap-and-drain MPSC inbox as runtime/threaded_cluster
+//     (batch dispatch + one Apply/Encoding fixpoint per batch), plus
+//     wall-clock GC and snapshot timers.
+//
+// Durability: a non-empty data_dir attaches a persist::DirBackend journal;
+// on start, existing durable state is restored with the transport muted
+// and an anti-entropy rejoin round (DESIGN.md §9) is posted as the
+// automaton's first task -- the digest frames queue on the still-dialing
+// peer links, so SIGKILL + exec restart converges without coordination.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causalec/config.h"
+#include "causalec/server.h"
+#include "erasure/code.h"
+#include "net/client_proto.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/net_transport.h"
+#include "persist/backend.h"
+#include "persist/journal.h"
+
+namespace causalec::net {
+
+struct NodeDaemonConfig {
+  NodeId node = 0;
+  std::string listen_host = "127.0.0.1";
+  /// 0 = ephemeral (shard 0 resolves it; see listen_port()).
+  std::uint16_t listen_port = 0;
+  /// host:port of every node, indexed by NodeId (the self entry is
+  /// ignored). Size must equal the code's server count.
+  std::vector<std::string> peers;
+  /// Empty = no durability (crash-stop). Otherwise a directory for the
+  /// persist::DirBackend journal of this node.
+  std::string data_dir;
+  std::size_t shards = 2;
+  causalec::ServerConfig server;
+  std::chrono::milliseconds gc_period{10};
+  std::chrono::milliseconds snapshot_period{100};
+};
+
+class NodeDaemon {
+ public:
+  NodeDaemon(erasure::CodePtr code, NodeDaemonConfig config);
+  ~NodeDaemon();
+
+  NodeDaemon(const NodeDaemon&) = delete;
+  NodeDaemon& operator=(const NodeDaemon&) = delete;
+
+  /// Binds listeners, restores durable state if present, starts the shard
+  /// loops + automaton thread, and begins dialing peers. Aborts on bind
+  /// failure (a daemon that cannot listen has nothing to offer).
+  void start();
+  void stop();
+
+  /// The resolved listening port (after start()).
+  std::uint16_t listen_port() const { return listen_port_; }
+  NodeId node() const { return config_.node; }
+  /// True once start() completed (including any durable-state restore).
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+  /// True when start() restored pre-existing durable state.
+  bool recovered() const { return recovered_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<EventLoop> loop;
+    ScopedFd listener;
+    std::atomic<std::uint64_t> client_ops{0};
+  };
+
+  /// Accepted-connection state (which kind of peer is on the other end).
+  struct InboundConn {
+    bool helloed = false;
+    PeerRole role = PeerRole::kClient;
+    NodeId peer_node = kNoNode;
+    Shard* shard = nullptr;
+  };
+
+  /// One frame from a peer server, bound for the automaton inbox.
+  struct Inbound {
+    NodeId from;
+    erasure::Buffer frame;
+  };
+
+  // Shard-side plumbing (runs on shard loop threads).
+  void accept_ready(Shard* shard);
+  void handle_inbound_frame(const std::shared_ptr<InboundConn>& state,
+                            const std::shared_ptr<Connection>& conn,
+                            erasure::Buffer payload);
+
+  // Automaton-side plumbing.
+  void post_task(std::function<void()> task);
+  void enqueue_frame(NodeId from, erasure::Buffer frame);
+  void post_timer(SimTime delta_ns, std::function<void()> fn);
+  void run_automaton();
+  void handle_write_req(WriteReq req, std::shared_ptr<Connection> conn);
+  void handle_read_req(ReadReq req, std::shared_ptr<Connection> conn);
+  void handle_stats_req(std::shared_ptr<Connection> conn);
+  OpId next_daemon_opid();
+
+  erasure::CodePtr code_;
+  NodeDaemonConfig config_;
+  std::uint16_t listen_port_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<PeerLink>> links_;
+  std::vector<PeerLink*> link_ptrs_;  // indexed by NodeId; self = null
+  std::unique_ptr<NetTransport> transport_;
+  std::unique_ptr<causalec::Server> server_;
+
+  std::unique_ptr<persist::DirBackend> backend_;
+  std::unique_ptr<persist::Journal> journal_;
+  bool recovered_ = false;
+
+  // Automaton thread state (the threaded_cluster Node pattern).
+  std::thread automaton_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::mutex inbox_mu_;
+  std::vector<Inbound> inbox_;
+  std::atomic<bool> inbox_ready_{false};
+  struct Timer {
+    std::chrono::steady_clock::time_point at;
+    std::function<void()> fn;
+  };
+  std::vector<Timer> timers_;  // automaton thread only (+ pre-start)
+
+  std::atomic<bool> ready_{false};
+  bool started_ = false;
+  /// Daemon-assigned opids for client operations: seeded from wall-clock
+  /// seconds so opids from before a process restart are never reused
+  /// (stale responses in flight across the restart must miss the ReadL).
+  /// Bit 63 stays clear -- that range is the server's internal-opid space.
+  OpId opid_counter_ = 0;
+};
+
+}  // namespace causalec::net

@@ -1,0 +1,246 @@
+#include "net/process_cluster.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <thread>
+
+#include "common/expect.h"
+#include "common/logging.h"
+#include "net/net_client.h"
+#include "net/socket.h"
+
+namespace causalec::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string make_temp_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = (tmp != nullptr ? std::string(tmp) : std::string("/tmp"));
+  tmpl += "/causalec_net_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  CEC_CHECK_MSG(::mkdtemp(buf.data()) != nullptr,
+                "mkdtemp failed: errno " << errno);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> reserve_loopback_ports(std::size_t n) {
+  std::vector<ScopedFd> holders;
+  std::vector<std::uint16_t> ports;
+  holders.reserve(n);
+  ports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ScopedFd fd = listen_tcp("127.0.0.1", 0, /*reuseport=*/false);
+    CEC_CHECK_MSG(fd.valid(), "cannot reserve a loopback port");
+    ports.push_back(local_port(fd.get()));
+    holders.push_back(std::move(fd));
+  }
+  return ports;  // holders close here, releasing every port at once
+}
+
+ProcessCluster::ProcessCluster(ProcessClusterConfig config)
+    : config_(std::move(config)) {
+  CEC_CHECK(!config_.server_bin.empty());
+  CEC_CHECK(config_.num_servers >= 1);
+  pids_.assign(config_.num_servers, -1);
+}
+
+ProcessCluster::~ProcessCluster() {
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] > 0) ::kill(pids_[i], SIGTERM);
+  }
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] <= 0) continue;
+    while (Clock::now() < deadline) {
+      if (::waitpid(pids_[i], nullptr, WNOHANG) != 0) {
+        pids_[i] = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (pids_[i] > 0) {
+      ::kill(pids_[i], SIGKILL);
+      ::waitpid(pids_[i], nullptr, 0);
+      pids_[i] = -1;
+    }
+  }
+}
+
+bool ProcessCluster::start() {
+  CEC_CHECK(!started_);
+  started_ = true;
+  if (config_.work_dir.empty()) config_.work_dir = make_temp_dir();
+  ports_ = reserve_loopback_ports(config_.num_servers);
+  endpoints_.clear();
+  for (const std::uint16_t port : ports_) {
+    endpoints_.push_back("127.0.0.1:" + std::to_string(port));
+  }
+  for (std::size_t i = 0; i < config_.num_servers; ++i) {
+    if (!spawn(i)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ProcessCluster::server_args(std::size_t i) const {
+  std::string peers;
+  for (std::size_t j = 0; j < endpoints_.size(); ++j) {
+    if (j != 0) peers += ',';
+    peers += endpoints_[j];
+  }
+  std::vector<std::string> args = {
+      config_.server_bin,
+      "--node", std::to_string(i),
+      "--listen", endpoints_[i],
+      "--peers", peers,
+      "--servers", std::to_string(config_.num_servers),
+      "--objects", std::to_string(config_.num_objects),
+      "--value-bytes", std::to_string(config_.value_bytes),
+      "--shards", std::to_string(config_.shards),
+  };
+  if (config_.persistence) {
+    args.push_back("--data-dir");
+    args.push_back(config_.work_dir + "/s" + std::to_string(i));
+  }
+  return args;
+}
+
+bool ProcessCluster::spawn(std::size_t i) {
+  const std::vector<std::string> args = server_args(i);
+  const std::string log_path =
+      config_.work_dir + "/s" + std::to_string(i) + ".log";
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    CEC_LOG(kError) << "net: fork failed: errno " << errno;
+    return false;
+  }
+  if (pid == 0) {
+    // Child: stdout/stderr into the per-server log (appended across
+    // restarts -- the pre-crash tail is the post-mortem).
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed
+  }
+  pids_[i] = pid;
+  return true;
+}
+
+bool ProcessCluster::await_ready(std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  for (std::size_t i = 0; i < config_.num_servers; ++i) {
+    if (pids_[i] <= 0) continue;
+    bool up = false;
+    while (Clock::now() < deadline) {
+      NetClient probe(/*client=*/0);
+      if (probe.connect(endpoints_[i], /*timeout_ms=*/250)) {
+        probe.set_io_timeout_ms(1000);
+        const auto pong = probe.ping(static_cast<std::uint64_t>(i) + 1);
+        if (pong.has_value() && pong->ready) {
+          up = true;
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!up) {
+      CEC_LOG(kError) << "net: server " << i << " at " << endpoints_[i]
+                      << " never became ready";
+      return false;
+    }
+  }
+  return true;
+}
+
+void ProcessCluster::kill_server(std::size_t i) {
+  CEC_CHECK(i < pids_.size());
+  CEC_CHECK_MSG(pids_[i] > 0, "kill_server: server " << i << " not running");
+  ::kill(pids_[i], SIGKILL);
+  ::waitpid(pids_[i], nullptr, 0);
+  pids_[i] = -1;
+}
+
+bool ProcessCluster::restart(std::size_t i) {
+  CEC_CHECK(i < pids_.size());
+  CEC_CHECK_MSG(pids_[i] <= 0, "restart: server " << i << " is running");
+  CEC_CHECK_MSG(config_.persistence,
+                "restart requires ProcessClusterConfig::persistence");
+  return spawn(i);
+}
+
+std::optional<StatsResp> ProcessCluster::stats(std::size_t i) {
+  CEC_CHECK(i < pids_.size());
+  if (pids_[i] <= 0) return std::nullopt;
+  NetClient client(/*client=*/0);
+  if (!client.connect(endpoints_[i], /*timeout_ms=*/1000)) {
+    return std::nullopt;
+  }
+  client.set_io_timeout_ms(2000);
+  return client.stats();
+}
+
+bool ProcessCluster::await_convergence(std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  int stable_polls = 0;
+  while (Clock::now() < deadline) {
+    bool converged = true;
+    std::optional<VectorClock> reference;
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+      if (pids_[i] <= 0) continue;
+      const auto s = stats(i);
+      if (!s.has_value() || s->history_entries != 0 ||
+          s->inqueue_entries != 0 || s->readl_entries != 0) {
+        converged = false;
+        break;
+      }
+      if (!reference.has_value()) {
+        reference = s->vc;
+      } else if (!(*reference == s->vc)) {
+        // Convergence oracle: every live server settles on the same
+        // vector clock once all writes have been applied everywhere.
+        converged = false;
+        break;
+      }
+    }
+    if (converged) {
+      if (++stable_polls >= 2) return true;
+    } else {
+      stable_polls = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+std::uint64_t ProcessCluster::total_error_events() {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] <= 0) continue;
+    const auto s = stats(i);
+    if (s.has_value()) total += s->error_events;
+  }
+  return total;
+}
+
+}  // namespace causalec::net

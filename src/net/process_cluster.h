@@ -1,0 +1,89 @@
+// ProcessCluster: spawn n causalec_server processes on loopback, wait for
+// readiness, and exercise them -- including SIGKILL / exec-restart cycles
+// driving the crash-recovery path (persist journal + rejoin) across real
+// process boundaries. Scriptable from ctest (tests/net_cluster_test.cpp)
+// and reused by causalec_client --spawn for self-contained benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "net/client_proto.h"
+
+namespace causalec::net {
+
+/// Reserve n distinct ephemeral loopback ports: bind them all, read the
+/// assigned ports, then release. The tiny steal-window race is acceptable
+/// for tests; SO_REUSEADDR on the real listeners keeps rebinding reliable.
+std::vector<std::uint16_t> reserve_loopback_ports(std::size_t n);
+
+struct ProcessClusterConfig {
+  /// Path to the causalec_server binary (tests get it via the
+  /// CAUSALEC_SERVER_BIN compile definition).
+  std::string server_bin;
+  std::size_t num_servers = 5;
+  std::size_t num_objects = 3;
+  std::size_t value_bytes = 64;
+  /// Scratch directory for per-server data dirs and log files; empty =
+  /// mkdtemp under TMPDIR. Not cleaned up (ctest prunes its own work dirs;
+  /// post-mortems want the logs).
+  std::string work_dir;
+  /// Give each server a --data-dir (required for restart()).
+  bool persistence = true;
+  std::size_t shards = 2;
+};
+
+class ProcessCluster {
+ public:
+  explicit ProcessCluster(ProcessClusterConfig config);
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  /// Reserve ports and spawn every server. False if any spawn fails.
+  bool start();
+
+  /// Poll every live server with pings until all report ready.
+  bool await_ready(std::chrono::milliseconds timeout);
+
+  /// "127.0.0.1:port" of server i (valid after start()).
+  const std::string& endpoint(std::size_t i) const { return endpoints_[i]; }
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+  std::size_t num_servers() const { return config_.num_servers; }
+  bool running(std::size_t i) const { return pids_[i] > 0; }
+
+  /// SIGKILL server i and reap it -- a hard crash, no shutdown path runs.
+  void kill_server(std::size_t i);
+
+  /// Re-exec server i with its original arguments (same port, same data
+  /// dir); it restores its journal and rejoins. Requires persistence.
+  bool restart(std::size_t i);
+
+  /// One stats round-trip to server i (fresh connection each call).
+  std::optional<StatsResp> stats(std::size_t i);
+
+  /// All live servers report equal vector clocks and empty transient state
+  /// (history/inqueue/readl), stable across two polls: the cross-process
+  /// version of ThreadedCluster::await_convergence.
+  bool await_convergence(std::chrono::milliseconds timeout);
+
+  /// Sum of error1+error2 across live servers (must stay 0).
+  std::uint64_t total_error_events();
+
+ private:
+  bool spawn(std::size_t i);
+  std::vector<std::string> server_args(std::size_t i) const;
+
+  ProcessClusterConfig config_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::string> endpoints_;
+  std::vector<pid_t> pids_;
+  bool started_ = false;
+};
+
+}  // namespace causalec::net

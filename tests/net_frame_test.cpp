@@ -1,0 +1,403 @@
+// Frame reassembly property tests: every protocol message type pushed
+// through the length-prefixed framer, split at EVERY byte boundary and
+// coalesced back-to-back, must decode byte-identically to the in-process
+// codec path -- including the optional trace-context trailer. Plus the
+// malformed-frame battery: truncated, oversized, bad type byte, hostile
+// counts; remote bytes must never abort the process.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "causalec/codec.h"
+#include "causalec/messages.h"
+#include "common/random.h"
+#include "erasure/buffer.h"
+#include "net/client_proto.h"
+#include "net/frame.h"
+
+namespace causalec::net {
+namespace {
+
+using erasure::Buffer;
+using erasure::Value;
+
+VectorClock random_clock(Rng& rng, std::size_t n) {
+  VectorClock vc(n);
+  for (std::size_t i = 0; i < n; ++i) vc.set(i, rng.next_below(1000));
+  return vc;
+}
+
+Tag random_tag(Rng& rng, std::size_t n) {
+  return Tag(random_clock(rng, n), rng.next_u64());
+}
+
+TagVector random_tagvec(Rng& rng, std::size_t k, std::size_t n) {
+  TagVector tv;
+  for (std::size_t i = 0; i < k; ++i) tv.push_back(random_tag(rng, n));
+  return tv;
+}
+
+Value random_value(Rng& rng, std::size_t bytes) {
+  Value v(bytes);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+  return v;
+}
+
+WireModel model() {
+  ServerConfig config;
+  return WireModel::make(config, 5, 3);
+}
+
+/// One instance of every protocol message type, with payloads big enough
+/// that frames span multiple read chunks in the byte-at-a-time sweeps.
+std::vector<sim::MessagePtr> sample_messages(bool traced) {
+  Rng rng(traced ? 101 : 100);
+  const WireModel wm = model();
+  std::vector<sim::MessagePtr> out;
+  out.push_back(
+      std::make_unique<AppMessage>(2, random_value(rng, 96),
+                                   random_tag(rng, 5), wm));
+  out.push_back(std::make_unique<DelMessage>(1, random_tag(rng, 5), 3, true,
+                                             wm));
+  out.push_back(std::make_unique<ValInqMessage>(
+      kLocalhost, 9001, 2, random_tagvec(rng, 3, 5), wm));
+  out.push_back(std::make_unique<ValRespMessage>(
+      7, 42, 0, random_value(rng, 128), random_tagvec(rng, 3, 5), wm));
+  out.push_back(std::make_unique<ValRespEncodedMessage>(
+      7, 43, 1, random_value(rng, 64), random_tagvec(rng, 3, 5),
+      random_tagvec(rng, 3, 5), wm));
+  out.push_back(std::make_unique<RecoverDigestMessage>(
+      4, random_clock(rng, 5), wm));
+  out.push_back(std::make_unique<RecoverDigestReplyMessage>(
+      4, random_clock(rng, 5), wm));
+  out.push_back(std::make_unique<RecoverPullMessage>(
+      5, random_clock(rng, 5), wm));
+  std::vector<RecoverPushMessage::HistoryItem> history;
+  history.push_back({0, random_tag(rng, 5), random_value(rng, 32)});
+  history.push_back({2, random_tag(rng, 5), random_value(rng, 48)});
+  std::vector<RecoverPushMessage::InqueueItem> inqueue;
+  inqueue.push_back({3, 1, random_tag(rng, 5), random_value(rng, 24)});
+  std::vector<RecoverPushMessage::DelItem> dels;
+  dels.push_back({1, 4, random_tag(rng, 5)});
+  out.push_back(std::make_unique<RecoverPushMessage>(
+      5, random_clock(rng, 5), std::move(history), std::move(inqueue),
+      std::move(dels), wm));
+  if (traced) {
+    std::uint64_t next_id = 0xABCD;
+    for (auto& m : out) {
+      m->trace.trace_id = ++next_id;
+      m->trace.span_id = next_id * 3;
+    }
+  }
+  return out;
+}
+
+/// Feeds `frame` split into [0, split) and [split, size); returns every
+/// completed payload.
+std::vector<Buffer> reassemble_split(const Buffer& frame, std::size_t split) {
+  FrameReader reader;
+  if (split > 0) reader.feed(frame.slice(0, split));
+  std::vector<Buffer> payloads;
+  while (auto p = reader.next()) payloads.push_back(std::move(*p));
+  if (split < frame.size()) {
+    reader.feed(frame.slice(split, frame.size() - split));
+  }
+  while (auto p = reader.next()) payloads.push_back(std::move(*p));
+  EXPECT_FALSE(reader.failed()) << reader.error();
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+  return payloads;
+}
+
+bool payload_equals(const Buffer& payload,
+                    const std::vector<std::uint8_t>& expected) {
+  return payload.size() == expected.size() &&
+         (payload.empty() ||
+          std::memcmp(payload.data(), expected.data(), payload.size()) == 0);
+}
+
+// -- The all-boundary split sweep -------------------------------------------
+
+void run_split_sweep(bool traced) {
+  for (const auto& message : sample_messages(traced)) {
+    const std::vector<std::uint8_t> expected = serialize_message(*message);
+    const Buffer frame = encode_frame(expected);
+    for (std::size_t split = 0; split <= frame.size(); ++split) {
+      const std::vector<Buffer> payloads = reassemble_split(frame, split);
+      ASSERT_EQ(payloads.size(), 1u)
+          << message->type_name() << " split at " << split;
+      ASSERT_TRUE(payload_equals(payloads[0], expected))
+          << message->type_name() << " split at " << split;
+      // Byte-identical to the in-process codec: decoding the reassembled
+      // payload and re-serializing reproduces the original bytes exactly.
+      std::string error;
+      const sim::MessagePtr decoded =
+          try_deserialize_message(payloads[0], &error);
+      ASSERT_NE(decoded, nullptr)
+          << message->type_name() << " split at " << split << ": " << error;
+      EXPECT_EQ(serialize_message(*decoded), expected)
+          << message->type_name() << " split at " << split;
+      EXPECT_STREQ(decoded->type_name(), message->type_name());
+      EXPECT_EQ(decoded->trace.trace_id, message->trace.trace_id);
+      EXPECT_EQ(decoded->trace.span_id, message->trace.span_id);
+    }
+  }
+}
+
+TEST(NetFrameSweep, EveryMessageTypeAtEveryByteBoundary) {
+  run_split_sweep(/*traced=*/false);
+}
+
+TEST(NetFrameSweep, TraceContextTrailerSurvivesEverySplit) {
+  run_split_sweep(/*traced=*/true);
+}
+
+TEST(NetFrameSweep, ByteAtATimeReassembly) {
+  for (const auto& message : sample_messages(/*traced=*/true)) {
+    const std::vector<std::uint8_t> expected = serialize_message(*message);
+    const Buffer frame = encode_frame(expected);
+    FrameReader reader;
+    std::vector<Buffer> payloads;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      reader.feed(frame.slice(i, 1));
+      while (auto p = reader.next()) payloads.push_back(std::move(*p));
+    }
+    ASSERT_EQ(payloads.size(), 1u) << message->type_name();
+    EXPECT_TRUE(payload_equals(payloads[0], expected))
+        << message->type_name();
+  }
+}
+
+// -- Coalesced back-to-back frames ------------------------------------------
+
+TEST(NetFrameCoalesced, AllTypesInOneChunkDecodeInOrder) {
+  const auto messages = sample_messages(/*traced=*/false);
+  std::vector<std::vector<std::uint8_t>> expected;
+  std::vector<std::uint8_t> stream;
+  for (const auto& m : messages) {
+    expected.push_back(serialize_message(*m));
+    const Buffer frame = encode_frame(expected.back());
+    stream.insert(stream.end(), frame.data(), frame.data() + frame.size());
+  }
+  FrameReader reader;
+  reader.feed(Buffer::adopt(std::move(stream)));
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    auto payload = reader.next();
+    ASSERT_TRUE(payload.has_value()) << "frame " << i;
+    EXPECT_TRUE(payload_equals(*payload, expected[i])) << "frame " << i;
+    const sim::MessagePtr decoded = try_deserialize_message(*payload);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_STREQ(decoded->type_name(), messages[i]->type_name());
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(NetFrameCoalesced, CoalescedStreamSplitAtEveryBoundary) {
+  // Three frames concatenated, the stream cut at every byte: the reader
+  // must always deliver exactly the three payloads regardless of where
+  // the chunk boundary lands (mid-header, mid-body, between frames).
+  Rng rng(7);
+  const WireModel wm = model();
+  std::vector<std::vector<std::uint8_t>> expected;
+  std::vector<std::uint8_t> stream;
+  const AppMessage app(0, random_value(rng, 40), random_tag(rng, 5), wm);
+  const DelMessage del(1, random_tag(rng, 5), 2, false, wm);
+  const ValInqMessage inq(9, 77, 1, random_tagvec(rng, 3, 5), wm);
+  for (const sim::Message* m :
+       {static_cast<const sim::Message*>(&app),
+        static_cast<const sim::Message*>(&del),
+        static_cast<const sim::Message*>(&inq)}) {
+    expected.push_back(serialize_message(*m));
+    const Buffer frame = encode_frame(expected.back());
+    stream.insert(stream.end(), frame.data(), frame.data() + frame.size());
+  }
+  const Buffer whole = Buffer::adopt(std::move(stream));
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    const std::vector<Buffer> payloads = reassemble_split(whole, split);
+    ASSERT_EQ(payloads.size(), 3u) << "split at " << split;
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(payload_equals(payloads[i], expected[i]))
+          << "split at " << split << " frame " << i;
+    }
+  }
+}
+
+// -- Zero-copy: whole frames inside one chunk are slices, not copies --------
+
+TEST(NetFrameZeroCopy, WholeFrameInOneChunkAliasesTheChunkArena) {
+  Rng rng(8);
+  const AppMessage app(0, random_value(rng, 64), random_tag(rng, 5),
+                       model());
+  const Buffer frame = encode_frame(serialize_message(app));
+  FrameReader reader;
+  reader.feed(frame);
+  const std::uint64_t before = Buffer::alloc_stats().allocations;
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(Buffer::alloc_stats().allocations, before)
+      << "completed frame inside one chunk must be a zero-copy slice";
+  EXPECT_GE(payload->data(), frame.data());
+  EXPECT_LE(payload->data() + payload->size(), frame.data() + frame.size());
+}
+
+// -- Malformed input --------------------------------------------------------
+
+TEST(NetFrameMalformed, OversizedLengthPrefixFailsTheReader) {
+  std::vector<std::uint8_t> header(4);
+  const std::uint64_t huge = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    header[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  FrameReader reader;
+  reader.feed(Buffer::adopt(std::move(header)));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.error().empty());
+}
+
+TEST(NetFrameMalformed, TruncatedBodyStaysPendingWithoutFailing) {
+  Rng rng(9);
+  const DelMessage del(0, random_tag(rng, 5), 1, false, model());
+  const Buffer frame = encode_frame(serialize_message(del));
+  FrameReader reader;
+  reader.feed(frame.slice(0, frame.size() - 3));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());
+  EXPECT_GT(reader.buffered_bytes(), 0u);
+  // The missing tail arrives: the frame completes.
+  reader.feed(frame.slice(frame.size() - 3, 3));
+  EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(NetFrameMalformed, BadTypeByteNeverAborts) {
+  Rng rng(10);
+  auto bytes = serialize_message(
+      AppMessage(0, random_value(rng, 16), random_tag(rng, 3), model()));
+  bytes[0] = 57;  // not a protocol type byte
+  std::string error;
+  EXPECT_EQ(try_deserialize_message(Buffer::adopt(std::move(bytes)), &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetFrameMalformed, TruncatedMessagePayloadNeverAborts) {
+  Rng rng(11);
+  for (const auto& message : sample_messages(/*traced=*/false)) {
+    auto bytes = serialize_message(*message);
+    // Every strict prefix must decode to null, not crash. (Prefixes that
+    // happen to parse as a shorter valid encoding do not exist in this
+    // format: every field is length-checked.)
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      std::string error;
+      const auto out = try_deserialize_message(
+          Buffer::adopt(std::vector<std::uint8_t>(
+              bytes.begin(), bytes.begin() + static_cast<long>(len))),
+          &error);
+      EXPECT_EQ(out, nullptr)
+          << message->type_name() << " prefix of " << len;
+    }
+  }
+}
+
+TEST(NetFrameMalformed, TrailingGarbageNeverAborts) {
+  Rng rng(12);
+  auto bytes = serialize_message(
+      DelMessage(0, random_tag(rng, 4), 1, false, model()));
+  bytes.push_back(0x5A);  // not a full 16-byte trace trailer
+  std::string error;
+  EXPECT_EQ(try_deserialize_message(Buffer::adopt(std::move(bytes)), &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// -- Client/control protocol ------------------------------------------------
+
+TEST(NetClientProto, RoundTrips) {
+  Rng rng(13);
+  {
+    Hello m{PeerRole::kServer, 3};
+    const auto r = decode_hello(Buffer::adopt(encode_hello(m)));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->role, PeerRole::kServer);
+    EXPECT_EQ(r->node, 3u);
+  }
+  {
+    WriteReq m;
+    m.opid = 42;
+    m.client = 7;
+    m.object = 2;
+    m.value = random_value(rng, 96);
+    const auto r = decode_write_req(Buffer::adopt(encode_write_req(m)));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->opid, 42u);
+    EXPECT_EQ(r->client, 7u);
+    EXPECT_EQ(r->object, 2u);
+    EXPECT_EQ(r->value, m.value);
+  }
+  {
+    ReadResp m;
+    m.opid = 43;
+    m.tag = random_tag(rng, 5);
+    m.vc = random_clock(rng, 5);
+    m.value = random_value(rng, 64);
+    const auto r = decode_read_resp(Buffer::adopt(encode_read_resp(m)));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->opid, 43u);
+    EXPECT_EQ(r->tag, m.tag);
+    EXPECT_TRUE(r->vc == m.vc);
+    EXPECT_EQ(r->value, m.value);
+  }
+  {
+    StatsResp m;
+    m.node = 4;
+    m.vc = random_clock(rng, 5);
+    m.history_entries = 10;
+    m.inqueue_entries = 2;
+    m.readl_entries = 1;
+    m.writes = 100;
+    m.reads = 200;
+    m.error_events = 0;
+    m.recoveries = 3;
+    m.shard_ops = {11, 22, 33};
+    const auto r = decode_stats_resp(Buffer::adopt(encode_stats_resp(m)));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->vc == m.vc);
+    EXPECT_EQ(r->history_entries, 10u);
+    EXPECT_EQ(r->shard_ops, m.shard_ops);
+  }
+}
+
+TEST(NetClientProto, MalformedFramesDecodeToNullopt) {
+  Rng rng(14);
+  // Wrong type byte.
+  auto hello = encode_hello(Hello{PeerRole::kClient, 0});
+  hello[0] = static_cast<std::uint8_t>(ClientMsgType::kPing);
+  EXPECT_FALSE(decode_hello(Buffer::adopt(std::move(hello))).has_value());
+  // Truncated at every prefix.
+  WriteResp resp;
+  resp.opid = 9;
+  resp.tag = random_tag(rng, 5);
+  resp.vc = random_clock(rng, 5);
+  const auto bytes = encode_write_resp(resp);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_write_resp(
+                     Buffer::adopt(std::vector<std::uint8_t>(
+                         bytes.begin(),
+                         bytes.begin() + static_cast<long>(len))))
+                     .has_value())
+        << "prefix " << len;
+  }
+  // Hostile shard count in stats: claims more entries than bytes present.
+  StatsResp stats;
+  stats.vc = random_clock(rng, 3);
+  stats.shard_ops = {1};
+  auto sbytes = encode_stats_resp(stats);
+  sbytes[sbytes.size() - 8 - 4] = 0xFF;  // shards count low byte
+  EXPECT_FALSE(
+      decode_stats_resp(Buffer::adopt(std::move(sbytes))).has_value());
+}
+
+}  // namespace
+}  // namespace causalec::net

@@ -1,0 +1,345 @@
+// causalec_client: closed-loop TCP workload driver for causalec_server.
+//
+// Reruns the bench_throughput --saturate workload (2n blocking clients,
+// 50/50 alternating write/read of 4 KiB values) over real loopback sockets
+// and emits BENCH_net.json (causalec-bench-v1) with cluster ops/s, latency
+// percentiles, and per-server / per-shard ops rows from the daemons' stats
+// frames. The delta between this number and the in-process --saturate run
+// is the measured cost of the TCP hop (syscalls, framing, wakeups).
+//
+// Two ways to point it at a cluster:
+//   --servers H:P,H:P,...            drive an already-running cluster
+//   --spawn N K --server-bin PATH    spawn N servers (K objects) itself
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "erasure/value.h"
+#include "net/net_client.h"
+#include "net/process_cluster.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+
+using namespace causalec;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Options {
+  bool saturate = false;
+  bool smoke = false;
+  std::vector<std::string> servers;
+  std::size_t spawn_n = 0;
+  std::size_t spawn_k = 3;
+  std::string server_bin;
+  std::size_t value_bytes = 4096;
+  std::size_t shards = 2;
+};
+
+[[noreturn]] void usage(const char* what) {
+  std::fprintf(stderr, "causalec_client: %s\n", what);
+  std::fprintf(stderr,
+               "usage: causalec_client --saturate [--smoke] "
+               "(--servers H:P,... [--objects K] | "
+               "--spawn N K --server-bin PATH) "
+               "[--value-bytes B] [--shards S]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(pos));
+      break;
+    }
+    out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::optional<net::StatsResp> fetch_stats(const std::string& endpoint) {
+  net::NetClient client(/*client=*/0);
+  if (!client.connect(endpoint, /*timeout_ms=*/1000)) return std::nullopt;
+  client.set_io_timeout_ms(2000);
+  return client.stats();
+}
+
+/// Cross-process convergence poll (the vc-equality + empty-transient-state
+/// oracle of ProcessCluster::await_convergence, usable against any
+/// endpoint list).
+bool await_converged(const std::vector<std::string>& endpoints,
+                     std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int stable = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool converged = true;
+    std::optional<VectorClock> reference;
+    for (const std::string& ep : endpoints) {
+      const auto s = fetch_stats(ep);
+      if (!s.has_value() || s->history_entries != 0 ||
+          s->inqueue_entries != 0 || s->readl_entries != 0) {
+        converged = false;
+        break;
+      }
+      if (!reference.has_value()) {
+        reference = s->vc;
+      } else if (!(*reference == s->vc)) {
+        converged = false;
+        break;
+      }
+    }
+    if (converged && ++stable >= 2) return true;
+    if (!converged) stable = 0;
+    std::this_thread::sleep_for(20ms);
+  }
+  return false;
+}
+
+int run_saturate(const Options& opt, const std::vector<std::string>& servers) {
+  const std::size_t n = servers.size();
+  const std::size_t k = opt.spawn_k;
+  const int clients = static_cast<int>(2 * n);
+  const auto warmup = opt.smoke ? 200ms : 500ms;
+  const auto measure = opt.smoke ? 1000ms : 4000ms;
+
+  // Seed every object so reads never race an empty store.
+  {
+    net::NetClient seeder(/*client=*/1);
+    std::size_t at = 0;
+    for (ObjectId g = 0; g < static_cast<ObjectId>(k); ++g) {
+      net::NetClient writer(/*client=*/1);
+      if (!writer.connect(servers[g % n])) {
+        std::fprintf(stderr, "cannot connect to %s\n", servers[g % n].c_str());
+        return 1;
+      }
+      if (!writer
+               .write(g + 1, g,
+                      erasure::Value(opt.value_bytes,
+                                     static_cast<std::uint8_t>(g + 1)))
+               .has_value()) {
+        std::fprintf(stderr, "seed write to %s failed\n",
+                     servers[g % n].c_str());
+        return 1;
+      }
+      (void)at;
+    }
+  }
+  if (!await_converged(servers, 10s)) {
+    std::fprintf(stderr, "cluster did not converge after seeding\n");
+    return 1;
+  }
+
+  std::vector<net::StatsResp> before;
+  for (const std::string& ep : servers) {
+    auto s = fetch_stats(ep);
+    if (!s.has_value()) {
+      std::fprintf(stderr, "stats from %s failed\n", ep.c_str());
+      return 1;
+    }
+    before.push_back(std::move(*s));
+  }
+
+  std::atomic<bool> counting{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> failures{0};
+  obs::Histogram write_lat_ns;
+  obs::Histogram read_lat_ns;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      net::NetClient client(100 + static_cast<ClientId>(t));
+      if (!client.connect(servers[static_cast<std::size_t>(t) % n])) {
+        failures.fetch_add(1);
+        return;
+      }
+      const auto object = static_cast<ObjectId>(t % static_cast<int>(k));
+      const erasure::Value payload(opt.value_bytes,
+                                   static_cast<std::uint8_t>(t + 1));
+      OpId opid = 1;
+      bool do_write = (t % 2) == 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        bool ok;
+        if (do_write) {
+          ok = client.write(opid++, object, payload).has_value();
+        } else {
+          ok = client.read(opid++, object).has_value();
+        }
+        const auto dt = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (!ok) {
+          failures.fetch_add(1);
+          return;  // a broken connection ends this client
+        }
+        if (counting.load(std::memory_order_relaxed)) {
+          if (do_write) {
+            writes.fetch_add(1, std::memory_order_relaxed);
+            write_lat_ns.observe(dt);
+          } else {
+            reads.fetch_add(1, std::memory_order_relaxed);
+            read_lat_ns.observe(dt);
+          }
+        }
+        do_write = !do_write;
+      }
+    });
+  }
+  std::this_thread::sleep_for(warmup);
+  const auto start = std::chrono::steady_clock::now();
+  counting.store(true);
+  std::this_thread::sleep_for(measure);
+  counting.store(false);
+  const auto end = std::chrono::steady_clock::now();
+  stop.store(true);
+  for (auto& th : threads) th.join();
+
+  std::vector<net::StatsResp> after;
+  std::uint64_t error_events = 0;
+  for (const std::string& ep : servers) {
+    auto s = fetch_stats(ep);
+    if (!s.has_value()) {
+      std::fprintf(stderr, "stats from %s failed\n", ep.c_str());
+      return 1;
+    }
+    error_events += s->error_events;
+    after.push_back(std::move(*s));
+  }
+
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  const double writes_per_s = static_cast<double>(writes.load()) / seconds;
+  const double reads_per_s = static_cast<double>(reads.load()) / seconds;
+  const double ops_per_s = writes_per_s + reads_per_s;
+  const auto wr = write_lat_ns.snapshot();
+  const auto rd = read_lat_ns.snapshot();
+
+  std::printf("net --saturate: %zu servers, %zu-byte values, %d closed-loop "
+              "TCP clients (50/50 write/read)\n\n",
+              n, opt.value_bytes, clients);
+  std::printf("%-12s %12s %12s %12s %12s %12s\n", "row", "ops/s", "writes/s",
+              "reads/s", "w p99 us", "r p99 us");
+  std::printf("%-12s %12.1f %12.1f %12.1f %12.1f %12.1f\n", "saturate",
+              ops_per_s, writes_per_s, reads_per_s,
+              wr.percentile(0.99) / 1e3, rd.percentile(0.99) / 1e3);
+
+  obs::BenchReport report("net");
+  report.set_config("mode", "saturate");
+  report.set_config("smoke", opt.smoke);
+  report.set_config("servers", n);
+  report.set_config("objects", k);
+  report.set_config("value_bytes", opt.value_bytes);
+  report.set_config("clients", clients);
+  report.set_config("measured_s", seconds);
+  report.add_row("saturate")
+      .metric("ops_per_s", ops_per_s)
+      .metric("writes_per_s", writes_per_s)
+      .metric("reads_per_s", reads_per_s)
+      .metric("write_p50_us", wr.percentile(0.5) / 1e3)
+      .metric("write_p99_us", wr.percentile(0.99) / 1e3)
+      .metric("read_p50_us", rd.percentile(0.5) / 1e3)
+      .metric("read_p99_us", rd.percentile(0.99) / 1e3)
+      .metric("failures", static_cast<double>(failures.load()))
+      .metric("error_events", static_cast<double>(error_events));
+  // Per-server rows with per-shard ops/s: the deltas of each daemon's
+  // shard counters across the measurement window show whether the kernel's
+  // SO_REUSEPORT accept balancing actually spread the load.
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& row = report.add_row("s" + std::to_string(s));
+    const auto& b = before[s].shard_ops;
+    const auto& a = after[s].shard_ops;
+    double total = 0;
+    for (std::size_t sh = 0; sh < a.size(); ++sh) {
+      const std::uint64_t delta = a[sh] - (sh < b.size() ? b[sh] : 0);
+      const double per_s = static_cast<double>(delta) / seconds;
+      row.metric("shard" + std::to_string(sh) + "_ops_per_s", per_s);
+      total += per_s;
+    }
+    row.metric("ops_per_s", total);
+  }
+  const std::string path = report.write_default();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%llu client(s) failed mid-run\n",
+                 static_cast<unsigned long long>(failures.load()));
+    return 1;
+  }
+  if (error_events != 0) {
+    std::fprintf(stderr, "servers reported %llu error events\n",
+                 static_cast<unsigned long long>(error_events));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--saturate") == 0) {
+      opt.saturate = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--servers") == 0) {
+      opt.servers = split_csv(next_arg(i));
+    } else if (std::strcmp(argv[i], "--spawn") == 0) {
+      opt.spawn_n = std::strtoul(next_arg(i), nullptr, 10);
+      opt.spawn_k = std::strtoul(next_arg(i), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--server-bin") == 0) {
+      opt.server_bin = next_arg(i);
+    } else if (std::strcmp(argv[i], "--objects") == 0) {
+      // The cluster's object count (--servers mode; --spawn sets it via K).
+      opt.spawn_k = std::strtoul(next_arg(i), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--value-bytes") == 0) {
+      opt.value_bytes = std::strtoul(next_arg(i), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      opt.shards = std::strtoul(next_arg(i), nullptr, 10);
+    } else {
+      usage((std::string("unknown flag ") + argv[i]).c_str());
+    }
+  }
+  if (!opt.saturate) usage("--saturate is the only mode (so far)");
+  if (opt.servers.empty() && opt.spawn_n == 0) {
+    usage("need --servers or --spawn");
+  }
+
+  if (!opt.servers.empty()) {
+    return run_saturate(opt, opt.servers);
+  }
+
+  // Self-contained: spawn the cluster, drive it, tear it down.
+  if (opt.server_bin.empty()) usage("--spawn needs --server-bin");
+  net::ProcessClusterConfig cluster_config;
+  cluster_config.server_bin = opt.server_bin;
+  cluster_config.num_servers = opt.spawn_n;
+  cluster_config.num_objects = opt.spawn_k;
+  cluster_config.value_bytes = opt.value_bytes;
+  cluster_config.shards = opt.shards;
+  // No journal for the bench: measure the data path, not fsync traffic.
+  cluster_config.persistence = false;
+  net::ProcessCluster cluster(cluster_config);
+  if (!cluster.start() || !cluster.await_ready(10s)) {
+    std::fprintf(stderr, "causalec_client: cluster failed to start\n");
+    return 1;
+  }
+  return run_saturate(opt, cluster.endpoints());
+}

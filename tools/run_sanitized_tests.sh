@@ -18,6 +18,14 @@
 #       # elimination, golden repair vectors, degraded reads); under tsan
 #       # this exercises the shared-mutex repair-plan cache from
 #       # concurrent lookup threads
+#   tools/run_sanitized_tests.sh thread -L net
+#       # the real-socket battery (DESIGN.md §11): frame reassembly sweep,
+#       # in-process daemons over loopback TCP (every shard loop, peer
+#       # link, and the automaton inbox visible to tsan), and the
+#       # multi-process SIGKILL/rejoin tests (the forked servers are
+#       # instrumented too; tsan just cannot see across the processes)
+#   tools/run_sanitized_tests.sh --net-smoke
+#       # fast path: net label only, asan+ubsan then tsan
 #
 # Each sanitizer config gets its own build tree (build-san-<name>), so the
 # regular build/ directory is never disturbed. Extra arguments after the
@@ -27,7 +35,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 configs=()
-if [[ $# -ge 1 && $1 != -* ]]; then
+if [[ $# -ge 1 && $1 == --net-smoke ]]; then
+  # Fast path: just the real-socket battery under both sanitizer configs.
+  shift
+  set -- -L net "$@"
+  configs=("address,undefined" "thread")
+elif [[ $# -ge 1 && $1 != -* ]]; then
   configs=("$1")
   shift
 else
