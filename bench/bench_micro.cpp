@@ -9,6 +9,8 @@
 #include <string_view>
 
 #include "causalec/cluster.h"
+#include "erasure/arena_pool.h"
+#include "erasure/buffer.h"
 #include "erasure/linear_code.h"
 #include "gf/kernels.h"
 #include "obs/bench_report.h"
@@ -268,6 +270,7 @@ int run_kernel_bench(bool smoke) {
   report.set_config("active_tier", kn::tier_name(kn::active_tier()));
   report.set_config("cpu_ssse3", kn::cpu_features().ssse3);
   report.set_config("cpu_avx2", kn::cpu_features().avx2);
+  report.set_config("cpu_gfni_avx512", kn::cpu_features().gfni_avx512);
   report.set_config("gf256_table_threshold", kn::kGf256TableThreshold);
 
   struct Op {
@@ -321,6 +324,93 @@ int run_kernel_bench(bool smoke) {
       best.metric("speedup_vs_scalar", best_mb_per_s / scalar_mb_per_s);
       best.note("tier", kn::tier_name(best_tier));
     }
+  }
+
+  // Fused multi-term axpy (the batched re-encode primitive): dst accumulates
+  // kBatchTerms coefficient*src products in one pass, vs. the same terms
+  // applied as kBatchTerms sequential axpy calls at the *same* tier. The
+  // fused win is pure dst-traffic savings (1 load+store per block instead of
+  // kBatchTerms of each), so the ratio is machine-portable.
+  {
+    constexpr std::size_t kBatchTerms = 8;
+    for (const std::size_t n : {4096ul, 65536ul}) {
+      std::vector<std::uint8_t> dst(n);
+      std::vector<std::vector<std::uint8_t>> srcs(
+          kBatchTerms, std::vector<std::uint8_t>(n));
+      std::vector<kn::BatchTerm> terms;
+      for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_u64());
+      for (auto& src : srcs) {
+        for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_u64());
+        std::uint8_t coeff = 0;
+        while (coeff == 0) coeff = static_cast<std::uint8_t>(rng.next_u64());
+        terms.push_back({coeff, src.data()});
+      }
+      double best_mb_per_s = 0;
+      double best_speedup = 0;
+      kn::Tier best_tier = kn::Tier::kScalar;
+      for (int t = 0; t < kn::kNumTiers; ++t) {
+        const auto tier = static_cast<kn::Tier>(t);
+        if (!kn::tier_available(tier)) continue;
+        kn::ScopedTierForTesting guard(tier);
+        const double seq_mb_per_s = measure_mb_per_s(
+            [&] {
+              for (const kn::BatchTerm& term : terms) {
+                kn::axpy_region_gf256(dst.data(), term.coeff, term.src, n);
+              }
+              benchmark::DoNotOptimize(dst.data());
+            },
+            kBatchTerms * n, min_seconds);
+        const double fused_mb_per_s = measure_mb_per_s(
+            [&] {
+              kn::axpy_batch_gf256(dst.data(), terms, n);
+              benchmark::DoNotOptimize(dst.data());
+            },
+            kBatchTerms * n, min_seconds);
+        auto& row = report.add_row("axpy_batch8/gf256/" + std::to_string(n) +
+                                   "/" + kn::tier_name(tier));
+        row.metric("mb_per_s", fused_mb_per_s);
+        row.metric("speedup_vs_sequential", fused_mb_per_s / seq_mb_per_s);
+        if (fused_mb_per_s > best_mb_per_s) {
+          best_mb_per_s = fused_mb_per_s;
+          best_speedup = fused_mb_per_s / seq_mb_per_s;
+          best_tier = tier;
+        }
+      }
+      auto& best =
+          report.add_row("best/axpy_batch8/gf256/" + std::to_string(n));
+      best.metric("mb_per_s", best_mb_per_s);
+      best.metric("speedup_vs_sequential", best_speedup);
+      best.note("tier", kn::tier_name(best_tier));
+    }
+  }
+
+  // Arena recycling: payload-sized Buffer alloc/release cycles with a
+  // shard-local BufferPool installed. After warm-up the single live buffer
+  // ping-pongs through one free-list slot, so the recycle rate is ~1.0 and
+  // any drop means the pool stopped serving the data path.
+  {
+    constexpr std::size_t kPayload = 4096;
+    erasure::BufferPool pool;
+    erasure::BufferPool::ScopedInstall installed(pool);
+    for (int i = 0; i < 64; ++i) {
+      auto b = erasure::Buffer::alloc(kPayload);
+      benchmark::DoNotOptimize(b.data());
+    }
+    const auto before = pool.counters();
+    const double mb_per_s = measure_mb_per_s(
+        [&] {
+          auto b = erasure::Buffer::alloc(kPayload);
+          benchmark::DoNotOptimize(b.data());
+        },
+        kPayload, min_seconds);
+    const auto after = pool.counters();
+    const double fresh = static_cast<double>(after.fresh - before.fresh);
+    const double recycled =
+        static_cast<double>(after.recycled - before.recycled);
+    auto& row = report.add_row("alloc/pool/" + std::to_string(kPayload));
+    row.metric("mb_per_s", mb_per_s);
+    row.metric("recycle_rate",
+               recycled > 0 ? recycled / (recycled + fresh) : 0.0);
   }
 
   // F257 axpy for scale: the odd-characteristic path has no SIMD tier, so

@@ -10,6 +10,7 @@
 // network and report measured ops/s. With closed loops, throughput is
 // sessions / avg-latency, so the measured ratios reproduce the claim
 // directly from live executions.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -160,6 +161,10 @@ struct SaturateResult {
   int clients = 0;
   double payload_allocs_per_op = 0;  // fresh Buffer arenas per operation
   double payload_alloc_mib_per_s = 0;
+  double payload_recycle_rate = 0;  // pool hits / (pool hits + fresh arenas)
+  // Headroom below the 1-malloc-per-op line (higher is better, so the
+  // baseline gate can pin a floor on it): 1 - allocs/op, clamped at 0.
+  double alloc_headroom = 0;
 };
 
 SaturateResult run_saturate(bool smoke) {
@@ -234,6 +239,14 @@ SaturateResult run_saturate(bool smoke) {
         static_cast<double>(alloc_after.allocations -
                             alloc_before.allocations) / ops;
   }
+  out.alloc_headroom = std::max(0.0, 1.0 - out.payload_allocs_per_op);
+  const double fresh = static_cast<double>(alloc_after.allocations -
+                                           alloc_before.allocations);
+  const double recycled =
+      static_cast<double>(alloc_after.recycled - alloc_before.recycled);
+  if (fresh + recycled > 0) {
+    out.payload_recycle_rate = recycled / (fresh + recycled);
+  }
   out.payload_alloc_mib_per_s =
       static_cast<double>(alloc_after.bytes - alloc_before.bytes) /
       (1024.0 * 1024.0) / out.seconds;
@@ -245,11 +258,13 @@ int main_saturate(bool smoke) {
               "closed-loop blocking clients (50/50 write/read)\n\n",
               kSatValueBytes);
   const SaturateResult r = run_saturate(smoke);
-  std::printf("%-24s %12s %12s %12s %14s %14s\n", "row", "ops/s",
-              "writes/s", "reads/s", "allocs/op", "alloc MiB/s");
-  std::printf("%-24s %12.1f %12.1f %12.1f %14.2f %14.1f\n", "saturate",
+  std::printf("%-24s %12s %12s %12s %14s %14s %14s\n", "row", "ops/s",
+              "writes/s", "reads/s", "allocs/op", "alloc MiB/s",
+              "recycle rate");
+  std::printf("%-24s %12.1f %12.1f %12.1f %14.2f %14.1f %14.3f\n", "saturate",
               r.ops_per_s, r.writes_per_s, r.reads_per_s,
-              r.payload_allocs_per_op, r.payload_alloc_mib_per_s);
+              r.payload_allocs_per_op, r.payload_alloc_mib_per_s,
+              r.payload_recycle_rate);
 
   obs::BenchReport report("throughput");
   report.set_config("mode", "saturate");
@@ -262,7 +277,9 @@ int main_saturate(bool smoke) {
       .metric("writes_per_s", r.writes_per_s)
       .metric("reads_per_s", r.reads_per_s)
       .metric("payload_allocs_per_op", r.payload_allocs_per_op)
-      .metric("payload_alloc_mib_per_s", r.payload_alloc_mib_per_s);
+      .metric("payload_alloc_mib_per_s", r.payload_alloc_mib_per_s)
+      .metric("payload_recycle_rate", r.payload_recycle_rate)
+      .metric("alloc_headroom", r.alloc_headroom);
   report.write_default();
   return 0;
 }

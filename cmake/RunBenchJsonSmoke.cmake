@@ -7,6 +7,10 @@
 # Optional: -DBASELINE=<floors json> [-DMAX_REGRESSION=<frac>] forwards
 # --baseline/--max-regression to the validator, failing the test when a
 # pinned metric drops more than the tolerance below its committed floor.
+# Optional: -DREQUIRE_KEYS=<row[.metric],...> forwards --require-keys,
+# failing the test when the bench stops emitting an expected row -- the
+# presence gate for rows whose *values* are too machine-dependent to pin
+# in a committed baseline.
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
@@ -27,6 +31,9 @@ if(NOT EXISTS "${json_path}")
 endif()
 
 set(validator_args "${json_path}")
+if(DEFINED REQUIRE_KEYS)
+  list(PREPEND validator_args --require-keys "${REQUIRE_KEYS}")
+endif()
 if(DEFINED BASELINE)
   list(PREPEND validator_args --baseline "${BASELINE}")
   if(DEFINED MAX_REGRESSION)

@@ -35,10 +35,9 @@ constexpr std::size_t kMinDelItemBytes = 4 + 4 + kMinTagBytes;
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
-  // wire_bytes() is the cost model's estimate of the serialized size --
-  // close enough that the common messages need no reallocation.
-  Writer w(16 + message.wire_bytes());
+namespace {
+
+void write_message(Writer& w, const sim::Message& message) {
   if (const auto* app = dynamic_cast<const AppMessage*>(&message)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kApp));
     w.u64(app->wire);
@@ -132,7 +131,22 @@ std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
   if (message.trace.traced()) {
     w.trace_context(message.trace);
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_message(const sim::Message& message) {
+  // wire_bytes() is the cost model's estimate of the serialized size --
+  // close enough that the common messages need no reallocation.
+  Writer w(16 + message.wire_bytes());
+  write_message(w, message);
   return w.take();
+}
+
+erasure::Buffer serialize_message_frame(const sim::Message& message) {
+  Writer w(16 + message.wire_bytes());
+  write_message(w, message);
+  return w.take_frame();
 }
 
 sim::MessagePtr deserialize_message(std::span<const std::uint8_t> buffer) {

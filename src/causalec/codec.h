@@ -28,6 +28,12 @@ namespace causalec {
 /// Serializes any of the five protocol messages. Aborts on foreign types.
 std::vector<std::uint8_t> serialize_message(const sim::Message& message);
 
+/// Same bytes as serialize_message, returned as an erasure::Buffer frame
+/// with no copy out of the Writer. On a thread with a BufferPool installed
+/// (node/shard threads) the frame's arena is pool-recycled, so the
+/// steady-state send path performs no malloc.
+erasure::Buffer serialize_message_frame(const sim::Message& message);
+
 /// Parses a frame produced by serialize_message; aborts on malformed
 /// input (the runtime owns both ends of the channel).
 ///

@@ -381,20 +381,31 @@ void Server::handle_val_inq(NodeId from, const ValInqMessage& msg) {
 
   // Alg. 2 lines 6-14: re-encode our codeword symbol toward the wanted
   // versions where the history list allows it. The "apply wanted" step runs
-  // only when the "cancel current" step succeeded (DESIGN.md note 2).
+  // only when the "cancel current" step succeeded (DESIGN.md note 2). All
+  // per-object transforms drain through one fused reencode_batch pass, so
+  // each symbol row is streamed once instead of once per object. The held
+  // Values keep the spans alive until the batch executes.
   erasure::Symbol resp_val = m_val_;
   TagVector resp_tags = m_tags_;
+  std::vector<erasure::Value> held;
+  std::vector<erasure::Code::ReencodeEntry> entries;
   for (ObjectId x : code_->support(id_)) {
     if (resp_tags[x] == msg.wanted[x]) continue;
     const auto current = lists_[x].lookup(resp_tags[x]);
     if (!current) continue;  // case (iii): leave this object's version as is
-    code_->reencode(id_, resp_val, x, *current, {});
-    resp_tags[x] = Tag::zero(n_);
-    if (const auto wanted_value = lists_[x].lookup(msg.wanted[x])) {
-      code_->reencode(id_, resp_val, x, {}, *wanted_value);
+    const auto wanted_value = lists_[x].lookup(msg.wanted[x]);
+    held.push_back(*current);
+    const std::span<const std::uint8_t> old_span = held.back();
+    if (wanted_value) {
+      held.push_back(*wanted_value);
+      entries.push_back({x, old_span, held.back()});
       resp_tags[x] = msg.wanted[x];
+    } else {
+      entries.push_back({x, old_span, {}});
+      resp_tags[x] = Tag::zero(n_);
     }
   }
+  code_->reencode_batch(id_, resp_val, entries);
   ++counters_.val_resp_encoded_sent;
   auto enc = std::make_unique<ValRespEncodedMessage>(
       msg.client, msg.opid, object, std::move(resp_val), std::move(resp_tags),
@@ -426,9 +437,13 @@ void Server::handle_val_resp_encoded(NodeId from,
 
   // Alg. 2 lines 15-27: re-encode the sender's symbol to the requested
   // versions using *our* history list. The symbol lives in the sender's
-  // space W_j, so re-encoding uses the sender's coefficients (DESIGN note 1).
-  erasure::Symbol modified = msg.symbol;
+  // space W_j, so re-encoding uses the sender's coefficients (DESIGN note
+  // 1). The per-object transforms are collected first and drained through
+  // one fused reencode_batch pass -- and when any Error1/Error2 fires, the
+  // result would be discarded anyway, so the batch is skipped entirely.
   bool error = false;
+  std::vector<erasure::Value> held;
+  std::vector<erasure::Code::ReencodeEntry> entries;
   for (ObjectId x : code_->support(from)) {
     if (msg.requested[x] == msg.symbol_tags[x]) continue;
     const auto current = lists_[x].lookup(msg.symbol_tags[x]);
@@ -445,7 +460,6 @@ void Server::handle_val_resp_encoded(NodeId from,
       error = true;
       continue;
     }
-    code_->reencode(from, modified, x, *current, {});
     const auto wanted_value = lists_[x].lookup(msg.requested[x]);
     if (!wanted_value) {
       ++counters_.error2_events;
@@ -457,10 +471,15 @@ void Server::handle_val_resp_encoded(NodeId from,
       error = true;
       continue;
     }
-    code_->reencode(from, modified, x, {}, *wanted_value);
+    held.push_back(*current);
+    const std::span<const std::uint8_t> old_span = held.back();
+    held.push_back(*wanted_value);
+    entries.push_back({x, old_span, held.back()});
   }
   if (error) return;  // leave the read pending for other responders
 
+  erasure::Symbol modified = msg.symbol;
+  code_->reencode_batch(from, modified, entries);
   read->symbols[from] = std::move(modified);
   try_decode_pending_read(msg.opid);
 }
@@ -537,7 +556,18 @@ bool Server::apply_inqueue_step() {
 bool Server::encoding_step() {
   bool changed = false;
 
-  // Objects this server stores (Alg. 3 lines 15-25).
+  // Objects this server stores (Alg. 3 lines 15-25). All objects whose
+  // history allows the current -> newest transform are collected first and
+  // re-encoded through one fused reencode_batch pass (each symbol row
+  // streamed once per Encoding action, not once per object); the per-object
+  // bookkeeping (tags, dels, observability) runs after the batch.
+  struct PendingReencode {
+    ObjectId object;
+    erasure::Value current;  // keeps the span alive until the batch runs
+    erasure::Value newest;
+    Tag highest;
+  };
+  std::vector<PendingReencode> batch;
   for (ObjectId x : code_->support(id_)) {
     const Tag highest = lists_[x].highest_tag();
     if (!(highest > m_tags_[x])) continue;
@@ -545,18 +575,7 @@ bool Server::encoding_step() {
     if (current) {
       const auto newest = lists_[x].lookup(highest);
       CEC_CHECK(newest.has_value());
-      const std::int64_t pt0 = m_phase_encode_ != nullptr ? wall_ns() : 0;
-      code_->reencode(id_, m_val_, x, *current, *newest);
-      if (m_phase_encode_ != nullptr) {
-        m_phase_encode_->observe(wall_ns() - pt0);
-      }
-      m_tags_[x] = highest;
-      ++counters_.reencodes;
-      flight(obs::FlightKind::kEncode, x, 0, &highest);
-      if (obs_enabled_) obs_reencode(x);
-      record_del(x, highest);
-      send_del_to_containing(x, highest);
-      changed = true;
+      batch.push_back({x, *current, *newest, highest});
     } else if (!reads_.has_internal_for(x, m_tags_[x])) {
       // Alg. 3 lines 22-25: recover the currently-encoded version via an
       // internal read so a later Encoding can re-encode away from it.
@@ -579,6 +598,28 @@ bool Server::encoding_step() {
       // the re-encode branch above runs.
       if (lists_[x].contains(m_tags_[x])) changed = true;
     }
+  }
+
+  if (!batch.empty()) {
+    const std::int64_t pt0 = m_phase_encode_ != nullptr ? wall_ns() : 0;
+    std::vector<erasure::Code::ReencodeEntry> entries;
+    entries.reserve(batch.size());
+    for (const PendingReencode& p : batch) {
+      entries.push_back({p.object, p.current, p.newest});
+    }
+    code_->reencode_batch(id_, m_val_, entries);
+    if (m_phase_encode_ != nullptr) {
+      m_phase_encode_->observe(wall_ns() - pt0);
+    }
+    for (const PendingReencode& p : batch) {
+      m_tags_[p.object] = p.highest;
+      ++counters_.reencodes;
+      flight(obs::FlightKind::kEncode, p.object, 0, &p.highest);
+      if (obs_enabled_) obs_reencode(p.object);
+      record_del(p.object, p.highest);
+      send_del_to_containing(p.object, p.highest);
+    }
+    changed = true;
   }
 
   // Bookkeeping for objects this server does not store (lines 26-32).

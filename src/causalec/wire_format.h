@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,23 +30,41 @@ inline constexpr std::size_t kTraceContextBytes = 16;
 class Writer {
  public:
   /// Pre-sizes the buffer; callers pass header size + payload bytes so the
-  /// common messages serialize with a single allocation.
-  explicit Writer(std::size_t reserve_hint = 0) { buf_.reserve(reserve_hint); }
+  /// common messages serialize with a single allocation. The backing store
+  /// is an erasure::Buffer arena, so on a thread with a BufferPool
+  /// installed (node/shard threads) serialization recycles arenas instead
+  /// of malloc'ing, and take_frame() hands the result off with zero copies.
+  explicit Writer(std::size_t reserve_hint = 0)
+      : buf_(erasure::Buffer::alloc_uninit(
+            reserve_hint < kMinCapacity ? kMinCapacity : reserve_hint)) {}
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u8(std::uint8_t v) {
+    ensure(1);
+    data()[len_++] = v;
+  }
   void u32(std::uint32_t v) {
+    ensure(4);
+    std::uint8_t* out = data() + len_;
     for (int i = 0; i < 4; ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
     }
+    len_ += 4;
   }
   void u64(std::uint64_t v) {
+    ensure(8);
+    std::uint8_t* out = data() + len_;
     for (int i = 0; i < 8; ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
     }
+    len_ += 8;
   }
-  void bytes(std::span<const std::uint8_t> data) {
-    u32(static_cast<std::uint32_t>(data.size()));
-    buf_.insert(buf_.end(), data.begin(), data.end());
+  void bytes(std::span<const std::uint8_t> payload) {
+    u32(static_cast<std::uint32_t>(payload.size()));
+    ensure(payload.size());
+    if (!payload.empty()) {
+      std::memcpy(data() + len_, payload.data(), payload.size());
+      len_ += payload.size();
+    }
   }
   void clock(const VectorClock& vc) {
     u32(static_cast<std::uint32_t>(vc.size()));
@@ -63,11 +82,33 @@ class Writer {
     u64(ctx.trace_id);
     u64(ctx.span_id);
   }
-  std::size_t size() const { return buf_.size(); }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return len_; }
+  /// The encoded bytes as a plain vector (one copy out of the arena); for
+  /// callers that need owned contiguous storage, e.g. the journal.
+  std::vector<std::uint8_t> take() {
+    const std::uint8_t* p = buf_.data();
+    return std::vector<std::uint8_t>(p, p + len_);
+  }
+  /// The encoded bytes as a Buffer sharing the (pooled) arena -- zero-copy.
+  /// The Writer must not be written to afterwards.
+  erasure::Buffer take_frame() { return buf_.slice(0, len_); }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  static constexpr std::size_t kMinCapacity = 64;
+
+  std::uint8_t* data() { return buf_.mutable_data(); }
+
+  void ensure(std::size_t extra) {
+    if (len_ + extra <= buf_.size()) return;
+    std::size_t cap = buf_.size() * 2;
+    while (cap < len_ + extra) cap *= 2;
+    erasure::Buffer bigger = erasure::Buffer::alloc_uninit(cap);
+    std::memcpy(bigger.mutable_data(), buf_.data(), len_);
+    buf_ = std::move(bigger);
+  }
+
+  erasure::Buffer buf_;
+  std::size_t len_ = 0;
 };
 
 /// Error-latching reader over a zero-copy frame. Collection accessors take

@@ -92,6 +92,27 @@ class Code {
                         std::span<const std::uint8_t> old_value,
                         std::span<const std::uint8_t> new_value) const = 0;
 
+  /// One pending re-encode of a batch: object `object` goes from old_value
+  /// to new_value (either may be empty = the zero vector). The same object
+  /// may appear more than once; entries compose in order.
+  struct ReencodeEntry {
+    ObjectId object;
+    std::span<const std::uint8_t> old_value;
+    std::span<const std::uint8_t> new_value;
+  };
+
+  /// Apply a batch of re-encodes to server i's symbol. Equivalent to
+  /// calling reencode() once per entry in order; codes may override to
+  /// fuse the batch so each symbol row is touched once per batch instead
+  /// of once per entry (LinearCodeT routes through the kernel tier's
+  /// fused multi-axpy).
+  virtual void reencode_batch(NodeId server, Symbol& symbol,
+                              std::span<const ReencodeEntry> entries) const {
+    for (const ReencodeEntry& e : entries) {
+      reencode(server, symbol, e.object, e.old_value, e.new_value);
+    }
+  }
+
   /// Psi_S^{(k)}: decode object `object` from the symbols of the servers in
   /// `servers` (parallel spans). `servers` must contain a recovery set for
   /// the object; extra symbols are permitted and ignored as needed.

@@ -124,18 +124,31 @@ class LinearCodeT final : public Code {
     Symbol out(symbol_bytes(server), 0);
     std::vector<Elem> acc(elems_per_value_);
     std::vector<Elem> val(elems_per_value_);
+    std::vector<gf::AxpyTerm<F>> terms;
     for (std::size_t r = 0; r < c.rows(); ++r) {
-      gf::set_zero<F>(std::span<Elem>(acc));
-      for (std::size_t k = 0; k < k_; ++k) {
-        if (c(r, k) == F::zero) continue;
-        CEC_CHECK(values[k].size() == value_bytes_);
-        detail::unpack<F>(values[k], std::span<Elem>(val));
-        gf::axpy<F>(std::span<Elem>(acc), c(r, k),
-                    std::span<const Elem>(val));
+      auto out_row =
+          out.mutable_span().subspan(r * value_bytes_, value_bytes_);
+      if constexpr (std::is_same_v<F, gf::GF256>) {
+        // GF(2^8): fused multi-axpy straight from the object values into
+        // the (already zeroed) output row, no unpack/pack.
+        terms.clear();
+        for (std::size_t k = 0; k < k_; ++k) {
+          if (c(r, k) == F::zero) continue;
+          CEC_CHECK(values[k].size() == value_bytes_);
+          terms.push_back({c(r, k), values[k].span()});
+        }
+        gf::axpy_batch<F>(out_row, std::span<const gf::AxpyTerm<F>>(terms));
+      } else {
+        gf::set_zero<F>(std::span<Elem>(acc));
+        for (std::size_t k = 0; k < k_; ++k) {
+          if (c(r, k) == F::zero) continue;
+          CEC_CHECK(values[k].size() == value_bytes_);
+          detail::unpack<F>(values[k], std::span<Elem>(val));
+          gf::axpy<F>(std::span<Elem>(acc), c(r, k),
+                      std::span<const Elem>(val));
+        }
+        detail::pack<F>(std::span<const Elem>(acc), out_row);
       }
-      detail::pack<F>(std::span<const Elem>(acc),
-                      out.mutable_span().subspan(r * value_bytes_,
-                                                 value_bytes_));
     }
     return out;
   }
@@ -170,6 +183,96 @@ class LinearCodeT final : public Code {
       gf::axpy<F>(std::span<Elem>(row), step.coeff,
                   std::span<const Elem>(delta));
       detail::pack<F>(std::span<const Elem>(row), row_bytes);
+    }
+  }
+
+  void reencode_batch(NodeId server, Symbol& symbol,
+                      std::span<const ReencodeEntry> entries) const override {
+    if (entries.size() <= 1) {
+      for (const ReencodeEntry& e : entries) {
+        reencode(server, symbol, e.object, e.old_value, e.new_value);
+      }
+      return;
+    }
+    CEC_CHECK(server < num_servers());
+    CEC_CHECK(symbol.size() == symbol_bytes(server));
+    const auto& plans = reencode_plans_[server];
+    for (const ReencodeEntry& e : entries) {
+      CEC_CHECK(e.object < k_);
+      CEC_CHECK(e.old_value.empty() || e.old_value.size() == value_bytes_);
+      CEC_CHECK(e.new_value.empty() || e.new_value.size() == value_bytes_);
+    }
+    const std::size_t num_rows = matrix(server).rows();
+    const std::span<std::uint8_t> sym = symbol.mutable_span();
+
+    if constexpr (std::is_same_v<F, gf::GF256>) {
+      // GF(2^8): values already are element vectors, and in characteristic
+      // 2 coeff * (new - old) == coeff * new + coeff * old, so each entry
+      // feeds its old and new bytes to the fused multi-axpy directly -- no
+      // delta buffer, no unpack/pack, and each destination row is streamed
+      // once per batch instead of once per entry.
+      std::vector<gf::AxpyTerm<F>> terms;
+      terms.reserve(2 * entries.size());
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        terms.clear();
+        for (const ReencodeEntry& e : entries) {
+          for (const ReencodeStep& step : plans[e.object]) {
+            if (step.row != r) continue;
+            if (!e.new_value.empty()) {
+              terms.push_back({step.coeff, e.new_value});
+            }
+            if (!e.old_value.empty()) {
+              terms.push_back({step.coeff, e.old_value});
+            }
+          }
+        }
+        if (terms.empty()) continue;
+        gf::axpy_batch<F>(sym.subspan(r * value_bytes_, value_bytes_),
+                          std::span<const gf::AxpyTerm<F>>(terms));
+      }
+      return;
+    } else {
+      // Generic fields: materialize delta = new - old per entry (packing
+      // is not the identity), then fuse the per-row axpys over the
+      // unpacked row.
+      std::vector<std::vector<Elem>> deltas;
+      std::vector<const std::vector<ReencodeStep>*> steps;
+      deltas.reserve(entries.size());
+      steps.reserve(entries.size());
+      std::vector<Elem> tmp(elems_per_value_);
+      for (const ReencodeEntry& e : entries) {
+        if (plans[e.object].empty()) continue;  // object not in X_i
+        std::vector<Elem> delta(elems_per_value_, F::zero);
+        if (!e.new_value.empty()) {
+          detail::unpack<F>(e.new_value, std::span<Elem>(delta));
+        }
+        if (!e.old_value.empty()) {
+          detail::unpack<F>(e.old_value, std::span<Elem>(tmp));
+          gf::sub_into<F>(std::span<Elem>(delta), std::span<const Elem>(tmp));
+        }
+        if (gf::is_zero<F>(std::span<const Elem>(delta))) continue;
+        deltas.push_back(std::move(delta));
+        steps.push_back(&plans[e.object]);
+      }
+      if (deltas.empty()) return;
+      std::vector<Elem> row(elems_per_value_);
+      std::vector<gf::AxpyTerm<F>> terms;
+      terms.reserve(deltas.size());
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        terms.clear();
+        for (std::size_t i = 0; i < deltas.size(); ++i) {
+          for (const ReencodeStep& step : *steps[i]) {
+            if (step.row != r) continue;
+            terms.push_back({step.coeff, std::span<const Elem>(deltas[i])});
+          }
+        }
+        if (terms.empty()) continue;
+        auto row_bytes = sym.subspan(r * value_bytes_, value_bytes_);
+        detail::unpack<F>(row_bytes, std::span<Elem>(row));
+        gf::axpy_batch<F>(std::span<Elem>(row),
+                          std::span<const gf::AxpyTerm<F>>(terms));
+        detail::pack<F>(std::span<const Elem>(row), row_bytes);
+      }
     }
   }
 
@@ -452,9 +555,10 @@ class LinearCodeT final : public Code {
     Symbol out(symbol_bytes(failed), 0);
     std::vector<Elem> acc(elems_per_value_);
     std::vector<Elem> row(elems_per_value_);
+    std::vector<gf::AxpyTerm<F>> terms;
     for (std::size_t r = 0; r < plan.row_ops.size(); ++r) {
-      gf::set_zero<F>(std::span<Elem>(acc));
-      for (const auto& op : plan.row_ops[r]) {
+      const auto fetched_row = [&](const typename RepairPlanT::Op& op)
+          -> std::span<const std::uint8_t> {
         const RepairFetch& fetch = plan.fetches[op.fetch];
         std::size_t pos = servers.size();
         for (std::size_t i = 0; i < servers.size(); ++i) {
@@ -468,15 +572,28 @@ class LinearCodeT final : public Code {
         const Symbol& sym = symbols[pos];
         CEC_CHECK_MSG(sym.size() == symbol_bytes(fetch.server),
                       "repair: bad symbol size from server " << fetch.server);
-        detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
-                              fetch.row * value_bytes_, value_bytes_),
-                          std::span<Elem>(row));
-        gf::axpy<F>(std::span<Elem>(acc), op.coeff,
-                    std::span<const Elem>(row));
+        return std::span<const std::uint8_t>(sym).subspan(
+            fetch.row * value_bytes_, value_bytes_);
+      };
+      auto out_row =
+          out.mutable_span().subspan(r * value_bytes_, value_bytes_);
+      if constexpr (std::is_same_v<F, gf::GF256>) {
+        // GF(2^8): fused multi-axpy straight from the helper symbol rows
+        // into the output row (already zeroed).
+        terms.clear();
+        for (const auto& op : plan.row_ops[r]) {
+          terms.push_back({op.coeff, fetched_row(op)});
+        }
+        gf::axpy_batch<F>(out_row, std::span<const gf::AxpyTerm<F>>(terms));
+      } else {
+        gf::set_zero<F>(std::span<Elem>(acc));
+        for (const auto& op : plan.row_ops[r]) {
+          detail::unpack<F>(fetched_row(op), std::span<Elem>(row));
+          gf::axpy<F>(std::span<Elem>(acc), op.coeff,
+                      std::span<const Elem>(row));
+        }
+        detail::pack<F>(std::span<const Elem>(acc), out_row);
       }
-      detail::pack<F>(std::span<const Elem>(acc),
-                      out.mutable_span().subspan(r * value_bytes_,
-                                                 value_bytes_));
     }
     return out;
   }
@@ -503,6 +620,15 @@ class LinearCodeT final : public Code {
 
   std::uint32_t all_servers_mask() const {
     return (1u << num_servers()) - 1;
+  }
+
+  std::size_t locate_server(std::span<const NodeId> servers,
+                            NodeId server) const {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      if (servers[i] == server) return i;
+    }
+    CEC_CHECK_MSG(false, "server " << server << " not provided");
+    return servers.size();
   }
 
   std::size_t rows_in_mask(std::uint32_t mask) const {
@@ -736,30 +862,41 @@ class LinearCodeT final : public Code {
 
   Value apply_plan(const Plan& plan, std::span<const NodeId> servers,
                    std::span<const Symbol> symbols) const {
-    std::vector<Elem> acc(elems_per_value_, F::zero);
-    std::vector<Elem> row(elems_per_value_);
-    for (const auto& step : plan.steps) {
-      // Locate the step's server in the provided list.
-      std::size_t pos = servers.size();
-      for (std::size_t i = 0; i < servers.size(); ++i) {
-        if (servers[i] == step.server) {
-          pos = i;
-          break;
-        }
+    if constexpr (std::is_same_v<F, gf::GF256>) {
+      // GF(2^8): feed the symbol rows to the fused multi-axpy in place --
+      // no unpack, and the accumulator is written once per chunk instead
+      // of once per step.
+      std::vector<gf::AxpyTerm<F>> terms;
+      terms.reserve(plan.steps.size());
+      for (const auto& step : plan.steps) {
+        const Symbol& sym = symbols[locate_server(servers, step.server)];
+        CEC_CHECK_MSG(sym.size() == symbol_bytes(step.server),
+                      "decode: bad symbol size from server " << step.server);
+        terms.push_back({step.coeff,
+                         std::span<const std::uint8_t>(sym).subspan(
+                             step.row * value_bytes_, value_bytes_)});
       }
-      CEC_CHECK(pos < servers.size());
-      const Symbol& sym = symbols[pos];
-      CEC_CHECK_MSG(sym.size() == symbol_bytes(step.server),
-                    "decode: bad symbol size from server " << step.server);
-      detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
-                            step.row * value_bytes_, value_bytes_),
-                        std::span<Elem>(row));
-      gf::axpy<F>(std::span<Elem>(acc), step.coeff,
-                  std::span<const Elem>(row));
+      Value out(value_bytes_);
+      gf::axpy_batch<F>(out.mutable_span(),
+                        std::span<const gf::AxpyTerm<F>>(terms));
+      return out;
+    } else {
+      std::vector<Elem> acc(elems_per_value_, F::zero);
+      std::vector<Elem> row(elems_per_value_);
+      for (const auto& step : plan.steps) {
+        const Symbol& sym = symbols[locate_server(servers, step.server)];
+        CEC_CHECK_MSG(sym.size() == symbol_bytes(step.server),
+                      "decode: bad symbol size from server " << step.server);
+        detail::unpack<F>(std::span<const std::uint8_t>(sym).subspan(
+                              step.row * value_bytes_, value_bytes_),
+                          std::span<Elem>(row));
+        gf::axpy<F>(std::span<Elem>(acc), step.coeff,
+                    std::span<const Elem>(row));
+      }
+      Value out(value_bytes_);
+      detail::pack<F>(std::span<const Elem>(acc), out.mutable_span());
+      return out;
     }
-    Value out(value_bytes_);
-    detail::pack<F>(std::span<const Elem>(acc), out.mutable_span());
-    return out;
   }
 
   std::vector<Matrix> matrices_;

@@ -3,11 +3,11 @@
 
 #include <array>
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/expect.h"
+#include "common/logging.h"
 #include "gf/gf256.h"
 #include "gf/kernels_impl.h"
 
@@ -65,8 +65,17 @@ void scalar_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = GF256::mul(a, dst[i]);
 }
 
+void scalar_axpy_batch(std::uint8_t* dst, const BatchTerm* terms,
+                       std::size_t num_terms, std::size_t n) {
+  // Sequential axpy IS the reference semantics (XOR accumulation is
+  // order-independent), so the scalar tier just loops.
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    scalar_axpy(dst, terms[t].coeff, terms[t].src, n);
+  }
+}
+
 constexpr KernelTable kScalarTable = {scalar_xor, scalar_mul, scalar_axpy,
-                                      scalar_scale};
+                                      scalar_scale, scalar_axpy_batch};
 
 // ---------------------------------------------------------------------------
 // Sliced tier: portable SWAR over 64-bit words. Multiplication by repeated
@@ -136,8 +145,19 @@ void sliced_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
   for (; i < n; ++i) dst[i] = GF256::mul(a, dst[i]);
 }
 
+void sliced_axpy_batch(std::uint8_t* dst, const BatchTerm* terms,
+                       std::size_t num_terms, std::size_t n) {
+  // Sequential per term: the bit-sliced multiply is a dependent 8-step
+  // chain, so a fused per-word inner loop over terms serializes on the
+  // accumulator and measures slower than one pass per term (which the
+  // compiler can software-pipeline across words).
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    sliced_axpy(dst, terms[t].coeff, terms[t].src, n);
+  }
+}
+
 constexpr KernelTable kSlicedTable = {sliced_xor, sliced_mul, sliced_axpy,
-                                      sliced_scale};
+                                      sliced_scale, sliced_axpy_batch};
 
 // ---------------------------------------------------------------------------
 // Dispatch.
@@ -153,6 +173,8 @@ const KernelTable* table_for(Tier tier) {
       return detail::ssse3_kernel_table();
     case Tier::kAvx2:
       return detail::avx2_kernel_table();
+    case Tier::kGfni:
+      return detail::gfni_kernel_table();
   }
   return nullptr;
 }
@@ -163,6 +185,9 @@ CpuFeatures detect_cpu() {
     (defined(__GNUC__) || defined(__clang__))
   f.ssse3 = __builtin_cpu_supports("ssse3");
   f.avx2 = __builtin_cpu_supports("avx2");
+  f.gfni_avx512 = __builtin_cpu_supports("gfni") &&
+                  __builtin_cpu_supports("avx512bw") &&
+                  __builtin_cpu_supports("avx512vl");
 #endif
   return f;
 }
@@ -172,24 +197,27 @@ std::atomic<int> g_active_tier{-1};
 
 Tier resolve_initial_tier() {
   const char* env = std::getenv("CAUSALEC_GF_KERNEL");
+  Tier resolved;
   if (env != nullptr && env[0] != '\0' &&
       std::string_view(env) != "auto") {
+    // Strict: a mis-provisioned fleet silently running the scalar tier is
+    // a 20x regression that looks like a capacity problem. Refuse to start.
     const auto requested = parse_tier(env);
-    if (!requested.has_value()) {
-      std::fprintf(stderr,
-                   "causalec: CAUSALEC_GF_KERNEL=%s is not a kernel tier "
-                   "(scalar|sliced|ssse3|avx2|auto); using auto\n",
-                   env);
-    } else if (!tier_available(*requested)) {
-      std::fprintf(stderr,
-                   "causalec: CAUSALEC_GF_KERNEL=%s is unavailable on this "
-                   "CPU/build; using auto\n",
-                   env);
-    } else {
-      return *requested;
-    }
+    CEC_CHECK_MSG(requested.has_value(),
+                  "CAUSALEC_GF_KERNEL=" << env
+                                        << " is not a kernel tier; available: "
+                                        << available_tier_names() << ", auto");
+    CEC_CHECK_MSG(tier_available(*requested),
+                  "CAUSALEC_GF_KERNEL="
+                      << env << " is unavailable on this CPU/build; available: "
+                      << available_tier_names() << ", auto");
+    resolved = *requested;
+  } else {
+    resolved = best_available_tier();
   }
-  return best_available_tier();
+  CEC_LOG(kInfo) << "gf kernels: using " << tier_name(resolved)
+                 << " tier (available: " << available_tier_names() << ")";
+  return resolved;
 }
 
 }  // namespace
@@ -208,11 +236,15 @@ bool tier_available(Tier tier) {
       return cpu_features().ssse3 && detail::ssse3_kernel_table() != nullptr;
     case Tier::kAvx2:
       return cpu_features().avx2 && detail::avx2_kernel_table() != nullptr;
+    case Tier::kGfni:
+      return cpu_features().gfni_avx512 &&
+             detail::gfni_kernel_table() != nullptr;
   }
   return false;
 }
 
 Tier best_available_tier() {
+  if (tier_available(Tier::kGfni)) return Tier::kGfni;
   if (tier_available(Tier::kAvx2)) return Tier::kAvx2;
   if (tier_available(Tier::kSsse3)) return Tier::kSsse3;
   return Tier::kSliced;
@@ -228,6 +260,8 @@ const char* tier_name(Tier tier) {
       return "ssse3";
     case Tier::kAvx2:
       return "avx2";
+    case Tier::kGfni:
+      return "gfni";
   }
   return "unknown";
 }
@@ -237,7 +271,19 @@ std::optional<Tier> parse_tier(std::string_view name) {
   if (name == "sliced") return Tier::kSliced;
   if (name == "ssse3") return Tier::kSsse3;
   if (name == "avx2") return Tier::kAvx2;
+  if (name == "gfni") return Tier::kGfni;
   return std::nullopt;
+}
+
+std::string available_tier_names() {
+  std::string names;
+  for (int t = 0; t < kNumTiers; ++t) {
+    const auto tier = static_cast<Tier>(t);
+    if (!tier_available(tier)) continue;
+    if (!names.empty()) names += ", ";
+    names += tier_name(tier);
+  }
+  return names;
 }
 
 Tier active_tier() {
@@ -326,6 +372,24 @@ void scale_region_gf256(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
     return;
   }
   active_table().scale_region(dst, a, n);
+}
+
+void axpy_batch_gf256(std::uint8_t* dst, std::span<const BatchTerm> terms,
+                      std::size_t n) {
+  if (n == 0) return;
+  const KernelTable& table = active_table();
+  BatchTerm chunk[kMaxBatchTerms];
+  std::size_t count = 0;
+  for (const BatchTerm& term : terms) {
+    if (term.coeff == 0) continue;
+    check_no_overlap(dst, term.src, n);
+    chunk[count++] = term;
+    if (count == kMaxBatchTerms) {
+      table.axpy_batch(dst, chunk, count, n);
+      count = 0;
+    }
+  }
+  if (count > 0) table.axpy_batch(dst, chunk, count, n);
 }
 
 }  // namespace causalec::gf::kernels

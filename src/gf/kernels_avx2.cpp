@@ -89,8 +89,55 @@ void avx2_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
   for (; i < n; ++i) dst[i] = nibble_mul(t, dst[i]);
 }
 
+/// One fused pass over dst applying up to 4 terms: dst is loaded/stored
+/// once per 32-byte block, each term contributes one shuffle pair + XOR
+/// against the in-register accumulator. 4 terms x 2 table vectors + the
+/// accumulator, source, and nibble mask fit the 16 ymm registers; wider
+/// groups spill the tables to the stack and reload them every block, which
+/// measures *slower* than sequential axpy.
+void avx2_axpy_group4(std::uint8_t* dst, const BatchTerm* terms,
+                      std::size_t num_terms, std::size_t n) {
+  NibbleTables tables[4];
+  __m256i lo[4];
+  __m256i hi[4];
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    tables[t] = build_nibble_tables(terms[t].coeff);
+    lo[t] = broadcast_tables(tables[t].lo);
+    hi[t] = broadcast_tables(tables[t].hi);
+  }
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    for (std::size_t t = 0; t < num_terms; ++t) {
+      const __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(terms[t].src + i));
+      acc = _mm256_xor_si256(acc, mul32(x, lo[t], hi[t], nibble));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t acc = dst[i];
+    for (std::size_t t = 0; t < num_terms; ++t) {
+      acc ^= nibble_mul(tables[t], terms[t].src[i]);
+    }
+    dst[i] = acc;
+  }
+}
+
+/// Fused multi-axpy, strip-mined into register-resident groups of 4 terms:
+/// ceil(num_terms/4) passes over dst instead of num_terms sequential ones.
+void avx2_axpy_batch(std::uint8_t* dst, const BatchTerm* terms,
+                     std::size_t num_terms, std::size_t n) {
+  for (std::size_t t = 0; t < num_terms; t += 4) {
+    const std::size_t group = num_terms - t < 4 ? num_terms - t : 4;
+    avx2_axpy_group4(dst, terms + t, group, n);
+  }
+}
+
 constexpr KernelTable kAvx2Table = {avx2_xor, avx2_mul, avx2_axpy,
-                                    avx2_scale};
+                                    avx2_scale, avx2_axpy_batch};
 
 }  // namespace
 

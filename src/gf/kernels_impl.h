@@ -6,11 +6,14 @@
 #include <cstdint>
 
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 
 namespace causalec::gf::kernels::detail {
 
 /// One implementation tier = one table of region functions. The dispatcher
 /// in kernels.cpp picks a table once and indirect-calls through it.
+/// axpy_batch receives at most kMaxBatchTerms terms, all with nonzero
+/// coefficients (the entry point filters and chunks).
 struct KernelTable {
   void (*xor_region)(std::uint8_t* dst, const std::uint8_t* src,
                      std::size_t n);
@@ -19,6 +22,8 @@ struct KernelTable {
   void (*axpy_region)(std::uint8_t* dst, std::uint8_t a,
                       const std::uint8_t* src, std::size_t n);
   void (*scale_region)(std::uint8_t* dst, std::uint8_t a, std::size_t n);
+  void (*axpy_batch)(std::uint8_t* dst, const BatchTerm* terms,
+                     std::size_t num_terms, std::size_t n);
 };
 
 /// Split-nibble product tables for one coefficient:
@@ -45,10 +50,11 @@ inline std::uint8_t nibble_mul(const NibbleTables& t, std::uint8_t x) {
   return static_cast<std::uint8_t>(t.lo[x & 0xF] ^ t.hi[x >> 4]);
 }
 
-/// SIMD tiers, defined in kernels_ssse3.cpp / kernels_avx2.cpp. Return
-/// nullptr when the tier was not compiled in (non-x86 target or the
-/// compiler lacks the ISA flags).
+/// SIMD tiers, defined in kernels_ssse3.cpp / kernels_avx2.cpp /
+/// kernels_gfni.cpp. Return nullptr when the tier was not compiled in
+/// (non-x86 target or the compiler lacks the ISA flags).
 const KernelTable* ssse3_kernel_table();
 const KernelTable* avx2_kernel_table();
+const KernelTable* gfni_kernel_table();
 
 }  // namespace causalec::gf::kernels::detail

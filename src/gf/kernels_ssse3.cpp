@@ -87,8 +87,52 @@ void ssse3_scale(std::uint8_t* dst, std::uint8_t a, std::size_t n) {
   for (; i < n; ++i) dst[i] = nibble_mul(t, dst[i]);
 }
 
+/// Fused multi-axpy: dst is loaded/stored once per 16-byte block per chunk;
+/// each term contributes one shuffle pair + XOR against the in-register
+/// accumulator.
+void ssse3_axpy_group4(std::uint8_t* dst, const BatchTerm* terms,
+                       std::size_t num_terms, std::size_t n) {
+  NibbleTables tables[4];
+  __m128i lo[4];
+  __m128i hi[4];
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    tables[t] = build_nibble_tables(terms[t].coeff);
+    lo[t] = load_tables(tables[t].lo);
+    hi[t] = load_tables(tables[t].hi);
+  }
+  const __m128i nibble = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    for (std::size_t t = 0; t < num_terms; ++t) {
+      const __m128i x = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(terms[t].src + i));
+      acc = _mm_xor_si128(acc, mul16(x, lo[t], hi[t], nibble));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t acc = dst[i];
+    for (std::size_t t = 0; t < num_terms; ++t) {
+      acc ^= nibble_mul(tables[t], terms[t].src[i]);
+    }
+    dst[i] = acc;
+  }
+}
+
+/// Fused multi-axpy, strip-mined into register-resident groups of 4 terms
+/// (4 x 2 table vectors + accumulator/source/mask fit the 16 xmm
+/// registers; see the avx2 tier for the spill rationale).
+void ssse3_axpy_batch(std::uint8_t* dst, const BatchTerm* terms,
+                      std::size_t num_terms, std::size_t n) {
+  for (std::size_t t = 0; t < num_terms; t += 4) {
+    const std::size_t group = num_terms - t < 4 ? num_terms - t : 4;
+    ssse3_axpy_group4(dst, terms + t, group, n);
+  }
+}
+
 constexpr KernelTable kSsse3Table = {ssse3_xor, ssse3_mul, ssse3_axpy,
-                                     ssse3_scale};
+                                     ssse3_scale, ssse3_axpy_batch};
 
 }  // namespace
 

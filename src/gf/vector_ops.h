@@ -107,6 +107,43 @@ void axpy(std::span<typename F::Elem> dst, typename F::Elem a,
   }
 }
 
+/// One term of an axpy_batch: dst += coeff * src.
+template <Field F>
+struct AxpyTerm {
+  typename F::Elem coeff;
+  std::span<const typename F::Elem> src;
+};
+
+/// dst += sum_t terms[t].coeff * terms[t].src — the fused multi-axpy.
+/// GF(2^8) routes through the kernel tier's axpy_batch, which touches each
+/// destination cache line once per chunk of kernels::kMaxBatchTerms terms
+/// instead of once per term; other fields fall back to sequential axpy
+/// (bit-identical: XOR/field addition is order-independent).
+template <Field F>
+void axpy_batch(std::span<typename F::Elem> dst,
+                std::span<const AxpyTerm<F>> terms) {
+  if constexpr (std::is_same_v<F, GF256>) {
+    kernels::BatchTerm raw[kernels::kMaxBatchTerms];
+    std::size_t count = 0;
+    for (const AxpyTerm<F>& term : terms) {
+      CEC_DCHECK(term.src.size() == dst.size());
+      if (term.coeff == F::zero) continue;
+      raw[count++] = {term.coeff, term.src.data()};
+      if (count == kernels::kMaxBatchTerms) {
+        kernels::axpy_batch_gf256(dst.data(), {raw, count}, dst.size());
+        count = 0;
+      }
+    }
+    if (count > 0) {
+      kernels::axpy_batch_gf256(dst.data(), {raw, count}, dst.size());
+    }
+  } else {
+    for (const AxpyTerm<F>& term : terms) {
+      axpy<F>(dst, term.coeff, term.src);
+    }
+  }
+}
+
 /// dst *= a (in place; no aliasing concern).
 template <Field F>
 void scale(std::span<typename F::Elem> dst, typename F::Elem a) {

@@ -5,14 +5,17 @@
 namespace causalec::net {
 
 erasure::Buffer encode_frame(std::span<const std::uint8_t> payload) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  erasure::Buffer out =
+      erasure::Buffer::alloc_uninit(kFrameHeaderBytes + payload.size());
+  std::uint8_t* p = out.mutable_data();
   const auto len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    p[i] = static_cast<std::uint8_t>(len >> (8 * i));
   }
-  out.insert(out.end(), payload.begin(), payload.end());
-  return erasure::Buffer::adopt(std::move(out));
+  if (!payload.empty()) {
+    std::memcpy(p + kFrameHeaderBytes, payload.data(), payload.size());
+  }
+  return out;
 }
 
 void FrameReader::feed(erasure::Buffer chunk) {

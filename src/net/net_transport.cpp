@@ -141,7 +141,7 @@ void NetTransport::send(NodeId to, sim::MessagePtr message) {
   if (muted_) return;
   CEC_CHECK(to < links_.size() && links_[to] != nullptr);
   links_[to]->send_frame(
-      encode_frame(causalec::serialize_message(*message)));
+      encode_frame(causalec::serialize_message_frame(*message).span()));
 }
 
 void NetTransport::multicast(std::span<const NodeId> targets,
@@ -150,7 +150,7 @@ void NetTransport::multicast(std::span<const NodeId> targets,
   // Serialize once; every destination link queues the same frame arena.
   const sim::MessagePtr message = make();
   const erasure::Buffer frame =
-      encode_frame(causalec::serialize_message(*message));
+      encode_frame(causalec::serialize_message_frame(*message).span());
   for (NodeId to : targets) {
     CEC_CHECK(to < links_.size() && links_[to] != nullptr);
     links_[to]->send_frame(frame);

@@ -107,6 +107,10 @@ void NodeDaemon::start() {
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     s->loop->post([this, s] {
+      // Shard-local arena recycling for everything the loop thread
+      // allocates (frame reassembly, response encoding). Installed once;
+      // the loop thread's TLS reference keeps the core alive until join.
+      s->pool.install();
       s->loop->watch(s->listener.get(), /*want_read=*/true,
                      /*want_write=*/false,
                      [this, s](std::uint32_t) { accept_ready(s); });
@@ -327,6 +331,11 @@ void NodeDaemon::handle_stats_req(std::shared_ptr<Connection> conn) {
 
 void NodeDaemon::run_automaton() {
   set_log_thread_node(static_cast<int>(config_.node));
+  // Automaton-local arena recycling: deserialized payloads and re-encode
+  // scratch all allocate on this thread, so one pool captures the daemon's
+  // entire data-path allocation traffic.
+  erasure::BufferPool buffer_pool;
+  erasure::BufferPool::ScopedInstall pool_installed(buffer_pool);
   auto next_gc = Clock::now() + config_.gc_period;
   auto next_snapshot = Clock::now() + config_.snapshot_period;
   while (true) {

@@ -33,6 +33,7 @@
 
 #include "causalec/config.h"
 #include "causalec/server.h"
+#include "erasure/arena_pool.h"
 #include "erasure/code.h"
 #include "net/client_proto.h"
 #include "net/connection.h"
@@ -87,6 +88,10 @@ class NodeDaemon {
     std::unique_ptr<EventLoop> loop;
     ScopedFd listener;
     std::atomic<std::uint64_t> client_ops{0};
+    /// Arena pool installed on this shard's loop thread (frame reassembly
+    /// and response encoding allocate there). Outlives the loop: stop()
+    /// joins loop threads before shards are destroyed.
+    erasure::BufferPool pool;
   };
 
   /// Accepted-connection state (which kind of peer is on the other end).

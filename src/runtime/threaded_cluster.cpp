@@ -217,6 +217,12 @@ class ThreadedCluster::Node {
 
   void run() {
     set_log_thread_node(static_cast<int>(id_));
+    // Node-local arena recycling: payload buffers allocated while handling
+    // this node's messages come from (and return to) this pool, so the
+    // steady-state data path stops malloc'ing. A restarted node gets a
+    // fresh pool; the old one folds its counters on close.
+    erasure::BufferPool buffer_pool;
+    erasure::BufferPool::ScopedInstall pool_installed(buffer_pool);
     auto next_gc = Clock::now() + config_->gc_period;
     auto next_snapshot = Clock::now() + config_->snapshot_period;
     while (true) {
@@ -395,7 +401,7 @@ void ThreadedCluster::route(NodeId from, NodeId to, sim::MessagePtr message) {
   if (!nodes_[to]->accepting()) return;  // crashed node: frame is lost
   if (config_.serialize_messages) {
     const SimTime t0 = m_serialize_ != nullptr ? to_ns(Clock::now()) : 0;
-    auto frame = erasure::Buffer::adopt(serialize_message(*message));
+    auto frame = serialize_message_frame(*message);
     if (m_serialize_ != nullptr) {
       m_serialize_->observe(
           static_cast<std::uint64_t>(to_ns(Clock::now()) - t0));
@@ -417,8 +423,7 @@ void ThreadedCluster::multicast_route(
   // Serialize once; every destination mailbox shares the frame's arena.
   const sim::MessagePtr message = make();
   const SimTime t0 = m_serialize_ != nullptr ? to_ns(Clock::now()) : 0;
-  const erasure::Buffer frame =
-      erasure::Buffer::adopt(serialize_message(*message));
+  const erasure::Buffer frame = serialize_message_frame(*message);
   if (m_serialize_ != nullptr) {
     m_serialize_->observe(
         static_cast<std::uint64_t>(to_ns(Clock::now()) - t0));

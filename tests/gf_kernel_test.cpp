@@ -167,6 +167,89 @@ TEST(GfKernelDifferentialTest, ExhaustiveCoefficientsGF256) {
   }
 }
 
+/// Dedicated GFNI sweep: the generic all-tier tests above already include
+/// gfni when available, but this test makes the GFNI coverage (or its
+/// absence) visible in the test report rather than silently folding into
+/// the loop.
+TEST(GfKernelDifferentialTest, GfniTierMatchesScalar) {
+  if (!kernels::tier_available(Tier::kGfni)) {
+    GTEST_SKIP() << "GFNI tier unavailable (cpu gfni_avx512="
+                 << kernels::cpu_features().gfni_avx512
+                 << "); differential sweep NOT exercised on this host. "
+                 << "Available tiers: " << kernels::available_tier_names();
+  }
+  using Dst = std::span<std::uint8_t>;
+  using Src = std::span<const std::uint8_t>;
+  check_differential<GF256>(
+      Tier::kGfni, [](Dst d, std::uint8_t a, Src s) { axpy<GF256>(d, a, s); },
+      [](Dst d, std::uint8_t a, Src s) {
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          d[i] ^= GF256::mul(a, s[i]);
+        }
+      });
+  check_differential<GF256>(
+      Tier::kGfni, [](Dst d, std::uint8_t a, Src) { scale<GF256>(d, a); },
+      [](Dst d, std::uint8_t a, Src) {
+        for (auto& x : d) x = GF256::mul(a, x);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// axpy_batch: the fused multi-term pass must be byte-identical to applying
+// the same terms through sequential axpy calls (XOR accumulation is
+// order-independent, so there is exactly one right answer).
+// ---------------------------------------------------------------------------
+
+TEST(GfKernelDifferentialTest, AxpyBatchMatchesSequentialAxpy) {
+  Rng rng(0xBA7C4);
+  // Term counts straddle the kMaxBatchTerms chunk boundary to exercise the
+  // entry point's chunking, and include 0 (no-op) and 1 (degenerate).
+  const std::size_t kTermCounts[] = {0, 1, 2, 3, 7, 15, 16, 17, 33};
+  for (const Tier tier : available_tiers()) {
+    SCOPED_TRACE(kernels::tier_name(tier));
+    for (const std::size_t num_terms : kTermCounts) {
+      for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{63}, std::size_t{64},
+                                  std::size_t{65}, std::size_t{1024},
+                                  std::size_t{4096}}) {
+        const auto dst0 = random_elems<GF256>(rng, n);
+        std::vector<std::vector<std::uint8_t>> srcs;
+        std::vector<AxpyTerm<GF256>> terms;
+        srcs.reserve(num_terms);
+        for (std::size_t t = 0; t < num_terms; ++t) {
+          srcs.push_back(random_elems<GF256>(rng, n));
+          // Sprinkle zero and one coefficients among random ones: zeros
+          // must be skipped, ones must still fuse.
+          std::uint8_t coeff;
+          if (t % 5 == 0) {
+            coeff = 0;
+          } else if (t % 7 == 0) {
+            coeff = 1;
+          } else {
+            coeff = GF256::from_int(rng.next_u64());
+          }
+          terms.push_back({coeff, std::span<const std::uint8_t>(srcs.back())});
+        }
+
+        std::vector<std::uint8_t> want = dst0;
+        {
+          ScopedTierForTesting scalar_guard(Tier::kScalar);
+          for (const auto& term : terms) {
+            axpy<GF256>(std::span<std::uint8_t>(want), term.coeff, term.src);
+          }
+        }
+
+        ScopedTierForTesting guard(tier);
+        std::vector<std::uint8_t> got = dst0;
+        axpy_batch<GF256>(std::span<std::uint8_t>(got),
+                          std::span<const AxpyTerm<GF256>>(terms));
+        ASSERT_EQ(got, want) << "tier=" << kernels::tier_name(tier)
+                             << " terms=" << num_terms << " n=" << n;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch plumbing.
 // ---------------------------------------------------------------------------
@@ -207,8 +290,14 @@ TEST(GfKernelDispatchTest, CpuFeaturesGateSimdTiers) {
   if (!cpu.avx2) {
     EXPECT_FALSE(kernels::tier_available(Tier::kAvx2));
   }
-  // AVX2 implies SSSE3 on every real CPU; the best tier must reflect it.
-  if (cpu.avx2 && kernels::tier_available(Tier::kAvx2)) {
+  if (!cpu.gfni_avx512) {
+    EXPECT_FALSE(kernels::tier_available(Tier::kGfni));
+  }
+  // The tier order is gfni > avx2 > ssse3 > sliced; the best tier must be
+  // the highest one the CPU (and build) can run.
+  if (kernels::tier_available(Tier::kGfni)) {
+    EXPECT_EQ(kernels::best_available_tier(), Tier::kGfni);
+  } else if (cpu.avx2 && kernels::tier_available(Tier::kAvx2)) {
     EXPECT_EQ(kernels::best_available_tier(), Tier::kAvx2);
   }
 }

@@ -14,6 +14,12 @@
 //   causalec_inspect --flight FILE
 //       Pretty-print a flight-recorder JSON dump (e.g. one element of a
 //       chaos replay bundle's "flight" array).
+//
+//   causalec_inspect --gf-tiers
+//       Print the GF kernel tiers available on this CPU/build, one per
+//       line (scalar/sliced/ssse3/avx2/gfni). Scripts use this to loop
+//       CAUSALEC_GF_KERNEL over exactly the runnable tiers -- see
+//       tools/run_sanitized_tests.sh.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +32,7 @@
 #include "common/random.h"
 #include "erasure/buffer.h"
 #include "erasure/codes.h"
+#include "gf/kernels.h"
 #include "obs/flight_recorder.h"
 #include "persist/backend.h"
 #include "persist/journal.h"
@@ -49,9 +56,21 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s --demo [--servers N] [--ops N] [--seed S]\n"
                "       %s --snapshot DIR --node N\n"
-               "       %s --flight FILE\n",
-               argv0, argv0, argv0);
+               "       %s --flight FILE\n"
+               "       %s --gf-tiers\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
+}
+
+/// One available tier name per line, machine-consumable (no header); the
+/// order is ascending Tier, so the last line is the auto-dispatch choice.
+int run_gf_tiers() {
+  namespace k = gf::kernels;
+  for (int t = 0; t < k::kNumTiers; ++t) {
+    const auto tier = static_cast<k::Tier>(t);
+    if (k::tier_available(tier)) std::printf("%s\n", k::tier_name(tier));
+  }
+  return 0;
 }
 
 std::string tag_str(const Tag& tag) {
@@ -274,6 +293,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--demo") {
       opt.demo = true;
+    } else if (arg == "--gf-tiers") {
+      return run_gf_tiers();
     } else if (arg == "--snapshot") {
       opt.snapshot_dir = next();
     } else if (arg == "--flight") {

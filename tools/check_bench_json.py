@@ -2,6 +2,7 @@
 """Validate BENCH_*.json artifacts against the causalec-bench-v1 schema.
 
 Usage: check_bench_json.py [--baseline FILE [--max-regression FRAC]]
+                           [--require-keys ROW[.METRIC],...]
                            FILE [FILE...]
 
 Schema (emitted by obs::BenchReport, see src/obs/bench_report.h):
@@ -23,6 +24,15 @@ be present in each candidate file with
 baseline is itself a causalec-bench-v1 document, typically containing a
 small hand-picked subset of machine-portable metrics -- see
 bench/baselines/BENCH_kernels.baseline.json.
+
+With --require-keys, each candidate file must contain every listed row
+(bare "row" form) or row metric ("row.metric" form); a missing one fails
+the check. This closes the hole baselines cannot: a hardware-dependent row
+(e.g. the gfni kernel row) cannot be pinned in a committed baseline
+without breaking machines that lack the feature, so a bench that silently
+stops emitting it would otherwise pass every gate. CI on known-capable
+hardware passes --require-keys for exactly the rows that hardware must
+produce.
 
 Exit code 0 when every file validates (and clears the baseline), 1
 otherwise.
@@ -64,7 +74,25 @@ def check_baseline(path, doc, baseline, max_regression):
     return ok
 
 
-def check_file(path, baseline=None, max_regression=0.20):
+def check_required_keys(path, doc, required):
+    """Presence check: every "row" / "row.metric" in `required` must exist."""
+    rows = {
+        row["name"]: row.get("metrics", {}) for row in doc.get("rows", [])
+    }
+    ok = True
+    for spec in required:
+        row, _, metric = spec.partition(".")
+        if row not in rows:
+            ok = fail(path, f"required row {row!r} missing")
+        elif metric and metric not in rows[row]:
+            ok = fail(path, f"required metric {metric!r} missing from "
+                            f"row {row!r}")
+        else:
+            print(f"{path}: required {spec!r} present")
+    return ok
+
+
+def check_file(path, baseline=None, max_regression=0.20, require_keys=()):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -117,9 +145,12 @@ def check_file(path, baseline=None, max_regression=0.20):
                                   "string")
 
     print(f"{path}: OK ({bench}, {len(rows)} rows)")
+    ok = True
+    if require_keys:
+        ok = check_required_keys(path, doc, require_keys) and ok
     if baseline is not None:
-        return check_baseline(path, doc, baseline, max_regression)
-    return True
+        ok = check_baseline(path, doc, baseline, max_regression) and ok
+    return ok
 
 
 def main(argv):
@@ -132,6 +163,12 @@ def main(argv):
                         metavar="FRAC",
                         help="allowed fractional drop below each baseline "
                              "metric (default 0.20)")
+    parser.add_argument("--require-keys", metavar="ROW[.METRIC],...",
+                        default="",
+                        help="comma-separated rows (or row.metric pairs) "
+                             "that must be present in every candidate; use "
+                             "for hardware-dependent rows a committed "
+                             "baseline cannot pin (e.g. the gfni rows)")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args(argv[1:])
 
@@ -148,7 +185,10 @@ def main(argv):
             print(f"{args.baseline}: FAIL: baseline has no 'rows' array")
             return 1
 
-    ok = all([check_file(path, baseline, args.max_regression)
+    require_keys = tuple(
+        spec.strip() for spec in args.require_keys.split(",") if spec.strip()
+    )
+    ok = all([check_file(path, baseline, args.max_regression, require_keys)
               for path in args.files])
     return 0 if ok else 1
 

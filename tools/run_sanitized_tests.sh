@@ -27,6 +27,13 @@
 #   tools/run_sanitized_tests.sh --net-smoke
 #       # fast path: net label only, asan+ubsan then tsan
 #
+# After an unfiltered run, each config additionally reruns the GF kernel
+# differential suite once per tier available on this machine, looping
+# CAUSALEC_GF_KERNEL over `causalec_inspect --gf-tiers` -- so every tier
+# (including gfni where the CPU has it) gets exercised as the *active*
+# dispatch target under sanitizers, not only as a comparison inside the
+# differential tests.
+#
 # Each sanitizer config gets its own build tree (build-san-<name>), so the
 # regular build/ directory is never disturbed. Extra arguments after the
 # sanitizer list are forwarded to ctest.
@@ -60,5 +67,27 @@ for san in "${configs[@]}"; do
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$dir" -j "$(nproc)" --output-on-failure "$@"
+
+  # Kernel-tier sweep: rerun the GF kernel differential suite once per
+  # tier *available on this machine* (causalec_inspect --gf-tiers asks the
+  # dispatch layer, so an unavailable tier is never requested and the
+  # fail-fast CAUSALEC_GF_KERNEL check stays quiet). This pins the forced-
+  # dispatch path -- env parsing, set-tier plumbing, and each tier's
+  # kernels as the *active* tier, not just as a comparison target inside
+  # the differential tests. Skipped when the caller passed an explicit
+  # ctest filter (e.g. -L net): their selection should run as given.
+  if [[ $# -eq 0 ]]; then
+    echo "=== ${san}: kernel-tier sweep ==="
+    tiers=$("$dir/tools/causalec_inspect" --gf-tiers)
+    for tier in $tiers; do
+      echo "=== ${san}: CAUSALEC_GF_KERNEL=${tier} ==="
+      CAUSALEC_GF_KERNEL="$tier" \
+      ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+      UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$dir" -j "$(nproc)" --output-on-failure \
+          -R 'GfKernel'
+    done
+  fi
 done
 echo "=== all sanitizer configs passed ==="
