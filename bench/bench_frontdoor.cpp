@@ -1,0 +1,426 @@
+// E16: front-door tier under Zipfian load (DESIGN.md §12). Spawns a real
+// causalec_server cluster, stands up an in-process Router, and drives it
+// with closed-loop Zipf(0.99) readers plus paced recorded sessions. Emits
+// BENCH_frontdoor.json (causalec-bench-v1) with the edge-cache hit rate
+// and per-tier latency split -- cache-served reads vs. origin
+// fall-throughs -- and fails hard if the recorded sessions violate any
+// consistency checker: a cache that wins the latency race by serving
+// stale values loses here.
+//
+//   bench_frontdoor --saturate [--smoke] --spawn N K
+//                   --server-bin PATH [--value-bytes B]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "consistency/causal_checker.h"
+#include "consistency/history.h"
+#include "frontdoor/router.h"
+#include "frontdoor/router_client.h"
+#include "net/net_client.h"
+#include "net/process_cluster.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "workload/driver.h"
+
+using namespace causalec;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr double kZipfTheta = 0.99;
+constexpr int kLoadThreads = 8;    // unrecorded, read-only, closed loop
+constexpr int kSessionThreads = 4; // recorded, paced, 5% writes
+
+struct Options {
+  bool saturate = false;
+  bool smoke = false;
+  std::size_t spawn_n = 0;
+  std::size_t spawn_k = 0;
+  std::size_t value_bytes = 1024;
+  std::string server_bin;
+};
+
+[[noreturn]] void usage(const char* what) {
+  std::fprintf(stderr, "bench_frontdoor: %s\n", what);
+  std::fprintf(stderr,
+               "usage: bench_frontdoor --saturate [--smoke] --spawn N K "
+               "--server-bin PATH [--value-bytes B]\n");
+  std::exit(2);
+}
+
+SimTime next_tick() {
+  static std::atomic<SimTime> tick{0};
+  return tick.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+erasure::Value value_for(ClientId client, std::uint64_t seq,
+                         std::size_t bytes) {
+  erasure::Value v(bytes);
+  std::uint8_t* p = v.begin();
+  for (std::size_t i = 0; i < bytes; ++i) {
+    p[i] = static_cast<std::uint8_t>(client * 151 + seq * 7 + i);
+  }
+  return v;
+}
+
+/// A recorded session through the router (the bench-side twin of the
+/// test batteries' RouterSession): every completed op carries the
+/// Definition 6 metadata the checkers consume.
+struct RecordedSession {
+  RecordedSession(ClientId id_in, const std::string& endpoint,
+                  std::size_t value_bytes_in)
+      : id(id_in), value_bytes(value_bytes_in), client(id_in) {
+    connected = client.connect(endpoint, 5000);
+    client.set_io_timeout_ms(10'000);
+  }
+
+  bool write_op(ObjectId object) {
+    const std::uint64_t seq = seq_++;
+    const erasure::Value value = value_for(id, seq, value_bytes);
+    consistency::OpRecord record;
+    record.client = id;
+    record.session_seq = seq;
+    record.is_write = true;
+    record.object = object;
+    record.value_hash =
+        consistency::hash_value_bytes({value.data(), value.size()});
+    record.invoked_at = next_tick();
+    const auto resp = client.write(seq, object, value);
+    if (!resp.has_value()) return false;
+    record.tag = resp->tag;
+    record.timestamp = resp->vc;
+    record.responded_at = next_tick();
+    ops.push_back(std::move(record));
+    return true;
+  }
+
+  bool read_op(ObjectId object) {
+    const std::uint64_t seq = seq_++;
+    consistency::OpRecord record;
+    record.client = id;
+    record.session_seq = seq;
+    record.is_write = false;
+    record.object = object;
+    record.invoked_at = next_tick();
+    const auto resp = client.read(seq, object);
+    if (!resp.has_value()) return false;
+    record.tag = resp->tag;
+    record.timestamp = resp->vc;
+    record.value_hash = consistency::hash_value_bytes(
+        {resp->value.data(), resp->value.size()});
+    record.responded_at = next_tick();
+    ops.push_back(std::move(record));
+    return true;
+  }
+
+  ClientId id;
+  std::size_t value_bytes;
+  frontdoor::RouterClient client;
+  bool connected = false;
+  std::vector<consistency::OpRecord> ops;
+
+ private:
+  std::uint64_t seq_ = 0;
+};
+
+int run_saturate(const Options& opt) {
+  net::ProcessClusterConfig cc;
+  cc.server_bin = opt.server_bin;
+  cc.num_servers = opt.spawn_n;
+  cc.num_objects = opt.spawn_k;
+  cc.value_bytes = opt.value_bytes;
+  cc.persistence = false;
+  net::ProcessCluster cluster(cc);
+  if (!cluster.start()) {
+    std::fprintf(stderr, "failed to spawn the cluster\n");
+    return 1;
+  }
+  if (!cluster.await_ready(15s)) {
+    std::fprintf(stderr, "cluster never ready\n");
+    return 1;
+  }
+
+  frontdoor::RouterConfig rc;
+  rc.cluster = cluster.cluster();
+  rc.shards = 2;
+  frontdoor::Router router(std::move(rc));
+  router.start();
+  if (!router.await_backends(10s)) {
+    std::fprintf(stderr, "backend links never up\n");
+    return 1;
+  }
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(router.listen_port());
+
+  // Seed every object through the router: the seeding session is recorded
+  // (the checkers must see every write), and each seed write installs its
+  // own cache witness.
+  RecordedSession seeder(50, endpoint, opt.value_bytes);
+  if (!seeder.connected) {
+    std::fprintf(stderr, "cannot connect to the router\n");
+    return 1;
+  }
+  for (ObjectId g = 0; g < static_cast<ObjectId>(opt.spawn_k); ++g) {
+    if (!seeder.write_op(g)) {
+      std::fprintf(stderr, "seed write %u failed\n", g);
+      return 1;
+    }
+  }
+
+  const auto warmup = opt.smoke ? 200ms : 500ms;
+  const auto measure = opt.smoke ? 1000ms : 4000ms;
+
+  std::atomic<bool> counting{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hit_reads{0};
+  std::atomic<std::uint64_t> origin_reads{0};
+  std::atomic<std::uint64_t> recorded_ops{0};
+  std::atomic<std::uint64_t> failures{0};
+  obs::Histogram hit_lat_ns;
+  obs::Histogram origin_lat_ns;
+
+  std::vector<std::thread> threads;
+  // The hot-key tier: closed-loop, read-only, Zipf(0.99). Unrecorded by
+  // design -- the checkers require every WRITE in the history, and reads
+  // outside the history cannot invent violations.
+  for (int t = 0; t < kLoadThreads; ++t) {
+    threads.emplace_back([&, t] {
+      frontdoor::RouterClient client(100 + static_cast<ClientId>(t));
+      if (!client.connect(endpoint, 5000)) {
+        failures.fetch_add(1);
+        return;
+      }
+      client.set_io_timeout_ms(10'000);
+      workload::KeyPicker picker(opt.spawn_k, kZipfTheta,
+                                 0x9E3779B9u * (t + 1));
+      OpId opid = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ObjectId object = picker.next();
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto resp = client.read(opid++, object);
+        const auto dt = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (!resp.has_value()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (counting.load(std::memory_order_relaxed)) {
+          if (resp->cached) {
+            hit_reads.fetch_add(1, std::memory_order_relaxed);
+            hit_lat_ns.observe(dt);
+          } else {
+            origin_reads.fetch_add(1, std::memory_order_relaxed);
+            origin_lat_ns.observe(dt);
+          }
+        }
+      }
+    });
+  }
+  // The recorded tier: paced mixed sessions (5% writes) whose full op
+  // streams are checked afterwards -- zero session-guarantee violations is
+  // this bench's pass/fail line, not a statistic.
+  std::vector<std::unique_ptr<RecordedSession>> sessions;
+  for (int t = 0; t < kSessionThreads; ++t) {
+    sessions.push_back(std::make_unique<RecordedSession>(
+        200 + static_cast<ClientId>(t), endpoint, opt.value_bytes));
+    if (!sessions.back()->connected) {
+      std::fprintf(stderr, "recorded session %d failed to connect\n", t);
+      return 1;
+    }
+  }
+  for (int t = 0; t < kSessionThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RecordedSession& s = *sessions[t];
+      workload::KeyPicker picker(opt.spawn_k, kZipfTheta,
+                                 0xC0FFEEu * (t + 1));
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ObjectId object = picker.next();
+        const bool ok = (++n % 20 == 0) ? s.write_op(object)
+                                        : s.read_op(object);
+        if (!ok) {
+          failures.fetch_add(1);
+          return;
+        }
+        recorded_ops.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(2ms);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(warmup);
+  const net::RouterStatsResp before = router.stats();
+  const auto start = std::chrono::steady_clock::now();
+  counting.store(true);
+  std::this_thread::sleep_for(measure);
+  counting.store(false);
+  const auto end = std::chrono::steady_clock::now();
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  const net::RouterStatsResp after = router.stats();
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%llu client(s) failed mid-run\n",
+                 static_cast<unsigned long long>(failures.load()));
+    return 1;
+  }
+  if (!cluster.await_convergence(20s)) {
+    std::fprintf(stderr, "cluster did not converge after the run\n");
+    return 1;
+  }
+
+  // Final reads directly at every server (bypassing the router: the cache
+  // must agree with ground truth, not define it), then the checkers.
+  std::vector<consistency::OpRecord> finals;
+  for (std::size_t i = 0; i < cluster.num_servers(); ++i) {
+    net::NetClient probe(500 + static_cast<ClientId>(i));
+    if (!probe.connect(cluster.endpoint(i), 2000)) {
+      std::fprintf(stderr, "final read connect to server %zu failed\n", i);
+      return 1;
+    }
+    probe.set_io_timeout_ms(5000);
+    for (ObjectId g = 0; g < static_cast<ObjectId>(opt.spawn_k); ++g) {
+      consistency::OpRecord record;
+      record.client = 500 + static_cast<ClientId>(i);
+      record.session_seq = g;
+      record.is_write = false;
+      record.object = g;
+      record.server = static_cast<NodeId>(i);
+      record.invoked_at = next_tick();
+      const auto resp = probe.read(g, g);
+      if (!resp.has_value()) {
+        std::fprintf(stderr, "final read failed at server %zu\n", i);
+        return 1;
+      }
+      record.tag = resp->tag;
+      record.timestamp = resp->vc;
+      record.value_hash = consistency::hash_value_bytes(
+          {resp->value.data(), resp->value.size()});
+      record.responded_at = next_tick();
+      finals.push_back(std::move(record));
+    }
+  }
+  consistency::History history;
+  for (auto& op : seeder.ops) history.record(std::move(op));
+  for (auto& s : sessions) {
+    for (auto& op : s->ops) history.record(std::move(op));
+  }
+  const auto causal = consistency::check_causal_consistency(history);
+  const auto session = consistency::check_session_guarantees(history);
+  const auto conv = consistency::check_convergence(history, finals);
+  const std::size_t session_violations = causal.violations.size() +
+                                         session.violations.size() +
+                                         conv.violations.size();
+  if (session_violations != 0) {
+    std::fprintf(stderr, "CONSISTENCY VIOLATIONS (%zu):\n",
+                 session_violations);
+    for (const auto* result : {&causal, &session, &conv}) {
+      for (const auto& v : result->violations) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+    }
+  }
+
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  const std::uint64_t window_reads =
+      hit_reads.load() + origin_reads.load();
+  const double reads_per_s = static_cast<double>(window_reads) / seconds;
+  // The hit rate uses the router's own counters over the measurement
+  // window: it covers the recorded tier's reads too, and it is what the
+  // RouterStatsResp comment promises (hits+misses+stale+expired = reads).
+  const std::uint64_t delta_reads = after.routed_reads - before.routed_reads;
+  const std::uint64_t delta_hits = after.cache_hits - before.cache_hits;
+  const double hit_rate =
+      delta_reads == 0
+          ? 0.0
+          : static_cast<double>(delta_hits) / static_cast<double>(delta_reads);
+  const auto hl = hit_lat_ns.snapshot();
+  const auto ol = origin_lat_ns.snapshot();
+
+  std::printf("frontdoor --saturate: %zu servers, %zu objects, %zu-byte "
+              "values, %d Zipf(%.2f) readers + %d recorded sessions\n\n",
+              opt.spawn_n, opt.spawn_k, opt.value_bytes, kLoadThreads,
+              kZipfTheta, kSessionThreads);
+  std::printf("%-10s %12s %10s %12s %12s %12s %12s\n", "row", "reads/s",
+              "hit_rate", "hit p50 us", "hit p99 us", "orig p50 us",
+              "orig p99 us");
+  std::printf("%-10s %12.1f %10.3f %12.1f %12.1f %12.1f %12.1f\n",
+              "saturate", reads_per_s, hit_rate, hl.percentile(0.5) / 1e3,
+              hl.percentile(0.99) / 1e3, ol.percentile(0.5) / 1e3,
+              ol.percentile(0.99) / 1e3);
+
+  obs::BenchReport report("frontdoor");
+  report.set_config("mode", "saturate");
+  report.set_config("smoke", opt.smoke);
+  report.set_config("servers", opt.spawn_n);
+  report.set_config("objects", opt.spawn_k);
+  report.set_config("value_bytes", opt.value_bytes);
+  report.set_config("load_threads", kLoadThreads);
+  report.set_config("session_threads", kSessionThreads);
+  report.set_config("zipf_theta", kZipfTheta);
+  report.set_config("measured_s", seconds);
+  report.add_row("saturate")
+      .metric("reads_per_s", reads_per_s)
+      .metric("hit_rate", hit_rate)
+      .metric("hit_p50_us", hl.percentile(0.5) / 1e3)
+      .metric("hit_p99_us", hl.percentile(0.99) / 1e3)
+      .metric("origin_p50_us", ol.percentile(0.5) / 1e3)
+      .metric("origin_p99_us", ol.percentile(0.99) / 1e3)
+      .metric("recorded_ops", static_cast<double>(recorded_ops.load()))
+      .metric("session_violations",
+              static_cast<double>(session_violations))
+      .metric("failures", static_cast<double>(failures.load()));
+  report.add_row("router")
+      .metric("routed_reads", static_cast<double>(after.routed_reads))
+      .metric("routed_writes", static_cast<double>(after.routed_writes))
+      .metric("cache_hits", static_cast<double>(after.cache_hits))
+      .metric("cache_misses", static_cast<double>(after.cache_misses))
+      .metric("cache_stale", static_cast<double>(after.cache_stale))
+      .metric("cache_expired", static_cast<double>(after.cache_expired))
+      .metric("fallthroughs", static_cast<double>(after.fallthroughs))
+      .metric("reroutes", static_cast<double>(after.reroutes));
+  const std::string path = report.write_default();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+
+  router.stop();
+  return session_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--saturate") == 0) {
+      opt.saturate = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--spawn") == 0) {
+      opt.spawn_n = std::strtoul(next_arg(i), nullptr, 10);
+      opt.spawn_k = std::strtoul(next_arg(i), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--server-bin") == 0) {
+      opt.server_bin = next_arg(i);
+    } else if (std::strcmp(argv[i], "--value-bytes") == 0) {
+      opt.value_bytes = std::strtoul(next_arg(i), nullptr, 10);
+    } else {
+      usage((std::string("unknown flag ") + argv[i]).c_str());
+    }
+  }
+  if (!opt.saturate) usage("--saturate is the only mode");
+  if (opt.spawn_n == 0 || opt.spawn_k == 0) usage("--spawn N K is required");
+  if (opt.server_bin.empty()) usage("--server-bin is required");
+  return run_saturate(opt);
+}

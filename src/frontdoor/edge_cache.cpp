@@ -1,0 +1,91 @@
+#include "frontdoor/edge_cache.h"
+
+#include <utility>
+
+#include "common/expect.h"
+
+namespace causalec::frontdoor {
+
+namespace {
+
+/// The serve predicate: an empty frontier (fresh session) accepts any
+/// witness; otherwise the frontier must be componentwise dominated. A size
+/// mismatch (an entry cached under a different cluster shape) never serves.
+bool frontier_allows(const VectorClock& frontier, const VectorClock& clock) {
+  if (frontier.size() == 0) return true;
+  if (frontier.size() != clock.size()) return false;
+  return frontier.leq(clock);
+}
+
+}  // namespace
+
+EdgeCache::EdgeCache(std::size_t capacity, std::chrono::milliseconds ttl)
+    : capacity_(capacity), ttl_(ttl) {
+  CEC_CHECK(capacity_ >= 1);
+}
+
+EdgeCache::Outcome EdgeCache::lookup(ObjectId object,
+                                     const VectorClock& frontier,
+                                     Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(object);
+  if (it == index_.end()) return Outcome::kMiss;
+  if (ttl_.count() > 0 && Clock::now() - it->second->inserted >= ttl_) {
+    // Expired entries are dropped eagerly so they stop occupying capacity;
+    // the fall-through response will re-insert a fresh witness.
+    lru_.erase(it->second);
+    index_.erase(it);
+    return Outcome::kExpired;
+  }
+  if (!frontier_allows(frontier, it->second->entry.clock)) {
+    // The session has seen past this witness; the entry stays (it may
+    // still serve sessions with older frontiers).
+    return Outcome::kStale;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->entry;
+  return Outcome::kHit;
+}
+
+void EdgeCache::put(ObjectId object, erasure::Value value, Tag tag,
+                    VectorClock clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(object);
+  if (it != index_.end()) {
+    it->second->entry = Entry{std::move(value), std::move(tag),
+                              std::move(clock)};
+    it->second->inserted = Clock::now();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().object);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Node{object,
+                       Entry{std::move(value), std::move(tag),
+                             std::move(clock)},
+                       Clock::now()});
+  index_[object] = lru_.begin();
+}
+
+std::size_t EdgeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t EdgeCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+bool EdgeCache::age_entry(ObjectId object, std::chrono::milliseconds by) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(object);
+  if (it == index_.end()) return false;
+  it->second->inserted -= by;
+  return true;
+}
+
+}  // namespace causalec::frontdoor

@@ -1,0 +1,88 @@
+// Causally-safe edge cache for the front-door tier (DESIGN.md §12).
+//
+// Every entry is a *read witness*: a (value, tag, clock) triple such that a
+// read answered at timestamp `clock` legitimately returns `tag`/`value`.
+// Two facts make a witness permanently valid (the cache never needs
+// invalidation for correctness, only for freshness):
+//
+//   * the arbitration set { w : ts(w) <= clock } is immutable once `clock`
+//     is fixed -- any write applied later at server s has ts[s] beyond
+//     clock[s] -- so the origin's largest-tag answer never changes;
+//   * for a write witness the clock is the write's own tag timestamp: tags
+//     are unique per write (Lemma B.3) and the tag order extends the clock
+//     order, so no other write can have ts <= tag.ts with a larger tag.
+//
+// Serving is gated by the requesting session's causal frontier F (the merge
+// of every response clock the session has seen): an entry is served only
+// when F <= entry.clock, i.e. the witness timestamp is allowed to be the
+// session's next read timestamp. A frontier that has moved past the entry
+// (read-your-writes, monotonic reads) is a *stale rejection* and must fall
+// through to a backend. TTL and LRU bound staleness and memory; they are
+// policy, not correctness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "causalec/tag.h"
+#include "common/types.h"
+#include "erasure/value.h"
+
+namespace causalec::frontdoor {
+
+class EdgeCache {
+ public:
+  struct Entry {
+    erasure::Value value;
+    Tag tag;
+    /// The witness timestamp: the origin's clock for read fall-throughs,
+    /// the write's own tag timestamp for write-throughs.
+    VectorClock clock;
+  };
+
+  enum class Outcome {
+    kHit,      // entry present, fresh, and frontier <= entry.clock
+    kMiss,     // no entry for the object
+    kStale,    // frontier is ahead of the entry (session must fall through)
+    kExpired,  // entry older than the TTL
+  };
+
+  /// ttl of zero disables expiry.
+  EdgeCache(std::size_t capacity, std::chrono::milliseconds ttl);
+
+  /// On kHit, *out is filled and the entry is marked most-recently-used.
+  Outcome lookup(ObjectId object, const VectorClock& frontier, Entry* out);
+
+  /// Unconditional replace (safe: every entry is self-contained); inserts
+  /// evict the LRU entry at capacity.
+  void put(ObjectId object, erasure::Value value, Tag tag, VectorClock clock);
+
+  std::size_t size() const;
+  std::uint64_t evictions() const;
+
+  /// Test hook: backdate an entry's insertion time so TTL expiry is
+  /// testable without sleeping. False when the object is not cached.
+  bool age_entry(ObjectId object, std::chrono::milliseconds by);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Node {
+    ObjectId object;
+    Entry entry;
+    Clock::time_point inserted;
+  };
+
+  std::size_t capacity_;
+  std::chrono::milliseconds ttl_;
+
+  mutable std::mutex mu_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<ObjectId, std::list<Node>::iterator> index_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace causalec::frontdoor

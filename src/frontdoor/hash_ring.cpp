@@ -1,0 +1,85 @@
+#include "frontdoor/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "common/random.h"
+
+namespace causalec::frontdoor {
+
+std::uint64_t ring_hash(std::uint64_t x) {
+  // splitmix64's output mix over a stateless input: high-quality avalanche
+  // and identical on every host (ownership must be computable anywhere).
+  std::uint64_t state = x;
+  return splitmix64(state);
+}
+
+HashRing::HashRing(std::size_t num_groups, std::size_t vnodes,
+                   std::uint64_t seed)
+    : vnodes_(vnodes), seed_(seed) {
+  CEC_CHECK(vnodes >= 1);
+  points_.reserve(num_groups * vnodes);
+  for (std::size_t group = 0; group < num_groups; ++group) add_group(group);
+}
+
+std::uint64_t HashRing::point_hash(std::size_t group,
+                                   std::size_t replica) const {
+  // Distinct odd multipliers keep (group, replica) collisions out of the
+  // 64-bit input; the mix does the rest.
+  return ring_hash(seed_ ^ (group * 0x9E3779B97F4A7C15ULL) ^
+                   (replica * 0xC2B2AE3D27D4EB4FULL + 1));
+}
+
+std::size_t HashRing::find_point(std::uint64_t key) const {
+  CEC_DCHECK(!points_.empty());
+  const std::uint64_t h = ring_hash(key ^ seed_);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t hash) { return p.hash < hash; });
+  if (it == points_.end()) return 0;  // wrap around
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) return static_cast<std::size_t>(-1);
+  return points_[find_point(key)].group;
+}
+
+std::vector<std::size_t> HashRing::candidates(std::uint64_t key,
+                                              std::size_t max_groups) const {
+  std::vector<std::size_t> out;
+  if (points_.empty() || max_groups == 0) return out;
+  const std::size_t start = find_point(key);
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    const std::size_t group =
+        points_[(start + step) % points_.size()].group;
+    if (std::find(out.begin(), out.end(), group) == out.end()) {
+      out.push_back(group);
+      if (out.size() >= max_groups) break;
+    }
+  }
+  return out;
+}
+
+void HashRing::add_group(std::size_t group) {
+  for (std::size_t replica = 0; replica < vnodes_; ++replica) {
+    points_.push_back(Point{point_hash(group, replica),
+                            static_cast<std::uint32_t>(group)});
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Hash ties (astronomically unlikely) break by group so the
+              // ring stays deterministic regardless of insertion order.
+              return a.hash != b.hash ? a.hash < b.hash : a.group < b.group;
+            });
+}
+
+void HashRing::remove_group(std::size_t group) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [group](const Point& p) {
+                                 return p.group == group;
+                               }),
+                points_.end());
+}
+
+}  // namespace causalec::frontdoor

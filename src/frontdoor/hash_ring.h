@@ -1,0 +1,60 @@
+// Consistent-hash ring with virtual nodes: the keys->groups step of the
+// front-door tier (DESIGN.md §12). Each routing group contributes `vnodes`
+// points to the ring (hashed from (group, replica)); a key is owned by the
+// first point clockwise of its hash. Adding or removing a group therefore
+// moves only the keys that land on that group's points -- the minimal-remap
+// property the hash_ring_test battery pins down.
+//
+// The ring is deterministic in (membership, vnodes, seed): every router
+// instance over the same cluster config computes the same ownership, with
+// no coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace causalec::frontdoor {
+
+/// The ring's key/point hash (splitmix64 finalizer): exposed so tests can
+/// place keys deliberately.
+std::uint64_t ring_hash(std::uint64_t x);
+
+class HashRing {
+ public:
+  /// A ring over groups 0..num_groups-1, each with `vnodes` points.
+  HashRing(std::size_t num_groups, std::size_t vnodes,
+           std::uint64_t seed = 0x5EEDu);
+
+  std::size_t num_points() const { return points_.size(); }
+  std::size_t vnodes() const { return vnodes_; }
+
+  /// The owning group of `key`, or SIZE_MAX on an empty ring.
+  std::size_t owner(std::uint64_t key) const;
+
+  /// Distinct groups in ring order starting at the owner -- the fall-through
+  /// order when the owner's nodes are unreachable. At most `max_groups`
+  /// entries.
+  std::vector<std::size_t> candidates(std::uint64_t key,
+                                      std::size_t max_groups) const;
+
+  /// Membership changes re-sort the point list; ownership of keys not
+  /// touching the changed group's points is unaffected.
+  void add_group(std::size_t group);
+  void remove_group(std::size_t group);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t group;
+  };
+
+  std::uint64_t point_hash(std::size_t group, std::size_t replica) const;
+  /// Index of the first point clockwise of `hash(key)`.
+  std::size_t find_point(std::uint64_t key) const;
+
+  std::size_t vnodes_;
+  std::uint64_t seed_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace causalec::frontdoor

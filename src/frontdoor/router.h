@@ -1,0 +1,184 @@
+// Front-door router daemon (DESIGN.md §12): the process core of the
+// causalec_router tool, also embeddable in-process for tests.
+//
+// Clients speak the routed client protocol (net/client_proto.h, types
+// 73..77) to the router; the router maps each object onto a routing group
+// via the consistent-hash ring, keeps one pooled connection per backend
+// node per shard, and forwards to the first live node of the owning group
+// (walking the ring's candidate order past dead owners). Routed reads
+// first consult the causally-safe edge cache; a hit is answered on the
+// shard thread without touching a backend.
+//
+// Thread model mirrors NodeDaemon: `shards` event-loop threads, each with
+// a SO_REUSEPORT listener on the same port plus its own set of backend
+// links and pending-op correlation maps (loop-thread-only, no locking).
+// Cross-shard state is the edge cache (mutex) and the metrics registry
+// (relaxed atomics).
+//
+// Failure semantics: a backend link death fails every in-flight *write* on
+// it (the client connection is closed -- a routed write must never be
+// retried, a duplicate apply would corrupt the recorded history) and
+// re-routes in-flight *reads* to the next live candidate (reads are
+// idempotent). Links redial with backoff; sessions survive a router
+// restart because the causal frontier lives in the client's token, not in
+// router state.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "erasure/arena_pool.h"
+#include "frontdoor/edge_cache.h"
+#include "frontdoor/hash_ring.h"
+#include "net/client_proto.h"
+#include "net/cluster_config.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "obs/frontdoor_counters.h"
+#include "obs/metrics.h"
+
+namespace causalec::frontdoor {
+
+struct RouterConfig {
+  net::ClusterConfig cluster;
+  std::string listen_host = "127.0.0.1";
+  /// 0 = ephemeral (shard 0 resolves it; see listen_port()).
+  std::uint16_t listen_port = 0;
+  std::size_t shards = 2;
+  /// Ring points per routing group; the seed makes ownership deterministic
+  /// across router instances over the same cluster config.
+  std::size_t vnodes = 64;
+  std::uint64_t ring_seed = 0x5EEDu;
+  std::size_t cache_capacity = 4096;
+  /// 0 disables expiry (staleness is then bounded only by capacity).
+  std::chrono::milliseconds cache_ttl{2000};
+  std::chrono::milliseconds reconnect_delay{100};
+  /// How many times an in-flight read may chase link deaths before it is
+  /// failed back to the client.
+  int max_read_reroutes = 3;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds listeners, starts the shard loops, and begins dialing every
+  /// backend. Aborts on bind failure.
+  void start();
+  void stop();
+
+  /// The resolved listening port (after start()).
+  std::uint16_t listen_port() const { return listen_port_; }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  /// Established backend links across all shards (each backend counts once
+  /// per shard). Tests use this to wait for a steady state.
+  int backends_up() const {
+    return links_up_.load(std::memory_order_acquire);
+  }
+  /// Waits until every shard has a live link to every backend.
+  bool await_backends(std::chrono::milliseconds timeout) const;
+
+  /// The same counter block the router_stats_req wire message reports.
+  net::RouterStatsResp stats() const;
+
+  EdgeCache& cache() { return cache_; }
+  const HashRing& ring() const { return ring_; }
+  const std::vector<std::vector<NodeId>>& routing_groups() const {
+    return groups_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A forwarded request awaiting its backend response (loop thread only;
+  /// keyed by the router-assigned opid in the link's pending map).
+  struct PendingOp {
+    bool is_write = false;
+    OpId client_opid = 0;  // the client's correlation id, echoed back
+    ClientId client = 0;
+    ObjectId object = 0;
+    VectorClock frontier;
+    erasure::Value value;  // writes only (becomes the cache witness)
+    std::weak_ptr<net::Connection> client_conn;
+    Clock::time_point start;  // per-tier latency attribution
+    int reroutes_left = 0;
+  };
+
+  /// One pooled connection from one shard to one backend node. All state
+  /// is owned by the shard's loop thread.
+  struct BackendLink {
+    NodeId node = 0;
+    std::string host;
+    std::uint16_t port = 0;
+    net::ScopedFd connecting;  // fd mid non-blocking connect
+    std::shared_ptr<net::Connection> conn;  // non-null = link is up
+    std::unordered_map<OpId, PendingOp> pending;
+  };
+
+  struct Shard {
+    std::unique_ptr<net::EventLoop> loop;
+    net::ScopedFd listener;
+    std::vector<std::unique_ptr<BackendLink>> links;  // indexed by NodeId
+    OpId next_opid = 1;  // unique per link is enough; per shard is stronger
+    /// Arena pool installed on this shard's loop thread (frame reassembly
+    /// and response encoding allocate there).
+    erasure::BufferPool pool;
+  };
+
+  /// Accepted client-connection state.
+  struct ClientConn {
+    bool helloed = false;
+    Shard* shard = nullptr;
+  };
+
+  // Client side (shard loop threads).
+  void accept_ready(Shard* shard);
+  void handle_client_frame(const std::shared_ptr<ClientConn>& state,
+                           const std::shared_ptr<net::Connection>& conn,
+                           erasure::Buffer payload);
+  void handle_routed_read(Shard* shard, net::RoutedReadReq req,
+                          const std::shared_ptr<net::Connection>& conn);
+
+  /// Sends `op` to the first live node of the owning group (candidate
+  /// order past dead owners counts a reroute); closes the client
+  /// connection when no live backend can take it.
+  void forward(Shard* shard, PendingOp op);
+
+  // Backend side (shard loop threads).
+  void dial(Shard* shard, BackendLink* link);
+  void on_connect_ready(Shard* shard, BackendLink* link,
+                        std::uint32_t events);
+  void retry_dial(Shard* shard, BackendLink* link);
+  void on_link_lost(Shard* shard, BackendLink* link);
+  void handle_backend_frame(Shard* shard, BackendLink* link,
+                            erasure::Buffer payload);
+
+  RouterConfig config_;
+  std::vector<std::vector<NodeId>> groups_;
+  HashRing ring_;
+  EdgeCache cache_;
+  obs::MetricsRegistry registry_;  // must precede counters_
+  obs::FrontdoorCounters counters_;
+  /// Requests forwarded per backend node (relaxed; any shard thread).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> backend_ops_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint16_t listen_port_ = 0;
+  std::atomic<int> links_up_{0};
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace causalec::frontdoor

@@ -114,6 +114,63 @@ std::vector<std::uint8_t> encode_stats_resp(const StatsResp& m) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_routed_write_req(const RoutedWriteReq& m) {
+  Writer w(40 + 8 * m.frontier.size() + m.value.size());
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kRoutedWriteReq));
+  w.u64(m.opid);
+  w.u64(m.client);
+  w.u32(m.object);
+  w.clock(m.frontier);
+  w.bytes(m.value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_routed_read_req(const RoutedReadReq& m) {
+  Writer w(32 + 8 * m.frontier.size());
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kRoutedReadReq));
+  w.u64(m.opid);
+  w.u64(m.client);
+  w.u32(m.object);
+  w.clock(m.frontier);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_routed_read_resp(const RoutedReadResp& m) {
+  Writer w(48 + 8 * (m.vc.size() + m.tag.ts.size()) + m.value.size());
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kRoutedReadResp));
+  w.u64(m.opid);
+  w.tag(m.tag);
+  w.clock(m.vc);
+  w.u8(m.cached ? 1 : 0);
+  w.bytes(m.value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_router_stats_req() {
+  Writer w(1);
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kRouterStatsReq));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_router_stats_resp(const RouterStatsResp& m) {
+  Writer w(96 + 8 * m.backend_ops.size());
+  w.u8(static_cast<std::uint8_t>(ClientMsgType::kRouterStatsResp));
+  w.u64(m.routed_writes);
+  w.u64(m.routed_reads);
+  w.u64(m.cache_hits);
+  w.u64(m.cache_misses);
+  w.u64(m.cache_stale);
+  w.u64(m.cache_expired);
+  w.u64(m.cache_evictions);
+  w.u64(m.cache_entries);
+  w.u64(m.fallthroughs);
+  w.u64(m.reroutes);
+  w.u64(m.ring_remaps);
+  w.u32(static_cast<std::uint32_t>(m.backend_ops.size()));
+  for (const std::uint64_t v : m.backend_ops) w.u64(v);
+  return w.take();
+}
+
 std::optional<Hello> decode_hello(erasure::Buffer payload) {
   SafeReader r = open(std::move(payload), ClientMsgType::kHello);
   Hello m;
@@ -205,6 +262,73 @@ std::optional<StatsResp> decode_stats_resp(erasure::Buffer payload) {
   if (shards > r.remaining() / 8) return std::nullopt;
   m.shard_ops.reserve(shards);
   for (std::uint32_t i = 0; i < shards; ++i) m.shard_ops.push_back(r.u64());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<RoutedWriteReq> decode_routed_write_req(
+    erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kRoutedWriteReq);
+  RoutedWriteReq m;
+  m.opid = r.u64();
+  m.client = r.u64();
+  m.object = r.u32();
+  m.frontier = r.clock(clock_cap(r));
+  m.value = r.bytes(r.remaining());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<RoutedReadReq> decode_routed_read_req(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kRoutedReadReq);
+  RoutedReadReq m;
+  m.opid = r.u64();
+  m.client = r.u64();
+  m.object = r.u32();
+  m.frontier = r.clock(clock_cap(r));
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<RoutedReadResp> decode_routed_read_resp(
+    erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kRoutedReadResp);
+  RoutedReadResp m;
+  m.opid = r.u64();
+  m.tag = r.tag(clock_cap(r));
+  m.vc = r.clock(clock_cap(r));
+  m.cached = r.u8() != 0;
+  m.value = r.bytes(r.remaining());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+bool decode_router_stats_req(erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kRouterStatsReq);
+  return r.done();
+}
+
+std::optional<RouterStatsResp> decode_router_stats_resp(
+    erasure::Buffer payload) {
+  SafeReader r = open(std::move(payload), ClientMsgType::kRouterStatsResp);
+  RouterStatsResp m;
+  m.routed_writes = r.u64();
+  m.routed_reads = r.u64();
+  m.cache_hits = r.u64();
+  m.cache_misses = r.u64();
+  m.cache_stale = r.u64();
+  m.cache_expired = r.u64();
+  m.cache_evictions = r.u64();
+  m.cache_entries = r.u64();
+  m.fallthroughs = r.u64();
+  m.reroutes = r.u64();
+  m.ring_remaps = r.u64();
+  const std::uint32_t backends = r.u32();
+  if (backends > r.remaining() / 8) return std::nullopt;
+  m.backend_ops.reserve(backends);
+  for (std::uint32_t i = 0; i < backends; ++i) {
+    m.backend_ops.push_back(r.u64());
+  }
   if (!r.done()) return std::nullopt;
   return m;
 }

@@ -15,6 +15,22 @@
 //                  writes:u64 reads:u64 errors:u64 recoveries:u64
 //                  shards:u32 shard_ops:u64[shards]
 //
+// The front-door tier (src/frontdoor, DESIGN.md §12) adds routed variants
+// that carry the client session's causal frontier -- the merge of every
+// response vector clock the session has seen. A server receiving a routed
+// request parks it until its own clock dominates the frontier, so a session
+// hopping across routers/backends keeps its guarantees; the router's edge
+// cache serves a cached read only when frontier <= entry clock:
+//
+//   routed_write_req  := 73 opid:u64 client:u64 object:u32 frontier value
+//   routed_read_req   := 74 opid:u64 client:u64 object:u32 frontier
+//   routed_read_resp  := 75 opid:u64 tag vc cached:u8 value
+//   router_stats_req  := 76
+//   router_stats_resp := 77 (counter block; see RouterStatsResp)
+//
+// Routed writes are answered with the plain write_resp; routed reads with
+// routed_read_resp so the client can tell cache hits from fall-throughs.
+//
 // Responses carry the issuing server's vector clock at the response point,
 // which is exactly the timestamp the consistency checkers (Definition 6)
 // need -- a remote client can therefore record checkable OpRecords.
@@ -45,6 +61,11 @@ enum class ClientMsgType : std::uint8_t {
   kReadResp = 70,
   kPong = 71,
   kStatsResp = 72,
+  kRoutedWriteReq = 73,
+  kRoutedReadReq = 74,
+  kRoutedReadResp = 75,
+  kRouterStatsReq = 76,
+  kRouterStatsResp = 77,
 };
 
 enum class PeerRole : std::uint8_t { kServer = 0, kClient = 1 };
@@ -103,6 +124,57 @@ struct StatsResp {
   std::vector<std::uint64_t> shard_ops;
 };
 
+struct RoutedWriteReq {
+  OpId opid = 0;
+  ClientId client = 0;
+  ObjectId object = 0;
+  /// The session's causal frontier: empty (a fresh session) or one entry
+  /// per server. The serving node parks the request until its clock
+  /// dominates it.
+  VectorClock frontier;
+  erasure::Value value;
+};
+
+struct RoutedReadReq {
+  OpId opid = 0;
+  ClientId client = 0;
+  ObjectId object = 0;
+  VectorClock frontier;
+};
+
+struct RoutedReadResp {
+  OpId opid = 0;
+  Tag tag;
+  VectorClock vc;
+  /// True when the router answered from its edge cache without touching a
+  /// backend (per-tier latency attribution in bench_frontdoor).
+  bool cached = false;
+  erasure::Value value;
+};
+
+/// Front-door tier counters since router start (DESIGN.md §12). Cache
+/// outcomes partition routed reads: hits serve locally; misses, stale
+/// rejections (frontier ahead of the entry), and TTL expiries all fall
+/// through to a backend.
+struct RouterStatsResp {
+  std::uint64_t routed_writes = 0;
+  std::uint64_t routed_reads = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stale = 0;
+  std::uint64_t cache_expired = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t fallthroughs = 0;
+  /// Requests sent somewhere other than the ring owner's first choice
+  /// because a backend link was down.
+  std::uint64_t reroutes = 0;
+  /// Backend link up/down transitions (each changes effective ownership).
+  std::uint64_t ring_remaps = 0;
+  /// Requests forwarded per backend node since router start.
+  std::vector<std::uint64_t> backend_ops;
+};
+
 /// The type byte of a payload frame, or nullopt when empty.
 std::optional<std::uint8_t> peek_type(const erasure::Buffer& payload);
 
@@ -116,6 +188,11 @@ std::vector<std::uint8_t> encode_write_resp(const WriteResp& m);
 std::vector<std::uint8_t> encode_read_resp(const ReadResp& m);
 std::vector<std::uint8_t> encode_pong(const Pong& m);
 std::vector<std::uint8_t> encode_stats_resp(const StatsResp& m);
+std::vector<std::uint8_t> encode_routed_write_req(const RoutedWriteReq& m);
+std::vector<std::uint8_t> encode_routed_read_req(const RoutedReadReq& m);
+std::vector<std::uint8_t> encode_routed_read_resp(const RoutedReadResp& m);
+std::vector<std::uint8_t> encode_router_stats_req();
+std::vector<std::uint8_t> encode_router_stats_resp(const RouterStatsResp& m);
 
 // Decoders: nullopt on malformed input (wrong type byte, truncation,
 // hostile length fields) -- never abort; remote bytes are untrusted.
@@ -128,5 +205,11 @@ std::optional<WriteResp> decode_write_resp(erasure::Buffer payload);
 std::optional<ReadResp> decode_read_resp(erasure::Buffer payload);
 std::optional<Pong> decode_pong(erasure::Buffer payload);
 std::optional<StatsResp> decode_stats_resp(erasure::Buffer payload);
+std::optional<RoutedWriteReq> decode_routed_write_req(erasure::Buffer payload);
+std::optional<RoutedReadReq> decode_routed_read_req(erasure::Buffer payload);
+std::optional<RoutedReadResp> decode_routed_read_resp(erasure::Buffer payload);
+bool decode_router_stats_req(erasure::Buffer payload);
+std::optional<RouterStatsResp> decode_router_stats_resp(
+    erasure::Buffer payload);
 
 }  // namespace causalec::net

@@ -1,0 +1,269 @@
+#include "net/cluster_config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "erasure/codes.h"
+#include "net/socket.h"
+
+namespace causalec::net {
+
+namespace {
+
+constexpr const char* kMagic = "causalec-cluster-v1";
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// Strict non-negative integer parse ("" and trailing junk are errors).
+bool parse_size(const std::string& token, std::size_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(text.substr(pos));
+      break;
+    }
+    out.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ClusterConfig::validate(std::string* error) const {
+  if (num_servers == 0) return fail(error, "servers must be >= 1");
+  if (num_objects == 0) return fail(error, "objects must be >= 1");
+  if (value_bytes == 0) return fail(error, "value_bytes must be >= 1");
+  if (endpoints.size() != num_servers) {
+    return fail(error, "need exactly one node line per server (have " +
+                           std::to_string(endpoints.size()) + " for " +
+                           std::to_string(num_servers) + " servers)");
+  }
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (!parse_host_port(endpoints[i]).has_value()) {
+      return fail(error, "node " + std::to_string(i) + " has bad endpoint '" +
+                             endpoints[i] + "'");
+    }
+  }
+  if (!groups.empty()) {
+    std::vector<bool> seen(num_servers, false);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].empty()) {
+        return fail(error, "group " + std::to_string(g) + " is empty");
+      }
+      for (const NodeId node : groups[g]) {
+        if (node >= num_servers) {
+          return fail(error, "group " + std::to_string(g) +
+                                 " names unknown node " +
+                                 std::to_string(node));
+        }
+        if (seen[node]) {
+          return fail(error, "node " + std::to_string(node) +
+                                 " appears in more than one group");
+        }
+        seen[node] = true;
+      }
+    }
+    for (std::size_t i = 0; i < num_servers; ++i) {
+      if (!seen[i]) {
+        return fail(error,
+                    "node " + std::to_string(i) + " belongs to no group");
+      }
+    }
+  }
+  if (code != "rs" && code != "paper53") {
+    return fail(error, "unknown code '" + code + "' (rs|paper53)");
+  }
+  if (code == "paper53" && (num_servers != 5 || num_objects != 3)) {
+    return fail(error, "code paper53 requires servers=5 objects=3");
+  }
+  return true;
+}
+
+std::string ClusterConfig::serialize() const {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "servers " << num_servers << "\n";
+  out << "objects " << num_objects << "\n";
+  out << "value_bytes " << value_bytes << "\n";
+  out << "code " << code << "\n";
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    out << "node " << i << " " << endpoints[i] << "\n";
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    out << "group " << g << " ";
+    for (std::size_t j = 0; j < groups[g].size(); ++j) {
+      if (j != 0) out << ",";
+      out << groups[g][j];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+erasure::CodePtr ClusterConfig::make_code() const {
+  std::string error;
+  if (!validate(&error)) return nullptr;
+  if (code == "paper53") return erasure::make_paper_5_3(value_bytes);
+  return erasure::make_systematic_rs(num_servers, num_objects, value_bytes);
+}
+
+std::vector<std::vector<NodeId>> ClusterConfig::routing_groups() const {
+  if (!groups.empty()) return groups;
+  std::vector<std::vector<NodeId>> identity;
+  identity.reserve(num_servers);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    identity.push_back({static_cast<NodeId>(i)});
+  }
+  return identity;
+}
+
+std::optional<ClusterConfig> parse_cluster_config(const std::string& text,
+                                                  std::string* error) {
+  ClusterConfig config;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_magic = false;
+  // Node/group lines may arrive in any order; indexes are validated after
+  // the sweep so a file with holes reports the hole, not a vector overrun.
+  std::vector<std::pair<std::size_t, std::string>> nodes;
+  std::vector<std::pair<std::size_t, std::vector<NodeId>>> groups;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim trailing carriage return (files edited on other platforms).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    const auto bad = [&](const std::string& what) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + what;
+      }
+      return std::nullopt;
+    };
+    if (!saw_magic) {
+      if (key != kMagic) {
+        return bad(std::string("expected magic '") + kMagic + "'");
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (key == "servers" || key == "objects" || key == "value_bytes") {
+      std::string value;
+      fields >> value;
+      std::size_t parsed = 0;
+      if (!parse_size(value, &parsed)) return bad("bad " + key + " value");
+      if (key == "servers") config.num_servers = parsed;
+      if (key == "objects") config.num_objects = parsed;
+      if (key == "value_bytes") config.value_bytes = parsed;
+    } else if (key == "code") {
+      fields >> config.code;
+      if (config.code.empty()) return bad("bad code value");
+    } else if (key == "node") {
+      std::string index_str, endpoint;
+      fields >> index_str >> endpoint;
+      std::size_t index = 0;
+      if (!parse_size(index_str, &index) || endpoint.empty()) {
+        return bad("bad node line (want: node <id> <host:port>)");
+      }
+      nodes.emplace_back(index, endpoint);
+    } else if (key == "group") {
+      std::string index_str, members_str;
+      fields >> index_str >> members_str;
+      std::size_t index = 0;
+      if (!parse_size(index_str, &index) || members_str.empty()) {
+        return bad("bad group line (want: group <id> <node>,<node>,...)");
+      }
+      std::vector<NodeId> members;
+      for (const std::string& token : split(members_str, ',')) {
+        std::size_t node = 0;
+        if (!parse_size(token, &node)) return bad("bad group member list");
+        members.push_back(static_cast<NodeId>(node));
+      }
+      groups.emplace_back(index, std::move(members));
+    } else {
+      return bad("unknown key '" + key + "'");
+    }
+  }
+  const auto fail_out = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  if (!saw_magic) {
+    return fail_out(std::string("missing magic '") + kMagic + "'");
+  }
+  config.endpoints.assign(config.num_servers, "");
+  for (const auto& [index, endpoint] : nodes) {
+    if (index >= config.num_servers) {
+      return fail_out("node " + std::to_string(index) +
+                      " out of range (servers " +
+                      std::to_string(config.num_servers) + ")");
+    }
+    if (!config.endpoints[index].empty()) {
+      return fail_out("duplicate node " + std::to_string(index));
+    }
+    config.endpoints[index] = endpoint;
+  }
+  for (std::size_t i = 0; i < config.endpoints.size(); ++i) {
+    if (config.endpoints[i].empty()) {
+      return fail_out("missing node line for node " + std::to_string(i));
+    }
+  }
+  if (!groups.empty()) {
+    config.groups.assign(groups.size(), {});
+    for (auto& [index, members] : groups) {
+      if (index >= config.groups.size()) {
+        return fail_out("group ids must be dense 0.." +
+                        std::to_string(config.groups.size() - 1));
+      }
+      if (!config.groups[index].empty()) {
+        return fail_out("duplicate group " + std::to_string(index));
+      }
+      config.groups[index] = std::move(members);
+    }
+  }
+  std::string validation;
+  if (!config.validate(&validation)) return fail_out(validation);
+  return config;
+}
+
+std::optional<ClusterConfig> load_cluster_config(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_cluster_config(text.str(), error);
+}
+
+bool save_cluster_config(const ClusterConfig& config,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << config.serialize();
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace causalec::net

@@ -237,6 +237,52 @@ void NodeDaemon::handle_inbound_frame(
       post_task([this, conn] { handle_stats_req(conn); });
       return;
     }
+    case ClientMsgType::kRoutedWriteReq: {
+      std::optional<RoutedWriteReq> req =
+          decode_routed_write_req(std::move(payload));
+      if (!req.has_value()) break;
+      if (req->object >= code_->num_objects() ||
+          req->value.size() != code_->value_bytes() ||
+          (req->frontier.size() != 0 &&
+           req->frontier.size() != code_->num_servers())) {
+        break;
+      }
+      state->shard->client_ops.fetch_add(1, std::memory_order_relaxed);
+      ParkedOp op;
+      op.is_write = true;
+      op.opid = req->opid;
+      op.client = req->client;
+      op.object = req->object;
+      op.frontier = std::move(req->frontier);
+      op.value = std::move(req->value);
+      op.conn = conn;
+      post_task([this, op = std::move(op)]() mutable {
+        handle_routed_op(std::move(op));
+      });
+      return;
+    }
+    case ClientMsgType::kRoutedReadReq: {
+      std::optional<RoutedReadReq> req =
+          decode_routed_read_req(std::move(payload));
+      if (!req.has_value()) break;
+      if (req->object >= code_->num_objects() ||
+          (req->frontier.size() != 0 &&
+           req->frontier.size() != code_->num_servers())) {
+        break;
+      }
+      state->shard->client_ops.fetch_add(1, std::memory_order_relaxed);
+      ParkedOp op;
+      op.is_write = false;
+      op.opid = req->opid;
+      op.client = req->client;
+      op.object = req->object;
+      op.frontier = std::move(req->frontier);
+      op.conn = conn;
+      post_task([this, op = std::move(op)]() mutable {
+        handle_routed_op(std::move(op));
+      });
+      return;
+    }
     default:
       break;
   }
@@ -309,6 +355,69 @@ void NodeDaemon::handle_read_req(ReadReq req,
       });
 }
 
+bool NodeDaemon::frontier_satisfied(const VectorClock& frontier) const {
+  if (frontier.size() == 0) return true;  // fresh session, no constraint
+  return frontier.leq(server_->clock());
+}
+
+void NodeDaemon::handle_routed_op(ParkedOp op) {
+  if (frontier_satisfied(op.frontier)) {
+    serve_parked(std::move(op));
+    return;
+  }
+  if (parked_.size() >= config_.max_parked) {
+    // A full parking lot means either a hostile frontier flood or a badly
+    // partitioned cluster; shed the new request rather than grow unbounded.
+    CEC_LOG(kWarn) << "net: parked-op cap reached, shedding routed request";
+    op.conn->close();
+    return;
+  }
+  op.deadline = Clock::now() + config_.park_timeout;
+  parked_.push_back(std::move(op));
+}
+
+void NodeDaemon::serve_parked(ParkedOp op) {
+  // The clock now dominates the session frontier, so the response tag /
+  // timestamp are guaranteed to extend the session's history: a write's
+  // new tag strictly dominates the frontier on this node's component, and
+  // a read's arbitration set contains every write the session has seen.
+  if (op.is_write) {
+    WriteReq req;
+    req.opid = op.opid;
+    req.client = op.client;
+    req.object = op.object;
+    req.value = std::move(op.value);
+    handle_write_req(std::move(req), std::move(op.conn));
+  } else {
+    ReadReq req;
+    req.opid = op.opid;
+    req.client = op.client;
+    req.object = op.object;
+    handle_read_req(req, std::move(op.conn));
+  }
+}
+
+void NodeDaemon::retry_parked() {
+  if (parked_.empty()) return;
+  const auto now = Clock::now();
+  std::deque<ParkedOp> keep;
+  while (!parked_.empty()) {
+    ParkedOp op = std::move(parked_.front());
+    parked_.pop_front();
+    if (frontier_satisfied(op.frontier)) {
+      serve_parked(std::move(op));
+    } else if (op.deadline <= now) {
+      // The frontier never materialized (dead peers, or a fabricated
+      // clock): fail the op visibly instead of holding the slot forever.
+      CEC_LOG(kWarn) << "net: routed request parked past its deadline";
+      op.conn->close();
+    } else {
+      keep.push_back(std::move(op));
+    }
+  }
+  parked_ = std::move(keep);
+}
+
 void NodeDaemon::handle_stats_req(std::shared_ptr<Connection> conn) {
   StatsResp s;
   s.node = config_.node;
@@ -378,6 +487,11 @@ void NodeDaemon::run_automaton() {
       // One Apply/Encoding fixpoint for the whole batch.
       server_->run_internal_actions();
     }
+    // The batch may have advanced the clock (applied writes, anti-entropy):
+    // parked routed requests get one retry per loop iteration, and the
+    // cv wait above never sleeps longer than gc_period, so the serve
+    // latency after the frontier is reached is bounded by that period.
+    retry_parked();
     const auto now = Clock::now();
     for (std::size_t i = 0; i < timers_.size();) {
       if (timers_[i].at <= now) {

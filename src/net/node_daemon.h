@@ -59,6 +59,12 @@ struct NodeDaemonConfig {
   causalec::ServerConfig server;
   std::chrono::milliseconds gc_period{10};
   std::chrono::milliseconds snapshot_period{100};
+  /// Routed requests whose frontier the clock does not yet dominate park on
+  /// the automaton (DESIGN.md §12); the cap bounds what a hostile frontier
+  /// can pin, and the timeout bounds how long (the connection is then
+  /// closed, failing the op at the client).
+  std::size_t max_parked = 1024;
+  std::chrono::milliseconds park_timeout{5000};
 };
 
 class NodeDaemon {
@@ -108,6 +114,21 @@ class NodeDaemon {
     erasure::Buffer frame;
   };
 
+  /// A routed request waiting for the server clock to reach its session
+  /// frontier (automaton thread only). The automaton loop wakes at least
+  /// every gc_period, so the retry latency after the clock advances is
+  /// bounded by that period.
+  struct ParkedOp {
+    bool is_write = false;
+    OpId opid = 0;  // client correlation id
+    ClientId client = 0;
+    ObjectId object = 0;
+    VectorClock frontier;
+    erasure::Value value;  // writes only
+    std::shared_ptr<Connection> conn;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
   // Shard-side plumbing (runs on shard loop threads).
   void accept_ready(Shard* shard);
   void handle_inbound_frame(const std::shared_ptr<InboundConn>& state,
@@ -122,6 +143,14 @@ class NodeDaemon {
   void handle_write_req(WriteReq req, std::shared_ptr<Connection> conn);
   void handle_read_req(ReadReq req, std::shared_ptr<Connection> conn);
   void handle_stats_req(std::shared_ptr<Connection> conn);
+  void handle_routed_op(ParkedOp op);
+  /// True when `frontier` (empty, or one entry per server) is dominated by
+  /// the server clock -- the serve condition for routed requests.
+  bool frontier_satisfied(const VectorClock& frontier) const;
+  void serve_parked(ParkedOp op);
+  /// Serves every parked op whose frontier the clock now dominates and
+  /// fails (closes) the ones past their deadline.
+  void retry_parked();
   OpId next_daemon_opid();
 
   erasure::CodePtr code_;
@@ -152,6 +181,7 @@ class NodeDaemon {
     std::function<void()> fn;
   };
   std::vector<Timer> timers_;  // automaton thread only (+ pre-start)
+  std::deque<ParkedOp> parked_;  // automaton thread only
 
   std::atomic<bool> ready_{false};
   bool started_ = false;

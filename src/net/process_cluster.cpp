@@ -86,6 +86,15 @@ bool ProcessCluster::start() {
   for (const std::uint16_t port : ports_) {
     endpoints_.push_back("127.0.0.1:" + std::to_string(port));
   }
+  cluster_ = ClusterConfig{};
+  cluster_.num_servers = config_.num_servers;
+  cluster_.num_objects = config_.num_objects;
+  cluster_.value_bytes = config_.value_bytes;
+  cluster_.endpoints = endpoints_;
+  cluster_.groups = config_.groups;
+  cluster_file_ = config_.work_dir + "/cluster.conf";
+  CEC_CHECK_MSG(save_cluster_config(cluster_, cluster_file_),
+                "cannot write cluster config " << cluster_file_);
   for (std::size_t i = 0; i < config_.num_servers; ++i) {
     if (!spawn(i)) return false;
   }
@@ -93,19 +102,10 @@ bool ProcessCluster::start() {
 }
 
 std::vector<std::string> ProcessCluster::server_args(std::size_t i) const {
-  std::string peers;
-  for (std::size_t j = 0; j < endpoints_.size(); ++j) {
-    if (j != 0) peers += ',';
-    peers += endpoints_[j];
-  }
   std::vector<std::string> args = {
       config_.server_bin,
       "--node", std::to_string(i),
-      "--listen", endpoints_[i],
-      "--peers", peers,
-      "--servers", std::to_string(config_.num_servers),
-      "--objects", std::to_string(config_.num_objects),
-      "--value-bytes", std::to_string(config_.value_bytes),
+      "--cluster", cluster_file_,
       "--shards", std::to_string(config_.shards),
   };
   if (config_.persistence) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/client_proto.h"
+#include "net/cluster_config.h"
 
 namespace causalec::net {
 
@@ -35,6 +36,9 @@ struct ProcessClusterConfig {
   /// Give each server a --data-dir (required for restart()).
   bool persistence = true;
   std::size_t shards = 2;
+  /// Routing groups written into the generated cluster config (frontdoor
+  /// tier); empty = one group per node.
+  std::vector<std::vector<NodeId>> groups;
 };
 
 class ProcessCluster {
@@ -45,8 +49,14 @@ class ProcessCluster {
   ProcessCluster(const ProcessCluster&) = delete;
   ProcessCluster& operator=(const ProcessCluster&) = delete;
 
-  /// Reserve ports and spawn every server. False if any spawn fails.
+  /// Reserve ports, write the shared cluster config file, and spawn every
+  /// server. False if any spawn fails.
   bool start();
+
+  /// The generated cluster config and its on-disk path (valid after
+  /// start(); the same file every server was handed via --cluster).
+  const ClusterConfig& cluster() const { return cluster_; }
+  const std::string& cluster_file() const { return cluster_file_; }
 
   /// Poll every live server with pings until all report ready.
   bool await_ready(std::chrono::milliseconds timeout);
@@ -80,6 +90,8 @@ class ProcessCluster {
   std::vector<std::string> server_args(std::size_t i) const;
 
   ProcessClusterConfig config_;
+  ClusterConfig cluster_;
+  std::string cluster_file_;
   std::vector<std::uint16_t> ports_;
   std::vector<std::string> endpoints_;
   std::vector<pid_t> pids_;

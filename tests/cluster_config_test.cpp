@@ -1,0 +1,144 @@
+// Cluster config file: round-trip, validation, and hostile-input battery
+// for the shared deployment descriptor (net/cluster_config.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/cluster_config.h"
+
+namespace causalec::net {
+namespace {
+
+ClusterConfig sample_config() {
+  ClusterConfig config;
+  config.num_servers = 5;
+  config.num_objects = 3;
+  config.value_bytes = 256;
+  config.code = "rs";
+  for (int i = 0; i < 5; ++i) {
+    config.endpoints.push_back("127.0.0.1:" + std::to_string(7400 + i));
+  }
+  config.groups = {{0, 1}, {2, 3, 4}};
+  return config;
+}
+
+TEST(ClusterConfigTest, SerializeParseRoundTrips) {
+  const ClusterConfig config = sample_config();
+  std::string error;
+  ASSERT_TRUE(config.validate(&error)) << error;
+  const auto parsed = parse_cluster_config(config.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_servers, config.num_servers);
+  EXPECT_EQ(parsed->num_objects, config.num_objects);
+  EXPECT_EQ(parsed->value_bytes, config.value_bytes);
+  EXPECT_EQ(parsed->code, config.code);
+  EXPECT_EQ(parsed->endpoints, config.endpoints);
+  EXPECT_EQ(parsed->groups, config.groups);
+  // And the round-trip is a fixpoint.
+  EXPECT_EQ(parsed->serialize(), config.serialize());
+}
+
+TEST(ClusterConfigTest, ParsesCommentsBlanksAndCrLf) {
+  const std::string text =
+      "causalec-cluster-v1\r\n"
+      "# a comment\r\n"
+      "\r\n"
+      "servers 2\r\n"
+      "objects 1\r\n"
+      "  value_bytes 64\r\n"
+      "code rs\r\n"
+      "node 1 127.0.0.1:7401\r\n"
+      "node 0 127.0.0.1:7400\r\n";
+  std::string error;
+  const auto parsed = parse_cluster_config(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_servers, 2u);
+  EXPECT_EQ(parsed->endpoints[0], "127.0.0.1:7400");
+  EXPECT_EQ(parsed->endpoints[1], "127.0.0.1:7401");
+  EXPECT_TRUE(parsed->groups.empty());
+}
+
+TEST(ClusterConfigTest, DefaultRoutingGroupsAreOneGroupPerNode) {
+  ClusterConfig config = sample_config();
+  config.groups.clear();
+  const auto groups = config.routing_groups();
+  ASSERT_EQ(groups.size(), config.num_servers);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i], std::vector<NodeId>{static_cast<NodeId>(i)});
+  }
+  // Explicit groups pass through untouched.
+  EXPECT_EQ(sample_config().routing_groups(), sample_config().groups);
+}
+
+TEST(ClusterConfigTest, RejectsMalformedInput) {
+  std::string error;
+  const auto expect_reject = [&](const std::string& text,
+                                 const char* why) {
+    EXPECT_FALSE(parse_cluster_config(text, &error).has_value()) << why;
+    EXPECT_FALSE(error.empty()) << why;
+  };
+  expect_reject("", "empty input");
+  expect_reject("not-the-magic\nservers 1\n", "wrong magic");
+  expect_reject("causalec-cluster-v1\nservers zero\n", "non-numeric count");
+  expect_reject("causalec-cluster-v1\nbogus 3\n", "unknown key");
+  expect_reject("causalec-cluster-v1\nservers 2\nnode 0 127.0.0.1:1\n",
+                "missing node line");
+  expect_reject(
+      "causalec-cluster-v1\nservers 1\nnode 0 127.0.0.1:1\n"
+      "node 0 127.0.0.1:2\n",
+      "duplicate node");
+  expect_reject("causalec-cluster-v1\nservers 1\nnode 5 127.0.0.1:1\n",
+                "node id out of range");
+  expect_reject("causalec-cluster-v1\nservers 1\nnode 0 nonsense\n",
+                "unparseable endpoint");
+  expect_reject(
+      "causalec-cluster-v1\nservers 2\nnode 0 127.0.0.1:1\n"
+      "node 1 127.0.0.1:2\ngroup 0 0\n",
+      "groups must cover every node");
+  expect_reject(
+      "causalec-cluster-v1\nservers 2\nnode 0 127.0.0.1:1\n"
+      "node 1 127.0.0.1:2\ngroup 0 0,1\ngroup 1 1\n",
+      "node in two groups");
+  expect_reject(
+      "causalec-cluster-v1\nservers 1\nnode 0 127.0.0.1:1\n"
+      "code martian\n",
+      "unknown code family");
+  expect_reject(
+      "causalec-cluster-v1\nservers 4\nobjects 3\ncode paper53\n"
+      "node 0 h:1\nnode 1 h:2\nnode 2 h:3\nnode 3 h:4\n",
+      "paper53 shape mismatch");
+}
+
+TEST(ClusterConfigTest, MakeCodeMatchesTheNamedFamily) {
+  ClusterConfig config = sample_config();
+  auto rs = config.make_code();
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->num_servers(), 5u);
+  EXPECT_EQ(rs->num_objects(), 3u);
+  EXPECT_EQ(rs->value_bytes(), 256u);
+  config.code = "paper53";
+  auto paper = config.make_code();
+  ASSERT_NE(paper, nullptr);
+  EXPECT_EQ(paper->num_servers(), 5u);
+  config.num_servers = 4;
+  config.endpoints.pop_back();
+  config.groups = {};
+  EXPECT_EQ(config.make_code(), nullptr) << "paper53 needs exactly 5/3";
+}
+
+TEST(ClusterConfigTest, SaveAndLoadThroughAFile) {
+  const ClusterConfig config = sample_config();
+  const std::string path =
+      ::testing::TempDir() + "cluster_config_test.conf";
+  ASSERT_TRUE(save_cluster_config(config, path));
+  std::string error;
+  const auto loaded = load_cluster_config(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->serialize(), config.serialize());
+  EXPECT_FALSE(
+      load_cluster_config(path + ".does-not-exist", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace causalec::net

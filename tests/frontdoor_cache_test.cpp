@@ -1,0 +1,140 @@
+// Unit battery for the causally-safe edge cache: the frontier-gated serve
+// predicate, TTL expiry, LRU bookkeeping, and the frontdoor counter bundle.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "frontdoor/edge_cache.h"
+#include "obs/frontdoor_counters.h"
+
+namespace causalec::frontdoor {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kServers = 5;
+
+VectorClock clock_of(std::initializer_list<std::uint64_t> components) {
+  VectorClock vc(components.size());
+  std::size_t i = 0;
+  for (const std::uint64_t v : components) vc.set(i++, v);
+  return vc;
+}
+
+Tag tag_at(std::initializer_list<std::uint64_t> components, ClientId id) {
+  return Tag(clock_of(components), id);
+}
+
+erasure::Value value_of(std::uint8_t fill) { return erasure::Value(8, fill); }
+
+TEST(EdgeCacheTest, MissThenPutThenHit) {
+  EdgeCache cache(/*capacity=*/4, /*ttl=*/0ms);
+  EdgeCache::Entry out;
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kMiss);
+  cache.put(0, value_of(1), tag_at({1, 0, 0, 0, 0}, 7),
+            clock_of({1, 0, 0, 0, 0}));
+  EXPECT_EQ(cache.size(), 1u);
+  // An empty frontier (fresh session) accepts any witness.
+  ASSERT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+  EXPECT_EQ(out.value[0], 1);
+  EXPECT_EQ(out.tag.id, 7u);
+}
+
+TEST(EdgeCacheTest, FrontierGatesTheServe) {
+  EdgeCache cache(4, 0ms);
+  cache.put(0, value_of(1), tag_at({2, 1, 0, 0, 0}, 7),
+            clock_of({2, 1, 0, 0, 0}));
+  EdgeCache::Entry out;
+  // Behind or equal to the witness: serve.
+  EXPECT_EQ(cache.lookup(0, clock_of({1, 0, 0, 0, 0}), &out),
+            EdgeCache::Outcome::kHit);
+  EXPECT_EQ(cache.lookup(0, clock_of({2, 1, 0, 0, 0}), &out),
+            EdgeCache::Outcome::kHit);
+  // Ahead of the witness in any component: the session has seen newer
+  // state than the cached read timestamp -- stale rejection.
+  EXPECT_EQ(cache.lookup(0, clock_of({2, 1, 1, 0, 0}), &out),
+            EdgeCache::Outcome::kStale);
+  // Incomparable (concurrent) frontiers also fall through.
+  EXPECT_EQ(cache.lookup(0, clock_of({0, 0, 3, 0, 0}), &out),
+            EdgeCache::Outcome::kStale);
+  // A frontier of the wrong size never serves (cluster-shape confusion).
+  VectorClock wrong(kServers - 1);
+  EXPECT_EQ(cache.lookup(0, wrong, &out), EdgeCache::Outcome::kStale);
+  // A stale rejection leaves the entry in place for older frontiers.
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+}
+
+TEST(EdgeCacheTest, TtlExpiresAndEagerlyDrops) {
+  EdgeCache cache(4, /*ttl=*/50ms);
+  cache.put(0, value_of(1), tag_at({1, 0, 0, 0, 0}, 7),
+            clock_of({1, 0, 0, 0, 0}));
+  EdgeCache::Entry out;
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+  ASSERT_TRUE(cache.age_entry(0, 60ms));
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out),
+            EdgeCache::Outcome::kExpired);
+  EXPECT_EQ(cache.size(), 0u) << "expired entries must not occupy capacity";
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kMiss);
+  EXPECT_FALSE(cache.age_entry(0, 1ms));
+}
+
+TEST(EdgeCacheTest, ZeroTtlDisablesExpiry) {
+  EdgeCache cache(4, 0ms);
+  cache.put(0, value_of(1), tag_at({1, 0, 0, 0, 0}, 7),
+            clock_of({1, 0, 0, 0, 0}));
+  ASSERT_TRUE(cache.age_entry(0, std::chrono::milliseconds(1 << 30)));
+  EdgeCache::Entry out;
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+}
+
+TEST(EdgeCacheTest, LruEvictsTheColdestEntry) {
+  EdgeCache cache(/*capacity=*/2, 0ms);
+  cache.put(0, value_of(1), tag_at({1, 0, 0, 0, 0}, 1),
+            clock_of({1, 0, 0, 0, 0}));
+  cache.put(1, value_of(2), tag_at({0, 1, 0, 0, 0}, 2),
+            clock_of({0, 1, 0, 0, 0}));
+  EdgeCache::Entry out;
+  // Touch object 0 so object 1 is the LRU entry.
+  ASSERT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+  cache.put(2, value_of(3), tag_at({0, 0, 1, 0, 0}, 3),
+            clock_of({0, 0, 1, 0, 0}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(1, VectorClock(), &out), EdgeCache::Outcome::kMiss);
+  EXPECT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+  EXPECT_EQ(cache.lookup(2, VectorClock(), &out), EdgeCache::Outcome::kHit);
+}
+
+TEST(EdgeCacheTest, PutReplacesInPlace) {
+  EdgeCache cache(2, 0ms);
+  cache.put(0, value_of(1), tag_at({1, 0, 0, 0, 0}, 1),
+            clock_of({1, 0, 0, 0, 0}));
+  cache.put(0, value_of(9), tag_at({2, 0, 0, 0, 0}, 1),
+            clock_of({2, 0, 0, 0, 0}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EdgeCache::Entry out;
+  ASSERT_EQ(cache.lookup(0, VectorClock(), &out), EdgeCache::Outcome::kHit);
+  EXPECT_EQ(out.value[0], 9);
+  // The refreshed witness now serves a frontier the old one could not.
+  ASSERT_EQ(cache.lookup(0, clock_of({2, 0, 0, 0, 0}), &out),
+            EdgeCache::Outcome::kHit);
+}
+
+TEST(FrontdoorCountersTest, ResolvesStableHandles) {
+  obs::MetricsRegistry registry;
+  const auto counters = obs::FrontdoorCounters::resolve(registry);
+  counters.cache_hits->inc(3);
+  counters.cache_misses->inc();
+  counters.cache_hit_ns->observe(1000);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("frontdoor.cache_hits"), 3u);
+  EXPECT_EQ(snapshot.counters.at("frontdoor.cache_misses"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("frontdoor.cache_hit_ns").count, 1u);
+  // Resolving twice returns the same cells.
+  const auto again = obs::FrontdoorCounters::resolve(registry);
+  EXPECT_EQ(again.cache_hits, counters.cache_hits);
+}
+
+}  // namespace
+}  // namespace causalec::frontdoor

@@ -1,0 +1,398 @@
+// Front-door chaos battery (DESIGN.md §12): real causalec_server processes
+// behind an in-process Router, with a SIGKILL mid-traffic. Reads must fall
+// through past the dead backend (reroutes > 0) with every checker green,
+// and a router restart must carry sessions over via the frontier token --
+// the router itself holds no session state worth mourning.
+//
+// Writers are pinned to objects owned by the surviving routing group, so
+// no write is ever in flight at the victim: a write applied by a dying
+// server but never acked would be an unrecorded write, which the checkers
+// (rightly) cannot absolve.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "consistency/causal_checker.h"
+#include "consistency/history.h"
+#include "frontdoor/router.h"
+#include "frontdoor/router_client.h"
+#include "net/net_client.h"
+#include "net/process_cluster.h"
+
+namespace causalec::frontdoor {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kServers = 5;
+constexpr std::size_t kObjects = 3;
+constexpr std::size_t kValueBytes = 64;
+
+SimTime next_tick() {
+  static std::atomic<SimTime> tick{0};
+  return tick.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+erasure::Value value_for(ClientId client, std::uint64_t seq) {
+  erasure::Value v(kValueBytes);
+  std::uint8_t* bytes = v.begin();
+  for (std::size_t i = 0; i < kValueBytes; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(client * 151 + seq * 7 + i);
+  }
+  return v;
+}
+
+/// A recorded session through the router. `start_seq` lets a session
+/// continue across a reconnect (or a router restart) under the same
+/// client id without reusing session_seq values.
+struct RouterSession {
+  RouterSession(ClientId id_in, const std::string& endpoint,
+                std::uint64_t start_seq = 0)
+      : id(id_in), client(id_in), seq_(start_seq) {
+    connected = client.connect(endpoint, 2000);
+    client.set_io_timeout_ms(10'000);
+  }
+
+  bool write_op(ObjectId object) {
+    const std::uint64_t seq = seq_++;
+    const erasure::Value value = value_for(id, seq);
+    consistency::OpRecord record;
+    record.client = id;
+    record.session_seq = seq;
+    record.is_write = true;
+    record.object = object;
+    record.value_hash =
+        consistency::hash_value_bytes({value.data(), value.size()});
+    record.invoked_at = next_tick();
+    const auto resp = client.write(seq, object, value);
+    if (!resp.has_value()) return false;
+    record.tag = resp->tag;
+    record.timestamp = resp->vc;
+    record.responded_at = next_tick();
+    ops.push_back(std::move(record));
+    return true;
+  }
+
+  bool read_op(ObjectId object) {
+    const std::uint64_t seq = seq_++;
+    consistency::OpRecord record;
+    record.client = id;
+    record.session_seq = seq;
+    record.is_write = false;
+    record.object = object;
+    record.invoked_at = next_tick();
+    const auto resp = client.read(seq, object);
+    if (!resp.has_value()) return false;
+    record.tag = resp->tag;
+    record.timestamp = resp->vc;
+    record.value_hash = consistency::hash_value_bytes(
+        {resp->value.data(), resp->value.size()});
+    record.responded_at = next_tick();
+    last_tag = resp->tag;
+    ops.push_back(std::move(record));
+    return true;
+  }
+
+  std::uint64_t next_seq() const { return seq_; }
+
+  ClientId id;
+  RouterClient client;
+  bool connected = false;
+  std::vector<consistency::OpRecord> ops;
+  Tag last_tag;
+
+ private:
+  std::uint64_t seq_;
+};
+
+class FrontdoorChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net::ProcessClusterConfig cc;
+    cc.server_bin = CAUSALEC_SERVER_BIN;
+    cc.num_servers = kServers;
+    cc.num_objects = kObjects;
+    cc.value_bytes = kValueBytes;
+    cc.persistence = false;
+    cc.groups = {{0, 1}, {2, 3, 4}};
+    cluster_ = std::make_unique<net::ProcessCluster>(cc);
+    ASSERT_TRUE(cluster_->start()) << "failed to spawn the cluster";
+    ASSERT_TRUE(cluster_->await_ready(15s)) << "cluster never ready";
+
+    // Pick a ring seed under which BOTH routing groups own at least one
+    // object: the test needs a victim group that owns something (so its
+    // death forces reroutes) and a survivor group to pin writers to.
+    const std::size_t num_groups = cc.groups.size();
+    ring_seed_ = 0;
+    for (std::uint64_t seed = 1; seed < 64; ++seed) {
+      const HashRing probe(num_groups, /*vnodes=*/64, seed);
+      std::vector<bool> owns(num_groups, false);
+      for (ObjectId g = 0; g < kObjects; ++g) owns[probe.owner(g)] = true;
+      if (owns[0] && owns[1]) {
+        ring_seed_ = seed;
+        break;
+      }
+    }
+    ASSERT_NE(ring_seed_, 0u) << "no seed splits ownership across groups";
+
+    start_router();
+  }
+
+  void TearDown() override {
+    if (router_ != nullptr) router_->stop();
+  }
+
+  void start_router() {
+    RouterConfig rc;
+    rc.cluster = cluster_->cluster();
+    rc.shards = 2;
+    rc.vnodes = 64;
+    rc.ring_seed = ring_seed_;
+    rc.cache_ttl = 0ms;
+    router_ = std::make_unique<Router>(std::move(rc));
+    router_->start();
+    router_endpoint_ =
+        "127.0.0.1:" + std::to_string(router_->listen_port());
+  }
+
+  /// All live servers return the same tag for every object, stable across
+  /// two polls. With a peer SIGKILLed for good, the regular convergence
+  /// oracle can never pass -- GC's del-floor needs announcements from all
+  /// n servers, so history entries stay pinned on the survivors. Agreement
+  /// on the read frontier is the right post-crash quiescence notion.
+  bool await_survivor_agreement(std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::vector<Tag> previous;
+    int stable = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::vector<Tag> tags;
+      bool agree = true;
+      for (std::size_t i = 0; i < kServers && agree; ++i) {
+        if (!cluster_->running(i)) continue;
+        net::NetClient probe(900 + static_cast<ClientId>(i));
+        if (!probe.connect(cluster_->endpoint(i), 500)) {
+          agree = false;
+          break;
+        }
+        probe.set_io_timeout_ms(2000);
+        for (ObjectId g = 0; g < kObjects; ++g) {
+          const auto resp = probe.read(g, g);
+          if (!resp.has_value()) {
+            agree = false;
+            break;
+          }
+          if (tags.size() <= g) {
+            tags.push_back(resp->tag);
+          } else if (!(tags[g] == resp->tag)) {
+            agree = false;
+          }
+        }
+      }
+      if (agree && tags == previous && ++stable >= 2) return true;
+      if (!agree || !(tags == previous)) stable = 0;
+      previous = std::move(tags);
+      std::this_thread::sleep_for(20ms);
+    }
+    return false;
+  }
+
+  /// Final reads at every LIVE server, directly (bypassing the router).
+  std::vector<consistency::OpRecord> final_reads() {
+    std::vector<consistency::OpRecord> reads;
+    for (std::size_t i = 0; i < kServers; ++i) {
+      if (!cluster_->running(i)) continue;
+      net::NetClient probe(500 + static_cast<ClientId>(i));
+      EXPECT_TRUE(probe.connect(cluster_->endpoint(i), 2000));
+      probe.set_io_timeout_ms(5000);
+      for (ObjectId g = 0; g < kObjects; ++g) {
+        consistency::OpRecord record;
+        record.client = 500 + static_cast<ClientId>(i);
+        record.session_seq = g;
+        record.is_write = false;
+        record.object = g;
+        record.server = static_cast<NodeId>(i);
+        record.invoked_at = next_tick();
+        const auto resp = probe.read(g, g);
+        EXPECT_TRUE(resp.has_value()) << "final read failed at server " << i;
+        if (!resp.has_value()) continue;
+        record.tag = resp->tag;
+        record.timestamp = resp->vc;
+        record.value_hash = consistency::hash_value_bytes(
+            {resp->value.data(), resp->value.size()});
+        record.responded_at = next_tick();
+        reads.push_back(std::move(record));
+      }
+    }
+    return reads;
+  }
+
+  void run_checkers(const consistency::History& history,
+                    const std::vector<consistency::OpRecord>& finals) {
+    const auto causal = consistency::check_causal_consistency(history);
+    EXPECT_TRUE(causal.ok) << (causal.violations.empty()
+                                   ? std::string("?")
+                                   : causal.violations.front());
+    const auto session = consistency::check_session_guarantees(history);
+    EXPECT_TRUE(session.ok) << (session.violations.empty()
+                                    ? std::string("?")
+                                    : session.violations.front());
+    const auto conv = consistency::check_convergence(history, finals);
+    EXPECT_TRUE(conv.ok) << (conv.violations.empty()
+                                 ? std::string("?")
+                                 : conv.violations.front());
+  }
+
+  std::unique_ptr<net::ProcessCluster> cluster_;
+  std::unique_ptr<Router> router_;
+  std::string router_endpoint_;
+  std::uint64_t ring_seed_ = 0;
+};
+
+TEST_F(FrontdoorChaosTest, ReadsFallThroughPastAKilledBackend) {
+  ASSERT_TRUE(router_->await_backends(10s)) << "backend links never up";
+
+  // The victim is the primary (first node) of a group that owns at least
+  // one object; writers are pinned to objects the OTHER group owns.
+  const auto& groups = router_->routing_groups();
+  const std::size_t victim_group = router_->ring().owner(0);
+  const NodeId victim = groups[victim_group][0];
+  std::vector<ObjectId> safe_objects;
+  for (ObjectId g = 0; g < kObjects; ++g) {
+    if (router_->ring().owner(g) != victim_group) safe_objects.push_back(g);
+  }
+  ASSERT_FALSE(safe_objects.empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_failed{false};
+  std::atomic<int> reader_reconnects{0};
+
+  // Two recorded writers on survivor-owned objects, paced so the history
+  // stays small enough for the O(n^2) checkers.
+  std::vector<std::unique_ptr<RouterSession>> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.push_back(std::make_unique<RouterSession>(
+        600 + w, router_endpoint_));
+    ASSERT_TRUE(writers.back()->connected);
+  }
+  // Three recorded readers over ALL objects -- including the victim's.
+  // A reader whose in-flight op dies with a link reconnects with its
+  // frontier intact and carries on; failed ops are simply not recorded.
+  std::vector<std::unique_ptr<RouterSession>> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.push_back(std::make_unique<RouterSession>(
+        620 + r, router_endpoint_));
+    ASSERT_TRUE(readers.back()->connected);
+  }
+
+  std::vector<std::thread> threads;
+  for (auto& w : writers) {
+    threads.emplace_back([&, session = w.get()] {
+      std::size_t i = 0;
+      while (!stop.load()) {
+        if (!session->write_op(safe_objects[i++ % safe_objects.size()])) {
+          writer_failed.store(true);
+          return;
+        }
+        std::this_thread::sleep_for(4ms);
+      }
+    });
+  }
+  for (auto& holder : readers) {
+    threads.emplace_back([&, &holder = holder] {
+      ObjectId object = 0;
+      while (!stop.load()) {
+        RouterSession* session = holder.get();
+        if (!session->read_op(object)) {
+          // Re-establish the session: same client id, frontier carried
+          // over, session_seq continuing where it left off.
+          auto fresh = std::make_unique<RouterSession>(
+              session->id, router_endpoint_, session->next_seq());
+          if (!fresh->connected) {
+            std::this_thread::sleep_for(20ms);
+            continue;
+          }
+          fresh->client.set_frontier(session->client.frontier());
+          for (auto& op : session->ops) fresh->ops.push_back(std::move(op));
+          holder = std::move(fresh);
+          reader_reconnects.fetch_add(1);
+        }
+        object = static_cast<ObjectId>((object + 1) % kObjects);
+        std::this_thread::sleep_for(2ms);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(300ms);
+  cluster_->kill_server(victim);
+  std::this_thread::sleep_for(600ms);
+  stop.store(true);
+  for (auto& th : threads) th.join();
+
+  ASSERT_FALSE(writer_failed.load())
+      << "a write on a survivor-owned object must never fail";
+  ASSERT_TRUE(await_survivor_agreement(20s))
+      << "survivors never agreed on the read frontier";
+
+  consistency::History history;
+  for (auto& w : writers) {
+    for (auto& op : w->ops) history.record(std::move(op));
+  }
+  for (auto& r : readers) {
+    for (auto& op : r->ops) history.record(std::move(op));
+  }
+  ASSERT_GT(history.size(), 0u);
+  run_checkers(history, final_reads());
+
+  const net::RouterStatsResp s = router_->stats();
+  EXPECT_GE(s.reroutes, 1u)
+      << "killing the owner's primary must force fall-through routing";
+  EXPECT_GE(s.ring_remaps, 1u);
+  EXPECT_EQ(s.backend_ops.size(), kServers);
+}
+
+TEST_F(FrontdoorChaosTest, SessionsSurviveARouterRestartViaTheFrontier) {
+  ASSERT_TRUE(router_->await_backends(10s)) << "backend links never up";
+
+  // Phase 1: a session writes and reads through the first router.
+  auto session = std::make_unique<RouterSession>(700, router_endpoint_);
+  ASSERT_TRUE(session->connected);
+  for (ObjectId g = 0; g < kObjects; ++g) {
+    ASSERT_TRUE(session->write_op(g));
+    ASSERT_TRUE(session->read_op(g));
+  }
+  const Tag last_write_tag = session->ops[2 * (kObjects - 1)].tag;
+  const VectorClock frontier = session->client.frontier();
+  const std::uint64_t seq = session->next_seq();
+  std::vector<consistency::OpRecord> phase1 = std::move(session->ops);
+  session.reset();
+
+  // Phase 2: the router dies and a fresh one (empty cache, zero stats)
+  // takes over. The client re-installs its frontier token; read-your-writes
+  // and monotonic reads must hold across the hand-off.
+  router_->stop();
+  router_.reset();
+  start_router();
+  ASSERT_TRUE(router_->await_backends(10s)) << "restarted links never up";
+
+  RouterSession resumed(700, router_endpoint_, seq);
+  ASSERT_TRUE(resumed.connected);
+  resumed.client.set_frontier(frontier);
+  ASSERT_TRUE(resumed.read_op(kObjects - 1));
+  EXPECT_EQ(resumed.last_tag, last_write_tag)
+      << "read-your-writes across the router restart";
+
+  ASSERT_TRUE(cluster_->await_convergence(20s));
+  consistency::History history;
+  for (auto& op : phase1) history.record(std::move(op));
+  for (auto& op : resumed.ops) history.record(std::move(op));
+  run_checkers(history, final_reads());
+  EXPECT_EQ(cluster_->total_error_events(), 0u);
+}
+
+}  // namespace
+}  // namespace causalec::frontdoor

@@ -1,0 +1,122 @@
+// Property battery for the front-door consistent-hash ring: distribution
+// balance across virtual nodes and the minimal-remap bound on membership
+// change -- the two properties that make consistent hashing worth its name.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "frontdoor/hash_ring.h"
+
+namespace causalec::frontdoor {
+namespace {
+
+constexpr std::size_t kGroups = 8;
+constexpr std::size_t kVnodes = 128;
+constexpr std::size_t kKeys = 100'000;
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  const HashRing a(kGroups, kVnodes);
+  const HashRing b(kGroups, kVnodes);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.owner(key), b.owner(key));
+  }
+  // A different seed is a different ring.
+  const HashRing c(kGroups, kVnodes, /*seed=*/0xABCDEF);
+  std::size_t differs = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (a.owner(key) != c.owner(key)) ++differs;
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(HashRingTest, OwnershipIsBalancedAcrossGroups) {
+  const HashRing ring(kGroups, kVnodes);
+  ASSERT_EQ(ring.num_points(), kGroups * kVnodes);
+  std::map<std::size_t, std::size_t> counts;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t owner = ring.owner(key);
+    ASSERT_LT(owner, kGroups);
+    counts[owner]++;
+  }
+  EXPECT_EQ(counts.size(), kGroups) << "some group owns no keys at all";
+  const double fair = static_cast<double>(kKeys) / kGroups;
+  for (const auto& [group, count] : counts) {
+    // 128 vnodes keep the per-group share within a generous +-50% of fair;
+    // in practice it is much tighter, but the test must not be a coin flip.
+    EXPECT_GT(static_cast<double>(count), 0.5 * fair)
+        << "group " << group << " badly underloaded";
+    EXPECT_LT(static_cast<double>(count), 1.5 * fair)
+        << "group " << group << " badly overloaded";
+  }
+}
+
+TEST(HashRingTest, AddGroupMovesOnlyAFairShareAndOnlyToTheNewGroup) {
+  const HashRing before(kGroups, kVnodes);
+  HashRing after(kGroups, kVnodes);
+  after.add_group(kGroups);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t was = before.owner(key);
+    const std::size_t now = after.owner(key);
+    if (was == now) continue;
+    // The minimal-remap property: a key may only move TO the new group.
+    ASSERT_EQ(now, kGroups) << "key " << key << " moved " << was << " -> "
+                            << now << " without touching the new group";
+    ++moved;
+  }
+  const double fair = static_cast<double>(kKeys) / (kGroups + 1);
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(static_cast<double>(moved), 1.5 * fair)
+      << "adding one group remapped far more than its fair share";
+}
+
+TEST(HashRingTest, RemoveGroupMovesOnlyItsOwnKeys) {
+  const HashRing before(kGroups, kVnodes);
+  HashRing after(kGroups, kVnodes);
+  const std::size_t victim = 3;
+  after.remove_group(victim);
+  ASSERT_EQ(after.num_points(), (kGroups - 1) * kVnodes);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t was = before.owner(key);
+    const std::size_t now = after.owner(key);
+    if (was == victim) {
+      ASSERT_NE(now, victim);
+    } else {
+      // Keys the victim never owned must not move at all.
+      ASSERT_EQ(now, was) << "key " << key << " moved " << was << " -> "
+                          << now << " though group " << victim
+                          << " never owned it";
+    }
+  }
+}
+
+TEST(HashRingTest, CandidatesAreDistinctAndStartAtTheOwner) {
+  const HashRing ring(kGroups, kVnodes);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto cands = ring.candidates(key, kGroups);
+    ASSERT_EQ(cands.size(), kGroups);
+    ASSERT_EQ(cands.front(), ring.owner(key));
+    std::vector<bool> seen(kGroups, false);
+    for (const std::size_t g : cands) {
+      ASSERT_LT(g, kGroups);
+      ASSERT_FALSE(seen[g]) << "duplicate candidate group " << g;
+      seen[g] = true;
+    }
+  }
+  // max_groups truncates.
+  EXPECT_EQ(ring.candidates(7, 3).size(), 3u);
+  EXPECT_TRUE(ring.candidates(7, 0).empty());
+}
+
+TEST(HashRingTest, EmptyRingHasNoOwner) {
+  HashRing ring(1, kVnodes);
+  ring.remove_group(0);
+  EXPECT_EQ(ring.num_points(), 0u);
+  EXPECT_EQ(ring.owner(42), static_cast<std::size_t>(-1));
+  EXPECT_TRUE(ring.candidates(42, 4).empty());
+}
+
+}  // namespace
+}  // namespace causalec::frontdoor

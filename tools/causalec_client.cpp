@@ -7,7 +7,8 @@
 // frames. The delta between this number and the in-process --saturate run
 // is the measured cost of the TCP hop (syscalls, framing, wakeups).
 //
-// Two ways to point it at a cluster:
+// Three ways to point it at a cluster:
+//   --cluster FILE                   the shared cluster config file
 //   --servers H:P,H:P,...            drive an already-running cluster
 //   --spawn N K --server-bin PATH    spawn N servers (K objects) itself
 #include <atomic>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "erasure/value.h"
+#include "net/cluster_config.h"
 #include "net/net_client.h"
 #include "net/process_cluster.h"
 #include "obs/bench_report.h"
@@ -34,6 +36,7 @@ namespace {
 struct Options {
   bool saturate = false;
   bool smoke = false;
+  std::string cluster_path;
   std::vector<std::string> servers;
   std::size_t spawn_n = 0;
   std::size_t spawn_k = 3;
@@ -46,7 +49,7 @@ struct Options {
   std::fprintf(stderr, "causalec_client: %s\n", what);
   std::fprintf(stderr,
                "usage: causalec_client --saturate [--smoke] "
-               "(--servers H:P,... [--objects K] | "
+               "(--cluster FILE | --servers H:P,... [--objects K] | "
                "--spawn N K --server-bin PATH) "
                "[--value-bytes B] [--shards S]\n");
   std::exit(2);
@@ -299,6 +302,8 @@ int main(int argc, char** argv) {
       opt.saturate = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      opt.cluster_path = next_arg(i);
     } else if (std::strcmp(argv[i], "--servers") == 0) {
       opt.servers = split_csv(next_arg(i));
     } else if (std::strcmp(argv[i], "--spawn") == 0) {
@@ -318,8 +323,21 @@ int main(int argc, char** argv) {
     }
   }
   if (!opt.saturate) usage("--saturate is the only mode (so far)");
+  if (!opt.cluster_path.empty()) {
+    // The shared deployment descriptor carries endpoints and shape; the
+    // workload's value size stays a client knob (servers only check the
+    // coded value size, which the file also fixes).
+    std::string error;
+    const auto cluster = net::load_cluster_config(opt.cluster_path, &error);
+    if (!cluster.has_value()) {
+      usage(("bad --cluster file: " + error).c_str());
+    }
+    opt.servers = cluster->endpoints;
+    opt.spawn_k = cluster->num_objects;
+    opt.value_bytes = cluster->value_bytes;
+  }
   if (opt.servers.empty() && opt.spawn_n == 0) {
-    usage("need --servers or --spawn");
+    usage("need --cluster, --servers, or --spawn");
   }
 
   if (!opt.servers.empty()) {

@@ -6,9 +6,11 @@
 // (by tests/net_cluster_test.cpp, causalec_client --spawn, or by hand) it
 // forms a full cluster over TCP.
 //
-//   causalec_server --node 0 --listen 127.0.0.1:7400
-//     --peers 127.0.0.1:7400,127.0.0.1:7401,...
-//     --servers 5 --objects 3 --value-bytes 4096
+// The cluster shape (servers, objects, value bytes, code, every node's
+// endpoint, routing groups) lives in a shared cluster config file
+// (net/cluster_config.h) handed to every process:
+//
+//   causalec_server --node 0 --cluster /var/tmp/cec/cluster.conf
 //     --data-dir /var/tmp/cec/s0 --shards 2
 #include <signal.h>
 #include <sys/stat.h>
@@ -21,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "erasure/codes.h"
+#include "net/cluster_config.h"
 #include "net/node_daemon.h"
 
 using namespace causalec;
@@ -36,10 +38,8 @@ void on_signal(int) { g_shutdown.store(true); }
   std::fprintf(stderr, "causalec_server: %s\n", what);
   std::fprintf(
       stderr,
-      "usage: causalec_server --node N --listen HOST:PORT --peers "
-      "H:P,H:P,... [--servers N] [--objects K] [--value-bytes B] "
-      "[--code rs|paper53] [--data-dir DIR] [--shards S] [--gc-ms MS] "
-      "[--snapshot-ms MS]\n");
+      "usage: causalec_server --node N --cluster FILE [--listen HOST:PORT] "
+      "[--data-dir DIR] [--shards S] [--gc-ms MS] [--snapshot-ms MS]\n");
   std::exit(2);
 }
 
@@ -60,31 +60,12 @@ std::vector<std::string> split_path(const std::string& path) {
   return out;
 }
 
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= csv.size()) {
-    const std::size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) {
-      out.push_back(csv.substr(pos));
-      break;
-    }
-    out.push_back(csv.substr(pos, comma - pos));
-    pos = comma + 1;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   net::NodeDaemonConfig config;
-  std::size_t servers = 5;
-  std::size_t objects = 3;
-  std::size_t value_bytes = 64;
-  std::string code_name = "rs";
-  std::string listen = "127.0.0.1:0";
-  std::string peers_csv;
+  std::string cluster_path;
+  std::string listen;  // empty = the node's endpoint from the cluster file
   long gc_ms = 10;
   long snapshot_ms = 100;
   bool node_set = false;
@@ -97,18 +78,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--node") == 0) {
       config.node = static_cast<NodeId>(std::strtoul(next_arg(i), nullptr, 10));
       node_set = true;
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster_path = next_arg(i);
     } else if (std::strcmp(argv[i], "--listen") == 0) {
       listen = next_arg(i);
-    } else if (std::strcmp(argv[i], "--peers") == 0) {
-      peers_csv = next_arg(i);
-    } else if (std::strcmp(argv[i], "--servers") == 0) {
-      servers = std::strtoul(next_arg(i), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--objects") == 0) {
-      objects = std::strtoul(next_arg(i), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--value-bytes") == 0) {
-      value_bytes = std::strtoul(next_arg(i), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--code") == 0) {
-      code_name = next_arg(i);
     } else if (std::strcmp(argv[i], "--data-dir") == 0) {
       config.data_dir = next_arg(i);
     } else if (std::strcmp(argv[i], "--shards") == 0) {
@@ -122,23 +95,26 @@ int main(int argc, char** argv) {
     }
   }
   if (!node_set) usage("--node is required");
-  if (peers_csv.empty()) usage("--peers is required");
+  if (cluster_path.empty()) usage("--cluster is required");
+  std::string error;
+  const auto cluster = net::load_cluster_config(cluster_path, &error);
+  if (!cluster.has_value()) {
+    usage(("bad --cluster file: " + error).c_str());
+  }
+  if (config.node >= cluster->num_servers) {
+    usage("--node is outside the cluster's server range");
+  }
+  if (listen.empty()) listen = cluster->endpoints[config.node];
   const auto addr = net::parse_host_port(listen);
   if (!addr.has_value()) usage("bad --listen address");
   config.listen_host = addr->first;
   config.listen_port = addr->second;
-  config.peers = split_csv(peers_csv);
+  config.peers = cluster->endpoints;
   config.gc_period = std::chrono::milliseconds(gc_ms);
   config.snapshot_period = std::chrono::milliseconds(snapshot_ms);
 
-  erasure::CodePtr code;
-  if (code_name == "rs") {
-    code = erasure::make_systematic_rs(servers, objects, value_bytes);
-  } else if (code_name == "paper53") {
-    code = erasure::make_paper_5_3(value_bytes);
-  } else {
-    usage("unknown --code (rs|paper53)");
-  }
+  erasure::CodePtr code = cluster->make_code();
+  if (code == nullptr) usage("cluster config names an unbuildable code");
 
   if (!config.data_dir.empty()) {
     // Best-effort create (parents too); DirBackend reports clearly if the

@@ -24,8 +24,18 @@
 #       # link, and the automaton inbox visible to tsan), and the
 #       # multi-process SIGKILL/rejoin tests (the forked servers are
 #       # instrumented too; tsan just cannot see across the processes)
+#   tools/run_sanitized_tests.sh thread -L frontdoor
+#       # the front-door tier battery (DESIGN.md §12): hash-ring
+#       # properties, the frontier-gated edge cache, cluster-config
+#       # parsing, routed sessions under the consistency checkers, and
+#       # the SIGKILL/router-restart chaos tests; under tsan this
+#       # exercises the router's shard loops, the shared edge cache, and
+#       # every RouterClient session thread (the wall-clock
+#       # frontdoor_bench_smoke gate is skipped in sanitized builds)
 #   tools/run_sanitized_tests.sh --net-smoke
 #       # fast path: net label only, asan+ubsan then tsan
+#   tools/run_sanitized_tests.sh --frontdoor-smoke
+#       # fast path: frontdoor label only, asan+ubsan then tsan
 #
 # After an unfiltered run, each config additionally reruns the GF kernel
 # differential suite once per tier available on this machine, looping
@@ -46,6 +56,11 @@ if [[ $# -ge 1 && $1 == --net-smoke ]]; then
   # Fast path: just the real-socket battery under both sanitizer configs.
   shift
   set -- -L net "$@"
+  configs=("address,undefined" "thread")
+elif [[ $# -ge 1 && $1 == --frontdoor-smoke ]]; then
+  # Fast path: just the front-door battery under both sanitizer configs.
+  shift
+  set -- -L frontdoor "$@"
   configs=("address,undefined" "thread")
 elif [[ $# -ge 1 && $1 != -* ]]; then
   configs=("$1")
